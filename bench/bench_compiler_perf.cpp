@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Compiler-throughput microbenchmarks (google-benchmark): parsing,
+ * elaboration + type checking, and full compilation of the evaluation
+ * designs.  Supports the "fast, integrated feedback loop" claim of
+ * §2.3 with concrete numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "anvil/compiler.h"
+#include "designs/designs.h"
+#include "ir/elaborate.h"
+#include "lang/parser.h"
+#include "types/checker.h"
+
+using namespace anvil;
+
+namespace {
+
+void
+BM_ParseFifo(benchmark::State &state)
+{
+    std::string src = designs::anvilFifoSource();
+    for (auto _ : state) {
+        DiagEngine d;
+        benchmark::DoNotOptimize(parseAnvil(src, d));
+    }
+}
+BENCHMARK(BM_ParseFifo);
+
+void
+BM_TypeCheckFifo(benchmark::State &state)
+{
+    std::string src = designs::anvilFifoSource();
+    DiagEngine d;
+    Program prog = parseAnvil(src, d);
+    const ProcDef *p = prog.findProc("fifo");
+    for (auto _ : state) {
+        DiagEngine cd;
+        ProcIR pir = elaborateProc(prog, *p, cd, 2);
+        benchmark::DoNotOptimize(checkProc(pir, cd));
+    }
+}
+BENCHMARK(BM_TypeCheckFifo);
+
+void
+BM_TypeCheckEncrypt(benchmark::State &state)
+{
+    std::string src = designs::anvilEncryptSource();
+    DiagEngine d;
+    Program prog = parseAnvil(src, d);
+    const ProcDef *p = prog.findProc("encrypt");
+    for (auto _ : state) {
+        DiagEngine cd;
+        ProcIR pir = elaborateProc(prog, *p, cd, 2);
+        benchmark::DoNotOptimize(checkProc(pir, cd));
+    }
+}
+BENCHMARK(BM_TypeCheckEncrypt);
+
+void
+BM_FullCompilePtw(benchmark::State &state)
+{
+    std::string src = designs::anvilPtwSource();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compileAnvil(src, {.top = "ptw"}));
+}
+BENCHMARK(BM_FullCompilePtw);
+
+void
+BM_FullCompileAes(benchmark::State &state)
+{
+    std::string src = designs::anvilAesSource();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compileAnvil(src, {.top = "aes"}));
+}
+BENCHMARK(BM_FullCompileAes);
+
+} // namespace

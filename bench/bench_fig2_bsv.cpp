@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Figure 2: Anvil vs. BSV on the cache->FIFO forwarding design.
+ * BSV's per-cycle conflict-free scheduler admits an ordering that
+ * violates the multi-cycle cache contract; Anvil rejects the same
+ * ordering and accepts the guided rewrite.
+ */
+
+#include <cstdio>
+
+#include "anvil/compiler.h"
+#include "bsv/rules.h"
+
+using namespace anvil;
+
+namespace {
+
+bsv::RuleDesign
+makeDesign(int latency)
+{
+    using bsv::State;
+    bsv::RuleDesign d;
+    d.addReg("address", 0x10);
+    d.addReg("cache_busy", 0);
+    d.addReg("cache_timer", 0);
+    d.addReg("fifo_data", 0);
+    d.addReg("got_data", 0);
+    d.addReg("data", 0);
+
+    d.addRule({"send_cache_req(address)",
+               [](const State &s) { return s.at("cache_busy") == 0; },
+               [=](State &s) {
+                   s["cache_busy"] = 1;
+                   s["cache_timer"] = latency;
+               },
+               {"cache_busy"}, {"cache_busy", "cache_timer"}});
+    d.addRule({"change_address()",
+               [](const State &s) { return s.at("cache_busy") == 1; },
+               [](State &s) { s["address"]++; },
+               {"cache_busy", "address"}, {"address"}});
+    d.addRule({"cache_step",
+               [](const State &s) {
+                   return s.at("cache_busy") == 1 &&
+                       s.at("got_data") == 0;
+               },
+               [](State &s) {
+                   if (s["cache_timer"] > 0)
+                       s["cache_timer"]--;
+                   if (s["cache_timer"] == 0) {
+                       s["data"] = s["address"] + 0x100;
+                       s["got_data"] = 1;
+                       s["cache_busy"] = 0;
+                   }
+               },
+               {"cache_busy", "cache_timer", "got_data"},
+               {"cache_timer", "data", "got_data", "cache_busy"}});
+    d.addRule({"send_fifo_enq_req(data)",
+               [](const State &s) { return s.at("got_data") == 1; },
+               [](State &s) {
+                   s["fifo_data"] = s.at("data");
+                   s["got_data"] = 0;
+               },
+               {"got_data", "data"}, {"fifo_data", "got_data"}});
+    return d;
+}
+
+} // namespace
+
+int
+main()
+{
+    printf("=== Figure 2: BSV conflict-free schedules vs. Anvil ===\n");
+
+    printf("\n--- BSV: per-cycle scheduling of the four rules ---\n");
+    bsv::RuleDesign d = makeDesign(2);
+    auto sched = d.run(6);
+    for (size_t c = 0; c < sched.size(); c++) {
+        printf("cycle %zu:", c);
+        for (const auto &r : sched[c])
+            printf("  %s", r.c_str());
+        printf("\n");
+    }
+    printf("\nrequested address: 0x10 (expected data 0x110)\n");
+    printf("FIFO received:     0x%llx\n",
+           (unsigned long long)d.state()["fifo_data"]);
+    printf("=> schedule was conflict-free every cycle, yet "
+           "change_address fired while the\n   cache was still "
+           "dereferencing the address: a timing hazard BSV cannot "
+           "see.\n");
+
+    printf("\n--- Anvil: the same ordering is a type error ---\n");
+    const char *unsafe = R"(
+chan cache_ch {
+    left req : (logic[8]@res),
+    right res : (logic[8]@res+1)
+}
+chan fifo_ch { left enq_req : (logic[8]@#1) }
+proc top(cache : right cache_ch, fifo : right fifo_ch) {
+    reg address : logic[8];
+    loop {
+        send cache.req (*address) >>
+        set address := *address + 1 >>
+        let data = recv cache.res >>
+        send fifo.enq_req (data) >>
+        cycle 1
+    }
+}
+)";
+    CompileOutput bad = compileAnvil(unsafe);
+    printf("%s", bad.diags.render().c_str());
+    printf("verdict: %s\n", bad.ok ? "accepted (BUG)" : "rejected");
+
+    printf("\n--- Anvil: the guided rewrite (Fig. 2 top right) ---\n");
+    const char *safe = R"(
+chan cache_ch {
+    left req : (logic[8]@res),
+    right res : (logic[8]@res+1)
+}
+chan fifo_ch { left enq_req : (logic[8]@#1) }
+proc top(cache : right cache_ch, fifo : right fifo_ch) {
+    reg address : logic[8];
+    reg enq_data : logic[8];
+    loop {
+        send cache.req (*address) >>
+        let data = recv cache.res >>
+        set address := *address + 1;
+        set enq_data := data >>
+        send fifo.enq_req (*enq_data) >>
+        cycle 1
+    }
+}
+)";
+    CompileOutput good = compileAnvil(safe);
+    printf("verdict: %s\n",
+           good.ok ? "accepted (timing-safe)" : "rejected (BUG)");
+    if (!good.ok)
+        printf("%s", good.diags.render().c_str());
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Figure 4: static vs. dynamic timing contracts on a cached memory
+ * (hit = 1 cycle, miss = 3 cycles).
+ *
+ * The static contract must assume the worst case, so every access
+ * costs the miss latency.  The dynamic contract ([req, req->res))
+ * lets the Anvil client proceed as soon as the response arrives, so
+ * hits complete early.  The bench replays the same address trace
+ * against both and reports per-access latency and total cycles.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "anvil/compiler.h"
+#include "designs/designs.h"
+#include "rtl/interp.h"
+
+using namespace anvil;
+
+namespace {
+
+/** Addresses with reuse so the cache hits after the first touch. */
+std::vector<uint64_t>
+trace()
+{
+    std::vector<uint64_t> t;
+    for (int rep = 0; rep < 4; rep++)
+        for (uint64_t a = 0; a < 4; a++)
+            t.push_back(a);
+    return t;
+}
+
+/**
+ * The static-contract client of Fig. 4 (left): with a conservative
+ * worst-case contract, every access takes the miss latency; the
+ * response is only sampled after the full window.
+ */
+int
+runStaticClient(const std::vector<uint64_t> &addrs,
+                std::vector<int> &lat)
+{
+    rtl::Sim cache(designs::buildCacheDemoBaseline());
+    int cycles = 0;
+    for (uint64_t a : addrs) {
+        int this_lat = 0;
+        cache.setInput("io_req_data", a);
+        cache.setInput("io_req_valid", 1);
+        cache.setInput("io_res_ack", 0);
+        // Issue, then wait the worst case: the response is consumed
+        // only at the end of the static window.
+        while (!cache.peek("io_req_ack").any()) {
+            cache.step();
+            cycles++;
+        }
+        cache.step();   // request accepted
+        cycles++;
+        this_lat++;
+        cache.setInput("io_req_valid", 0);
+        for (int w = 0; w < 3; w++) {
+            // Static window: hold off the ack until the last cycle.
+            cache.setInput("io_res_ack", w == 2 ? 1 : 0);
+            cache.step();
+            cycles++;
+            this_lat++;
+        }
+        lat.push_back(this_lat);
+    }
+    return cycles;
+}
+
+/** The dynamic-contract client: consumes the response when it comes. */
+int
+runDynamicClient(const std::vector<uint64_t> &addrs,
+                 std::vector<int> &lat)
+{
+    rtl::Sim cache(designs::buildCacheDemoBaseline());
+    int cycles = 0;
+    for (uint64_t a : addrs) {
+        int this_lat = 0;
+        cache.setInput("io_req_data", a);
+        cache.setInput("io_req_valid", 1);
+        cache.setInput("io_res_ack", 1);
+        while (!cache.peek("io_req_ack").any()) {
+            cache.step();
+            cycles++;
+        }
+        cache.step();   // request accepted
+        cycles++;
+        this_lat++;
+        cache.setInput("io_req_valid", 0);
+        while (!cache.peek("io_res_valid").any()) {
+            cache.step();
+            cycles++;
+            this_lat++;
+        }
+        cache.step();   // response consumed
+        cycles++;
+        lat.push_back(this_lat);
+    }
+    return cycles;
+}
+
+void
+printRow(const char *name, const std::vector<int> &lat, int cycles)
+{
+    printf("%-28s", name);
+    int hits = 0;
+    for (size_t i = 0; i < lat.size(); i++) {
+        if (lat[i] <= 1)
+            hits++;
+    }
+    printf(" accesses=%-3zu hits(1cyc)=%-3d total=%d cycles, "
+           "per-access:", lat.size(), hits, cycles);
+    for (size_t i = 0; i < lat.size() && i < 12; i++)
+        printf(" %d", lat[i]);
+    printf("...\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    printf("=== Figure 4: static vs dynamic timing contract on a "
+           "cache ===\n\n");
+    printf("cache: hit = 1 cycle, miss = 3 cycles; trace touches 4 "
+           "lines 4 times each\n\n");
+
+    auto addrs = trace();
+    std::vector<int> static_lat, dyn_lat;
+    int static_cycles = runStaticClient(addrs, static_lat);
+    int dyn_cycles = runDynamicClient(addrs, dyn_lat);
+
+    printRow("static contract [T, T+3)", static_lat, static_cycles);
+    printRow("dynamic [req, req->res)", dyn_lat, dyn_cycles);
+
+    printf("\nspeedup from the dynamic contract: %.2fx "
+           "(the static contract nullifies caching, paper §2.4)\n",
+           static_cast<double>(static_cycles) / dyn_cycles);
+
+    printf("\n--- the dynamic-contract client in Anvil "
+           "(compiles, Fig. 5 right) ---\n");
+    CompileOutput out = compileAnvil(designs::anvilTopSafeSource());
+    printf("type check: %s\n", out.ok ? "SAFE" : "UNSAFE");
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 6: the Encrypt process with inferred lifetimes and loan
+ * times.  Prints the per-check derivation, the loan tables, and the
+ * three compile errors the paper walks through (noise dead at use,
+ * assignment to the loaned r2_key, overlapping enc_res sends).
+ */
+
+#include <cstdio>
+
+#include "anvil/compiler.h"
+#include "designs/designs.h"
+
+using namespace anvil;
+
+int
+main()
+{
+    printf("=== Figure 6: Encrypt lifetimes and loan times ===\n\n");
+    printf("%s\n", designs::anvilEncryptSource().c_str());
+
+    CompileOutput out = compileAnvil(designs::anvilEncryptSource());
+    const CheckResult &r = out.checks.at("encrypt");
+
+    printf("--- inferred checks (lifetimes in [start, end) form) "
+           "---\n%s\n", r.traceStr().c_str());
+
+    printf("--- loan tables ---\n");
+    for (size_t t = 0; t < r.loan_tables.size(); t++) {
+        printf("thread %zu:\n%s", t, r.loan_tables[t].str().c_str());
+    }
+
+    printf("\n--- compiler errors ---\n%s", out.diags.render().c_str());
+    printf("\nfinal decision: %s\n", out.ok ? "SAFE" : "UNSAFE");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Composing Anvil modules: an AXI-Lite "crossbar slice" built from
+ * the compiled demux (1 master -> 8 slaves), exercised with writes
+ * and reads routed by the address's top bits.
+ *
+ * Build & run:  ./build/examples/axi_crossbar
+ */
+
+#include <cstdio>
+
+#include "anvil/compiler.h"
+#include "designs/designs.h"
+#include "rtl/interp.h"
+
+using namespace anvil;
+
+int
+main()
+{
+    CompileOutput out = compileAnvil(designs::anvilAxiDemuxSource(),
+                                     {.top = "axi_demux"});
+    if (!out.ok) {
+        printf("%s\n", out.diags.render().c_str());
+        return 1;
+    }
+    printf("AXI-Lite demux compiled: %zu ports, %zu registers\n\n",
+           out.module("axi_demux")->ports.size(),
+           out.module("axi_demux")->regs.size());
+
+    rtl::Sim sim(out.module("axi_demux"));
+
+    // Simple memory-mapped slaves: each acks immediately and echoes
+    // addr+data in the read payload.
+    uint64_t slave_mem[8] = {0};
+    auto drive_slaves = [&]() {
+        for (int i = 0; i < 8; i++) {
+            std::string p = "s" + std::to_string(i);
+            sim.setInput(p + "_aw_ack", 1);
+            sim.setInput(p + "_w_ack", 1);
+            sim.setInput(p + "_ar_ack", 1);
+            if (sim.peek(p + "_aw_valid").any() &&
+                sim.peek(p + "_w_valid").any()) {
+                slave_mem[i] = sim.peek(p + "_w_data").toUint64();
+            }
+            sim.setInput(p + "_b_valid", 1);
+            sim.setInput(p + "_b_data", 1);
+            sim.setInput(p + "_r_valid", 1);
+            sim.setInput(p + "_r_data", BitVec(33, slave_mem[i]));
+        }
+    };
+
+    auto write = [&](uint64_t addr, uint64_t data) {
+        sim.setInput("m_aw_data", BitVec(32, addr));
+        sim.setInput("m_aw_valid", 1);
+        sim.setInput("m_w_data", BitVec(32, data));
+        sim.setInput("m_w_valid", 1);
+        sim.setInput("m_b_ack", 1);
+        for (int i = 0; i < 50; i++) {
+            drive_slaves();
+            bool b = sim.peek("m_b_valid").any();
+            sim.step();
+            if (b)
+                break;
+        }
+        sim.setInput("m_aw_valid", 0);
+        sim.setInput("m_w_valid", 0);
+        sim.step();
+    };
+    auto read = [&](uint64_t addr) -> uint64_t {
+        sim.setInput("m_ar_data", BitVec(32, addr));
+        sim.setInput("m_ar_valid", 1);
+        sim.setInput("m_r_ack", 1);
+        uint64_t got = ~0ull;
+        for (int i = 0; i < 50; i++) {
+            drive_slaves();
+            bool r = sim.peek("m_r_valid").any();
+            uint64_t d = sim.peek("m_r_data").toUint64();
+            sim.step();
+            sim.setInput("m_ar_valid", 0);
+            if (r) {
+                got = d;
+                break;
+            }
+        }
+        sim.setInput("m_r_ack", 0);
+        sim.step();
+        return got;
+    };
+
+    printf("writing 0x111*i to slave i (addr top bits select)...\n");
+    for (uint64_t i = 0; i < 8; i++)
+        write((i << 29) | 0x10, 0x111 * i);
+    printf("reading back:\n");
+    for (uint64_t i = 0; i < 8; i++) {
+        uint64_t v = read((i << 29) | 0x10);
+        printf("  slave %llu -> 0x%llx %s\n", (unsigned long long)i,
+               (unsigned long long)v,
+               v == 0x111 * i ? "(ok)" : "(MISMATCH)");
+    }
+    return 0;
+}

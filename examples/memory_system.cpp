@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Memory-system walkthrough (the paper's running example): the unsafe
+ * client is rejected with the exact errors of Fig. 5; the safe client
+ * under the dynamic cache contract compiles and runs against the
+ * hit/miss cache, showing per-access latencies.
+ *
+ * Build & run:  ./build/examples/memory_system
+ */
+
+#include <cstdio>
+
+#include "anvil/compiler.h"
+#include "designs/designs.h"
+#include "rtl/interp.h"
+
+using namespace anvil;
+
+int
+main()
+{
+    printf("=== 1. The unsafe client (static memory contract) ===\n");
+    CompileOutput bad = compileAnvil(designs::anvilTopUnsafeSource());
+    printf("%s\n", bad.diags.render().c_str());
+
+    printf("=== 2. The safe client (dynamic cache contract) ===\n");
+    CompileOutput good = compileAnvil(designs::anvilTopSafeSource());
+    printf("type check: %s\n\n", good.ok ? "SAFE" : "UNSAFE");
+    if (!good.ok)
+        return 1;
+
+    printf("=== 3. Running the safe client against the cache ===\n");
+    // Wire the compiled client to the hit/miss cache demo by copying
+    // port values each cycle (client <-> cache).
+    rtl::Sim client(good.module("top_safe"));
+    rtl::Sim cache(designs::buildCacheDemoBaseline());
+
+    int responses = 0;
+    uint64_t last_resp_cycle = 0;
+    printf("access latencies (miss = 3, hit = 1): ");
+    for (int cyc = 0; cyc < 64 && responses < 12; cyc++) {
+        // Cache outputs are registered; feed them to the client.
+        client.setInput("mem_req_ack", cache.peek("io_req_ack"));
+        client.setInput("mem_res_valid", cache.peek("io_res_valid"));
+        client.setInput("mem_res_data", cache.peek("io_res_data"));
+        // Client outputs feed the cache.
+        cache.setInput("io_req_valid", client.peek("mem_req_valid"));
+        cache.setInput("io_req_data", client.peek("mem_req_data"));
+        cache.setInput("io_res_ack", client.peek("mem_res_ack"));
+
+        bool res = cache.peek("io_res_valid").any() &&
+            client.peek("mem_res_ack").any();
+        client.step();
+        cache.step();
+        if (res) {
+            responses++;
+            printf("%llu ",
+                   (unsigned long long)(cache.cycle() - 1 -
+                                        last_resp_cycle));
+            last_resp_cycle = cache.cycle() - 1;
+        }
+    }
+    printf("\naccumulator after %d responses: 0x%llx\n", responses,
+           (unsigned long long)client.peek("acc").toUint64());
+    printf("(the address register advances only after each response "
+           "arrives,\n exactly the behaviour the [req, req->res) "
+           "contract promises)\n");
+    return 0;
+}

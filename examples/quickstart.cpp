@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: compile a small Anvil program, inspect the timing-check
+ * trace, print the generated SystemVerilog, and simulate the design.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "anvil/compiler.h"
+#include "rtl/interp.h"
+
+using namespace anvil;
+
+int
+main()
+{
+    // A ping server: receives a byte, answers with byte+1 the next
+    // cycle.  The channel contract says the request stays valid until
+    // the response sync, and the response is valid for one cycle.
+    const char *source = R"(
+chan ping_ch {
+    left ping : (logic[8]@pong),
+    right pong : (logic[8]@#1)
+}
+
+proc ping_server(io : left ping_ch) {
+    reg bump : logic[8];
+    loop {
+        let p = recv io.ping >>
+        set bump := p + 1 >>
+        send io.pong (*bump) >>
+        cycle 1
+    }
+}
+)";
+
+    printf("--- source ---\n%s\n", source);
+
+    CompileOutput out = compileAnvil(source);
+    if (!out.ok) {
+        printf("type errors:\n%s\n", out.diags.render().c_str());
+        return 1;
+    }
+    printf("--- timing checks ---\n%s\n",
+           out.checks.at("ping_server").traceStr().c_str());
+
+    printf("--- generated SystemVerilog ---\n%s\n",
+           out.systemverilog.c_str());
+
+    // Simulate: drive the handshake by hand.
+    printf("--- simulation ---\n");
+    rtl::Sim sim(out.module("ping_server"));
+    for (uint64_t v : {10, 42, 200}) {
+        sim.setInput("io_ping_data", v);
+        sim.setInput("io_ping_valid", 1);
+        sim.setInput("io_pong_ack", 1);
+        for (int i = 0; i < 10; i++) {
+            bool pong = sim.peek("io_pong_valid").any();
+            uint64_t data = sim.peek("io_pong_data").toUint64();
+            sim.step();
+            sim.setInput("io_ping_valid", 0);
+            if (pong) {
+                printf("ping %3llu -> pong %3llu\n",
+                       (unsigned long long)v,
+                       (unsigned long long)data);
+                break;
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * anvilc — the Anvil compiler command-line driver.
+ *
+ * Usage:
+ *   anvilc [options] <input.anvil>
+ *     -o <file>      write generated SystemVerilog to <file>
+ *     --top <proc>   top process (default: last defined)
+ *     --no-opt       skip the Fig. 8 event-graph passes
+ *     --trace        print the timing-check derivation
+ *     --stats        print event-graph and synthesis statistics
+ *     --check-only   type check without generating code
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "anvil/compiler.h"
+#include "synth/cost_model.h"
+
+using namespace anvil;
+
+namespace {
+
+void
+usage()
+{
+    fprintf(stderr,
+            "usage: anvilc [options] <input.anvil>\n"
+            "  -o <file>      write SystemVerilog to <file>\n"
+            "  --top <proc>   top process (default: last defined)\n"
+            "  --no-opt       skip event-graph optimizations\n"
+            "  --trace        print the timing-check derivation\n"
+            "  --stats        print event-graph/synthesis stats\n"
+            "  --check-only   type check only\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input, output, top;
+    bool optimize = true, trace = false, stats = false;
+    bool check_only = false;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "-o" && i + 1 < argc) {
+            output = argv[++i];
+        } else if (arg == "--top" && i + 1 < argc) {
+            top = argv[++i];
+        } else if (arg == "--no-opt") {
+            optimize = false;
+        } else if (arg == "--trace") {
+            trace = true;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--check-only") {
+            check_only = true;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            fprintf(stderr, "anvilc: unknown option '%s'\n",
+                    arg.c_str());
+            usage();
+            return 2;
+        } else if (input.empty()) {
+            input = arg;
+        } else {
+            fprintf(stderr, "anvilc: multiple inputs\n");
+            return 2;
+        }
+    }
+    if (input.empty()) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream in(input);
+    if (!in) {
+        fprintf(stderr, "anvilc: cannot open '%s'\n", input.c_str());
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    CompileOptions opts;
+    opts.top = top;
+    opts.optimize = optimize;
+    opts.codegen = !check_only;
+    CompileOutput out = compileAnvil(buf.str(), opts);
+
+    // Diagnostics (warnings and notes included).
+    fputs(out.diags.render().c_str(), stderr);
+
+    if (trace) {
+        for (const auto &[name, check] : out.checks) {
+            printf("=== %s ===\n%s\n", name.c_str(),
+                   check.traceStr().c_str());
+        }
+    }
+    if (stats) {
+        for (const auto &[name, s] : out.opt_stats) {
+            printf("%-20s events %4d -> %4d", name.c_str(), s.before,
+                   s.after);
+            auto mod = out.module(name);
+            if (mod) {
+                auto r = synth::synthesize(*mod);
+                printf("   %s", r.str().c_str());
+            }
+            printf("\n");
+        }
+    }
+
+    if (!out.ok) {
+        fprintf(stderr, "anvilc: %d error(s)\n",
+                out.diags.errorCount());
+        return 1;
+    }
+
+    if (!check_only) {
+        if (output.empty()) {
+            fputs(out.systemverilog.c_str(), stdout);
+        } else {
+            std::ofstream os(output);
+            if (!os) {
+                fprintf(stderr, "anvilc: cannot write '%s'\n",
+                        output.c_str());
+                return 2;
+            }
+            os << out.systemverilog;
+            fprintf(stderr, "anvilc: wrote %s\n", output.c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The Anvil compiler facade: source text in, diagnostics + generated
+ * SystemVerilog + simulatable RTL out.
+ *
+ * Pipeline (paper §6): parse -> elaborate (event-graph construction,
+ * two-iteration unrolled) -> type check -> re-elaborate single
+ * iteration -> event-graph optimization -> FSM generation -> RTL IR
+ * and SystemVerilog.
+ */
+
+#ifndef ANVIL_ANVIL_COMPILER_H
+#define ANVIL_ANVIL_COMPILER_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ir/optimize.h"
+#include "lang/ast.h"
+#include "rtl/rtl.h"
+#include "support/diag.h"
+#include "types/checker.h"
+
+namespace anvil {
+
+/** Everything the compiler produces for one source buffer. */
+struct CompileOutput
+{
+    bool ok = false;
+    DiagEngine diags;
+    Program program;
+
+    /** Per-process type-check results (traces, loan tables). */
+    std::map<std::string, CheckResult> checks;
+
+    /** Per-process generated RTL (single-iteration, optimized). */
+    std::map<std::string, rtl::ModulePtr> modules;
+
+    /** Per-process event-graph optimization statistics. */
+    std::map<std::string, OptStats> opt_stats;
+
+    /** Generated SystemVerilog for the full hierarchy of `top`. */
+    std::string systemverilog;
+
+    rtl::ModulePtr module(const std::string &proc) const
+    {
+        auto it = modules.find(proc);
+        return it != modules.end() ? it->second : nullptr;
+    }
+};
+
+/** Compiler options. */
+struct CompileOptions
+{
+    std::string top;          ///< top process (default: last defined)
+    bool optimize = true;     ///< run the Fig. 8 passes
+    bool codegen = true;      ///< generate RTL even to observe checks
+};
+
+/** Run the full pipeline over one source buffer. */
+CompileOutput compileAnvil(const std::string &source,
+                           const CompileOptions &opts = {});
+
+} // namespace anvil
+
+#endif // ANVIL_ANVIL_COMPILER_H

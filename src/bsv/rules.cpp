@@ -1,0 +1,74 @@
+#include "bsv/rules.h"
+
+#include <algorithm>
+
+namespace anvil {
+namespace bsv {
+
+void
+RuleDesign::addReg(const std::string &name, uint64_t init)
+{
+    _state[name] = init;
+}
+
+void
+RuleDesign::addRule(Rule rule)
+{
+    _rules.push_back(std::move(rule));
+}
+
+bool
+RuleDesign::conflicts(const Rule &a, const Rule &b) const
+{
+    for (const auto &w : a.writes) {
+        if (b.writes.count(w) || b.reads.count(w))
+            return true;
+    }
+    for (const auto &w : b.writes) {
+        if (a.reads.count(w))
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+RuleDesign::step()
+{
+    // Choose a maximal conflict-free set of enabled rules in urgency
+    // order, then fire them atomically against the cycle-start state.
+    std::vector<const Rule *> chosen;
+    for (const auto &r : _rules) {
+        if (!r.guard(_state))
+            continue;
+        bool ok = true;
+        for (const Rule *c : chosen) {
+            if (conflicts(r, *c)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            chosen.push_back(&r);
+    }
+
+    State next = _state;
+    std::vector<std::string> fired;
+    for (const Rule *r : chosen) {
+        r->action(next);
+        fired.push_back(r->name);
+    }
+    _state = std::move(next);
+    return fired;
+}
+
+Schedule
+RuleDesign::run(int n)
+{
+    Schedule sched;
+    for (int i = 0; i < n; i++)
+        sched.push_back(step());
+    return sched;
+}
+
+} // namespace bsv
+} // namespace anvil

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A miniature Bluespec-SystemVerilog-style rule system (paper §2.2,
+ * Fig. 2).
+ *
+ * Rules are atomic guarded actions over registers.  Each cycle, a
+ * scheduler picks a maximal set of enabled, pairwise conflict-free
+ * rules (no write-write or read-write overlap) and fires them
+ * atomically.  Crucially — and this is the failure mode Fig. 2
+ * demonstrates — scheduling is performed independently for each
+ * cycle: BSV does not reason about constraints that span multiple
+ * cycles, so a schedule can be conflict-free per cycle yet violate a
+ * multi-cycle timing contract.
+ */
+
+#ifndef ANVIL_BSV_RULES_H
+#define ANVIL_BSV_RULES_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace anvil {
+namespace bsv {
+
+/** Register state of a rule-based design. */
+using State = std::map<std::string, uint64_t>;
+
+/** One atomic rule: guard + action + read/write sets. */
+struct Rule
+{
+    std::string name;
+    std::function<bool(const State &)> guard;
+    std::function<void(State &)> action;
+    std::set<std::string> reads;
+    std::set<std::string> writes;
+};
+
+/** A fired-rule trace: one entry per cycle. */
+using Schedule = std::vector<std::vector<std::string>>;
+
+/**
+ * Rule-based design with a per-cycle conflict-free scheduler.
+ *
+ * The scheduler enumerates rules in priority order (urgency), firing
+ * each enabled rule whose read/write sets do not conflict with the
+ * rules already chosen this cycle.
+ */
+class RuleDesign
+{
+  public:
+    void addReg(const std::string &name, uint64_t init = 0);
+    void addRule(Rule rule);
+
+    State &state() { return _state; }
+    const State &state() const { return _state; }
+
+    /** Fire one cycle; returns the names of the rules that fired. */
+    std::vector<std::string> step();
+
+    /** Run for n cycles and return the full schedule. */
+    Schedule run(int n);
+
+    /**
+     * True when rules a and b conflict (write-write or read-write
+     * overlap) and hence can never fire in the same cycle.
+     */
+    bool conflicts(const Rule &a, const Rule &b) const;
+
+    const std::vector<Rule> &rules() const { return _rules; }
+
+  private:
+    State _state;
+    std::vector<Rule> _rules;
+};
+
+} // namespace bsv
+} // namespace anvil
+
+#endif // ANVIL_BSV_RULES_H

@@ -1,0 +1,642 @@
+#include "codegen/rtl_gen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "designs/designs.h"
+#include "support/strings.h"
+
+namespace anvil {
+
+using rtl::ExprPtr;
+using rtl::Op;
+
+std::string
+msgDataPort(const std::string &ep, const std::string &msg)
+{
+    return ep + "_" + msg + "_data";
+}
+
+std::string
+msgValidPort(const std::string &ep, const std::string &msg)
+{
+    return ep + "_" + msg + "_valid";
+}
+
+std::string
+msgAckPort(const std::string &ep, const std::string &msg)
+{
+    return ep + "_" + msg + "_ack";
+}
+
+std::shared_ptr<const std::vector<BitVec>>
+aesSboxRom()
+{
+    static std::shared_ptr<const std::vector<BitVec>> rom = [] {
+        auto t = std::make_shared<std::vector<BitVec>>();
+        for (int i = 0; i < 256; i++)
+            t->push_back(BitVec(8, designs::aesSbox()[i]));
+        return t;
+    }();
+    return rom;
+}
+
+namespace {
+
+/** Generates the FSM and datapath for one process. */
+class RtlGenerator
+{
+  public:
+    RtlGenerator(const ProcIR &pir,
+                 const std::map<std::string, rtl::ModulePtr> &children,
+                 DiagEngine &diags)
+        : _pir(pir), _children(children), _diags(diags),
+          _mod(std::make_shared<rtl::Module>())
+    {
+    }
+
+    rtl::ModulePtr run();
+
+  private:
+    struct MsgPorts
+    {
+        std::string data, valid, ack;   // empty when omitted
+        int width = 1;
+        bool we_send = false;
+    };
+
+    struct SendSite
+    {
+        ExprPtr active;
+        ExprPtr data;
+    };
+
+    /** Canonical signal prefix for an endpoint (see DESIGN.md). */
+    std::string canon(const std::string &ep) const;
+
+    void declarePorts();
+    void declareRegs();
+    void wireChildren();
+    void generateThread(const ThreadIR &tir, int idx);
+    void finishMessages();
+
+    /** The `current` wire name for an event. */
+    std::string evWire(int thread, EventId e) const
+    {
+        return strfmt("t%d_ev%d", thread, e);
+    }
+
+    ExprPtr evRef(int thread, EventId e) const
+    {
+        return rtl::ref(evWire(thread, e), 1);
+    }
+
+    /** Compile a term to a combinational expression. */
+    ExprPtr compileExpr(const ThreadIR &tir, const Term &t, int thread);
+
+    int valueWidth(const ThreadIR &tir, const Term &t) const;
+
+    /** Sync-mode query helpers. */
+    const SyncMode &senderSync(const MessageDef &m) const
+    {
+        return m.dir == MsgDir::Right ? m.left_sync : m.right_sync;
+    }
+    const SyncMode &receiverSync(const MessageDef &m) const
+    {
+        return m.dir == MsgDir::Right ? m.right_sync : m.left_sync;
+    }
+
+    /** True when ev_end is combinationally reachable from ev_root. */
+    bool combReachable(const EventGraph &g, EventId from, EventId to)
+        const;
+
+    const ProcIR &_pir;
+    const std::map<std::string, rtl::ModulePtr> &_children;
+    DiagEngine &_diags;
+    rtl::ModulePtr _mod;
+
+    /** Message key (canon.msg) -> port info. */
+    std::map<std::string, MsgPorts> _msg_ports;
+    /** Message key -> all send sites (for data/valid muxing). */
+    std::map<std::string, std::vector<SendSite>> _send_sites;
+    /** Message key -> all recv "waiting" terms (for ack). */
+    std::map<std::string, std::vector<ExprPtr>> _recv_sites;
+    /** Let-binding memo: bound term -> named wire. */
+    std::map<const Term *, ExprPtr> _let_wires;
+    /** Branch condition memo: cond term -> named wire. */
+    std::map<const Term *, ExprPtr> _cond_wires;
+    int _next_tmp = 0;
+};
+
+std::string
+RtlGenerator::canon(const std::string &ep) const
+{
+    const EndpointInfo *info = _pir.findEndpoint(ep);
+    if (info && !info->is_param && info->side == EndpointSide::Right)
+        return info->peer;
+    return ep;
+}
+
+void
+RtlGenerator::declarePorts()
+{
+    // One port group per message of each endpoint (param endpoints
+    // become module ports, local channels become internal wires).
+    for (const auto &[name, info] : _pir.endpoints) {
+        if (!info.chan)
+            continue;
+        if (!info.is_param && info.side == EndpointSide::Right)
+            continue;  // canonical name is the left endpoint's
+        for (const auto &m : info.chan->messages) {
+            std::string key = name + "." + m.name;
+            MsgPorts mp;
+            mp.width = _pir.prog->typeWidth(m.dtype, m.width_expr);
+            // For local channels we record ports from the left side's
+            // perspective; `we_send` is only meaningful for params.
+            mp.we_send = _pir.canSend(name, m);
+            mp.data = msgDataPort(name, m.name);
+            if (senderSync(m).kind == SyncMode::Kind::Dynamic)
+                mp.valid = msgValidPort(name, m.name);
+            if (receiverSync(m).kind == SyncMode::Kind::Dynamic)
+                mp.ack = msgAckPort(name, m.name);
+            if (info.is_param) {
+                // Direction from this module's point of view.
+                bool out_data = mp.we_send;
+                _mod->ports.push_back({mp.data, mp.width, !out_data});
+                if (!mp.valid.empty())
+                    _mod->ports.push_back({mp.valid, 1, !mp.we_send});
+                if (!mp.ack.empty())
+                    _mod->ports.push_back({mp.ack, 1, mp.we_send});
+            }
+            _msg_ports[key] = mp;
+        }
+    }
+}
+
+void
+RtlGenerator::declareRegs()
+{
+    for (const auto &r : _pir.def->regs) {
+        int w = _pir.prog->typeWidth(r.dtype, r.width);
+        _mod->reg(r.name, w, 0);
+    }
+}
+
+void
+RtlGenerator::wireChildren()
+{
+    for (const auto &s : _pir.def->spawns) {
+        auto it = _children.find(s.proc_name);
+        if (it == _children.end()) {
+            _diags.error(strfmt("spawned process '%s' has no generated "
+                                "module", s.proc_name.c_str()), s.loc);
+            continue;
+        }
+        const ProcDef *child_def = _pir.prog->findProc(s.proc_name);
+        if (!child_def || child_def->params.size() != s.args.size()) {
+            _diags.error(strfmt("spawn of '%s' has wrong arity",
+                                s.proc_name.c_str()), s.loc);
+            continue;
+        }
+        rtl::Instance inst;
+        inst.name = s.proc_name + "_" +
+            std::to_string(_mod->instances.size());
+        inst.module = it->second;
+        for (size_t i = 0; i < s.args.size(); i++) {
+            const EndpointParam &param = child_def->params[i];
+            const std::string &arg = s.args[i];
+            const EndpointInfo *info = _pir.findEndpoint(arg);
+            if (!info || !info->chan) {
+                _diags.error(strfmt("unknown endpoint '%s' in spawn",
+                                    arg.c_str()), s.loc);
+                continue;
+            }
+            std::string cn = canon(arg);
+            for (const auto &m : info->chan->messages) {
+                // Child-side port names.
+                std::string c_data = msgDataPort(param.name, m.name);
+                std::string c_valid = msgValidPort(param.name, m.name);
+                std::string c_ack = msgAckPort(param.name, m.name);
+                // Parent-side canonical wire names.
+                std::string p_data = msgDataPort(cn, m.name);
+                std::string p_valid = msgValidPort(cn, m.name);
+                std::string p_ack = msgAckPort(cn, m.name);
+                int w = _pir.prog->typeWidth(m.dtype, m.width_expr);
+
+                bool child_sends = param.side == EndpointSide::Left
+                    ? m.dir == MsgDir::Right : m.dir == MsgDir::Left;
+                bool has_valid =
+                    senderSync(m).kind == SyncMode::Kind::Dynamic;
+                bool has_ack =
+                    receiverSync(m).kind == SyncMode::Kind::Dynamic;
+
+                if (child_sends) {
+                    inst.outputs[p_data] = c_data;
+                    if (has_valid)
+                        inst.outputs[p_valid] = c_valid;
+                    if (has_ack)
+                        inst.inputs[c_ack] = rtl::ref(p_ack, 1);
+                } else {
+                    inst.inputs[c_data] = rtl::ref(p_data, w);
+                    if (has_valid)
+                        inst.inputs[c_valid] = rtl::ref(p_valid, 1);
+                    if (has_ack)
+                        inst.outputs[p_ack] = c_ack;
+                }
+            }
+        }
+        _mod->instances.push_back(std::move(inst));
+    }
+}
+
+int
+RtlGenerator::valueWidth(const ThreadIR &tir, const Term &t) const
+{
+    auto it = tir.values.find(&t);
+    if (it != tir.values.end() && it->second.width > 0)
+        return it->second.width;
+    if (t.kind == TermKind::Literal) {
+        uint64_t v = t.value;
+        int w = 1;
+        while (v > 1) {
+            v >>= 1;
+            w++;
+        }
+        return w;
+    }
+    return 1;
+}
+
+ExprPtr
+RtlGenerator::compileExpr(const ThreadIR &tir, const Term &t, int thread)
+{
+    switch (t.kind) {
+      case TermKind::Literal:
+        return rtl::cst(BitVec(std::max(valueWidth(tir, t), 1), t.value));
+      case TermKind::Ident: {
+        auto b = tir.ident_binding.find(&t);
+        if (b == tir.ident_binding.end())
+            return rtl::cst(1, 0);
+        auto w = _let_wires.find(b->second);
+        if (w != _let_wires.end())
+            return w->second;
+        ExprPtr e = compileExpr(tir, *b->second, thread);
+        ExprPtr named = _mod->wire(
+            strfmt("t%d_val%d", thread, _next_tmp++), e);
+        _let_wires[b->second] = named;
+        return named;
+      }
+      case TermKind::RegRead: {
+        const RegDef *rd = _pir.def->findReg(t.name);
+        int w = rd ? _pir.prog->typeWidth(rd->dtype, rd->width) : 1;
+        return rtl::ref(t.name, w);
+      }
+      case TermKind::Recv: {
+        auto key = canon(t.endpoint) + "." + t.msg;
+        auto it = _msg_ports.find(key);
+        if (it == _msg_ports.end())
+            return rtl::cst(1, 0);
+        return rtl::ref(msgDataPort(canon(t.endpoint), t.msg),
+                        it->second.width);
+      }
+      case TermKind::Ready: {
+        auto key = canon(t.endpoint) + "." + t.msg;
+        auto it = _msg_ports.find(key);
+        if (it == _msg_ports.end())
+            return rtl::cst(1, 1);
+        const MsgPorts &mp = it->second;
+        const EndpointInfo *info = _pir.findEndpoint(t.endpoint);
+        const MessageDef *md = _pir.contract(t.endpoint, t.msg);
+        bool we_send = info && md && _pir.canSend(t.endpoint, *md);
+        const std::string &port = we_send ? mp.ack : mp.valid;
+        if (port.empty())
+            return rtl::cst(1, 1);
+        return rtl::ref(port, 1);
+      }
+      case TermKind::Binop: {
+        ExprPtr a = compileExpr(tir, *t.kids[0], thread);
+        ExprPtr b = compileExpr(tir, *t.kids[1], thread);
+        Op op;
+        if (t.op == "+") op = Op::Add;
+        else if (t.op == "-") op = Op::Sub;
+        else if (t.op == "^") op = Op::Xor;
+        else if (t.op == "&") op = Op::And;
+        else if (t.op == "|") op = Op::Or;
+        else if (t.op == "==") op = Op::Eq;
+        else if (t.op == "!=") op = Op::Ne;
+        else if (t.op == "<") op = Op::Lt;
+        else if (t.op == "<=") op = Op::Le;
+        else if (t.op == ">") op = Op::Gt;
+        else if (t.op == ">=") op = Op::Ge;
+        else if (t.op == "<<") op = Op::Shl;
+        else if (t.op == "*") op = Op::Mul;
+        else op = Op::Add;
+        return rtl::binop(op, std::move(a), std::move(b));
+      }
+      case TermKind::Unop: {
+        ExprPtr a = compileExpr(tir, *t.kids[0], thread);
+        if (t.op == "!")
+            return rtl::unop(Op::Not, rtl::unop(Op::RedOr, std::move(a)));
+        return rtl::unop(Op::Not, std::move(a));
+      }
+      case TermKind::Slice:
+        return rtl::slice(compileExpr(tir, *t.kids[0], thread), t.lo,
+                          t.hi - t.lo + 1);
+      case TermKind::Call: {
+        ExprPtr a = compileExpr(tir, *t.kids[0], thread);
+        if (t.name == "sbox")
+            return rtl::romLookup(aesSboxRom(),
+                                  rtl::slice(std::move(a), 0, 8), 8);
+        if (t.name == "shr" && t.kids.size() == 2)
+            return rtl::binop(Op::Shr, std::move(a),
+                              compileExpr(tir, *t.kids[1], thread));
+        return rtl::cst(1, 0);
+      }
+      case TermKind::If: {
+        ExprPtr c = compileExpr(tir, *t.kids[0], thread);
+        ExprPtr a = compileExpr(tir, *t.kids[1], thread);
+        ExprPtr b = t.kids.size() > 2
+            ? compileExpr(tir, *t.kids[2], thread) : rtl::cst(1, 0);
+        return rtl::mux(rtl::unop(Op::RedOr, std::move(c)),
+                        std::move(a), std::move(b));
+      }
+      case TermKind::Let:
+      case TermKind::Wait:
+        return compileExpr(tir, *t.kids.back(), thread);
+      case TermKind::Join:
+        return compileExpr(tir, *t.kids[1], thread);
+      default:
+        // Unit-valued terms have no data representation.
+        return rtl::cst(1, 0);
+    }
+}
+
+bool
+RtlGenerator::combReachable(const EventGraph &g, EventId from,
+                            EventId to) const
+{
+    // An edge into a Delay(N>=1) node is registered; everything else
+    // (joins, branches, merges, syncs) is combinational.
+    std::set<EventId> seen;
+    std::vector<EventId> stack{from};
+    auto succ = g.successors();
+    while (!stack.empty()) {
+        EventId e = stack.back();
+        stack.pop_back();
+        if (e == to)
+            return true;
+        if (!seen.insert(e).second)
+            continue;
+        for (EventId s : succ[e]) {
+            const EventNode &n = g.node(s);
+            if (n.kind == EventKind::Delay && n.delay >= 1)
+                continue;
+            stack.push_back(s);
+        }
+    }
+    return false;
+}
+
+void
+RtlGenerator::generateThread(const ThreadIR &tir, int idx)
+{
+    const EventGraph &g = tir.graph;
+    EventId root = g.resolve(tir.root);
+    EventId end = g.resolve(tir.def && tir.def->recursive
+                            ? tir.recurse_ev : tir.end);
+
+    // Thread start bookkeeping.
+    std::string started = strfmt("t%d_started", idx);
+    _mod->reg(started, 1, 0);
+    _mod->update(started, rtl::cst(1, 1), rtl::cst(1, 1));
+
+    ExprPtr loopback;
+    if (combReachable(g, root, end)) {
+        // Registered loopback to avoid a combinational cycle; costs
+        // one cycle per iteration and is reported as a note.
+        std::string lb = strfmt("t%d_loopback", idx);
+        _mod->reg(lb, 1, 0);
+        _mod->update(lb, rtl::cst(1, 1), evRef(idx, end));
+        loopback = rtl::ref(lb, 1);
+        _diags.note("thread loop restarts through a register "
+                    "(one extra cycle per iteration)",
+                    tir.def ? tir.def->loc : SrcLoc{});
+    } else {
+        loopback = evRef(idx, end);
+    }
+
+    // Event `current` wires.
+    for (EventId e : g.liveEvents()) {
+        const EventNode &n = g.node(e);
+        ExprPtr cur;
+        switch (n.kind) {
+          case EventKind::Root:
+            cur = ~rtl::ref(started, 1) | loopback;
+            break;
+          case EventKind::Delay: {
+            if (n.delay == 0) {
+                cur = evRef(idx, n.preds[0]);
+                break;
+            }
+            // Shift-register chain: supports overlapping pulses from
+            // recursive (pipelined) threads.
+            ExprPtr prev = evRef(idx, n.preds[0]);
+            for (int s = 0; s < n.delay; s++) {
+                std::string st = strfmt("t%d_d%d_%d", idx, e, s);
+                _mod->reg(st, 1, 0);
+                _mod->update(st, rtl::cst(1, 1), prev);
+                prev = rtl::ref(st, 1);
+            }
+            cur = prev;
+            break;
+          }
+          case EventKind::Send: {
+            std::string key = canon(n.endpoint) + "." + n.msg;
+            const MsgPorts &mp = _msg_ports[key];
+            ExprPtr start = evRef(idx, n.preds[0]);
+            std::string pend = strfmt("t%d_sp%d", idx, e);
+            _mod->reg(pend, 1, 0);
+            ExprPtr active = rtl::ref(pend, 1) | start;
+            ExprPtr done;
+            if (!mp.ack.empty())
+                done = active & rtl::ref(mp.ack, 1);
+            else
+                done = start;  // static sync: completes immediately
+            _mod->update(pend, rtl::cst(1, 1), active & ~done);
+            cur = done;
+            // Record the site for data/valid muxing.
+            const Term *payload = nullptr;
+            for (const auto &a : n.actions)
+                if (a.kind == EventAction::Kind::SendData &&
+                    a.endpoint == n.endpoint && a.msg == n.msg)
+                    payload = a.value;
+            ExprPtr data = payload
+                ? compileExpr(tir, *payload, idx) : rtl::cst(1, 0);
+            _send_sites[key].push_back({active, data});
+            break;
+          }
+          case EventKind::Recv: {
+            std::string key = canon(n.endpoint) + "." + n.msg;
+            const MsgPorts &mp = _msg_ports[key];
+            ExprPtr start = evRef(idx, n.preds[0]);
+            std::string wait = strfmt("t%d_rw%d", idx, e);
+            _mod->reg(wait, 1, 0);
+            ExprPtr active = rtl::ref(wait, 1) | start;
+            ExprPtr done;
+            if (!mp.valid.empty())
+                done = active & rtl::ref(mp.valid, 1);
+            else
+                done = start;
+            _mod->update(wait, rtl::cst(1, 1), active & ~done);
+            cur = done;
+            _recv_sites[key].push_back(active);
+            break;
+          }
+          case EventKind::Join: {
+            // arr_p registers remember which predecessors fired.
+            std::vector<ExprPtr> terms;
+            std::vector<std::string> arrs;
+            for (size_t i = 0; i < n.preds.size(); i++) {
+                std::string arr = strfmt("t%d_j%d_%zu", idx, e, i);
+                _mod->reg(arr, 1, 0);
+                arrs.push_back(arr);
+                terms.push_back(rtl::ref(arr, 1) |
+                                evRef(idx, n.preds[i]));
+            }
+            ExprPtr all = terms.empty() ? rtl::cst(1, 0) : terms[0];
+            for (size_t i = 1; i < terms.size(); i++)
+                all = all & terms[i];
+            for (size_t i = 0; i < arrs.size(); i++)
+                _mod->update(arrs[i], rtl::cst(1, 1),
+                             terms[i] & ~all);
+            cur = all;
+            break;
+          }
+          case EventKind::Branch: {
+            ExprPtr pred = evRef(idx, n.preds[0]);
+            ExprPtr bit;
+            if (!n.cond_term) {
+                bit = rtl::cst(1, 1);
+            } else {
+                auto it = _cond_wires.find(n.cond_term);
+                if (it != _cond_wires.end()) {
+                    bit = it->second;
+                } else {
+                    ExprPtr c = compileExpr(tir, *n.cond_term, idx);
+                    bit = _mod->wire(strfmt("t%d_c%d", idx, n.cond_id),
+                                     rtl::unop(Op::RedOr, c));
+                    _cond_wires[n.cond_term] = bit;
+                }
+            }
+            cur = n.cond_taken ? (pred & bit) : (pred & ~bit);
+            break;
+          }
+          case EventKind::Merge: {
+            ExprPtr any = rtl::cst(1, 0);
+            for (EventId p : n.preds)
+                any = any | evRef(idx, p);
+            cur = any;
+            break;
+          }
+        }
+        _mod->wire(evWire(idx, e), cur);
+
+        // Attach non-send actions.
+        for (const auto &a : n.actions) {
+            switch (a.kind) {
+              case EventAction::Kind::AssignReg: {
+                ExprPtr v = compileExpr(tir, *a.value, idx);
+                _mod->update(a.reg, evRef(idx, e), v);
+                break;
+              }
+              case EventAction::Kind::DPrint:
+                _mod->print(evRef(idx, e), a.text);
+                break;
+              default:
+                break;  // SendData handled above, RecvData is passive
+            }
+        }
+    }
+}
+
+void
+RtlGenerator::finishMessages()
+{
+    for (const auto &[key, mp] : _msg_ports) {
+        // Drive data/valid when we have send sites.
+        auto s = _send_sites.find(key);
+        if (s != _send_sites.end() && !s->second.empty()) {
+            ExprPtr valid = rtl::cst(1, 0);
+            ExprPtr data = rtl::cst(mp.width, 0);
+            for (auto it = s->second.rbegin(); it != s->second.rend();
+                 ++it) {
+                valid = valid | it->active;
+                data = rtl::mux(it->active, it->data, data);
+            }
+            _mod->wire(mp.data, data);
+            if (!mp.valid.empty())
+                _mod->wire(mp.valid, valid);
+        } else if (!_recv_sites.count(key)) {
+            // Unused message: tie outputs off if they are ours to
+            // drive (param endpoints only).
+            auto dot = key.find('.');
+            std::string ep = key.substr(0, dot);
+            const EndpointInfo *info = _pir.findEndpoint(ep);
+            if (info && info->is_param) {
+                const MessageDef *md =
+                    _pir.contract(ep, key.substr(dot + 1));
+                if (md && _pir.canSend(ep, *md)) {
+                    _mod->wire(mp.data, rtl::cst(mp.width, 0));
+                    if (!mp.valid.empty())
+                        _mod->wire(mp.valid, rtl::cst(1, 0));
+                }
+            }
+        }
+        // Drive ack when we have recv sites.
+        auto r = _recv_sites.find(key);
+        if (!mp.ack.empty()) {
+            if (r != _recv_sites.end() && !r->second.empty()) {
+                ExprPtr ack = rtl::cst(1, 0);
+                for (const auto &a : r->second)
+                    ack = ack | a;
+                _mod->wire(mp.ack, ack);
+            } else if (s == _send_sites.end()) {
+                auto dot = key.find('.');
+                std::string ep = key.substr(0, dot);
+                const EndpointInfo *info = _pir.findEndpoint(ep);
+                if (info && info->is_param) {
+                    const MessageDef *md =
+                        _pir.contract(ep, key.substr(dot + 1));
+                    if (md && !_pir.canSend(ep, *md))
+                        _mod->wire(mp.ack, rtl::cst(1, 0));
+                }
+            }
+        }
+    }
+}
+
+rtl::ModulePtr
+RtlGenerator::run()
+{
+    _mod->name = _pir.def->name;
+    declarePorts();
+    declareRegs();
+    wireChildren();
+    for (size_t i = 0; i < _pir.threads.size(); i++)
+        generateThread(*_pir.threads[i], static_cast<int>(i));
+    finishMessages();
+    return _mod;
+}
+
+} // namespace
+
+rtl::ModulePtr
+generateRtl(const ProcIR &pir,
+            const std::map<std::string, rtl::ModulePtr> &child_modules,
+            DiagEngine &diags)
+{
+    RtlGenerator gen(pir, child_modules, diags);
+    return gen.run();
+}
+
+} // namespace anvil

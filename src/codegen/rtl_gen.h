@@ -1,0 +1,48 @@
+/**
+ * @file
+ * FSM code generation: lowers an elaborated process (single-iteration
+ * event graphs) to the structural RTL IR (paper §6.2).
+ *
+ * Each event gets a one-bit `current` wire; joins, delays and dynamic
+ * synchronizations get small state registers.  Message lowering maps
+ * each message to up to three ports (data / valid / ack), omitting
+ * the handshake ports for non-dynamic sync modes.  No logic is
+ * generated to maintain lifetimes: timing safety is established
+ * statically, so the generated hardware carries no overhead for it.
+ */
+
+#ifndef ANVIL_CODEGEN_RTL_GEN_H
+#define ANVIL_CODEGEN_RTL_GEN_H
+
+#include <memory>
+#include <string>
+
+#include "ir/elaborate.h"
+#include "rtl/rtl.h"
+#include "support/diag.h"
+
+namespace anvil {
+
+/** Port name helpers shared with tests and simulation harnesses. */
+std::string msgDataPort(const std::string &ep, const std::string &msg);
+std::string msgValidPort(const std::string &ep, const std::string &msg);
+std::string msgAckPort(const std::string &ep, const std::string &msg);
+
+/** The AES S-box as a ROM table (the `sbox()` intrinsic). */
+std::shared_ptr<const std::vector<BitVec>> aesSboxRom();
+
+/**
+ * Generate an RTL module for one process.
+ *
+ * @param pir process elaborated with unroll = 1
+ * @param child_modules already-generated modules for spawned procs
+ * @param diags diagnostics sink
+ */
+rtl::ModulePtr generateRtl(
+    const ProcIR &pir,
+    const std::map<std::string, rtl::ModulePtr> &child_modules,
+    DiagEngine &diags);
+
+} // namespace anvil
+
+#endif // ANVIL_CODEGEN_RTL_GEN_H

@@ -1,0 +1,246 @@
+#include "codegen/sv_printer.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace anvil {
+
+namespace {
+
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::Op;
+
+const char *
+opStr(Op op)
+{
+    switch (op) {
+      case Op::Not: return "~";
+      case Op::RedOr: return "|";
+      case Op::RedAnd: return "&";
+      case Op::And: return "&";
+      case Op::Or: return "|";
+      case Op::Xor: return "^";
+      case Op::Add: return "+";
+      case Op::Sub: return "-";
+      case Op::Mul: return "*";
+      case Op::Eq: return "==";
+      case Op::Ne: return "!=";
+      case Op::Lt: return "<";
+      case Op::Le: return "<=";
+      case Op::Gt: return ">";
+      case Op::Ge: return ">=";
+      case Op::Shl: return "<<";
+      case Op::Shr: return ">>";
+    }
+    return "?";
+}
+
+/** Legalizes slices/roms into temporaries as it prints expressions. */
+class SvPrinter
+{
+  public:
+    explicit SvPrinter(const rtl::Module &mod)
+        : _mod(mod)
+    {
+    }
+
+    std::string run();
+
+  private:
+    std::string expr(const ExprPtr &e);
+    std::string sanitize(const std::string &n) const;
+
+    const rtl::Module &_mod;
+    std::ostringstream _extra;   // temp wires for slice legalization
+    int _tmp = 0;
+    std::map<const std::vector<BitVec> *, std::string> _rom_names;
+    std::ostringstream _roms;
+};
+
+std::string
+SvPrinter::sanitize(const std::string &n) const
+{
+    std::string out;
+    for (char c : n)
+        out += (isalnum(static_cast<unsigned char>(c)) || c == '_')
+            ? c : '_';
+    return out;
+}
+
+std::string
+SvPrinter::expr(const ExprPtr &e)
+{
+    switch (e->kind) {
+      case Expr::Kind::Const: {
+        std::string hex = e->value.toHex().substr(2);
+        return strfmt("%d'h%s", e->width, hex.c_str());
+      }
+      case Expr::Kind::Ref:
+        return sanitize(e->name);
+      case Expr::Kind::Unop:
+        if (e->op == Op::RedOr || e->op == Op::RedAnd)
+            return strfmt("(%s(%s))", opStr(e->op),
+                          expr(e->args[0]).c_str());
+        return strfmt("(~%s)", expr(e->args[0]).c_str());
+      case Expr::Kind::Binop:
+        return strfmt("(%s %s %s)", expr(e->args[0]).c_str(),
+                      opStr(e->op), expr(e->args[1]).c_str());
+      case Expr::Kind::Mux:
+        return strfmt("((%s) ? %s : %s)", expr(e->args[0]).c_str(),
+                      expr(e->args[1]).c_str(), expr(e->args[2]).c_str());
+      case Expr::Kind::Slice: {
+        std::string base = expr(e->args[0]);
+        if (e->args[0]->kind != Expr::Kind::Ref) {
+            std::string t = strfmt("_slice_t%d", _tmp++);
+            _extra << "    logic [" << e->args[0]->width - 1 << ":0] "
+                   << t << ";\n"
+                   << "    assign " << t << " = " << base << ";\n";
+            base = t;
+        }
+        return strfmt("%s[%d +: %d]", base.c_str(), e->lo, e->width);
+      }
+      case Expr::Kind::Concat: {
+        std::string out = "{";
+        for (size_t i = 0; i < e->args.size(); i++) {
+            if (i)
+                out += ", ";
+            out += expr(e->args[i]);
+        }
+        return out + "}";
+      }
+      case Expr::Kind::Rom: {
+        auto it = _rom_names.find(e->rom.get());
+        std::string name;
+        if (it == _rom_names.end()) {
+            name = strfmt("_rom%d", static_cast<int>(_rom_names.size()));
+            _rom_names[e->rom.get()] = name;
+            _roms << "    localparam logic [" << e->width - 1 << ":0] "
+                  << name << " [0:" << e->rom->size() - 1 << "] = '{";
+            for (size_t i = 0; i < e->rom->size(); i++) {
+                if (i)
+                    _roms << ", ";
+                _roms << e->width << "'h"
+                      << (*e->rom)[i].resize(e->width).toHex().substr(2);
+            }
+            _roms << "};\n";
+        } else {
+            name = it->second;
+        }
+        return strfmt("%s[%s]", name.c_str(), expr(e->args[0]).c_str());
+    }
+    }
+    return "0";
+}
+
+std::string
+SvPrinter::run()
+{
+    std::ostringstream body;
+
+    // Registers.
+    for (const auto &r : _mod.regs)
+        body << "    logic [" << r.width - 1 << ":0] "
+             << sanitize(r.name) << ";\n";
+
+    // Wires (continuous assignments).
+    std::set<std::string> out_ports;
+    for (const auto &p : _mod.ports)
+        if (!p.is_input)
+            out_ports.insert(p.name);
+    for (const auto &w : _mod.wires) {
+        if (!out_ports.count(w.name))
+            body << "    logic [" << w.width - 1 << ":0] "
+                 << sanitize(w.name) << ";\n";
+    }
+    for (const auto &w : _mod.wires)
+        body << "    assign " << sanitize(w.name) << " = "
+             << expr(w.expr) << ";\n";
+
+    // Instances.
+    for (const auto &inst : _mod.instances) {
+        // Declare alias wires for child outputs.
+        for (const auto &[parent, child] : inst.outputs) {
+            const rtl::Port *p = inst.module->findPort(child);
+            int w = p ? p->width : 1;
+            body << "    logic [" << w - 1 << ":0] "
+                 << sanitize(parent) << ";\n";
+        }
+        body << "    " << sanitize(inst.module->name) << " "
+             << sanitize(inst.name) << " (\n        .clk(clk)";
+        for (const auto &[port, e] : inst.inputs)
+            body << ",\n        ." << sanitize(port) << "("
+                 << expr(e) << ")";
+        for (const auto &[parent, child] : inst.outputs)
+            body << ",\n        ." << sanitize(child) << "("
+                 << sanitize(parent) << ")";
+        body << "\n    );\n";
+    }
+
+    // Register updates, grouped into one always_ff block.
+    if (!_mod.updates.empty()) {
+        body << "    always_ff @(posedge clk) begin\n";
+        for (const auto &u : _mod.updates) {
+            std::string en = expr(u.enable);
+            if (en == "1'h1")
+                body << "        " << sanitize(u.reg) << " <= "
+                     << expr(u.value) << ";\n";
+            else
+                body << "        if (" << en << ") "
+                     << sanitize(u.reg) << " <= " << expr(u.value)
+                     << ";\n";
+        }
+        body << "    end\n";
+    }
+
+    // Header (ports) printed last so width info is complete.
+    std::ostringstream os;
+    os << "module " << sanitize(_mod.name) << " (\n";
+    os << "    input logic clk";
+    for (const auto &p : _mod.ports) {
+        os << ",\n    " << (p.is_input ? "input " : "output ")
+           << "logic [" << p.width - 1 << ":0] " << sanitize(p.name);
+    }
+    os << "\n);\n";
+    os << _roms.str();
+    os << _extra.str();
+    os << body.str();
+    os << "endmodule\n";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+printSystemVerilog(const rtl::Module &mod)
+{
+    SvPrinter p(mod);
+    return p.run();
+}
+
+std::string
+printSystemVerilogHierarchy(const rtl::Module &top)
+{
+    // Children first, deduplicated by module name.
+    std::set<std::string> emitted;
+    std::string out;
+    std::vector<const rtl::Module *> stack{&top};
+    std::vector<const rtl::Module *> order;
+    while (!stack.empty()) {
+        const rtl::Module *m = stack.back();
+        stack.pop_back();
+        order.push_back(m);
+        for (const auto &inst : m->instances)
+            stack.push_back(inst.module.get());
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        if (emitted.insert((*it)->name).second)
+            out += printSystemVerilog(**it) + "\n";
+    }
+    return out;
+}
+
+} // namespace anvil

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * SystemVerilog pretty-printer for the structural RTL IR.
+ *
+ * Emits one synthesizable module per rtl::Module: ports with an
+ * implicit clk, continuous assigns for wires, and one always_ff block
+ * per registered update group.
+ */
+
+#ifndef ANVIL_CODEGEN_SV_PRINTER_H
+#define ANVIL_CODEGEN_SV_PRINTER_H
+
+#include <string>
+
+#include "rtl/rtl.h"
+
+namespace anvil {
+
+/** Render one module as SystemVerilog source. */
+std::string printSystemVerilog(const rtl::Module &mod);
+
+/** Render a module and (recursively) all distinct child modules. */
+std::string printSystemVerilogHierarchy(const rtl::Module &top);
+
+} // namespace anvil
+
+#endif // ANVIL_CODEGEN_SV_PRINTER_H

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Handwritten round-based AES-128 cipher core (OpenTitan-style
+ * unmasked datapath with a LUT S-box), used as the Table 1 baseline.
+ *
+ * Interface (matches the Anvil compiler's message lowering):
+ *   io_req_data[255:0]  = {key[127:0], pt[127:0]} with key in the
+ *                         high half, valid/ack handshake;
+ *   io_res_data[127:0]  = ciphertext, valid/ack handshake.
+ *
+ * Latency: 1 load cycle + 10 round cycles, then the response is held
+ * until acknowledged (dynamic latency, as in the paper).
+ */
+
+#include "designs/designs.h"
+
+#include "codegen/rtl_gen.h"
+
+namespace anvil {
+namespace designs {
+
+using namespace rtl;
+
+namespace {
+
+/** Byte i (little-endian) of a wide expression. */
+ExprPtr
+byteOf(const ExprPtr &e, int i)
+{
+    return slice(e, 8 * i, 8);
+}
+
+ExprPtr
+sboxOf(const ExprPtr &b)
+{
+    return romLookup(aesSboxRom(), b, 8);
+}
+
+/** GF(2^8) xtime. */
+ExprPtr
+xtimeOf(const ExprPtr &b)
+{
+    auto shifted = slice(binop(Op::Shl, b, cst(4, 1)), 0, 8);
+    auto red = mux(slice(b, 7, 1), cst(8, 0x1b), cst(8, 0));
+    return shifted ^ red;
+}
+
+/** Build the 16 post-SubBytes/ShiftRows bytes of the state. */
+std::vector<ExprPtr>
+subShift(const ExprPtr &state)
+{
+    std::vector<ExprPtr> sub(16), out(16);
+    for (int i = 0; i < 16; i++)
+        sub[i] = sboxOf(byteOf(state, i));
+    for (int r = 0; r < 4; r++)
+        for (int c = 0; c < 4; c++)
+            out[r + 4 * c] = sub[r + 4 * ((c + r) % 4)];
+    return out;
+}
+
+/** MixColumns over 16 byte expressions. */
+std::vector<ExprPtr>
+mixCols(const std::vector<ExprPtr> &s)
+{
+    std::vector<ExprPtr> out(16);
+    for (int c = 0; c < 4; c++) {
+        auto a0 = s[4 * c], a1 = s[4 * c + 1];
+        auto a2 = s[4 * c + 2], a3 = s[4 * c + 3];
+        out[4 * c] = xtimeOf(a0) ^ (xtimeOf(a1) ^ a1) ^ a2 ^ a3;
+        out[4 * c + 1] = a0 ^ xtimeOf(a1) ^ (xtimeOf(a2) ^ a2) ^ a3;
+        out[4 * c + 2] = a0 ^ a1 ^ xtimeOf(a2) ^ (xtimeOf(a3) ^ a3);
+        out[4 * c + 3] = (xtimeOf(a0) ^ a0) ^ a1 ^ a2 ^ xtimeOf(a3);
+    }
+    return out;
+}
+
+/** Pack 16 byte expressions into one 128-bit value (byte 15 high). */
+ExprPtr
+pack(const std::vector<ExprPtr> &bytes)
+{
+    std::vector<ExprPtr> hi_first;
+    for (int i = 15; i >= 0; i--)
+        hi_first.push_back(bytes[i]);
+    return concat(hi_first);
+}
+
+/** On-the-fly next round key from the current one. */
+ExprPtr
+nextKey(const ExprPtr &rk, const ExprPtr &rcon)
+{
+    std::vector<ExprPtr> k(16), nk(16);
+    for (int i = 0; i < 16; i++)
+        k[i] = byteOf(rk, i);
+    ExprPtr t[4] = {
+        sboxOf(k[13]) ^ rcon, sboxOf(k[14]), sboxOf(k[15]),
+        sboxOf(k[12]),
+    };
+    for (int i = 0; i < 4; i++)
+        nk[i] = k[i] ^ t[i];
+    for (int w = 1; w < 4; w++)
+        for (int i = 0; i < 4; i++)
+            nk[4 * w + i] = nk[4 * (w - 1) + i] ^ k[4 * w + i];
+    return pack(nk);
+}
+
+} // namespace
+
+rtl::ModulePtr
+buildAesBaseline()
+{
+    auto m = std::make_shared<Module>();
+    m->name = "aes_baseline";
+
+    auto req_data = m->input("io_req_data", 256);
+    auto req_valid = m->input("io_req_valid", 1);
+    m->output("io_req_ack", 1);
+    m->output("io_res_data", 128);
+    m->output("io_res_valid", 1);
+    auto res_ack = m->input("io_res_ack", 1);
+
+    auto state = m->reg("state", 128);
+    auto rkey = m->reg("rkey", 128);
+    auto round = m->reg("round", 4);
+    auto busy = m->reg("busy", 1);
+    auto pending = m->reg("pending", 1);
+
+    auto ack = m->wire("io_req_ack", ~busy & ~pending);
+    auto start = m->wire("start", req_valid & ack);
+
+    auto key = m->wire("key_in", slice(req_data, 128, 128));
+    auto pt = m->wire("pt_in", slice(req_data, 0, 128));
+
+    // Round constant ROM.
+    auto rcon_tab = std::make_shared<std::vector<BitVec>>();
+    const uint8_t rcons[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                               0x20, 0x40, 0x80, 0x1b, 0x36};
+    for (int i = 0; i < 10; i++)
+        rcon_tab->push_back(BitVec(8, rcons[i]));
+    auto rcon = m->wire("rcon", romLookup(rcon_tab, round, 8));
+
+    // Round datapath.
+    std::vector<ExprPtr> sr = subShift(state);
+    auto mixed = m->wire("mixed", pack(mixCols(sr)));
+    auto last = m->wire("last_round", pack(sr));
+    auto nk = m->wire("next_key", nextKey(rkey, rcon));
+
+    auto is_last = m->wire("is_last", eq(round, cst(4, 9)));
+    auto round_out = m->wire("round_out",
+                             mux(is_last, last, mixed) ^ nk);
+
+    // Control.
+    m->update("state", start, pt ^ key);
+    m->update("state", busy, round_out);
+    m->update("rkey", start, key);
+    m->update("rkey", busy, nk);
+    m->update("round", start, cst(4, 0));
+    m->update("round", busy, round + cst(4, 1));
+    m->update("busy", start, cst(1, 1));
+    m->update("busy", busy & is_last, cst(1, 0));
+    m->update("pending", busy & is_last, cst(1, 1));
+    m->update("pending", pending & res_ack, cst(1, 0));
+
+    m->wire("io_res_valid", pending);
+    m->wire("io_res_data", state);
+    return m;
+}
+
+} // namespace designs
+} // namespace anvil

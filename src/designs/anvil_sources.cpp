@@ -1,0 +1,877 @@
+/**
+ * @file
+ * Anvil source programs for the ten Table 1 designs and the paper's
+ * figure examples.  The larger, regular designs (TLB, AES, AXI
+ * routers, systolic array) are generated programmatically; idioms:
+ *
+ *  - wide-register storage with shift/mask addressing stands in for
+ *    register arrays (the language has scalar registers only);
+ *  - `(W'd0 + x) << k` widens before shifting so the result keeps
+ *    the wide width;
+ *  - `@msg` / `@msg+1` durations encode the paper's dynamic
+ *    contracts ([req, req->res), [res, res->res+1), ...).
+ */
+
+#include "designs/designs.h"
+
+#include <functional>
+
+#include "support/strings.h"
+
+namespace anvil {
+namespace designs {
+
+namespace {
+
+/** Insert-and-extract helpers for wide-register storage idioms. */
+std::string
+maskedInsert(const std::string &mem, const std::string &ptr,
+             int slot_bits, int mem_bits, const std::string &data,
+             int ptr_mask)
+{
+    // mem := (mem & ~(ones << sh)) | ((0+data) << sh)
+    std::string ones = strfmt("%d'h%s", mem_bits,
+                              std::string(slot_bits / 4, 'f').c_str());
+    std::string sh = strfmt("((%d'd0 + (*%s & %d)) << %d)", mem_bits,
+                            ptr.c_str(), ptr_mask,
+                            __builtin_ctz(slot_bits));
+    return strfmt("(*%s & ~(%s << %s)) | ((%d'd0 + %s) << %s)",
+                  mem.c_str(), ones.c_str(), sh.c_str(), mem_bits,
+                  data.c_str(), sh.c_str());
+}
+
+std::string
+slotExtract(const std::string &mem, const std::string &ptr,
+            int slot_bits, int mem_bits, int ptr_mask)
+{
+    std::string sh = strfmt("((%d'd0 + (*%s & %d)) << %d)", mem_bits,
+                            ptr.c_str(), ptr_mask,
+                            __builtin_ctz(slot_bits));
+    return strfmt("((shr(*%s, %s))[%d:0])", mem.c_str(), sh.c_str(),
+                  slot_bits - 1);
+}
+
+/** Shared FIFO generator: depth must be a power of two. */
+std::string
+fifoSource(const std::string &proc_name, int depth, int width)
+{
+    int mem_bits = depth * width;
+    int ptr_mask = depth - 1;
+    int wrap_mask = 2 * depth - 1;
+
+    std::string s;
+    s += strfmt(R"(
+chan stream_in_ch {
+    left enq : (logic[%d]@#1)
+}
+chan stream_out_ch {
+    right deq : (logic[%d]@#1)
+}
+
+proc %s(inp : left stream_in_ch, outp : left stream_out_ch) {
+    reg mem : logic[%d];
+    reg wptr : logic[8];
+    reg rptr : logic[8];
+)", width, width, proc_name.c_str(), mem_bits);
+
+    s += strfmt(R"(
+    loop {
+        if (ready(inp.enq)) & (((*wptr - *rptr) & %d) != %d) {
+            let d = recv inp.enq >>
+            set mem := %s;
+            set wptr := *wptr + 1
+        } else { cycle 1 }
+    }
+)", wrap_mask, depth,
+                maskedInsert("mem", "wptr", width, mem_bits, "d",
+                             ptr_mask).c_str());
+
+    s += strfmt(R"(
+    loop {
+        if (((*wptr - *rptr) & %d) != 0) {
+            send outp.deq (%s) >>
+            set rptr := *rptr + 1
+        } else { cycle 1 }
+    }
+}
+)", wrap_mask,
+                slotExtract("mem", "rptr", width, mem_bits,
+                            ptr_mask).c_str());
+    return s;
+}
+
+} // namespace
+
+std::string
+anvilFifoSource()
+{
+    return fifoSource("fifo", 8, 32);
+}
+
+std::string
+anvilSpillRegSource()
+{
+    // A spill register is a two-deep elastic buffer; same generator,
+    // depth 2.
+    return fifoSource("spill_reg", 2, 32);
+}
+
+std::string
+anvilStreamFifoSource()
+{
+    // Passthrough stream FIFO on a single channel.  The enq contract
+    // requires the producer to hold data until the deq sync has
+    // completed (`@deq+1`), which is exactly the stability
+    // requirement the original IP documents but does not enforce
+    // (§7.2); with it, the same-cycle fall-through type checks.
+    int depth = 8, width = 32, mem_bits = depth * width;
+    int ptr_mask = depth - 1, wrap_mask = 2 * depth - 1;
+    std::string s = strfmt(R"(
+chan stream_ch {
+    left enq : (logic[%d]@deq+1),
+    right deq : (logic[%d]@#1)
+}
+
+proc stream_fifo(io : left stream_ch) {
+    reg mem : logic[%d];
+    reg wptr : logic[8];
+    reg rptr : logic[8];
+)", width, width, mem_bits);
+
+    s += strfmt(R"(
+    loop {
+        if (ready(io.enq)) {
+            if ((((*wptr - *rptr) & %d) == 0) & (ready(io.deq))) {
+                let d = recv io.enq >>
+                send io.deq (d) >>
+                cycle 1
+            } else {
+                if (((*wptr - *rptr) & %d) != %d) {
+                    let d = recv io.enq >>
+                    set mem := %s;
+                    set wptr := *wptr + 1
+                } else { cycle 1 }
+            }
+        } else { cycle 1 }
+    }
+)", wrap_mask, wrap_mask, depth,
+                maskedInsert("mem", "wptr", width, mem_bits, "d",
+                             ptr_mask).c_str());
+
+    s += strfmt(R"(
+    loop {
+        if (((*wptr - *rptr) & %d) != 0) {
+            send io.deq (%s) >>
+            set rptr := *rptr + 1
+        } else { cycle 1 }
+    }
+}
+)", wrap_mask,
+                slotExtract("mem", "rptr", width, mem_bits,
+                            ptr_mask).c_str());
+    return s;
+}
+
+std::string
+anvilTlbSource()
+{
+    // 8-entry fully-associative TLB.  Entry layout: {valid, vpn[32],
+    // ppn[32]} in a 65-bit register each.  The request stays live
+    // until the next request (`@req`), so the combinational lookup
+    // result may be forwarded directly (`@req` response contract).
+    std::string s = R"(
+chan tlb_ch {
+    left req : (logic[32]@req),
+    right res : (logic[64]@req),
+    left upd : (logic[64]@#1)
+}
+
+proc tlb(io : left tlb_ch) {
+)";
+    for (int i = 0; i < 8; i++)
+        s += strfmt("    reg e%d : logic[65];\n", i);
+    s += "    reg vict : logic[3];\n";
+
+    // Lookup thread.  The trailing `cycle 1` ends the iteration on a
+    // registered event so the loop restarts without a combinational
+    // cycle through the handshake wires.
+    s += "    loop {\n        let v = recv io.req >>\n";
+    for (int i = 0; i < 8; i++) {
+        s += strfmt("        let h%d = (((*e%d)[64:64]) == 1) & "
+                    "(((*e%d)[63:32]) == v);\n", i, i, i);
+    }
+    std::string hit = "h0";
+    for (int i = 1; i < 8; i++)
+        hit = strfmt("(%s | h%d)", hit.c_str(), i);
+    s += strfmt("        let hit = %s;\n", hit.c_str());
+    std::string ppn = "(64'd0)";
+    for (int i = 0; i < 8; i++) {
+        ppn = strfmt("(%s | (if h%d { (64'd0 + ((*e%d)[31:0])) } "
+                     "else { 64'd0 }))", ppn.c_str(), i, i);
+    }
+    s += strfmt("        let pp = %s;\n", ppn.c_str());
+    s += "        send io.res ((((64'd0 + hit) << 32) | pp)) >>\n";
+    s += "        cycle 1\n    }\n";
+
+    // Update thread (round-robin victim; the final entry is the
+    // unconditional else so every arm takes the one-cycle write).
+    s += "    loop {\n        { let u = recv io.upd >>\n        ";
+    for (int i = 0; i < 8; i++) {
+        if (i != 7)
+            s += strfmt("if (*vict) == %d { set e%d := ((65'd1 << 64) "
+                        "| (65'd0 + u)) } else { ", i, i);
+        else
+            s += strfmt("set e%d := ((65'd1 << 64) | (65'd0 + u))", i);
+    }
+    for (int i = 0; i < 7; i++)
+        s += " }";
+    s += ";\n        set vict := *vict + 1 };\n";
+    s += "        cycle 1\n    }\n}\n";
+    return s;
+}
+
+std::string
+anvilPtwSource()
+{
+    // Sv39-style three-level walk.  The CPU holds the VPN until its
+    // next request (`@req`); the memory requires addresses to stay
+    // stable until its response (`@mres`, the Fig. 5 cache contract);
+    // PTEs are valid for one cycle and registered on arrival.
+    return R"(
+chan ptw_ch {
+    left req : (logic[27]@req),
+    right res : (logic[64]@req)
+}
+chan pmem_ch {
+    right mreq : (logic[32]@mres),
+    left mres : (logic[64]@#1)
+}
+
+proc ptw(cpu : left ptw_ch, m : left pmem_ch) {
+    reg pte : logic[64];
+    loop {
+        let v = recv cpu.req >>
+        send m.mreq ((4096 + ((32'd0 + v[26:18]) << 3))[31:0]) >>
+        let p1 = recv m.mres >>
+        set pte := p1 >>
+        if (((*pte)[0:0]) == 1) & (((*pte)[3:1]) != 0) {
+            send cpu.res (*pte)
+        } else { if ((*pte)[0:0]) == 0 {
+            send cpu.res (0)
+        } else {
+            send m.mreq ((((shr(*pte, 10) << 12) +
+                          ((64'd0 + v[17:9]) << 3))[31:0])) >>
+            let p2 = recv m.mres >>
+            set pte := p2 >>
+            if (((*pte)[0:0]) == 1) & (((*pte)[3:1]) != 0) {
+                send cpu.res (*pte)
+            } else { if ((*pte)[0:0]) == 0 {
+                send cpu.res (0)
+            } else {
+                send m.mreq ((((shr(*pte, 10) << 12) +
+                              ((64'd0 + v[8:0]) << 3))[31:0])) >>
+                let p3 = recv m.mres >>
+                set pte := p3 >>
+                if (((*pte)[0:0]) == 1) & (((*pte)[3:1]) != 0) {
+                    send cpu.res (*pte)
+                } else {
+                    send cpu.res (0)
+                }
+            } }
+        } }
+        >> cycle 1
+    }
+}
+)";
+}
+
+namespace {
+
+/** Byte slice of a 128-bit expression string. */
+std::string
+byteStr(const std::string &e, int i)
+{
+    return strfmt("(%s[%d:%d])", e.c_str(), 8 * i + 7, 8 * i);
+}
+
+/** xtime on an 8-bit expression string. */
+std::string
+xtimeStr(const std::string &b)
+{
+    return strfmt("((((%s << 1)[7:0])) ^ (if (%s[7:7]) == 1 "
+                  "{ 27 } else { 0 }))", b.c_str(), b.c_str());
+}
+
+/** Pack 16 byte expression strings into a 128-bit value. */
+std::string
+pack128(const std::vector<std::string> &bytes)
+{
+    std::string acc = "(128'd0)";
+    for (int i = 0; i < 16; i++) {
+        acc = strfmt("(%s | ((128'd0 + %s) << %d))", acc.c_str(),
+                     bytes[i].c_str(), 8 * i);
+    }
+    return acc;
+}
+
+/** SubBytes+ShiftRows over a 128-bit state expression string. */
+std::vector<std::string>
+subShiftStr(const std::string &st)
+{
+    std::vector<std::string> sub(16), out(16);
+    for (int i = 0; i < 16; i++)
+        sub[i] = strfmt("(sbox(%s))", byteStr(st, i).c_str());
+    for (int r = 0; r < 4; r++)
+        for (int c = 0; c < 4; c++)
+            out[r + 4 * c] = sub[r + 4 * ((c + r) % 4)];
+    return out;
+}
+
+std::vector<std::string>
+mixColsStr(const std::vector<std::string> &sv)
+{
+    std::vector<std::string> out(16);
+    for (int c = 0; c < 4; c++) {
+        const std::string &a0 = sv[4 * c], &a1 = sv[4 * c + 1];
+        const std::string &a2 = sv[4 * c + 2], &a3 = sv[4 * c + 3];
+        auto xt = [](const std::string &x) { return xtimeStr(x); };
+        out[4 * c] = strfmt("(((%s ^ (%s ^ %s)) ^ %s) ^ %s)",
+                            xt(a0).c_str(), xt(a1).c_str(), a1.c_str(),
+                            a2.c_str(), a3.c_str());
+        out[4 * c + 1] = strfmt("(((%s ^ %s) ^ (%s ^ %s)) ^ %s)",
+                                a0.c_str(), xt(a1).c_str(),
+                                xt(a2).c_str(), a2.c_str(), a3.c_str());
+        out[4 * c + 2] = strfmt("(((%s ^ %s) ^ %s) ^ (%s ^ %s))",
+                                a0.c_str(), a1.c_str(), xt(a2).c_str(),
+                                xt(a3).c_str(), a3.c_str());
+        out[4 * c + 3] = strfmt("((((%s ^ %s) ^ %s) ^ %s) ^ %s)",
+                                xt(a0).c_str(), a0.c_str(), a1.c_str(),
+                                a2.c_str(), xt(a3).c_str());
+    }
+    return out;
+}
+
+/** On-the-fly next round key from a 128-bit key expression. */
+std::string
+nextKeyStr(const std::string &rk, int rcon)
+{
+    std::vector<std::string> k(16), nk(16);
+    for (int i = 0; i < 16; i++)
+        k[i] = byteStr(rk, i);
+    std::string t[4] = {
+        strfmt("((sbox(%s)) ^ %d)", k[13].c_str(), rcon),
+        strfmt("(sbox(%s))", k[14].c_str()),
+        strfmt("(sbox(%s))", k[15].c_str()),
+        strfmt("(sbox(%s))", k[12].c_str()),
+    };
+    for (int i = 0; i < 4; i++)
+        nk[i] = strfmt("(%s ^ %s)", k[i].c_str(), t[i].c_str());
+    for (int w = 1; w < 4; w++)
+        for (int i = 0; i < 4; i++)
+            nk[4 * w + i] = strfmt("(%s ^ %s)",
+                                   nk[4 * (w - 1) + i].c_str(),
+                                   k[4 * w + i].c_str());
+    return pack128(nk);
+}
+
+} // namespace
+
+std::string
+anvilAesSource()
+{
+    // Round-based AES-128 with a single iterated round datapath (as
+    // in the OpenTitan core): one round per cycle selected by a round
+    // counter, on-the-fly key schedule, dynamic req/res handshake.
+    static const int rcons[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                  0x20, 0x40, 0x80, 0x1b, 0x36};
+    std::string rcon = "(8'd0)";
+    for (int i = 0; i < 10; i++)
+        rcon = strfmt("(if (*round) == %d { %d } else { %s })", i,
+                      rcons[i], rcon.c_str());
+
+    auto sr = subShiftStr("(*state)");
+    std::string mixed = pack128(mixColsStr(sr));
+    std::string last = pack128(sr);
+    // Key schedule with the rcon mux inlined (cf. nextKeyStr, which
+    // takes a constant rcon).
+    std::string nk;
+    {
+        std::vector<std::string> k(16), nkv(16);
+        for (int i = 0; i < 16; i++)
+            k[i] = byteStr("(*rkey)", i);
+        std::string t[4] = {
+            strfmt("((sbox(%s)) ^ (%s))", k[13].c_str(), rcon.c_str()),
+            strfmt("(sbox(%s))", k[14].c_str()),
+            strfmt("(sbox(%s))", k[15].c_str()),
+            strfmt("(sbox(%s))", k[12].c_str()),
+        };
+        for (int i = 0; i < 4; i++)
+            nkv[i] = strfmt("(%s ^ %s)", k[i].c_str(), t[i].c_str());
+        for (int w = 1; w < 4; w++)
+            for (int i = 0; i < 4; i++)
+                nkv[4 * w + i] = strfmt("(%s ^ %s)",
+                                        nkv[4 * (w - 1) + i].c_str(),
+                                        k[4 * w + i].c_str());
+        nk = pack128(nkv);
+    }
+
+    std::string s = strfmt(R"(
+chan aes_ch {
+    left req : (logic[256]@req),
+    right res : (logic[128]@#1)
+}
+
+proc aes(io : left aes_ch) {
+    reg state : logic[128];
+    reg rkey : logic[128];
+    reg round : logic[4];
+    reg busy : logic;
+    loop {
+        {
+        if (*busy) == 0 {
+            if ready(io.req) {
+                let kp = recv io.req >>
+                set state := (kp[127:0]) ^ (kp[255:128]);
+                set rkey := kp[255:128];
+                set round := 0;
+                set busy := 1
+            } else { cycle 1 }
+        } else {
+            if (*round) == 9 {
+                set state := ((%s) ^ (%s)) >>
+                send io.res (*state) >>
+                set busy := 0
+            } else {
+                set state := ((%s) ^ (%s));
+                set rkey := (%s);
+                set round := *round + 1
+            }
+        }
+        };
+        cycle 1
+    }
+}
+)", last.c_str(), nk.c_str(), mixed.c_str(), nk.c_str(), nk.c_str());
+    return s;
+}
+
+std::string
+anvilAxiDemuxSource()
+{
+    // Channel held from the slave side (left): receives aw/w/ar,
+    // sends b/r.  The demux is a slave to the master port and a
+    // master (right endpoints) to the slave ports.
+    std::string s = R"(
+chan axil_ch {
+    left aw : (logic[32]@#1),
+    left w : (logic[32]@#1),
+    right b : (logic[2]@#1),
+    left ar : (logic[32]@#1),
+    right r : (logic[33]@#1)
+}
+
+proc axi_demux(m : left axil_ch)";
+    for (int i = 0; i < 8; i++)
+        s += strfmt(", s%d : right axil_ch", i);
+    s += R"() {
+    reg awreg : logic[32];
+    reg wreg : logic[32];
+    reg breg : logic[2];
+    reg arreg : logic[32];
+    reg rreg : logic[33];
+)";
+
+    // Write path.
+    s += R"(
+    loop {
+        let a = recv m.aw >>
+        set awreg := a >>
+        let wd = recv m.w >>
+        set wreg := wd >>
+        {
+)";
+    for (int i = 0; i < 8; i++) {
+        s += strfmt("        if ((*awreg)[31:29]) == %d {\n"
+                    "            send s%d.aw (*awreg) >>\n"
+                    "            send s%d.w (*wreg) >>\n"
+                    "            let bb = recv s%d.b >>\n"
+                    "            set breg := bb\n"
+                    "        }", i, i, i, i);
+        if (i != 7)
+            s += " else {\n";
+    }
+    for (int i = 0; i < 7; i++)
+        s += " }";
+    s += R"(
+        } >>
+        send m.b (*breg)
+    }
+)";
+
+    // Read path.
+    s += R"(
+    loop {
+        let a = recv m.ar >>
+        set arreg := a >>
+        {
+)";
+    for (int i = 0; i < 8; i++) {
+        s += strfmt("        if ((*arreg)[31:29]) == %d {\n"
+                    "            send s%d.ar (*arreg) >>\n"
+                    "            let rr = recv s%d.r >>\n"
+                    "            set rreg := rr\n"
+                    "        }", i, i, i);
+        if (i != 7)
+            s += " else {\n";
+    }
+    for (int i = 0; i < 7; i++)
+        s += " }";
+    s += R"(
+        } >>
+        send m.r (*rreg)
+    }
+}
+)";
+    return s;
+}
+
+std::string
+anvilAxiMuxSource()
+{
+    std::string s = R"(
+chan axil_ch {
+    left aw : (logic[32]@#1),
+    left w : (logic[32]@#1),
+    right b : (logic[2]@#1),
+    left ar : (logic[32]@#1),
+    right r : (logic[33]@#1)
+}
+
+proc axi_mux(s : right axil_ch)";
+    for (int i = 0; i < 8; i++)
+        s += strfmt(", m%d : left axil_ch", i);
+    s += R"() {
+    reg awreg : logic[32];
+    reg wreg : logic[32];
+    reg breg : logic[2];
+    reg wlast : logic[3];
+    reg arreg : logic[32];
+    reg rreg : logic[33];
+    reg rlast : logic[3];
+)";
+
+    // Serve helpers (write path): recv aw+w from master k, forward,
+    // return b, update the round-robin pointer.
+    auto serve_w = [&](int k) {
+        return strfmt(
+            "            let a = recv m%d.aw >>\n"
+            "            set awreg := a >>\n"
+            "            let wd = recv m%d.w >>\n"
+            "            set wreg := wd >>\n"
+            "            send s.aw (*awreg) >>\n"
+            "            send s.w (*wreg) >>\n"
+            "            let bb = recv s.b >>\n"
+            "            set breg := bb >>\n"
+            "            send m%d.b (*breg) >>\n"
+            "            set wlast := %d\n", k, k, k, k);
+    };
+    auto serve_r = [&](int k) {
+        return strfmt(
+            "            let a = recv m%d.ar >>\n"
+            "            set arreg := a >>\n"
+            "            send s.ar (*arreg) >>\n"
+            "            let rr = recv s.r >>\n"
+            "            set rreg := rr >>\n"
+            "            send m%d.r (*rreg) >>\n"
+            "            set rlast := %d\n", k, k, k);
+    };
+
+    // Round-robin scan: outer else-if chain on the last-granted
+    // index, inner else-if chain scanning in rotated order with a
+    // one-cycle idle fallback.
+    auto arbiter = [&](const std::string &last, const char *chan_msg,
+                       std::function<std::string(int)> serve) {
+        std::string body;
+        body += "    loop {\n        {\n";
+        for (int l = 0; l < 8; l++) {
+            body += strfmt("        if (*%s) == %d {\n",
+                           last.c_str(), l);
+            for (int off = 1; off <= 8; off++) {
+                int k = (l + off) % 8;
+                body += strfmt("          if ready(m%d.%s) {\n%s"
+                               "          } else {\n", k, chan_msg,
+                               serve(k).c_str());
+            }
+            body += "          cycle 1\n";
+            for (int off = 0; off < 8; off++)
+                body += " }";
+            body += "\n        }";
+            if (l != 7)
+                body += " else {\n";
+        }
+        for (int l = 0; l < 7; l++)
+            body += " }";
+        body += "\n        };\n        cycle 1\n    }\n";
+        return body;
+    };
+
+    s += arbiter("wlast", "aw", serve_w);
+    s += arbiter("rlast", "ar", serve_r);
+    s += "}\n";
+    return s;
+}
+
+std::string
+anvilPipelinedAluSource()
+{
+    // Fully static 3-stage pipeline: both messages use static sync
+    // modes on both sides, so no handshake ports are generated and
+    // one operation enters / one result leaves every cycle.
+    return R"(
+chan alu_ch {
+    left op : (logic[68]@#1) @#1-@#1,
+    right res : (logic[32]@#1) @#1-@#1
+}
+
+proc alu(io : left alu_ch) {
+    reg s1a : logic[32];
+    reg s1b : logic[32];
+    reg s1op : logic[4];
+    reg s2 : logic[32];
+    reg s3 : logic[32];
+    loop {
+        let o = recv io.op >>
+        set s1a := o[31:0];
+        set s1b := o[63:32];
+        set s1op := o[67:64];
+        set s2 := (
+            if (*s1op) == 0 { *s1a + *s1b } else {
+            if (*s1op) == 1 { *s1a - *s1b } else {
+            if (*s1op) == 2 { *s1a & *s1b } else {
+            if (*s1op) == 3 { *s1a | *s1b } else {
+            if (*s1op) == 4 { *s1a ^ *s1b } else {
+            if (*s1op) == 5 { (*s1a << ((*s1b)[4:0]))[31:0] } else {
+            if (*s1op) == 7 {
+                if (*s1a) < (*s1b) { 1 } else { 0 }
+            } else { 0 } } } } } } });
+        set s3 := *s2 >>
+        send io.res (*s3)
+    }
+}
+)";
+}
+
+std::string
+anvilSystolicSource()
+{
+    // 4x4 weight-stationary systolic array, one activation column per
+    // cycle (static sync), weights loaded over a dynamic channel.
+    std::string s = R"(
+chan sys_in_ch {
+    left act : (logic[32]@#1) @#1-@#1,
+    left wld : (logic[128]@#1)
+}
+chan sys_out_ch {
+    right out : (logic[128]@#1) @#1-@#1
+}
+
+proc systolic(inp : left sys_in_ch, outp : left sys_out_ch) {
+)";
+    for (int r = 0; r < 4; r++)
+        for (int c = 0; c < 4; c++)
+            s += strfmt("    reg w%d_%d : logic[8];\n"
+                        "    reg a%d_%d : logic[8];\n"
+                        "    reg p%d_%d : logic[32];\n",
+                        r, c, r, c, r, c);
+
+    s += "    loop {\n        let x = recv inp.act >>\n";
+    std::vector<std::string> stmts;
+    for (int r = 0; r < 4; r++) {
+        for (int c = 0; c < 4; c++) {
+            std::string a_in = c == 0
+                ? strfmt("(x[%d:%d])", 8 * r + 7, 8 * r)
+                : strfmt("(*a%d_%d)", r, c - 1);
+            stmts.push_back(strfmt("set a%d_%d := %s", r, c,
+                                   a_in.c_str()));
+            std::string p_in = r == 0 ? std::string("(32'd0)")
+                : strfmt("(*p%d_%d)", r - 1, c);
+            stmts.push_back(strfmt(
+                "set p%d_%d := (%s + ((32'd0 + %s) * (32'd0 + (*w%d_%d))))",
+                r, c, p_in.c_str(), a_in.c_str(), r, c));
+        }
+    }
+    for (size_t i = 0; i < stmts.size(); i++) {
+        s += "        " + stmts[i];
+        s += i + 1 < stmts.size() ? ";\n" : " >>\n";
+    }
+    std::string out = "(128'd0)";
+    for (int c = 0; c < 4; c++)
+        out = strfmt("(%s | ((128'd0 + (*p3_%d)) << %d))", out.c_str(),
+                     c, 32 * c);
+    s += strfmt("        send outp.out (%s)\n    }\n", out.c_str());
+
+    // Weight-load thread.
+    s += "    loop {\n        { if ready(inp.wld) {\n"
+         "            let wv = recv inp.wld >>\n";
+    std::vector<std::string> ws;
+    for (int r = 0; r < 4; r++)
+        for (int c = 0; c < 4; c++)
+            ws.push_back(strfmt("set w%d_%d := (wv[%d:%d])", r, c,
+                                8 * (r * 4 + c) + 7, 8 * (r * 4 + c)));
+    for (size_t i = 0; i < ws.size(); i++) {
+        s += "            " + ws[i];
+        s += i + 1 < ws.size() ? ";\n" : "\n";
+    }
+    s += "        } else { cycle 1 } };\n        cycle 1\n    }\n}\n";
+    return s;
+}
+
+std::string
+anvilTopUnsafeSource()
+{
+    // Fig. 5 left: the static memory contract requires the address to
+    // stay for two cycles after the request sync, and the data is
+    // valid for one cycle after the response sync.  Top_Unsafe
+    // mutates the address immediately and reads the data a cycle too
+    // late: both violations are compile-time errors.
+    return R"(
+chan memory_ch {
+    left req : (logic[8]@#2),
+    right res : (logic[8]@#1)
+}
+
+proc top_unsafe(mem : right memory_ch) {
+    reg address : logic[8];
+    reg out : logic[8];
+    loop {
+        send mem.req (*address) >>
+        set address := *address + 1 >>
+        let data = recv mem.res >>
+        cycle 1 >>
+        set out := data
+    }
+}
+)";
+}
+
+std::string
+anvilTopSafeSource()
+{
+    // Fig. 5 right: the dynamic cache contract ([req, req->res) /
+    // [res, res->res+1)) lets the same client logic type check: the
+    // address mutation happens only once the response arrives.
+    return R"(
+chan cache_ch {
+    left req : (logic[8]@res),
+    right res : (logic[8]@res+1)
+}
+
+proc top_safe(mem : right cache_ch) {
+    reg address : logic[8];
+    reg acc : logic[8];
+    loop {
+        send mem.req (*address) >>
+        let data = recv mem.res >>
+        set acc := *acc + data;
+        set address := *address + 1
+    }
+}
+)";
+}
+
+std::string
+anvilEncryptSource()
+{
+    // Fig. 6: three violations (noise dead at use, assignment to the
+    // loaned r2_key, overlapping enc_res sends).
+    return R"(
+chan encrypt_ch {
+    left enc_req : (logic[8]@enc_res),
+    right enc_res : (logic[8]@enc_req)
+}
+chan rng_ch {
+    left rng_req : (logic[8]@#1),
+    right rng_res : (logic[8]@#2)
+}
+
+proc encrypt(ch1 : left encrypt_ch, ch2 : left rng_ch) {
+    reg rd1_ctext : logic[8];
+    reg r2_key : logic[8];
+    loop {
+        let ptext = recv ch1.enc_req;
+        let noise = recv ch2.rng_req;
+        let r1_key = 25;
+        ptext >>
+        if ptext != 0 {
+            noise >>
+            set rd1_ctext := (ptext ^ r1_key) + noise
+        } else {
+            set rd1_ctext := ptext
+        };
+        cycle 1 >>
+        set r2_key := r1_key ^ noise;
+        let ctext_out = *rd1_ctext ^ *r2_key;
+        send ch2.rng_res (*r2_key) >>
+        send ch1.enc_res (ctext_out) >>
+        send ch1.enc_res (r1_key)
+    }
+}
+)";
+}
+
+std::string
+anvilListing1Source()
+{
+    return R"(
+chan ch {
+    right data : (logic@res),
+    left res : (logic@#1)
+}
+chan ch_s {
+    right data : (logic@#1)
+}
+
+proc grandchild(ep : left ch_s) {
+    reg cnt : logic[32];
+    loop {
+        set cnt := *cnt + 32'b1
+    }
+    loop {
+        let v = if *cnt > 32'h100000 { 1'b1 } else { 1'b0 };
+        send ep.data (v) >>
+        cycle 1
+    }
+}
+
+proc child(ep : left ch) {
+    reg r : logic;
+    chan ep_sl -- ep_sr : ch_s;
+    spawn grandchild(ep_sl);
+    loop {
+        set r := ~*r >>
+        let d = recv ep_sr.data >>
+        send ep.data ((*r & d)) >>
+        let ack = recv ep.res >>
+        cycle 1
+    }
+}
+
+proc top_l1() {
+    chan epl -- epr : ch;
+    spawn child(epl);
+    loop {
+        let d = recv epr.data >>
+        cycle 1 >>
+        dprint "Value:" >>
+        cycle 1 >>
+        dprint "Value should be the same:" >>
+        cycle 1 >>
+        send epr.res (1'b1) >>
+        cycle 1
+    }
+}
+)";
+}
+
+} // namespace designs
+} // namespace anvil

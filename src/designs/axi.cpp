@@ -1,0 +1,362 @@
+/**
+ * @file
+ * AXI-Lite router baselines: a 1-master/N-slave demux (address
+ * decoded) and an N-master/1-slave mux with fair round-robin
+ * arbitration, mirroring the pulp-platform axi_lite_demux/mux used in
+ * Table 1.
+ *
+ * Channels per AXI-Lite port (write + read):
+ *   aw (addr, 32) / w (data, 32) / b (resp, 2)
+ *   ar (addr, 32) / r (resp+data, 33)
+ * All channels use valid/ack handshakes.  The top address bits select
+ * the slave in the demux (addr[31:29] for 8 slaves).
+ */
+
+#include "designs/designs.h"
+
+#include "support/strings.h"
+
+namespace anvil {
+namespace designs {
+
+using namespace rtl;
+
+rtl::ModulePtr
+buildAxiDemuxBaseline(int n)
+{
+    auto m = std::make_shared<Module>();
+    m->name = "axi_demux_baseline";
+
+    // Master-facing port.
+    auto m_aw = m->input("m_aw_data", 32);
+    auto m_aw_v = m->input("m_aw_valid", 1);
+    m->output("m_aw_ack", 1);
+    auto m_w = m->input("m_w_data", 32);
+    auto m_w_v = m->input("m_w_valid", 1);
+    m->output("m_w_ack", 1);
+    m->output("m_b_data", 2);
+    m->output("m_b_valid", 1);
+    auto m_b_a = m->input("m_b_ack", 1);
+    auto m_ar = m->input("m_ar_data", 32);
+    auto m_ar_v = m->input("m_ar_valid", 1);
+    m->output("m_ar_ack", 1);
+    m->output("m_r_data", 33);
+    m->output("m_r_valid", 1);
+    auto m_r_a = m->input("m_r_ack", 1);
+
+    // Slave-facing ports.
+    std::vector<ExprPtr> s_aw_a(n), s_w_a(n), s_b(n), s_b_v(n);
+    std::vector<ExprPtr> s_ar_a(n), s_r(n), s_r_v(n);
+    for (int i = 0; i < n; i++) {
+        std::string p = strfmt("s%d", i);
+        m->output(p + "_aw_data", 32);
+        m->output(p + "_aw_valid", 1);
+        s_aw_a[i] = m->input(p + "_aw_ack", 1);
+        m->output(p + "_w_data", 32);
+        m->output(p + "_w_valid", 1);
+        s_w_a[i] = m->input(p + "_w_ack", 1);
+        s_b[i] = m->input(p + "_b_data", 2);
+        s_b_v[i] = m->input(p + "_b_valid", 1);
+        m->output(p + "_b_ack", 1);
+        m->output(p + "_ar_data", 32);
+        m->output(p + "_ar_valid", 1);
+        s_ar_a[i] = m->input(p + "_ar_ack", 1);
+        s_r[i] = m->input(p + "_r_data", 33);
+        s_r_v[i] = m->input(p + "_r_valid", 1);
+        m->output(p + "_r_ack", 1);
+    }
+
+    int selbits = 3;
+
+    // ---- Write path FSM: 0 idle, 1 fwd aw, 2 fwd w, 3 wait b,
+    //      4 resp b.
+    auto wst = m->reg("wst", 3);
+    auto awreg = m->reg("awreg", 32);
+    auto wreg = m->reg("wreg", 32);
+    auto breg = m->reg("breg", 2);
+    auto wsel = m->wire("wsel", slice(awreg, 29, selbits));
+
+    auto widle = m->wire("widle", eq(wst, cst(3, 0)));
+    m->wire("m_aw_ack", widle);
+    m->update("awreg", widle & m_aw_v, m_aw);
+    m->update("wst", widle & m_aw_v, cst(3, 1));
+
+    // Accept W once AW is latched.
+    auto w_acc = m->wire("w_acc", eq(wst, cst(3, 1)));
+    m->wire("m_w_ack", w_acc & m_w_v);
+    m->update("wreg", w_acc & m_w_v, m_w);
+    m->update("wst", w_acc & m_w_v, cst(3, 2));
+
+    auto fwd_aw = m->wire("fwd_awst", eq(wst, cst(3, 2)));
+    ExprPtr aw_acked = cst(1, 0);
+    for (int i = 0; i < n; i++) {
+        std::string p = strfmt("s%d", i);
+        auto sel = eq(m->wire(strfmt("wsel_is%d", i),
+                              eq(wsel, cst(selbits, i))), cst(1, 1));
+        m->wire(p + "_aw_data", awreg);
+        m->wire(p + "_aw_valid", fwd_aw & sel);
+        m->wire(p + "_w_data", wreg);
+        m->wire(p + "_w_valid", fwd_aw & sel);
+        aw_acked = aw_acked | (sel & s_aw_a[i] & s_w_a[i]);
+    }
+    auto aw_ack_w = m->wire("aw_acked", aw_acked);
+    m->update("wst", fwd_aw & aw_ack_w, cst(3, 3));
+
+    auto wait_b = m->wire("wait_b", eq(wst, cst(3, 3)));
+    ExprPtr b_got = cst(1, 0);
+    ExprPtr b_mux = cst(2, 0);
+    for (int i = 0; i < n; i++) {
+        std::string p = strfmt("s%d", i);
+        auto sel = eq(wsel, cst(selbits, i));
+        m->wire(p + "_b_ack", wait_b & sel);
+        b_got = b_got | (sel & s_b_v[i]);
+        b_mux = mux(sel, s_b[i], b_mux);
+    }
+    auto b_got_w = m->wire("b_got", b_got);
+    m->update("breg", wait_b & b_got_w, b_mux);
+    m->update("wst", wait_b & b_got_w, cst(3, 4));
+
+    auto resp_b = m->wire("resp_b", eq(wst, cst(3, 4)));
+    m->wire("m_b_valid", resp_b);
+    m->wire("m_b_data", breg);
+    m->update("wst", resp_b & m_b_a, cst(3, 0));
+
+    // ---- Read path FSM: 0 idle, 1 fwd ar, 2 wait r, 3 resp r.
+    auto rst = m->reg("rst", 2);
+    auto arreg = m->reg("arreg", 32);
+    auto rreg = m->reg("rreg", 33);
+    auto rsel = m->wire("rsel", slice(arreg, 29, selbits));
+
+    auto ridle = m->wire("ridle", eq(rst, cst(2, 0)));
+    m->wire("m_ar_ack", ridle);
+    m->update("arreg", ridle & m_ar_v, m_ar);
+    m->update("rst", ridle & m_ar_v, cst(2, 1));
+
+    auto fwd_ar = m->wire("fwd_ar", eq(rst, cst(2, 1)));
+    ExprPtr ar_acked = cst(1, 0);
+    for (int i = 0; i < n; i++) {
+        std::string p = strfmt("s%d", i);
+        auto sel = eq(rsel, cst(selbits, i));
+        m->wire(p + "_ar_data", arreg);
+        m->wire(p + "_ar_valid", fwd_ar & sel);
+        ar_acked = ar_acked | (sel & s_ar_a[i]);
+    }
+    auto ar_ack_w = m->wire("ar_acked", ar_acked);
+    m->update("rst", fwd_ar & ar_ack_w, cst(2, 2));
+
+    auto wait_r = m->wire("wait_r", eq(rst, cst(2, 2)));
+    ExprPtr r_got = cst(1, 0);
+    ExprPtr r_mux = cst(33, 0);
+    for (int i = 0; i < n; i++) {
+        std::string p = strfmt("s%d", i);
+        auto sel = eq(rsel, cst(selbits, i));
+        m->wire(p + "_r_ack", wait_r & sel);
+        r_got = r_got | (sel & s_r_v[i]);
+        r_mux = mux(sel, s_r[i], r_mux);
+    }
+    auto r_got_w = m->wire("r_got", r_got);
+    m->update("rreg", wait_r & r_got_w, r_mux);
+    m->update("rst", wait_r & r_got_w, cst(2, 3));
+
+    auto resp_r = m->wire("resp_r", eq(rst, cst(2, 3)));
+    m->wire("m_r_valid", resp_r);
+    m->wire("m_r_data", rreg);
+    m->update("rst", resp_r & m_r_a, cst(2, 0));
+    return m;
+}
+
+rtl::ModulePtr
+buildAxiMuxBaseline(int n)
+{
+    auto m = std::make_shared<Module>();
+    m->name = "axi_mux_baseline";
+
+    std::vector<ExprPtr> m_aw(n), m_aw_v(n), m_w(n), m_w_v(n),
+        m_b_a(n), m_ar(n), m_ar_v(n), m_r_a(n);
+    for (int i = 0; i < n; i++) {
+        std::string p = strfmt("m%d", i);
+        m_aw[i] = m->input(p + "_aw_data", 32);
+        m_aw_v[i] = m->input(p + "_aw_valid", 1);
+        m->output(p + "_aw_ack", 1);
+        m_w[i] = m->input(p + "_w_data", 32);
+        m_w_v[i] = m->input(p + "_w_valid", 1);
+        m->output(p + "_w_ack", 1);
+        m->output(p + "_b_data", 2);
+        m->output(p + "_b_valid", 1);
+        m_b_a[i] = m->input(p + "_b_ack", 1);
+        m_ar[i] = m->input(p + "_ar_data", 32);
+        m_ar_v[i] = m->input(p + "_ar_valid", 1);
+        m->output(p + "_ar_ack", 1);
+        m->output(p + "_r_data", 33);
+        m->output(p + "_r_valid", 1);
+        m_r_a[i] = m->input(p + "_r_ack", 1);
+    }
+    m->output("s_aw_data", 32);
+    m->output("s_aw_valid", 1);
+    auto s_aw_a = m->input("s_aw_ack", 1);
+    m->output("s_w_data", 32);
+    m->output("s_w_valid", 1);
+    auto s_w_a = m->input("s_w_ack", 1);
+    auto s_b = m->input("s_b_data", 2);
+    auto s_b_v = m->input("s_b_valid", 1);
+    m->output("s_b_ack", 1);
+    m->output("s_ar_data", 32);
+    m->output("s_ar_valid", 1);
+    auto s_ar_a = m->input("s_ar_ack", 1);
+    auto s_r = m->input("s_r_data", 33);
+    auto s_r_v = m->input("s_r_valid", 1);
+    m->output("s_r_ack", 1);
+
+    int gb = 3;
+
+    // ---- Write path with round-robin arbitration.
+    auto wst = m->reg("wst", 3);   // 0 arb, 1 fwd aw+w, 2 wait b,
+                                   // 3 resp b
+    auto wgrant = m->reg("wgrant", gb);
+    auto wlast = m->reg("wlast", gb);
+    auto awreg = m->reg("awreg", 32);
+    auto wreg = m->reg("wreg", 32);
+    auto breg = m->reg("breg", 2);
+
+    // Fair grant: the first requesting master after wlast.
+    ExprPtr grant = wlast;   // fallback (no requester)
+    ExprPtr any = cst(1, 0);
+    for (int off = n; off >= 1; off--) {
+        // Candidate index (wlast + off) mod n, scanned from farthest
+        // to nearest so the nearest requester wins the mux chain.
+        ExprPtr idx = m->wire(strfmt("wcand%d", off),
+                              (wlast + cst(gb, off)) &
+                              cst(gb, n - 1));
+        ExprPtr v = cst(1, 0);
+        for (int i = 0; i < n; i++)
+            v = v | (eq(idx, cst(gb, i)) & m_aw_v[i]);
+        auto vw = m->wire(strfmt("wcandv%d", off), v);
+        grant = mux(vw, idx, grant);
+        any = any | vw;
+    }
+    auto grant_w = m->wire("wgrant_next", grant);
+    auto any_w = m->wire("w_any", any);
+
+    auto warb = m->wire("warb", eq(wst, cst(3, 0)));
+    m->update("wgrant", warb & any_w, grant_w);
+    m->update("wst", warb & any_w, cst(3, 1));
+
+    // Accept AW and W from the granted master.
+    auto wacc = m->wire("wacc", eq(wst, cst(3, 1)));
+    ExprPtr got_aw = cst(1, 0);
+    ExprPtr aw_mux = cst(32, 0);
+    ExprPtr w_mux = cst(32, 0);
+    for (int i = 0; i < n; i++) {
+        std::string p = strfmt("m%d", i);
+        auto sel = eq(wgrant, cst(gb, i));
+        m->wire(p + "_aw_ack", wacc & sel & m_w_v[i]);
+        m->wire(p + "_w_ack", wacc & sel & m_aw_v[i]);
+        got_aw = got_aw | (sel & m_aw_v[i] & m_w_v[i]);
+        aw_mux = mux(sel, m_aw[i], aw_mux);
+        w_mux = mux(sel, m_w[i], w_mux);
+    }
+    auto got_aw_w = m->wire("got_aw", got_aw);
+    m->update("awreg", wacc & got_aw_w, aw_mux);
+    m->update("wreg", wacc & got_aw_w, w_mux);
+    m->update("wst", wacc & got_aw_w, cst(3, 2));
+
+    // Forward to the slave, wait for B, return it.
+    auto wfwd = m->wire("wfwd", eq(wst, cst(3, 2)));
+    m->wire("s_aw_data", awreg);
+    m->wire("s_aw_valid", wfwd);
+    m->wire("s_w_data", wreg);
+    m->wire("s_w_valid", wfwd);
+    auto fwd_done = m->wire("wfwd_done", wfwd & s_aw_a & s_w_a);
+    m->update("wst", fwd_done, cst(3, 3));
+
+    auto wwait = m->wire("wwait", eq(wst, cst(3, 3)));
+    m->wire("s_b_ack", wwait);
+    m->update("breg", wwait & s_b_v, s_b);
+    m->update("wst", wwait & s_b_v, cst(3, 4));
+
+    auto wresp = m->wire("wresp", eq(wst, cst(3, 4)));
+    ExprPtr b_taken = cst(1, 0);
+    for (int i = 0; i < n; i++) {
+        std::string p = strfmt("m%d", i);
+        auto sel = eq(wgrant, cst(gb, i));
+        m->wire(p + "_b_valid", wresp & sel);
+        m->wire(p + "_b_data", breg);
+        b_taken = b_taken | (sel & m_b_a[i]);
+    }
+    auto b_taken_w = m->wire("b_taken", b_taken);
+    m->update("wlast", wresp & b_taken_w, wgrant);
+    m->update("wst", wresp & b_taken_w, cst(3, 0));
+
+    // ---- Read path with its own round-robin arbiter.
+    auto rst = m->reg("rst", 2);   // 0 arb, 1 fwd ar, 2 wait r,
+                                   // 3 resp r
+    auto rgrant = m->reg("rgrant", gb);
+    auto rlast = m->reg("rlast", gb);
+    auto arreg = m->reg("arreg", 32);
+    auto rreg = m->reg("rreg", 33);
+    auto rpend = m->reg("rpend", 1);
+
+    ExprPtr rgr = rlast;
+    ExprPtr rany = cst(1, 0);
+    for (int off = n; off >= 1; off--) {
+        ExprPtr idx = m->wire(strfmt("rcand%d", off),
+                              (rlast + cst(gb, off)) &
+                              cst(gb, n - 1));
+        ExprPtr v = cst(1, 0);
+        for (int i = 0; i < n; i++)
+            v = v | (eq(idx, cst(gb, i)) & m_ar_v[i]);
+        auto vw = m->wire(strfmt("rcandv%d", off), v);
+        rgr = mux(vw, idx, rgr);
+        rany = rany | vw;
+    }
+    auto rgr_w = m->wire("rgrant_next", rgr);
+    auto rany_w = m->wire("r_any", rany);
+
+    // Do not re-arbitrate while a response is still pending: rgrant
+    // routes the in-flight R beat back to its master.
+    auto rarb = m->wire("rarb", eq(rst, cst(2, 0)) & ~rpend);
+    m->update("rgrant", rarb & rany_w, rgr_w);
+    m->update("rst", rarb & rany_w, cst(2, 1));
+
+    auto racc = m->wire("racc", eq(rst, cst(2, 1)));
+    ExprPtr got_ar = cst(1, 0);
+    ExprPtr ar_mux = cst(32, 0);
+    for (int i = 0; i < n; i++) {
+        std::string p = strfmt("m%d", i);
+        auto sel = eq(rgrant, cst(gb, i));
+        m->wire(p + "_ar_ack", racc & sel);
+        got_ar = got_ar | (sel & m_ar_v[i]);
+        ar_mux = mux(sel, m_ar[i], ar_mux);
+    }
+    auto got_ar_w = m->wire("got_ar", got_ar);
+    m->update("arreg", racc & got_ar_w, ar_mux);
+    m->update("rst", racc & got_ar_w, cst(2, 2));
+
+    auto rfwd = m->wire("rfwd", eq(rst, cst(2, 2)));
+    m->wire("s_ar_data", arreg);
+    m->wire("s_ar_valid", rfwd);
+    m->update("rst", rfwd & s_ar_a, cst(2, 3));
+
+    auto rwait = m->wire("rwait", eq(rst, cst(2, 3)));
+    m->wire("s_r_ack", rwait);
+    m->update("rreg", rwait & s_r_v, s_r);
+    // Response delivery overlaps the return to the arbitration state.
+    m->update("rpend", rwait & s_r_v, cst(1, 1));
+    m->update("rst", rwait & s_r_v, cst(2, 0));
+
+    ExprPtr r_taken = cst(1, 0);
+    for (int i = 0; i < n; i++) {
+        std::string p = strfmt("m%d", i);
+        auto sel = eq(rgrant, cst(gb, i));
+        m->wire(p + "_r_valid", rpend & sel);
+        m->wire(p + "_r_data", rreg);
+        r_taken = r_taken | (sel & m_r_a[i]);
+    }
+    auto r_taken_w = m->wire("r_taken", r_taken);
+    m->update("rpend", rpend & r_taken_w, cst(1, 0));
+    m->update("rlast", rpend & r_taken_w, rgrant);
+    return m;
+}
+
+} // namespace designs
+} // namespace anvil

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Handwritten baselines for the PULP common_cells designs of Table 1:
+ * FIFO buffer, spill register, and passthrough stream FIFO.
+ *
+ * These mirror the microarchitecture of the open-source SystemVerilog
+ * (fifo_v3, spill_register, stream_fifo with FALL_THROUGH=1) while
+ * using this repository's RTL IR, and expose the same valid/ack port
+ * names the Anvil compiler generates so one harness drives both.
+ */
+
+#include "designs/designs.h"
+
+namespace anvil {
+namespace designs {
+
+using namespace rtl;
+
+namespace {
+
+constexpr int kWidth = 32;
+constexpr int kDepth = 8;
+constexpr int kPtrBits = 4;   // one extra bit for full/empty
+
+} // namespace
+
+rtl::ModulePtr
+buildFifoBaseline()
+{
+    auto m = std::make_shared<Module>();
+    m->name = "fifo_baseline";
+
+    auto enq_data = m->input("inp_enq_data", kWidth);
+    auto enq_valid = m->input("inp_enq_valid", 1);
+    m->output("inp_enq_ack", 1);
+    m->output("outp_deq_data", kWidth);
+    m->output("outp_deq_valid", 1);
+    auto deq_ack = m->input("outp_deq_ack", 1);
+
+    auto wptr = m->reg("wptr", kPtrBits);
+    auto rptr = m->reg("rptr", kPtrBits);
+
+    auto diff = m->wire("usage", (wptr - rptr) & cst(kPtrBits, 0xf));
+    auto full = m->wire("full", eq(diff, cst(kPtrBits, kDepth)));
+    auto empty = m->wire("empty", eq(diff, cst(kPtrBits, 0)));
+
+    auto ready = m->wire("inp_enq_ack", ~full);
+    auto out_valid = m->wire("outp_deq_valid", ~empty);
+    auto push = m->wire("push", enq_valid & ready);
+    auto pop = m->wire("pop", deq_ack & out_valid);
+
+    // Storage: one register per slot, write-enabled by the pointer.
+    std::vector<ExprPtr> slots;
+    for (int i = 0; i < kDepth; i++) {
+        auto slot = m->reg("slot" + std::to_string(i), kWidth);
+        slots.push_back(slot);
+        auto sel = eq(slice(wptr, 0, 3), cst(3, i));
+        m->update("slot" + std::to_string(i), push & sel, enq_data);
+    }
+
+    // Read mux.
+    ExprPtr data = slots[0];
+    for (int i = 1; i < kDepth; i++)
+        data = mux(eq(slice(rptr, 0, 3), cst(3, i)), slots[i], data);
+    m->wire("outp_deq_data", data);
+
+    m->update("wptr", push, wptr + cst(kPtrBits, 1));
+    m->update("rptr", pop, rptr + cst(kPtrBits, 1));
+    return m;
+}
+
+rtl::ModulePtr
+buildSpillRegBaseline()
+{
+    auto m = std::make_shared<Module>();
+    m->name = "spill_reg_baseline";
+
+    auto in_data = m->input("inp_enq_data", kWidth);
+    auto in_valid = m->input("inp_enq_valid", 1);
+    m->output("inp_enq_ack", 1);
+    m->output("outp_deq_data", kWidth);
+    m->output("outp_deq_valid", 1);
+    auto out_ack = m->input("outp_deq_ack", 1);
+
+    auto a_data = m->reg("a_data", kWidth);
+    auto a_full = m->reg("a_full", 1);
+    auto b_data = m->reg("b_data", kWidth);
+    auto b_full = m->reg("b_full", 1);
+
+    auto ready = m->wire("inp_enq_ack", ~b_full);
+    auto push = m->wire("push", in_valid & ready);
+    auto valid_o = m->wire("outp_deq_valid", a_full);
+    m->wire("outp_deq_data", a_data);
+    auto pop = m->wire("pop", out_ack & a_full);
+
+    // A stage: refilled from B when draining, else from the input.
+    auto from_b = m->wire("from_b", pop & b_full);
+    auto from_in = m->wire("from_in",
+                           push & (~a_full | (pop & ~b_full)));
+    m->update("a_data", from_b | from_in, mux(from_b, b_data, in_data));
+    m->update("a_full", cst(1, 1),
+              from_b | from_in | (a_full & ~pop));
+
+    // B stage: spills when a push arrives while A is busy.
+    auto to_b = m->wire("to_b", push & a_full & (~pop | b_full));
+    m->update("b_data", to_b, in_data);
+    m->update("b_full", cst(1, 1), to_b | (b_full & ~pop));
+    return m;
+}
+
+rtl::ModulePtr
+buildStreamFifoBaseline()
+{
+    auto m = std::make_shared<Module>();
+    m->name = "stream_fifo_baseline";
+
+    auto enq_data = m->input("inp_enq_data", kWidth);
+    auto enq_valid = m->input("inp_enq_valid", 1);
+    m->output("inp_enq_ack", 1);
+    m->output("outp_deq_data", kWidth);
+    m->output("outp_deq_valid", 1);
+    auto deq_ack = m->input("outp_deq_ack", 1);
+
+    auto wptr = m->reg("wptr", kPtrBits);
+    auto rptr = m->reg("rptr", kPtrBits);
+
+    auto diff = m->wire("usage", (wptr - rptr) & cst(kPtrBits, 0xf));
+    auto full = m->wire("full", eq(diff, cst(kPtrBits, kDepth)));
+    auto empty = m->wire("empty", eq(diff, cst(kPtrBits, 0)));
+
+    // Fall-through: an incoming beat is offered combinationally when
+    // the FIFO is empty.
+    auto ready = m->wire("inp_enq_ack", ~full);
+    auto out_valid = m->wire("outp_deq_valid", ~empty | enq_valid);
+    auto passthrough =
+        m->wire("passthrough", empty & enq_valid & deq_ack);
+    auto push =
+        m->wire("push", enq_valid & ready & ~passthrough);
+    auto pop = m->wire("pop", deq_ack & ~empty);
+
+    std::vector<ExprPtr> slots;
+    for (int i = 0; i < kDepth; i++) {
+        auto slot = m->reg("slot" + std::to_string(i), kWidth);
+        slots.push_back(slot);
+        auto sel = eq(slice(wptr, 0, 3), cst(3, i));
+        m->update("slot" + std::to_string(i), push & sel, enq_data);
+    }
+    ExprPtr data = slots[0];
+    for (int i = 1; i < kDepth; i++)
+        data = mux(eq(slice(rptr, 0, 3), cst(3, i)), slots[i], data);
+    m->wire("outp_deq_data", mux(empty, enq_data, data));
+
+    m->update("wptr", push, wptr + cst(kPtrBits, 1));
+    m->update("rptr", pop, rptr + cst(kPtrBits, 1));
+    return m;
+}
+
+} // namespace designs
+} // namespace anvil

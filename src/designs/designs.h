@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The ten evaluation designs of Table 1, each in two forms:
+ *
+ *  - a handwritten baseline in the structural RTL IR, mirroring the
+ *    open-source SystemVerilog (PULP common_cells, CVA6 MMU,
+ *    OpenTitan AES, AXI-Lite) and Filament (pipelined ALU, systolic
+ *    array) implementations the paper compares against, and
+ *  - an Anvil source program compiled by this repository's compiler.
+ *
+ * Both forms expose the same port names (the Anvil compiler's
+ * data/valid/ack lowering), so one workload harness drives either.
+ */
+
+#ifndef ANVIL_DESIGNS_DESIGNS_H
+#define ANVIL_DESIGNS_DESIGNS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/rtl.h"
+
+namespace anvil {
+namespace designs {
+
+// --- Common Cells (PULP) ------------------------------------------------
+
+/** 8-deep, 32-bit FIFO buffer (fifo_v3 style). */
+rtl::ModulePtr buildFifoBaseline();
+
+/** 32-bit spill register (two-deep skid buffer). */
+rtl::ModulePtr buildSpillRegBaseline();
+
+/** 8-deep passthrough stream FIFO (fall-through when empty). */
+rtl::ModulePtr buildStreamFifoBaseline();
+
+// --- CVA6 MMU -----------------------------------------------------------
+
+/** 8-entry fully-associative TLB with pseudo-random replacement. */
+rtl::ModulePtr buildTlbBaseline();
+
+/** Sv39-style three-level page table walker. */
+rtl::ModulePtr buildPtwBaseline();
+
+// --- OpenTitan AES ------------------------------------------------------
+
+/** Round-based AES-128 cipher core (encrypt, LUT S-box). */
+rtl::ModulePtr buildAesBaseline();
+
+// --- AXI-Lite routers ---------------------------------------------------
+
+/** 1 master -> N slaves demux (address-decoded). */
+rtl::ModulePtr buildAxiDemuxBaseline(int n_slaves = 8);
+
+/** N masters -> 1 slave mux with fair (round-robin) arbitration. */
+rtl::ModulePtr buildAxiMuxBaseline(int n_masters = 8);
+
+// --- Filament-style pipelined designs ------------------------------------
+
+/** 3-stage statically scheduled pipelined ALU. */
+rtl::ModulePtr buildPipelinedAluBaseline();
+
+/** 4x4 weight-stationary systolic array (8-bit MACs). */
+rtl::ModulePtr buildSystolicBaseline();
+
+// --- Motivation / figure demos -------------------------------------------
+
+/** Fig. 1: two-cycle memory with the hazardous Top client. */
+rtl::ModulePtr buildHazardDemoSystem();
+
+/** Fig. 4: memory with a cache; hit = 1 cycle, miss = 3 cycles. */
+rtl::ModulePtr buildCacheDemoBaseline();
+
+// --- Anvil sources -------------------------------------------------------
+
+/** Anvil source text for each design (compiled by compileAnvil). */
+std::string anvilFifoSource();
+std::string anvilSpillRegSource();
+std::string anvilStreamFifoSource();
+std::string anvilTlbSource();
+std::string anvilPtwSource();
+std::string anvilAesSource();
+std::string anvilAxiDemuxSource();
+std::string anvilAxiMuxSource();
+std::string anvilPipelinedAluSource();
+std::string anvilSystolicSource();
+
+/** Fig. 5: the unsafe Top against the static memory contract. */
+std::string anvilTopUnsafeSource();
+
+/** Fig. 5: the safe Top against the dynamic cache contract. */
+std::string anvilTopSafeSource();
+
+/** Fig. 6: the Encrypt process (three violations). */
+std::string anvilEncryptSource();
+
+/** Listing 1 (Appendix A): Top / child / grandchild. */
+std::string anvilListing1Source();
+
+// --- AES golden model (software) -----------------------------------------
+
+/** FIPS-197 AES-128 block encryption (golden model for tests). */
+std::vector<uint8_t> aesEncryptBlock(const std::vector<uint8_t> &key,
+                                     const std::vector<uint8_t> &pt);
+
+/** The AES S-box table (shared by model and RTL). */
+const uint8_t *aesSbox();
+
+} // namespace designs
+} // namespace anvil
+
+#endif // ANVIL_DESIGNS_DESIGNS_H

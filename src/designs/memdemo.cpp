@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Motivation-figure substrates.
+ *
+ * Fig. 1: a two-cycle memory and the hazardous Top client that
+ * assumes a one-cycle response, producing the wrong output stream
+ * (half the addresses skipped).
+ *
+ * Fig. 4: a cached memory whose latency is 1 cycle on a hit and
+ * 3 cycles on a miss, exposed through a valid/ack interface so a
+ * dynamically-contracted Anvil client can drive it.
+ */
+
+#include "designs/designs.h"
+
+namespace anvil {
+namespace designs {
+
+using namespace rtl;
+
+rtl::ModulePtr
+buildHazardDemoSystem()
+{
+    // The memory of Fig. 1: mem[addr] = addr + 0x10 ("Val addr"),
+    // registered twice (two-cycle pipeline), no handshake.
+    auto mem = std::make_shared<Module>();
+    mem->name = "memory2c";
+    auto inp = mem->input("inp", 8);
+    auto req = mem->input("req", 1);
+    mem->output("out", 8);
+
+    // Two-cycle lookup that only advances while `req` is asserted
+    // (the paper: "the memory stops processing since the req signal
+    // is unset in [1, 2)").
+    auto s1 = mem->reg("s1", 8);
+    auto busy = mem->reg("busy", 1);
+    auto s2 = mem->reg("s2", 8);
+    auto latch = mem->wire("latch", req & ~busy);
+    auto produce = mem->wire("produce", req & busy);
+    mem->update("s1", latch, inp);
+    mem->update("busy", latch, cst(1, 1));
+    mem->update("busy", produce, cst(1, 0));
+    mem->update("s2", produce, s1 + cst(8, 0x10));
+    mem->wire("out", s2);
+
+    // Fig. 1 Top: toggles req every cycle; when req is high it drives
+    // the next address, expecting the output one cycle later.
+    auto top = std::make_shared<Module>();
+    top->name = "hazard_top";
+    top->output("observed", 8);
+    top->output("sampling", 1);
+    top->output("req", 1);
+    top->output("addr", 8);
+
+    auto phase = top->reg("phase", 1);
+    auto address = top->reg("address", 8);
+    top->update("phase", cst(1, 1), ~phase);
+    auto req_w = top->wire("req", ~phase);
+    top->update("address", req_w, address + cst(8, 1));
+    top->wire("addr", address);
+
+    Instance inst;
+    inst.name = "mem";
+    inst.module = mem;
+    inst.inputs["inp"] = ref("addr", 8);
+    inst.inputs["req"] = ref("req", 1);
+    inst.outputs["mem_out"] = "out";
+    top->instances.push_back(std::move(inst));
+
+    // Top samples the output in the cycles after a request
+    // (phase == 1), assuming single-cycle latency.
+    top->wire("observed", ref("mem_out", 8));
+    top->wire("sampling", phase);
+    return top;
+}
+
+rtl::ModulePtr
+buildCacheDemoBaseline()
+{
+    // Cached memory: req/res handshake; a hit answers the next cycle,
+    // a miss takes three cycles.  A direct-mapped 4-entry cache over
+    // 8-bit addresses; backing value = addr + 0x10.
+    auto m = std::make_shared<Module>();
+    m->name = "cache_demo";
+
+    auto req_data = m->input("io_req_data", 8);
+    auto req_valid = m->input("io_req_valid", 1);
+    m->output("io_req_ack", 1);
+    m->output("io_res_data", 8);
+    m->output("io_res_valid", 1);
+    auto res_ack = m->input("io_res_ack", 1);
+
+    // Tags and values for 4 direct-mapped lines.
+    std::vector<ExprPtr> tag(4), val(4), vld(4);
+    for (int i = 0; i < 4; i++) {
+        tag[i] = m->reg("tag" + std::to_string(i), 6);
+        val[i] = m->reg("val" + std::to_string(i), 8);
+        vld[i] = m->reg("vld" + std::to_string(i), 1);
+    }
+
+    auto st = m->reg("st", 2);      // 0 idle, 1 respond, 2-3 miss wait
+    auto areg = m->reg("areg", 8);
+    auto hitreg = m->reg("hitreg", 1);
+
+    auto idle = m->wire("idle", eq(st, cst(2, 0)));
+    m->wire("io_req_ack", idle);
+
+    auto index = m->wire("index", slice(req_data, 0, 2));
+    ExprPtr hit = cst(1, 0);
+    for (int i = 0; i < 4; i++) {
+        hit = hit | (eq(index, cst(2, i)) & vld[i] &
+                     eq(tag[i], slice(req_data, 2, 6)));
+    }
+    auto hit_w = m->wire("hit", hit);
+
+    auto start = m->wire("start", idle & req_valid);
+    m->update("areg", start, req_data);
+    m->update("hitreg", start, hit_w);
+    // Hit: respond next cycle (st=1).  Miss: two extra cycles
+    // (st=3 -> 2 -> 1).
+    m->update("st", start, mux(hit_w, cst(2, 1), cst(2, 3)));
+
+    auto counting = m->wire("counting",
+                            eq(st, cst(2, 2)) | eq(st, cst(2, 3)));
+    m->update("st", counting, st - cst(2, 1));
+
+    // On miss completion, fill the line.
+    auto fill = m->wire("fill", eq(st, cst(2, 2)));
+    auto aidx = m->wire("aidx", slice(areg, 0, 2));
+    for (int i = 0; i < 4; i++) {
+        auto sel = fill & eq(aidx, cst(2, i));
+        m->update("tag" + std::to_string(i), sel, slice(areg, 2, 6));
+        m->update("val" + std::to_string(i), sel,
+                  areg + cst(8, 0x10));
+        m->update("vld" + std::to_string(i), sel, cst(1, 1));
+    }
+
+    auto resp = m->wire("resp", eq(st, cst(2, 1)));
+    ExprPtr rd = areg + cst(8, 0x10);   // memory value (also on hits)
+    m->wire("io_res_valid", resp);
+    m->wire("io_res_data", rd);
+    m->update("st", resp & res_ack, cst(2, 0));
+    return m;
+}
+
+} // namespace designs
+} // namespace anvil

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * CVA6-style MMU baselines: an 8-entry fully-associative TLB and an
+ * Sv39-style three-level page table walker (PTW).
+ *
+ * The TLB answers combinationally (hit/miss in the request cycle);
+ * the PTW has dynamic latency (one memory round trip per level, with
+ * early termination on superpage leaves and faults), which is exactly
+ * the behaviour static timing contracts cannot capture (§2.4, §7.1).
+ */
+
+#include "designs/designs.h"
+
+namespace anvil {
+namespace designs {
+
+using namespace rtl;
+
+namespace {
+
+constexpr int kTlbEntries = 8;
+
+} // namespace
+
+rtl::ModulePtr
+buildTlbBaseline()
+{
+    auto m = std::make_shared<Module>();
+    m->name = "tlb_baseline";
+
+    auto req_data = m->input("io_req_data", 32);   // vpn
+    auto req_valid = m->input("io_req_valid", 1);
+    m->output("io_req_ack", 1);
+    m->output("io_res_data", 64);                  // {hit, ppn}
+    m->output("io_res_valid", 1);
+    auto res_ack = m->input("io_res_ack", 1);
+    auto upd_data = m->input("io_upd_data", 64);   // {vpn, ppn}
+    auto upd_valid = m->input("io_upd_valid", 1);
+    m->output("io_upd_ack", 1);
+
+    // Entry registers.
+    std::vector<ExprPtr> valid(kTlbEntries), vpn(kTlbEntries),
+        ppn(kTlbEntries);
+    for (int i = 0; i < kTlbEntries; i++) {
+        valid[i] = m->reg("valid" + std::to_string(i), 1);
+        vpn[i] = m->reg("vpn" + std::to_string(i), 32);
+        ppn[i] = m->reg("ppn" + std::to_string(i), 32);
+    }
+
+    // Combinational lookup: response in the request cycle.
+    ExprPtr hit = cst(1, 0);
+    ExprPtr out_ppn = cst(32, 0);
+    for (int i = 0; i < kTlbEntries; i++) {
+        auto h = m->wire("hit" + std::to_string(i),
+                         valid[i] & eq(vpn[i], req_data));
+        hit = hit | h;
+        out_ppn = out_ppn | mux(h, ppn[i], cst(32, 0));
+    }
+    auto hit_w = m->wire("hit_any", hit);
+    auto ppn_w = m->wire("ppn_out", out_ppn);
+
+    m->wire("io_res_valid", req_valid);
+    m->wire("io_res_data",
+            concat({cst(31, 0), hit_w, ppn_w}));
+    // The request completes when the response is taken.
+    m->wire("io_req_ack", res_ack);
+
+    // Update port: round-robin victim.
+    auto vict = m->reg("vict", 3);
+    m->wire("io_upd_ack", cst(1, 1));
+    for (int i = 0; i < kTlbEntries; i++) {
+        auto sel = upd_valid & eq(vict, cst(3, i));
+        m->update("valid" + std::to_string(i), sel, cst(1, 1));
+        m->update("vpn" + std::to_string(i), sel,
+                  slice(upd_data, 32, 32));
+        m->update("ppn" + std::to_string(i), sel,
+                  slice(upd_data, 0, 32));
+    }
+    m->update("vict", upd_valid, vict + cst(3, 1));
+    return m;
+}
+
+rtl::ModulePtr
+buildPtwBaseline()
+{
+    auto m = std::make_shared<Module>();
+    m->name = "ptw_baseline";
+
+    auto req_data = m->input("cpu_req_data", 27);  // vpn (3 x 9 bits)
+    auto req_valid = m->input("cpu_req_valid", 1);
+    m->output("cpu_req_ack", 1);
+    m->output("cpu_res_data", 64);                 // pte or 0 on fault
+    m->output("cpu_res_valid", 1);
+    auto res_ack = m->input("cpu_res_ack", 1);
+
+    m->output("m_mreq_data", 32);                  // physical address
+    m->output("m_mreq_valid", 1);
+    auto mreq_ack = m->input("m_mreq_ack", 1);
+    auto mres_data = m->input("m_mres_data", 64);  // pte
+    auto mres_valid = m->input("m_mres_valid", 1);
+    m->output("m_mres_ack", 1);
+
+    // FSM: 0 idle, 1/3/5 send level k, 2/4/6 wait level k, 7 respond.
+    auto st = m->reg("st", 3);
+    auto va = m->reg("va", 27);
+    auto pte = m->reg("pte", 64);
+    auto res = m->reg("res", 64);
+
+    auto idle = m->wire("idle", eq(st, cst(3, 0)));
+    m->wire("cpu_req_ack", idle);
+    auto start = m->wire("start", req_valid & idle);
+    m->update("va", start, req_data);
+    m->update("st", start, cst(3, 1));
+
+    // Level address computation: base << 12 is the page of the next
+    // table; vpn slices select the entry (8-byte PTEs).
+    auto base = m->wire("tbl_base",
+                        slice(binop(Op::Shl, slice(pte, 10, 20),
+                                    cst(5, 12)), 0, 32));
+    auto idx1 = m->wire("idx1", slice(va, 18, 9));
+    auto idx2 = m->wire("idx2", slice(va, 9, 9));
+    auto idx3 = m->wire("idx3", slice(va, 0, 9));
+
+    auto lvl1 = m->wire("addr1",
+                        cst(32, 4096) +
+                        concat({cst(20, 0), idx1, cst(3, 0)}));
+    auto lvl2 = m->wire("addr2",
+                        base + concat({cst(20, 0), idx2, cst(3, 0)}));
+    auto lvl3 = m->wire("addr3",
+                        base + concat({cst(20, 0), idx3, cst(3, 0)}));
+
+    auto sending = m->wire("sending",
+                           eq(st, cst(3, 1)) | eq(st, cst(3, 3)) |
+                           eq(st, cst(3, 5)));
+    m->wire("m_mreq_valid", sending);
+    m->wire("m_mreq_data",
+            mux(eq(st, cst(3, 1)), lvl1,
+                mux(eq(st, cst(3, 3)), lvl2, lvl3)));
+    m->update("st", sending & mreq_ack, st + cst(3, 1));
+
+    auto waiting = m->wire("waiting",
+                           eq(st, cst(3, 2)) | eq(st, cst(3, 4)) |
+                           eq(st, cst(3, 6)));
+    m->wire("m_mres_ack", waiting);
+    auto got = m->wire("got", waiting & mres_valid);
+
+    // PTE decode: bit 0 = valid, bits 3:1 = permissions (leaf when
+    // non-zero), bits 63:10 = PPN.
+    auto pte_valid = m->wire("pte_valid", slice(mres_data, 0, 1));
+    auto pte_leaf = m->wire("pte_leaf",
+                            pte_valid &
+                            ne(slice(mres_data, 1, 3), cst(3, 0)));
+    auto fault = m->wire("fault", ~pte_valid);
+    auto last_level = m->wire("last_level", eq(st, cst(3, 6)));
+
+    m->update("pte", got, mres_data);
+    auto finish = m->wire("finish", got & (pte_leaf | fault |
+                                           last_level));
+    m->update("res", finish,
+              mux(fault, cst(64, 0), mres_data));
+    m->update("st", finish, cst(3, 7));
+    // Descend a level (only when not finishing).
+    m->update("st", got & ~finish, st + cst(3, 1));
+
+    auto resp = m->wire("resp", eq(st, cst(3, 7)));
+    m->wire("cpu_res_valid", resp);
+    m->wire("cpu_res_data", res);
+    m->update("st", resp & res_ack, cst(3, 0));
+    return m;
+}
+
+} // namespace designs
+} // namespace anvil

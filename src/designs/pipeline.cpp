@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Filament-comparison baselines: a statically scheduled 3-stage
+ * pipelined ALU and a 4x4 weight-stationary systolic array.
+ *
+ * Both designs are fully static: one operand set enters per cycle and
+ * one result leaves per cycle after the pipeline fill, with no
+ * handshake ports (the static sync lowering of §6.2).
+ */
+
+#include "designs/designs.h"
+
+#include "support/strings.h"
+
+namespace anvil {
+namespace designs {
+
+using namespace rtl;
+
+rtl::ModulePtr
+buildPipelinedAluBaseline()
+{
+    auto m = std::make_shared<Module>();
+    m->name = "alu_baseline";
+
+    // op layout: {opcode[3:0], b[31:0], a[31:0]}.
+    auto op_in = m->input("io_op_data", 68);
+    m->output("io_res_data", 32);
+
+    auto s1_a = m->reg("s1_a", 32);
+    auto s1_b = m->reg("s1_b", 32);
+    auto s1_op = m->reg("s1_op", 4);
+    auto s2 = m->reg("s2", 32);
+    auto s3 = m->reg("s3", 32);
+
+    auto en = cst(1, 1);
+    m->update("s1_a", en, slice(op_in, 0, 32));
+    m->update("s1_b", en, slice(op_in, 32, 32));
+    m->update("s1_op", en, slice(op_in, 64, 4));
+
+    // Stage 2: execute.
+    ExprPtr r = cst(32, 0);
+    auto pick = [&](int code, ExprPtr v) {
+        r = mux(eq(s1_op, cst(4, code)), std::move(v), r);
+    };
+    pick(0, s1_a + s1_b);
+    pick(1, s1_a - s1_b);
+    pick(2, s1_a & s1_b);
+    pick(3, s1_a | s1_b);
+    pick(4, s1_a ^ s1_b);
+    pick(5, binop(Op::Shl, s1_a, slice(s1_b, 0, 5)));
+    pick(6, binop(Op::Shr, s1_a, slice(s1_b, 0, 5)));
+    pick(7, mux(ult(s1_a, s1_b), cst(32, 1), cst(32, 0)));
+    auto exec = m->wire("exec", r);
+    m->update("s2", en, exec);
+
+    // Stage 3: writeback.
+    m->update("s3", en, s2);
+    m->wire("io_res_data", s3);
+    return m;
+}
+
+rtl::ModulePtr
+buildSystolicBaseline()
+{
+    auto m = std::make_shared<Module>();
+    m->name = "systolic_baseline";
+
+    constexpr int kN = 4;
+
+    // Activations: one 4 x 8-bit column per cycle (west edge).
+    auto act = m->input("io_act_data", kN * 8);
+    // Weight load: 16 x 8-bit, dynamic handshake.
+    auto wld = m->input("io_wld_data", kN * kN * 8);
+    auto wld_v = m->input("io_wld_valid", 1);
+    m->output("io_wld_ack", 1);
+    // Outputs: the south-edge partial sums, 4 x 32-bit.
+    m->output("io_out_data", kN * 32);
+
+    m->wire("io_wld_ack", cst(1, 1));
+
+    // Weight-stationary PE grid.
+    std::vector<std::vector<ExprPtr>> w(kN), a(kN), p(kN);
+    for (int r = 0; r < kN; r++) {
+        w[r].resize(kN);
+        a[r].resize(kN);
+        p[r].resize(kN);
+        for (int c = 0; c < kN; c++) {
+            std::string suf = strfmt("%d_%d", r, c);
+            w[r][c] = m->reg("w" + suf, 8);
+            a[r][c] = m->reg("a" + suf, 8);
+            p[r][c] = m->reg("p" + suf, 32);
+            m->update("w" + suf, wld_v,
+                      slice(wld, 8 * (r * kN + c), 8));
+        }
+    }
+
+    auto en = cst(1, 1);
+    for (int r = 0; r < kN; r++) {
+        for (int c = 0; c < kN; c++) {
+            std::string suf = strfmt("%d_%d", r, c);
+            // Activations flow east.
+            ExprPtr a_in = c == 0 ? slice(act, 8 * r, 8) : a[r][c - 1];
+            m->update("a" + suf, en, a_in);
+            // Partial sums flow south.
+            ExprPtr p_in = r == 0 ? cst(32, 0) : p[r - 1][c];
+            auto prod = binop(Op::Mul,
+                              concat({cst(24, 0), a_in}),
+                              concat({cst(24, 0), w[r][c]}));
+            m->update("p" + suf, en, p_in + prod);
+        }
+    }
+
+    std::vector<ExprPtr> outs;
+    for (int c = kN - 1; c >= 0; c--)
+        outs.push_back(p[kN - 1][c]);
+    m->wire("io_out_data", concat(outs));
+    return m;
+}
+
+} // namespace designs
+} // namespace anvil

@@ -1,0 +1,631 @@
+#include "ir/elaborate.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace anvil {
+
+ValueInfo
+ValueInfo::unitAt(EventId e)
+{
+    ValueInfo v;
+    v.create = e;
+    v.unit = true;
+    return v;
+}
+
+const EndpointInfo *
+ProcIR::findEndpoint(const std::string &name) const
+{
+    auto it = endpoints.find(name);
+    return it != endpoints.end() ? &it->second : nullptr;
+}
+
+const MessageDef *
+ProcIR::contract(const std::string &ep, const std::string &msg) const
+{
+    const EndpointInfo *info = findEndpoint(ep);
+    if (!info || !info->chan)
+        return nullptr;
+    return info->chan->findMessage(msg);
+}
+
+bool
+ProcIR::canSend(const std::string &ep, const MessageDef &m) const
+{
+    const EndpointInfo *info = findEndpoint(ep);
+    if (!info)
+        return false;
+    // The holder of the left endpoint sends right-travelling messages
+    // and receives left-travelling ones (paper §4.1), and vice versa.
+    if (info->side == EndpointSide::Left)
+        return m.dir == MsgDir::Right;
+    return m.dir == MsgDir::Left;
+}
+
+namespace {
+
+/**
+ * Walks a thread body, constructing the event graph and recording all
+ * uses, loans-to-be, assignments and sends.
+ */
+class ThreadElaborator
+{
+  public:
+    ThreadElaborator(const ProcIR &pir, ThreadIR &out, DiagEngine &diags,
+                     int unroll)
+        : _pir(pir), _ir(out), _diags(diags), _unroll(unroll)
+    {
+    }
+
+    void run(const ThreadDef &thread);
+
+  private:
+    struct Result
+    {
+        EventId end = kNoEvent;
+        ValueInfo value;
+    };
+
+    Result elab(const Term &t, EventId cur);
+    Result elabLiteral(const Term &t, EventId cur);
+    Result elabIdent(const Term &t, EventId cur);
+    Result elabRegRead(const Term &t, EventId cur);
+    Result elabSet(const Term &t, EventId cur);
+    Result elabSend(const Term &t, EventId cur);
+    Result elabRecv(const Term &t, EventId cur);
+    Result elabIf(const Term &t, EventId cur);
+    Result elabBinop(const Term &t, EventId cur);
+
+    /** Resolve the duration of a message contract to a pattern. */
+    EventPattern contractPattern(const std::string &ep,
+                                 const MessageDef &m, EventId anchor);
+
+    void recordPointUse(const ValueInfo &v, UseKind kind, EventId ev,
+                        SrcLoc loc);
+
+    ValueInfo &remember(const Term &t, Result r)
+    {
+        _ir.values[&t] = r.value;
+        return _ir.values[&t];
+    }
+
+    const ProcIR &_pir;
+    ThreadIR &_ir;
+    DiagEngine &_diags;
+    int _unroll;
+
+    /** Lexically scoped let bindings: name -> (value, defining term). */
+    std::vector<std::map<std::string,
+                         std::pair<ValueInfo, const Term *>>> _scopes;
+
+    void pushScope() { _scopes.emplace_back(); }
+    void popScope() { _scopes.pop_back(); }
+    void bind(const std::string &n, const ValueInfo &v, const Term *t);
+    const std::pair<ValueInfo, const Term *> *
+    lookup(const std::string &n) const;
+};
+
+void
+ThreadElaborator::bind(const std::string &n, const ValueInfo &v,
+                       const Term *t)
+{
+    _scopes.back()[n] = {v, t};
+}
+
+const std::pair<ValueInfo, const Term *> *
+ThreadElaborator::lookup(const std::string &n) const
+{
+    for (auto it = _scopes.rbegin(); it != _scopes.rend(); ++it) {
+        auto f = it->find(n);
+        if (f != it->end())
+            return &f->second;
+    }
+    return nullptr;
+}
+
+EventPattern
+ThreadElaborator::contractPattern(const std::string &ep,
+                                  const MessageDef &m, EventId anchor)
+{
+    if (m.lifetime.kind == Duration::Kind::Cycles)
+        return EventPattern::fixed(anchor, m.lifetime.cycles);
+    return EventPattern::message(anchor, ep, m.lifetime.msg,
+                                 m.lifetime.cycles);
+}
+
+namespace {
+
+/** Sync mode of the sender / receiver side of a message. */
+const SyncMode &
+senderSyncOf(const MessageDef &m)
+{
+    return m.dir == MsgDir::Right ? m.left_sync : m.right_sync;
+}
+
+const SyncMode &
+receiverSyncOf(const MessageDef &m)
+{
+    return m.dir == MsgDir::Right ? m.right_sync : m.left_sync;
+}
+
+/** Worst-case extra wait for a sync, given the peer's mode. */
+int
+syncBound(const SyncMode &peer)
+{
+    switch (peer.kind) {
+      case SyncMode::Kind::Static:
+        return std::max(0, peer.cycles - 1);
+      case SyncMode::Kind::Dependent:
+        return std::max(0, peer.cycles);
+      case SyncMode::Kind::Dynamic:
+        return -1;
+    }
+    return -1;
+}
+
+} // namespace
+
+void
+ThreadElaborator::recordPointUse(const ValueInfo &v, UseKind kind,
+                                 EventId ev, SrcLoc loc)
+{
+    if (v.unit)
+        return;
+    UseRecord u;
+    u.value = v;
+    u.kind = kind;
+    u.use_ev = ev;
+    u.point = true;
+    u.loc = loc;
+    _ir.uses.push_back(std::move(u));
+}
+
+ThreadElaborator::Result
+ThreadElaborator::elabLiteral(const Term &t, EventId cur)
+{
+    ValueInfo v;
+    v.create = cur;
+    v.width = t.width;  // 0 when unsized
+    return {cur, v};
+}
+
+ThreadElaborator::Result
+ThreadElaborator::elabIdent(const Term &t, EventId cur)
+{
+    const auto *binding = lookup(t.name);
+    if (!binding) {
+        _diags.error(strfmt("unknown identifier '%s'", t.name.c_str()),
+                     t.loc);
+        return {cur, ValueInfo::unitAt(cur)};
+    }
+    _ir.ident_binding[&t] = binding->second;
+    ValueInfo v = binding->first;
+    // T-Ref: the landing event is the #0 join of the current event and
+    // the binding's availability (waiting for the value if needed).
+    EventId landing = cur;
+    if (v.create != cur)
+        landing = _ir.graph.addJoin({cur, v.create});
+    return {landing, v};
+}
+
+ThreadElaborator::Result
+ThreadElaborator::elabRegRead(const Term &t, EventId cur)
+{
+    const RegDef *rd = _pir.def->findReg(t.name);
+    if (!rd) {
+        _diags.error(strfmt("unknown register '%s'", t.name.c_str()),
+                     t.loc);
+        return {cur, ValueInfo::unitAt(cur)};
+    }
+    _ir.regs_read.insert(t.name);
+    ValueInfo v;
+    v.create = cur;
+    v.regs.insert(t.name);
+    v.width = _pir.prog->typeWidth(rd->dtype, rd->width);
+    return {cur, v};
+}
+
+ThreadElaborator::Result
+ThreadElaborator::elabSet(const Term &t, EventId cur)
+{
+    const RegDef *rd = _pir.def->findReg(t.name);
+    if (!rd)
+        _diags.error(strfmt("unknown register '%s'", t.name.c_str()),
+                     t.loc);
+    _ir.regs_written.insert(t.name);
+
+    Result rhs = elab(*t.kids[0], cur);
+    EventId ec = rhs.end;
+    recordPointUse(rhs.value, UseKind::AssignRhs, ec, t.loc);
+    _ir.assigns.push_back({t.name, ec, t.loc});
+
+    EventAction act;
+    act.kind = EventAction::Kind::AssignReg;
+    act.reg = t.name;
+    act.value = t.kids[0].get();
+    act.loc = t.loc;
+    _ir.graph.node(ec).actions.push_back(act);
+
+    EventId done = _ir.graph.addDelay(ec, 1);
+    return {done, ValueInfo::unitAt(done)};
+}
+
+ThreadElaborator::Result
+ThreadElaborator::elabSend(const Term &t, EventId cur)
+{
+    const MessageDef *m = _pir.contract(t.endpoint, t.msg);
+    if (!m) {
+        _diags.error(strfmt("unknown message '%s.%s'",
+                            t.endpoint.c_str(), t.msg.c_str()), t.loc);
+        return {cur, ValueInfo::unitAt(cur)};
+    }
+    if (!_pir.canSend(t.endpoint, *m)) {
+        _diags.error(strfmt("message '%s.%s' cannot be sent from this "
+                            "endpoint (wrong direction)",
+                            t.endpoint.c_str(), t.msg.c_str()), t.loc);
+    }
+
+    Result payload = elab(*t.kids[0], cur);
+    EventId init = payload.end;
+    EventId done = _ir.graph.addSend(init, t.endpoint, t.msg);
+
+    // A send's completion is bounded by the receiver's readiness when
+    // the receiver has a non-dynamic sync mode.
+    _ir.graph.node(done).max_sync = syncBound(receiverSyncOf(*m));
+
+    EventPattern expiry = contractPattern(t.endpoint, *m, done);
+    _ir.sends.push_back({t.endpoint, t.msg, init, done, expiry, t.loc});
+    _ir.syncs.push_back({t.endpoint, t.msg, done, true, t.loc});
+
+    if (!payload.value.unit) {
+        UseRecord u;
+        u.value = payload.value;
+        u.kind = UseKind::SendPayload;
+        u.use_ev = init;
+        u.point = false;
+        u.required_end = expiry;
+        u.loc = t.loc;
+        _ir.uses.push_back(std::move(u));
+    } else {
+        _diags.error("message payload carries no value", t.loc);
+    }
+
+    EventAction act;
+    act.kind = EventAction::Kind::SendData;
+    act.endpoint = t.endpoint;
+    act.msg = t.msg;
+    act.value = t.kids[0].get();
+    act.loc = t.loc;
+    _ir.graph.node(done).actions.push_back(act);
+
+    return {done, ValueInfo::unitAt(done)};
+}
+
+ThreadElaborator::Result
+ThreadElaborator::elabRecv(const Term &t, EventId cur)
+{
+    const MessageDef *m = _pir.contract(t.endpoint, t.msg);
+    if (!m) {
+        _diags.error(strfmt("unknown message '%s.%s'",
+                            t.endpoint.c_str(), t.msg.c_str()), t.loc);
+        return {cur, ValueInfo::unitAt(cur)};
+    }
+    if (_pir.canSend(t.endpoint, *m)) {
+        _diags.error(strfmt("message '%s.%s' cannot be received at this "
+                            "endpoint (wrong direction)",
+                            t.endpoint.c_str(), t.msg.c_str()), t.loc);
+    }
+
+    EventId done = _ir.graph.addRecv(cur, t.endpoint, t.msg);
+    // A receive's completion is bounded by the sender's sync mode.
+    _ir.graph.node(done).max_sync = syncBound(senderSyncOf(*m));
+    _ir.syncs.push_back({t.endpoint, t.msg, done, false, t.loc});
+
+    EventAction act;
+    act.kind = EventAction::Kind::RecvData;
+    act.endpoint = t.endpoint;
+    act.msg = t.msg;
+    act.loc = t.loc;
+    _ir.graph.node(done).actions.push_back(act);
+
+    ValueInfo v;
+    v.create = done;
+    v.end = PatternSet::one(contractPattern(t.endpoint, *m, done));
+    v.width = _pir.prog->typeWidth(m->dtype, m->width_expr);
+    return {done, v};
+}
+
+ThreadElaborator::Result
+ThreadElaborator::elabIf(const Term &t, EventId cur)
+{
+    Result cond = elab(*t.kids[0], cur);
+    EventId ec = cond.end;
+    recordPointUse(cond.value, UseKind::Condition, ec, t.loc);
+
+    int cid = _ir.graph.freshCond();
+    EventId bt = _ir.graph.addBranch(ec, cid, true);
+    EventId bf = _ir.graph.addBranch(ec, cid, false);
+    _ir.graph.node(bt).cond_term = t.kids[0].get();
+    _ir.graph.node(bf).cond_term = t.kids[0].get();
+
+    pushScope();
+    Result then_r = elab(*t.kids[1], bt);
+    popScope();
+
+    Result else_r{bf, ValueInfo::unitAt(bf)};
+    if (t.kids.size() > 2) {
+        pushScope();
+        else_r = elab(*t.kids[2], bf);
+        popScope();
+    }
+
+    EventId m = _ir.graph.addMerge(then_r.end, else_r.end, ec);
+
+    ValueInfo v;
+    v.create = m;
+    v.unit = then_r.value.unit && else_r.value.unit;
+    v.end = cond.value.end;
+    v.end.merge(then_r.value.end);
+    v.end.merge(else_r.value.end);
+    for (const auto &r : cond.value.regs)
+        v.regs.insert(r);
+    for (const auto &r : then_r.value.regs)
+        v.regs.insert(r);
+    for (const auto &r : else_r.value.regs)
+        v.regs.insert(r);
+    v.width = std::max(then_r.value.width, else_r.value.width);
+    return {m, v};
+}
+
+ThreadElaborator::Result
+ThreadElaborator::elabBinop(const Term &t, EventId cur)
+{
+    Result a = elab(*t.kids[0], cur);
+    Result b = elab(*t.kids[1], cur);
+    EventId e = a.end;
+    if (a.end != b.end)
+        e = _ir.graph.addJoin({a.end, b.end});
+
+    ValueInfo v;
+    v.create = e;
+    v.end = a.value.end;
+    v.end.merge(b.value.end);
+    for (const auto &r : a.value.regs)
+        v.regs.insert(r);
+    for (const auto &r : b.value.regs)
+        v.regs.insert(r);
+    bool cmp = t.op == "==" || t.op == "!=" || t.op == "<" ||
+        t.op == ">" || t.op == "<=" || t.op == ">=";
+    v.width = cmp ? 1 : std::max(a.value.width, b.value.width);
+    return {e, v};
+}
+
+ThreadElaborator::Result
+ThreadElaborator::elab(const Term &t, EventId cur)
+{
+    Result r;
+    switch (t.kind) {
+      case TermKind::Literal:
+        r = elabLiteral(t, cur);
+        break;
+      case TermKind::Ident:
+        r = elabIdent(t, cur);
+        break;
+      case TermKind::RegRead:
+        r = elabRegRead(t, cur);
+        break;
+      case TermKind::Let: {
+        Result rhs = elab(*t.kids[0], cur);
+        bind(t.name, rhs.value, t.kids[0].get());
+        r = rhs;
+        break;
+      }
+      case TermKind::Set:
+        r = elabSet(t, cur);
+        break;
+      case TermKind::Send:
+        r = elabSend(t, cur);
+        break;
+      case TermKind::Recv:
+        r = elabRecv(t, cur);
+        break;
+      case TermKind::Ready: {
+        ValueInfo v;
+        v.create = cur;
+        v.end = PatternSet::one(EventPattern::fixed(cur, 1));
+        v.width = 1;
+        r = {cur, v};
+        break;
+      }
+      case TermKind::Cycle: {
+        EventId e = _ir.graph.addDelay(cur, t.cycles);
+        r = {e, ValueInfo::unitAt(e)};
+        break;
+      }
+      case TermKind::If:
+        r = elabIf(t, cur);
+        break;
+      case TermKind::Binop:
+        r = elabBinop(t, cur);
+        break;
+      case TermKind::Unop: {
+        Result a = elab(*t.kids[0], cur);
+        ValueInfo v = a.value;
+        v.create = a.end;
+        if (t.op == "!")
+            v.width = 1;
+        r = {a.end, v};
+        break;
+      }
+      case TermKind::Call: {
+        // Intrinsics behave like combinational operators: evaluate
+        // all arguments in parallel and merge their lifetimes.
+        std::vector<Result> args;
+        std::vector<EventId> ends;
+        for (const auto &k : t.kids) {
+            args.push_back(elab(*k, cur));
+            ends.push_back(args.back().end);
+        }
+        EventId e = ends[0];
+        for (EventId x : ends)
+            if (x != e)
+                e = _ir.graph.addJoin(ends);
+        ValueInfo v;
+        v.create = e;
+        for (const auto &a : args) {
+            v.end.merge(a.value.end);
+            for (const auto &reg : a.value.regs)
+                v.regs.insert(reg);
+        }
+        if (t.name == "sbox" && t.kids.size() == 1) {
+            v.width = 8;
+        } else if (t.name == "shr" && t.kids.size() == 2) {
+            v.width = args[0].value.width;
+        } else {
+            _diags.error(strfmt("unknown intrinsic '%s'/%zu",
+                                t.name.c_str(), t.kids.size()), t.loc);
+        }
+        r = {e, v};
+        break;
+      }
+      case TermKind::Slice: {
+        Result a = elab(*t.kids[0], cur);
+        ValueInfo v = a.value;
+        v.create = a.end;
+        v.width = t.hi - t.lo + 1;
+        r = {a.end, v};
+        break;
+      }
+      case TermKind::Wait: {
+        Result a = elab(*t.kids[0], cur);
+        r = elab(*t.kids[1], a.end);
+        break;
+      }
+      case TermKind::Join: {
+        Result a = elab(*t.kids[0], cur);
+        Result b = elab(*t.kids[1], cur);
+        EventId e = a.end == b.end ? a.end
+            : _ir.graph.addJoin({a.end, b.end});
+        ValueInfo v = b.value;
+        v.create = e;
+        r = {e, v};
+        break;
+      }
+      case TermKind::Recurse: {
+        if (_ir.recurse_ev == kNoEvent)
+            _ir.recurse_ev = cur;
+        r = {cur, ValueInfo::unitAt(cur)};
+        break;
+      }
+      case TermKind::DPrint: {
+        EventAction act;
+        act.kind = EventAction::Kind::DPrint;
+        act.text = t.text;
+        act.loc = t.loc;
+        _ir.graph.node(cur).actions.push_back(act);
+        r = {cur, ValueInfo::unitAt(cur)};
+        break;
+      }
+    }
+    remember(t, r);
+    return r;
+}
+
+void
+ThreadElaborator::run(const ThreadDef &thread)
+{
+    _ir.def = &thread;
+    _ir.root = _ir.graph.addRoot();
+
+    // First unrolled copy.
+    pushScope();
+    _ir.recurse_ev = kNoEvent;
+    Result first = elab(*thread.body, _ir.root);
+    popScope();
+    _ir.end_iter0 = first.end;
+
+    EventId second_root;
+    if (thread.recursive) {
+        if (_ir.recurse_ev == kNoEvent) {
+            _diags.error("recursive thread never recurses", thread.loc);
+            _ir.recurse_ev = first.end;
+        }
+        second_root = _ir.recurse_ev;
+    } else {
+        second_root = first.end;
+    }
+    _ir.graph.setIterBoundary(second_root);
+
+    if (_unroll < 2) {
+        _ir.end = first.end;
+        return;
+    }
+
+    int watermark = _ir.graph.size();
+
+    // Second unrolled copy (Lemma C.19: two iterations suffice).
+    pushScope();
+    EventId saved_recurse = _ir.recurse_ev;
+    Result second = elab(*thread.body, second_root);
+    popScope();
+    _ir.recurse_ev = saved_recurse;
+    _ir.end = second.end;
+
+    for (int i = watermark; i < _ir.graph.size(); i++)
+        _ir.graph.node(i).iteration = 1;
+}
+
+} // namespace
+
+ProcIR
+elaborateProc(const Program &prog, const ProcDef &proc, DiagEngine &diags,
+              int unroll)
+{
+    ProcIR pir;
+    pir.def = &proc;
+    pir.prog = &prog;
+
+    for (const auto &p : proc.params) {
+        EndpointInfo info;
+        info.chan = prog.findChannel(p.chan_type);
+        info.side = p.side;
+        info.is_param = true;
+        if (!info.chan) {
+            diags.error(strfmt("unknown channel type '%s'",
+                               p.chan_type.c_str()), p.loc);
+        }
+        if (pir.endpoints.count(p.name))
+            diags.error(strfmt("duplicate endpoint '%s'",
+                               p.name.c_str()), p.loc);
+        pir.endpoints[p.name] = info;
+    }
+    for (const auto &c : proc.chans) {
+        const ChannelDef *chan = prog.findChannel(c.chan_type);
+        if (!chan) {
+            diags.error(strfmt("unknown channel type '%s'",
+                               c.chan_type.c_str()), c.loc);
+        }
+        EndpointInfo l;
+        l.chan = chan;
+        l.side = EndpointSide::Left;
+        l.peer = c.right_ep;
+        EndpointInfo r;
+        r.chan = chan;
+        r.side = EndpointSide::Right;
+        r.peer = c.left_ep;
+        pir.endpoints[c.left_ep] = l;
+        pir.endpoints[c.right_ep] = r;
+    }
+
+    for (const auto &t : proc.threads) {
+        auto tir = std::make_unique<ThreadIR>();
+        ThreadElaborator elab(pir, *tir, diags, unroll);
+        elab.run(t);
+        pir.threads.push_back(std::move(tir));
+    }
+    return pir;
+}
+
+} // namespace anvil

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Elaboration: builds the event graph for every thread of a process
+ * and records the timing facts (value uses, register loans, sends)
+ * that the type checker (src/types) verifies.
+ *
+ * Loop threads are unrolled for two iterations, which Lemma C.19 shows
+ * is sufficient for the safety guarantee to extend to any number of
+ * iterations.  Recursive threads unroll at their `recurse` point.
+ */
+
+#ifndef ANVIL_IR_ELABORATE_H
+#define ANVIL_IR_ELABORATE_H
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/event_graph.h"
+#include "ir/ordering.h"
+#include "lang/ast.h"
+#include "support/diag.h"
+
+namespace anvil {
+
+/**
+ * A typed value flowing through a thread: where it becomes available,
+ * when it expires (empty set = eternal), and which registers it
+ * combinationally depends on.
+ */
+struct ValueInfo
+{
+    EventId create = kNoEvent;
+    PatternSet end;                 // lifetime end (empty = eternal)
+    std::set<std::string> regs;     // register dependency set
+    int width = 0;                  // 0 = flexible (unsized literal)
+    bool unit = false;              // carries no data
+
+    static ValueInfo unitAt(EventId e);
+};
+
+/** Why a value is being consumed (selects the error message). */
+enum class UseKind { Condition, AssignRhs, SendPayload };
+
+/** One use of a value, to be validated against its lifetime. */
+struct UseRecord
+{
+    ValueInfo value;
+    UseKind kind = UseKind::Condition;
+    EventId use_ev = kNoEvent;     // cycle of a point use / send init
+    bool point = true;             // single-cycle use
+    EventPattern required_end;     // for sends: contract expiry
+    SrcLoc loc;
+};
+
+/** A register assignment site. */
+struct AssignRecord
+{
+    std::string reg;
+    EventId ev = kNoEvent;
+    SrcLoc loc;
+};
+
+/** A message send site with its required (contract) window. */
+struct SendRecord
+{
+    std::string endpoint;
+    std::string msg;
+    EventId init_ev = kNoEvent;    // when data/valid are first driven
+    EventId done_ev = kNoEvent;    // sync completion event
+    EventPattern expiry;           // contract window end
+    SrcLoc loc;
+};
+
+/** A synchronization site (send or receive), for sync-mode checks. */
+struct SyncRecord
+{
+    std::string endpoint;
+    std::string msg;
+    EventId ev = kNoEvent;
+    bool is_send = false;
+    SrcLoc loc;
+};
+
+/** Endpoint binding inside a process: which channel, which side. */
+struct EndpointInfo
+{
+    const ChannelDef *chan = nullptr;
+    EndpointSide side = EndpointSide::Left;
+    bool is_param = false;         // exposed as module ports
+    std::string peer;              // other endpoint name (local chans)
+};
+
+/** Everything elaboration learns about one thread. */
+struct ThreadIR
+{
+    const ThreadDef *def = nullptr;
+    EventGraph graph;
+    EventId root = kNoEvent;
+    EventId end_iter0 = kNoEvent;  // end of the first unrolled copy
+    EventId end = kNoEvent;        // end of the second unrolled copy
+    EventId recurse_ev = kNoEvent; // recursion point (recursives)
+
+    std::vector<UseRecord> uses;
+    std::vector<AssignRecord> assigns;
+    std::vector<SendRecord> sends;
+    std::vector<SyncRecord> syncs;
+
+    /** Value annotation per term node (both unrolled copies). */
+    std::map<const Term *, ValueInfo> values;
+
+    /** Ident term -> the term its binding names. */
+    std::map<const Term *, const Term *> ident_binding;
+
+    /** Registers this thread assigns / reads. */
+    std::set<std::string> regs_written;
+    std::set<std::string> regs_read;
+};
+
+/** Elaborated process: endpoint table plus one ThreadIR per thread. */
+struct ProcIR
+{
+    const ProcDef *def = nullptr;
+    const Program *prog = nullptr;
+    std::map<std::string, EndpointInfo> endpoints;
+    std::vector<std::unique_ptr<ThreadIR>> threads;
+
+    const EndpointInfo *findEndpoint(const std::string &name) const;
+
+    /** Look up the contract of `ep.msg`; null and an error if absent. */
+    const MessageDef *contract(const std::string &ep,
+                               const std::string &msg) const;
+
+    /** True when this process may send `ep.msg` (direction check). */
+    bool canSend(const std::string &ep, const MessageDef &m) const;
+};
+
+/**
+ * Elaborate a process: resolve endpoints, build per-thread event
+ * graphs, and record all timing facts.  Errors are reported through
+ * @p diags; elaboration is best-effort.
+ *
+ * @param unroll number of unrolled loop iterations: 2 for type
+ *               checking (Lemma C.19), 1 for code generation.
+ */
+ProcIR elaborateProc(const Program &prog, const ProcDef &proc,
+                     DiagEngine &diags, int unroll = 2);
+
+} // namespace anvil
+
+#endif // ANVIL_IR_ELABORATE_H

@@ -1,0 +1,248 @@
+#include "ir/event_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace anvil {
+
+std::string
+EventNode::label() const
+{
+    switch (kind) {
+      case EventKind::Root:
+        return strfmt("e%d:root", id);
+      case EventKind::Delay:
+        return strfmt("e%d:#%d", id, delay);
+      case EventKind::Send:
+        return strfmt("e%d:send %s.%s", id, endpoint.c_str(), msg.c_str());
+      case EventKind::Recv:
+        return strfmt("e%d:recv %s.%s", id, endpoint.c_str(), msg.c_str());
+      case EventKind::Join:
+        return strfmt("e%d:join", id);
+      case EventKind::Branch:
+        return strfmt("e%d:&c%d=%d", id, cond_id, cond_taken ? 1 : 0);
+      case EventKind::Merge:
+        return strfmt("e%d:merge", id);
+    }
+    return strfmt("e%d:?", id);
+}
+
+EventId
+EventGraph::addNode(EventKind kind)
+{
+    auto n = std::make_unique<EventNode>();
+    n->id = static_cast<EventId>(_nodes.size());
+    n->kind = kind;
+    _nodes.push_back(std::move(n));
+    _dead.push_back(false);
+    return _nodes.back()->id;
+}
+
+EventId
+EventGraph::addRoot()
+{
+    EventId id = addNode(EventKind::Root);
+    if (_root == kNoEvent)
+        _root = id;
+    return id;
+}
+
+EventId
+EventGraph::addDelay(EventId pred, int n)
+{
+    EventId id = addNode(EventKind::Delay);
+    node(id).preds = {pred};
+    node(id).delay = n;
+    node(id).unconditional = node(pred).unconditional;
+    node(id).iteration = node(pred).iteration;
+    return id;
+}
+
+EventId
+EventGraph::addSend(EventId pred, const std::string &ep,
+                    const std::string &msg)
+{
+    EventId id = addNode(EventKind::Send);
+    node(id).preds = {pred};
+    node(id).endpoint = ep;
+    node(id).msg = msg;
+    node(id).unconditional = node(pred).unconditional;
+    node(id).iteration = node(pred).iteration;
+    return id;
+}
+
+EventId
+EventGraph::addRecv(EventId pred, const std::string &ep,
+                    const std::string &msg)
+{
+    EventId id = addNode(EventKind::Recv);
+    node(id).preds = {pred};
+    node(id).endpoint = ep;
+    node(id).msg = msg;
+    node(id).unconditional = node(pred).unconditional;
+    node(id).iteration = node(pred).iteration;
+    return id;
+}
+
+EventId
+EventGraph::addJoin(std::vector<EventId> preds)
+{
+    if (preds.size() == 1)
+        return preds[0];
+    EventId id = addNode(EventKind::Join);
+    bool uncond = true;
+    int iter = 0;
+    for (EventId p : preds) {
+        uncond = uncond && node(p).unconditional;
+        iter = std::max(iter, node(p).iteration);
+    }
+    node(id).preds = std::move(preds);
+    node(id).unconditional = uncond;
+    node(id).iteration = iter;
+    return id;
+}
+
+EventId
+EventGraph::addBranch(EventId pred, int cond_id, bool taken)
+{
+    EventId id = addNode(EventKind::Branch);
+    node(id).preds = {pred};
+    node(id).cond_id = cond_id;
+    node(id).cond_taken = taken;
+    node(id).unconditional = false;
+    node(id).iteration = node(pred).iteration;
+    return id;
+}
+
+EventId
+EventGraph::addMerge(EventId a, EventId b, EventId branch_pred)
+{
+    EventId id = addNode(EventKind::Merge);
+    node(id).preds = {a, b};
+    node(id).branch_pred = branch_pred;
+    // A merge of the two arms occurs whenever the branch point did.
+    node(id).unconditional = node(branch_pred).unconditional;
+    node(id).iteration =
+        std::max(node(a).iteration, node(b).iteration);
+    return id;
+}
+
+void
+EventGraph::mergeInto(EventId from, EventId to)
+{
+    if (from == to)
+        return;
+    // Migrate actions.
+    auto &fn = node(from);
+    auto &tn = node(to);
+    for (auto &a : fn.actions)
+        tn.actions.push_back(std::move(a));
+    fn.actions.clear();
+    tn.unconditional = tn.unconditional || fn.unconditional;
+    // Redirect references everywhere.
+    for (auto &np : _nodes) {
+        for (auto &p : np->preds)
+            if (p == from)
+                p = to;
+        if (np->branch_pred == from)
+            np->branch_pred = to;
+        // De-duplicate preds that became identical and drop any
+        // self-reference introduced by the merge.
+        std::vector<EventId> uniq;
+        for (EventId p : np->preds)
+            if (p != np->id &&
+                std::find(uniq.begin(), uniq.end(), p) == uniq.end())
+                uniq.push_back(p);
+        np->preds = std::move(uniq);
+    }
+    if (_root == from)
+        _root = to;
+    if (_iter_boundary == from)
+        _iter_boundary = to;
+    _dead[from] = true;
+    _forward[from] = to;
+}
+
+EventId
+EventGraph::resolve(EventId id) const
+{
+    while (true) {
+        auto it = _forward.find(id);
+        if (it == _forward.end())
+            return id;
+        id = it->second;
+    }
+}
+
+int
+EventGraph::liveCount() const
+{
+    int n = 0;
+    for (size_t i = 0; i < _nodes.size(); i++)
+        if (!_dead[i])
+            n++;
+    return n;
+}
+
+std::vector<EventId>
+EventGraph::liveEvents() const
+{
+    std::vector<EventId> out;
+    for (size_t i = 0; i < _nodes.size(); i++)
+        if (!_dead[i])
+            out.push_back(static_cast<EventId>(i));
+    return out;
+}
+
+std::map<EventId, std::vector<EventId>>
+EventGraph::successors() const
+{
+    std::map<EventId, std::vector<EventId>> succ;
+    for (EventId id : liveEvents()) {
+        succ[id];  // ensure present
+        for (EventId p : node(id).preds)
+            succ[p].push_back(id);
+    }
+    return succ;
+}
+
+std::string
+EventGraph::dump() const
+{
+    std::ostringstream os;
+    for (EventId id : liveEvents()) {
+        const EventNode &n = node(id);
+        os << n.label();
+        if (!n.preds.empty()) {
+            os << " <- {";
+            for (size_t i = 0; i < n.preds.size(); i++) {
+                if (i)
+                    os << ", ";
+                os << "e" << n.preds[i];
+            }
+            os << "}";
+        }
+        for (const auto &a : n.actions) {
+            switch (a.kind) {
+              case EventAction::Kind::AssignReg:
+                os << " [set " << a.reg << "]";
+                break;
+              case EventAction::Kind::SendData:
+                os << " [send " << a.endpoint << "." << a.msg << "]";
+                break;
+              case EventAction::Kind::RecvData:
+                os << " [recv " << a.endpoint << "." << a.msg << "]";
+                break;
+              case EventAction::Kind::DPrint:
+                os << " [dprint]";
+                break;
+            }
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace anvil

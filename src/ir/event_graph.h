@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The event graph intermediate representation (paper §5.3 and §6).
+ *
+ * Events are abstract time points.  Each node is labelled with how its
+ * time relates to its predecessors: a fixed cycle delay (`#N`), the
+ * completion of a message synchronization (which may take arbitrarily
+ * many cycles under a dynamic sync mode), a join (latest of several
+ * events), a branch (same cycle as its predecessor, conditioned on a
+ * run-time value), or a merge (earliest of the two branch arms).
+ *
+ * The event graph is used as the IR throughout compilation: the type
+ * checker reasons over it (src/types), optimization passes rewrite it
+ * (src/ir/optimize.*), and the back-end lowers it to an FSM
+ * (src/codegen).
+ */
+
+#ifndef ANVIL_IR_EVENT_GRAPH_H
+#define ANVIL_IR_EVENT_GRAPH_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "support/diag.h"
+
+namespace anvil {
+
+using EventId = int;
+
+constexpr EventId kNoEvent = -1;
+
+/** Kinds of event-graph nodes (Def. C.9 timestamp semantics). */
+enum class EventKind
+{
+    Root,     ///< tau = 0 (start of a thread iteration)
+    Delay,    ///< tau = max(preds) + N
+    Send,     ///< completion of a send started at the predecessor
+    Recv,     ///< completion of a receive started at the predecessor
+    Join,     ///< tau = max(preds)  (the #0 join)
+    Branch,   ///< same cycle as pred, conditioned (label &c)
+    Merge,    ///< tau = min(preds)  (the (+) branch join)
+};
+
+/** An action attached to an event (used by codegen and Fig. 5 dumps). */
+struct EventAction
+{
+    enum class Kind { AssignReg, SendData, RecvData, DPrint };
+
+    Kind kind;
+    std::string reg;          // AssignReg
+    std::string endpoint;     // SendData / RecvData
+    std::string msg;          // SendData / RecvData
+    std::string text;         // DPrint
+    const Term *value = nullptr;  // AssignReg / SendData payload
+    SrcLoc loc;
+};
+
+/** One node of the event graph. */
+struct EventNode
+{
+    EventId id = kNoEvent;
+    EventKind kind = EventKind::Root;
+    std::vector<EventId> preds;
+
+    int delay = 0;            ///< Delay: number of cycles.
+    std::string endpoint;     ///< Send/Recv: endpoint name.
+    std::string msg;          ///< Send/Recv: message name.
+    int cond_id = -1;         ///< Branch: condition identifier.
+    bool cond_taken = false;  ///< Branch: which arm this node roots.
+    const Term *cond_term = nullptr;  ///< Branch: condition expression.
+    EventId branch_pred = kNoEvent;  ///< Merge: the branching pred.
+
+    /**
+     * Send/Recv: worst-case sync time in cycles when both endpoints
+     * use non-dynamic sync modes; -1 means unbounded (dynamic).
+     */
+    int max_sync = -1;
+
+    std::vector<EventAction> actions;
+
+    /** True when this event occurs on every control path. */
+    bool unconditional = true;
+
+    /** Iteration index (0 or 1) during two-iteration unrolling. */
+    int iteration = 0;
+
+    /** Debug name used in Fig. 5 / Fig. 6 style dumps. */
+    std::string label() const;
+};
+
+/**
+ * The event graph for one thread of a process, unrolled for two loop
+ * iterations as justified by Lemma C.19.
+ */
+class EventGraph
+{
+  public:
+    EventGraph() = default;
+
+    EventId addRoot();
+    EventId addDelay(EventId pred, int n);
+    EventId addSend(EventId pred, const std::string &ep,
+                    const std::string &msg);
+    EventId addRecv(EventId pred, const std::string &ep,
+                    const std::string &msg);
+    EventId addJoin(std::vector<EventId> preds);
+    EventId addBranch(EventId pred, int cond_id, bool taken);
+    EventId addMerge(EventId a, EventId b, EventId branch_pred);
+
+    EventNode &node(EventId id) { return *_nodes[id]; }
+    const EventNode &node(EventId id) const { return *_nodes[id]; }
+
+    int size() const { return static_cast<int>(_nodes.size()); }
+
+    /** Number of live (non-merged-away) events. */
+    int liveCount() const;
+
+    EventId root() const { return _root; }
+
+    /** The terminal event of iteration 0 (start of iteration 1). */
+    EventId iterBoundary() const { return _iter_boundary; }
+    void setIterBoundary(EventId e) { _iter_boundary = e; }
+
+    /** Allocate a fresh condition id for a Branch pair. */
+    int freshCond() { return _next_cond++; }
+
+    /**
+     * Redirect every reference to event @p from to event @p to and mark
+     * @p from dead.  Used by the optimization passes; actions of the
+     * dead node migrate to the replacement.
+     */
+    void mergeInto(EventId from, EventId to);
+
+    bool isDead(EventId id) const { return _dead[id]; }
+
+    /** Follow merge redirections to the surviving event. */
+    EventId resolve(EventId id) const;
+
+    /** Mark an event dead without redirecting (unreachable nodes). */
+    void kill(EventId id) { _dead[id] = true; }
+
+    /** All live event ids in creation order. */
+    std::vector<EventId> liveEvents() const;
+
+    /** Successor lists (live nodes only), recomputed on demand. */
+    std::map<EventId, std::vector<EventId>> successors() const;
+
+    /** GraphViz-style dump for debugging and docs. */
+    std::string dump() const;
+
+  private:
+    EventId addNode(EventKind kind);
+
+    std::vector<std::unique_ptr<EventNode>> _nodes;
+    std::vector<bool> _dead;
+    std::map<EventId, EventId> _forward;
+    EventId _root = kNoEvent;
+    EventId _iter_boundary = kNoEvent;
+    int _next_cond = 0;
+};
+
+} // namespace anvil
+
+#endif // ANVIL_IR_EVENT_GRAPH_H

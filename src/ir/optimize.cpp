@@ -1,0 +1,221 @@
+#include "ir/optimize.h"
+
+#include <algorithm>
+
+#include "ir/ordering.h"
+
+namespace anvil {
+
+namespace {
+
+/**
+ * Pass (a): merge outbound edges with identical labels.  Two Delay
+ * successors of the same predecessor with the same cycle count always
+ * occur together, as do two identical Branch nodes.
+ */
+int
+passMergeIdenticalEdges(EventGraph &g)
+{
+    int merged = 0;
+    auto events = g.liveEvents();
+    for (size_t i = 0; i < events.size(); i++) {
+        for (size_t j = i + 1; j < events.size(); j++) {
+            EventId a = events[i], b = events[j];
+            if (g.isDead(a) || g.isDead(b))
+                continue;
+            const EventNode &na = g.node(a);
+            const EventNode &nb = g.node(b);
+            if (na.kind != nb.kind || na.preds != nb.preds)
+                continue;
+            bool same = false;
+            switch (na.kind) {
+              case EventKind::Delay:
+                same = na.delay == nb.delay;
+                break;
+              case EventKind::Join:
+                same = true;
+                break;
+              case EventKind::Branch:
+                same = na.cond_id == nb.cond_id &&
+                    na.cond_taken == nb.cond_taken;
+                break;
+              case EventKind::Merge:
+                same = na.branch_pred == nb.branch_pred;
+                break;
+              default:
+                // Send/Recv nodes represent distinct synchronizations
+                // and are never merged.
+                break;
+            }
+            if (same) {
+                g.mergeInto(b, a);
+                merged++;
+            }
+        }
+    }
+    return merged;
+}
+
+/**
+ * Pass (b): remove unbalanced joins.  When one predecessor of a join
+ * provably occurs no earlier than every other, the join always fires
+ * with that predecessor and can be merged into it.
+ */
+int
+passRemoveUnbalancedJoins(EventGraph &g)
+{
+    int merged = 0;
+    for (EventId id : g.liveEvents()) {
+        if (g.isDead(id))
+            continue;
+        const EventNode &n = g.node(id);
+        if (n.kind != EventKind::Join)
+            continue;
+        if (n.preds.size() == 1) {
+            EventId p = n.preds[0];
+            g.mergeInto(id, p);
+            merged++;
+            continue;
+        }
+        Ordering ord(g);
+        for (EventId latest : n.preds) {
+            bool dominates = true;
+            for (EventId other : n.preds) {
+                if (other != latest && !ord.le(other, latest)) {
+                    dominates = false;
+                    break;
+                }
+            }
+            if (dominates) {
+                g.mergeInto(id, latest);
+                merged++;
+                break;
+            }
+        }
+    }
+    return merged;
+}
+
+/**
+ * Pass (c): shift branch joins above identical trailing delays.  If
+ * both arms of a merge end in an action-free `#N` delay, merge first
+ * and delay once afterwards.
+ */
+int
+passShiftBranchJoins(EventGraph &g)
+{
+    int merged = 0;
+    auto succ = g.successors();
+    for (EventId id : g.liveEvents()) {
+        if (g.isDead(id))
+            continue;
+        EventNode &n = g.node(id);
+        if (n.kind != EventKind::Merge || n.preds.size() != 2)
+            continue;
+        EventId a = n.preds[0], b = n.preds[1];
+        if (a == b)
+            continue;
+        const EventNode &na = g.node(a);
+        const EventNode &nb = g.node(b);
+        if (na.kind != EventKind::Delay || nb.kind != EventKind::Delay)
+            continue;
+        if (na.delay != nb.delay || na.delay <= 0)
+            continue;
+        if (!na.actions.empty() || !nb.actions.empty())
+            continue;
+        // The delays must feed only this merge.
+        if (succ[a].size() != 1 || succ[b].size() != 1)
+            continue;
+        int delay = na.delay;
+        // Rewrite: merge directly joins the delay predecessors, and
+        // this node becomes a single delay after the merge.
+        EventId m2 = g.addMerge(na.preds[0], nb.preds[0], n.branch_pred);
+        EventNode &nn = g.node(id);
+        nn.kind = EventKind::Delay;
+        nn.preds = {m2};
+        nn.delay = delay;
+        nn.branch_pred = kNoEvent;
+        g.kill(a);
+        g.kill(b);
+        merged++;
+        succ = g.successors();
+    }
+    return merged;
+}
+
+/**
+ * Pass (d): remove joins of empty branches.  A merge whose two
+ * predecessors are the action-free Branch nodes themselves always
+ * fires with the branch point, so it merges into it.
+ */
+int
+passRemoveBranchJoins(EventGraph &g)
+{
+    int merged = 0;
+    auto succ = g.successors();
+    for (EventId id : g.liveEvents()) {
+        if (g.isDead(id))
+            continue;
+        const EventNode &n = g.node(id);
+        if (n.kind != EventKind::Merge || n.preds.size() != 2)
+            continue;
+        EventId a = n.preds[0], b = n.preds[1];
+        const EventNode &na = g.node(a);
+        const EventNode &nb = g.node(b);
+        if (na.kind != EventKind::Branch || nb.kind != EventKind::Branch)
+            continue;
+        if (na.preds[0] != nb.preds[0])
+            continue;
+        if (!na.actions.empty() || !nb.actions.empty())
+            continue;
+        if (succ[a].size() != 1 || succ[b].size() != 1)
+            continue;
+        EventId r = na.preds[0];
+        g.mergeInto(id, r);
+        g.kill(a);
+        g.kill(b);
+        merged++;
+        succ = g.successors();
+    }
+    return merged;
+}
+
+} // namespace
+
+OptStats
+optimizeEventGraph(EventGraph &graph, unsigned enabled)
+{
+    OptStats stats;
+    stats.before = graph.liveCount();
+    stats.merged_by_pass = {{"a", 0}, {"b", 0}, {"c", 0}, {"d", 0}};
+
+    bool changed = true;
+    int guard = 0;
+    while (changed && guard++ < 64) {
+        changed = false;
+        if (enabled & 1) {
+            int n = passMergeIdenticalEdges(graph);
+            stats.merged_by_pass["a"] += n;
+            changed = changed || n > 0;
+        }
+        if (enabled & 2) {
+            int n = passRemoveUnbalancedJoins(graph);
+            stats.merged_by_pass["b"] += n;
+            changed = changed || n > 0;
+        }
+        if (enabled & 4) {
+            int n = passShiftBranchJoins(graph);
+            stats.merged_by_pass["c"] += n;
+            changed = changed || n > 0;
+        }
+        if (enabled & 8) {
+            int n = passRemoveBranchJoins(graph);
+            stats.merged_by_pass["d"] += n;
+            changed = changed || n > 0;
+        }
+    }
+    stats.after = graph.liveCount();
+    return stats;
+}
+
+} // namespace anvil

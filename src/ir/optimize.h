@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Event-graph optimization passes (paper §6.1, Fig. 8).
+ *
+ * Each pass merges events that provably occur at the same time,
+ * shrinking the FSM the back-end generates:
+ *
+ *   (a) merge successors reached from the same event by identical
+ *       fixed-delay edges;
+ *   (b) remove unbalanced joins (one predecessor always no earlier
+ *       than the other);
+ *   (c) shift a branch join above identical trailing delays of both
+ *       arms;
+ *   (d) remove joins of two empty branch arms entirely.
+ */
+
+#ifndef ANVIL_IR_OPTIMIZE_H
+#define ANVIL_IR_OPTIMIZE_H
+
+#include <map>
+#include <string>
+
+#include "ir/event_graph.h"
+
+namespace anvil {
+
+/** Per-pass statistics for the Fig. 8 ablation bench. */
+struct OptStats
+{
+    int before = 0;                  ///< live events before optimizing
+    int after = 0;                   ///< live events after optimizing
+    std::map<std::string, int> merged_by_pass;
+
+    int removed() const { return before - after; }
+};
+
+/**
+ * Run all optimization passes to a fixpoint.
+ *
+ * @param graph the event graph to rewrite in place
+ * @param enabled bitmask over {a=1, b=2, c=4, d=8}; default all
+ * @return per-pass statistics
+ */
+OptStats optimizeEventGraph(EventGraph &graph, unsigned enabled = 0xf);
+
+} // namespace anvil
+
+#endif // ANVIL_IR_OPTIMIZE_H

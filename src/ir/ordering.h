@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The <=_G and <_G ordering relations over events and event patterns
+ * (paper §5.4 and Defs. C.9-C.11), implemented as a sound worst-case
+ * gap analysis over the event graph.
+ *
+ * For events a, b the analysis computes
+ *
+ *   gapLb(b, a)  =  a lower bound on tau(b) - tau(a), valid for every
+ *                   timestamp function tau of the graph, and
+ *   gapUb(b, a)  =  an upper bound on the same quantity,
+ *
+ * by structural recursion on the definition of timestamp functions:
+ * delays add exactly N, dynamic message syncs add at least 0 (and at
+ * most infinity), joins take the max of their predecessors and merges
+ * the min.  Then
+ *
+ *   a <=_G b  iff  gapLb(b, a) >= 0      and
+ *   a <_G  b  iff  gapLb(b, a) >= 1.
+ *
+ * Event patterns `e |> p` (the first time duration p is satisfied
+ * after e) are compared through the same bounds, using monotonicity of
+ * "first occurrence after" for message durations and, when needed, the
+ * guaranteed future occurrences of a message present in the graph.
+ */
+
+#ifndef ANVIL_IR_ORDERING_H
+#define ANVIL_IR_ORDERING_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/event_graph.h"
+
+namespace anvil {
+
+/** Saturating "cycles" arithmetic with +/- infinity. */
+using Gap = int64_t;
+constexpr Gap kGapInf = INT64_MAX / 4;
+constexpr Gap kGapNegInf = -kGapInf;
+
+/**
+ * An event pattern `e |> p`: the first time, strictly counted from
+ * event e, that the duration p is satisfied (Def. C.10).  Fixed
+ * durations give tau(e) + k; message durations give the first exchange
+ * of the message after tau(e) (or infinity if there is none).
+ */
+struct EventPattern
+{
+    enum class Kind { FixedAfter, MessageAfter };
+
+    Kind kind = Kind::FixedAfter;
+    EventId base = kNoEvent;
+    int cycles = 0;          // FixedAfter: delay; MessageAfter: +N
+    std::string endpoint;    // MessageAfter
+    std::string msg;         // MessageAfter
+
+    static EventPattern fixed(EventId e, int k);
+    static EventPattern message(EventId e, const std::string &ep,
+                                const std::string &m, int plus = 0);
+    static EventPattern atEvent(EventId e) { return fixed(e, 0); }
+
+    std::string str() const;
+};
+
+/**
+ * A set of event patterns; its time is the earliest match of any
+ * member (paper §5.1).  An empty set denotes the eternal lifetime.
+ */
+struct PatternSet
+{
+    std::vector<EventPattern> pats;
+
+    bool eternal() const { return pats.empty(); }
+    static PatternSet forever() { return {}; }
+    static PatternSet one(EventPattern p) { return {{p}}; }
+    void add(const EventPattern &p) { pats.push_back(p); }
+    void merge(const PatternSet &o);
+
+    std::string str() const;
+};
+
+/**
+ * Decision procedure for <=_G / <_G over one event graph.
+ *
+ * All results are memoized; the graph must not change while an
+ * Ordering object is alive.
+ */
+class Ordering
+{
+  public:
+    explicit Ordering(const EventGraph &graph);
+
+    /** Lower bound on tau(b) - tau(a). */
+    Gap gapLb(EventId b, EventId a);
+
+    /** Upper bound on tau(b) - tau(a). */
+    Gap gapUb(EventId b, EventId a);
+
+    /** a <=_G b. */
+    bool le(EventId a, EventId b) { return gapLb(b, a) >= 0; }
+
+    /** a <_G b. */
+    bool lt(EventId a, EventId b) { return gapLb(b, a) >= 1; }
+
+    /** Lower bound of tau(pb) - tau(pa) over patterns. */
+    Gap patGapLb(const EventPattern &pb, const EventPattern &pa);
+
+    /** pa <=_G pb (pattern form). */
+    bool patLe(const EventPattern &pa, const EventPattern &pb);
+
+    /** Event vs. pattern: e <=_G p. */
+    bool eventLePat(EventId e, const EventPattern &p);
+
+    /** Pattern vs. event: p <=_G e. */
+    bool patLeEvent(const EventPattern &p, EventId e);
+
+    /**
+     * Set comparison: Sa <=_G Sb, i.e. min(Sa) always at or before
+     * min(Sb).  Sound sufficient condition: for every pattern in Sb
+     * there is a pattern in Sa at or before it.  An empty set is
+     * eternal (infinitely late).
+     */
+    bool setLe(const PatternSet &sa, const PatternSet &sb);
+
+    /** e <=_G S: the event is at or before every member's earliest. */
+    bool eventLeSet(EventId e, const PatternSet &s);
+
+    /** S <=_G e: some member is guaranteed at or before the event. */
+    bool setLeEvent(const PatternSet &s, EventId e);
+
+    /** S <_G e: some member is guaranteed strictly before the event. */
+    bool setLtEvent(const PatternSet &s, EventId e);
+
+    /** Lower bound on tau(e) (distance from the thread root). */
+    Gap lbFromRoot(EventId e);
+
+    /** Upper bound on tau(e); infinite past any dynamic sync. */
+    Gap ubFromRoot(EventId e);
+
+    /**
+     * Upper bound on tau(e |> p) - tau(anchor), using guaranteed
+     * future occurrences for message durations.  Returns kGapInf when
+     * no bound can be established.
+     */
+    Gap patUbFrom(const EventPattern &p, EventId anchor);
+
+    /**
+     * True when @p anc causally precedes (or is) @p node: a path of
+     * graph edges leads from anc to node.  A sync that causally
+     * precedes a pattern's base event can never be the "first
+     * occurrence after" that base, even if it lands on the same cycle.
+     */
+    bool reaches(EventId anc, EventId node);
+
+    /** Branch facts ((cond, arm) pairs) required to reach an event. */
+    const std::map<int, bool> &contextOf(EventId e);
+
+    /** True when the two events can occur in the same run. */
+    bool compatible(EventId a, EventId b);
+
+    /**
+     * True when event @p n occurs in every run in which both @p a and
+     * @p b occur (n's branch facts are implied by theirs).
+     */
+    bool guaranteedGiven(EventId n, EventId a, EventId b);
+
+  private:
+    /** True when a join predecessor causally precedes another. */
+    bool dominatedPred(const EventNode &join, EventId p);
+
+    Gap gapLbRec(EventId b, EventId a,
+                 std::map<std::pair<EventId, EventId>, Gap> &memo);
+    Gap gapUbRec(EventId b, EventId a,
+                 std::map<std::pair<EventId, EventId>, Gap> &memo);
+
+    /** Ancestors shared by two events (for gap composition). */
+    std::vector<EventId> commonAncestors(EventId a, EventId b);
+
+    /** All ancestors of an event, including itself (memoized). */
+    const std::vector<EventId> &ancestorsOf(EventId node);
+
+    /**
+     * Occurrences of a message op in the graph; when
+     * @p only_unconditional is set, only those on every control path.
+     */
+    std::vector<EventId> messageEvents(const std::string &ep,
+                                       const std::string &msg,
+                                       bool only_unconditional) const;
+
+    const EventGraph &_g;
+    std::map<std::pair<EventId, EventId>, Gap> _lb_memo;
+    std::map<std::pair<EventId, EventId>, Gap> _ub_memo;
+    std::map<EventId, std::vector<EventId>> _anc_memo;
+    std::map<EventId, std::map<int, bool>> _ctx_memo;
+    std::map<std::pair<EventId, EventId>, Gap> _final_lb;
+    std::map<std::pair<EventId, EventId>, Gap> _final_ub;
+};
+
+/** Saturating addition on Gap values. */
+Gap gapAdd(Gap a, Gap b);
+
+} // namespace anvil
+
+#endif // ANVIL_IR_ORDERING_H

@@ -1,0 +1,100 @@
+#include "lang/ast.h"
+
+#include "support/strings.h"
+
+namespace anvil {
+
+Duration
+Duration::fixed(int n)
+{
+    Duration d;
+    d.kind = Kind::Cycles;
+    d.cycles = n;
+    return d;
+}
+
+Duration
+Duration::message(const std::string &m, int plus)
+{
+    Duration d;
+    d.kind = Kind::Message;
+    d.msg = m;
+    d.cycles = plus;
+    return d;
+}
+
+std::string
+Duration::str() const
+{
+    if (kind == Kind::Cycles)
+        return strfmt("#%d", cycles);
+    if (cycles != 0)
+        return strfmt("%s+%d", msg.c_str(), cycles);
+    return msg;
+}
+
+std::string
+SyncMode::str() const
+{
+    switch (kind) {
+      case Kind::Dynamic: return "dyn";
+      case Kind::Static: return strfmt("#%d", cycles);
+      case Kind::Dependent: return strfmt("#%s+%d", dep_msg.c_str(),
+                                          cycles);
+    }
+    return "?";
+}
+
+const MessageDef *
+ChannelDef::findMessage(const std::string &m) const
+{
+    for (const auto &msg : messages)
+        if (msg.name == m)
+            return &msg;
+    return nullptr;
+}
+
+TermPtr
+Term::make(TermKind k, SrcLoc loc)
+{
+    auto t = std::make_unique<Term>();
+    t->kind = k;
+    t->loc = loc;
+    return t;
+}
+
+const RegDef *
+ProcDef::findReg(const std::string &r) const
+{
+    for (const auto &reg : regs)
+        if (reg.name == r)
+            return &reg;
+    return nullptr;
+}
+
+const ChannelDef *
+Program::findChannel(const std::string &c) const
+{
+    auto it = channels.find(c);
+    return it != channels.end() ? &it->second : nullptr;
+}
+
+const ProcDef *
+Program::findProc(const std::string &p) const
+{
+    auto it = procs.find(p);
+    return it != procs.end() ? &it->second : nullptr;
+}
+
+int
+Program::typeWidth(const std::string &dtype, int width_expr) const
+{
+    if (dtype == "logic")
+        return width_expr;
+    auto it = type_aliases.find(dtype);
+    if (it != type_aliases.end())
+        return it->second;
+    return width_expr;
+}
+
+} // namespace anvil

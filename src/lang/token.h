@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Token definitions for the Anvil lexer.
+ */
+
+#ifndef ANVIL_LANG_TOKEN_H
+#define ANVIL_LANG_TOKEN_H
+
+#include <string>
+
+#include "support/diag.h"
+
+namespace anvil {
+
+/** All token kinds produced by the lexer. */
+enum class Tok
+{
+    // Punctuation and operators.
+    LBrace, RBrace, LParen, RParen, LBracket, RBracket,
+    Comma, Semi, Colon, Dot, At, Hash,
+    Arrow,          // >>
+    DashDash,       // --
+    Assign,         // :=
+    Eq,             // =
+    EqEq, NotEq, Lt, Gt, Le, Ge,
+    Plus, Minus, Star, Slash, Caret, Amp, Pipe, Tilde, Bang,
+    Shl,            // <<
+    // Literals and identifiers.
+    Ident, Number, SizedNumber, String,
+    // Keywords.
+    KwChan, KwProc, KwLoop, KwRecursive, KwLet, KwSet, KwSend, KwRecv,
+    KwCycle, KwIf, KwElse, KwReg, KwSpawn, KwLeft, KwRight, KwLogic,
+    KwDyn, KwReady, KwRecurse, KwDprint, KwType,
+    Eof,
+};
+
+/** A single lexed token with its source text and location. */
+struct Token
+{
+    Tok kind = Tok::Eof;
+    std::string text;
+    SrcLoc loc;
+
+    /** For Number / SizedNumber: decoded value and declared width. */
+    uint64_t value = 0;
+    int width = 0;      // 0 means unsized
+};
+
+/** Human-readable token-kind name (for parse error messages). */
+const char *tokName(Tok t);
+
+} // namespace anvil
+
+#endif // ANVIL_LANG_TOKEN_H

@@ -1,0 +1,191 @@
+#include "rtl/rtl.h"
+
+#include <cassert>
+
+namespace anvil {
+namespace rtl {
+
+ExprPtr
+cst(const BitVec &v)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Const;
+    e->width = v.width();
+    e->value = v;
+    return e;
+}
+
+ExprPtr
+cst(int width, uint64_t v)
+{
+    return cst(BitVec(width, v));
+}
+
+ExprPtr
+ref(const std::string &name, int width)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Ref;
+    e->name = name;
+    e->width = width;
+    return e;
+}
+
+ExprPtr
+unop(Op op, ExprPtr a)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Unop;
+    e->op = op;
+    e->width = (op == Op::RedOr || op == Op::RedAnd) ? 1 : a->width;
+    e->args = {std::move(a)};
+    return e;
+}
+
+ExprPtr
+binop(Op op, ExprPtr a, ExprPtr b)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Binop;
+    e->op = op;
+    bool cmp = op == Op::Eq || op == Op::Ne || op == Op::Lt ||
+        op == Op::Le || op == Op::Gt || op == Op::Ge;
+    e->width = cmp ? 1 : std::max(a->width, b->width);
+    e->args = {std::move(a), std::move(b)};
+    return e;
+}
+
+ExprPtr
+mux(ExprPtr sel, ExprPtr then_e, ExprPtr else_e)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Mux;
+    e->width = std::max(then_e->width, else_e->width);
+    e->args = {std::move(sel), std::move(then_e), std::move(else_e)};
+    return e;
+}
+
+ExprPtr
+slice(ExprPtr a, int lo, int width)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Slice;
+    e->width = width;
+    e->lo = lo;
+    e->args = {std::move(a)};
+    return e;
+}
+
+ExprPtr
+concat(std::vector<ExprPtr> parts_hi_first)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Concat;
+    int w = 0;
+    for (const auto &p : parts_hi_first)
+        w += p->width;
+    e->width = w;
+    e->args = std::move(parts_hi_first);
+    return e;
+}
+
+ExprPtr
+romLookup(std::shared_ptr<const std::vector<BitVec>> table, ExprPtr addr,
+          int width)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Rom;
+    e->width = width;
+    e->rom = std::move(table);
+    e->args = {std::move(addr)};
+    return e;
+}
+
+ExprPtr operator&(ExprPtr a, ExprPtr b)
+{ return binop(Op::And, std::move(a), std::move(b)); }
+ExprPtr operator|(ExprPtr a, ExprPtr b)
+{ return binop(Op::Or, std::move(a), std::move(b)); }
+ExprPtr operator^(ExprPtr a, ExprPtr b)
+{ return binop(Op::Xor, std::move(a), std::move(b)); }
+ExprPtr operator+(ExprPtr a, ExprPtr b)
+{ return binop(Op::Add, std::move(a), std::move(b)); }
+ExprPtr operator-(ExprPtr a, ExprPtr b)
+{ return binop(Op::Sub, std::move(a), std::move(b)); }
+ExprPtr operator~(ExprPtr a)
+{ return unop(Op::Not, std::move(a)); }
+ExprPtr eq(ExprPtr a, ExprPtr b)
+{ return binop(Op::Eq, std::move(a), std::move(b)); }
+ExprPtr ne(ExprPtr a, ExprPtr b)
+{ return binop(Op::Ne, std::move(a), std::move(b)); }
+ExprPtr ult(ExprPtr a, ExprPtr b)
+{ return binop(Op::Lt, std::move(a), std::move(b)); }
+
+ExprPtr
+Module::input(const std::string &n, int width)
+{
+    ports.push_back({n, width, true});
+    return ref(n, width);
+}
+
+void
+Module::output(const std::string &n, int width)
+{
+    ports.push_back({n, width, false});
+}
+
+ExprPtr
+Module::reg(const std::string &n, int width, uint64_t init)
+{
+    regs.push_back({n, width, BitVec(width, init)});
+    return ref(n, width);
+}
+
+ExprPtr
+Module::wire(const std::string &n, ExprPtr e)
+{
+    int w = e->width;
+    wires.push_back({n, w, std::move(e)});
+    return ref(n, w);
+}
+
+void
+Module::update(const std::string &r, ExprPtr enable, ExprPtr value)
+{
+    updates.push_back({r, std::move(enable), std::move(value)});
+}
+
+void
+Module::print(ExprPtr enable, const std::string &text, ExprPtr value)
+{
+    prints.push_back({std::move(enable), text, std::move(value)});
+}
+
+const Port *
+Module::findPort(const std::string &n) const
+{
+    for (const auto &p : ports)
+        if (p.name == n)
+            return &p;
+    return nullptr;
+}
+
+const WireDecl *
+Module::findWire(const std::string &n) const
+{
+    for (const auto &w : wires)
+        if (w.name == n)
+            return &w;
+    return nullptr;
+}
+
+const RegDecl *
+Module::findReg(const std::string &n) const
+{
+    for (const auto &r : regs)
+        if (r.name == n)
+            return &r;
+    return nullptr;
+}
+
+} // namespace rtl
+} // namespace anvil

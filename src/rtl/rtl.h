@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Structural RTL intermediate representation.
+ *
+ * This is the common substrate of the whole repository: the Anvil
+ * compiler lowers event graphs to it (src/codegen), the handwritten
+ * baseline designs are built directly in it (src/designs), the
+ * cycle-accurate interpreter executes it (src/rtl/interp.*), the
+ * synthesis cost model prices it (src/synth), and the bounded model
+ * checker explores it (src/verif).
+ *
+ * A module consists of ports, registers, named combinational wires
+ * (continuous assignments), guarded register updates (always_ff), and
+ * child module instances.  Expressions are immutable DAGs shared via
+ * shared_ptr.
+ */
+
+#ifndef ANVIL_RTL_RTL_H
+#define ANVIL_RTL_RTL_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/bitvec.h"
+
+namespace anvil {
+namespace rtl {
+
+/** Combinational operators. */
+enum class Op
+{
+    // Unary.
+    Not, RedOr, RedAnd,
+    // Binary.
+    And, Or, Xor, Add, Sub, Mul,
+    Eq, Ne, Lt, Le, Gt, Ge,   // unsigned comparisons, 1-bit result
+    Shl, Shr,
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/** An immutable combinational expression node. */
+struct Expr
+{
+    enum class Kind { Const, Ref, Unop, Binop, Mux, Slice, Concat, Rom };
+
+    Kind kind = Kind::Const;
+    int width = 1;
+
+    BitVec value{1};               // Const
+    std::string name;              // Ref
+    Op op = Op::And;               // Unop / Binop
+    std::vector<ExprPtr> args;     // operands (Mux: sel, then, else)
+    int lo = 0;                    // Slice
+    std::shared_ptr<const std::vector<BitVec>> rom;  // Rom table
+};
+
+// Expression builders ---------------------------------------------------
+
+ExprPtr cst(const BitVec &v);
+ExprPtr cst(int width, uint64_t v);
+ExprPtr ref(const std::string &name, int width);
+ExprPtr unop(Op op, ExprPtr a);
+ExprPtr binop(Op op, ExprPtr a, ExprPtr b);
+ExprPtr mux(ExprPtr sel, ExprPtr then_e, ExprPtr else_e);
+ExprPtr slice(ExprPtr a, int lo, int width);
+ExprPtr concat(std::vector<ExprPtr> parts_hi_first);
+ExprPtr romLookup(std::shared_ptr<const std::vector<BitVec>> table,
+                  ExprPtr addr, int width);
+
+// Convenience wrappers used heavily by the baseline designs.
+ExprPtr operator&(ExprPtr a, ExprPtr b);
+ExprPtr operator|(ExprPtr a, ExprPtr b);
+ExprPtr operator^(ExprPtr a, ExprPtr b);
+ExprPtr operator+(ExprPtr a, ExprPtr b);
+ExprPtr operator-(ExprPtr a, ExprPtr b);
+ExprPtr operator~(ExprPtr a);
+ExprPtr eq(ExprPtr a, ExprPtr b);
+ExprPtr ne(ExprPtr a, ExprPtr b);
+ExprPtr ult(ExprPtr a, ExprPtr b);
+
+// Module structure -------------------------------------------------------
+
+struct Port
+{
+    std::string name;
+    int width = 1;
+    bool is_input = true;
+};
+
+struct RegDecl
+{
+    std::string name;
+    int width = 1;
+    BitVec init{1};
+};
+
+struct WireDecl
+{
+    std::string name;
+    int width = 1;
+    ExprPtr expr;
+};
+
+/** Guarded register update: `if (enable) reg <= value;`. */
+struct Update
+{
+    std::string reg;
+    ExprPtr enable;
+    ExprPtr value;
+};
+
+/** Simulation-only print: fires when enable is true. */
+struct Print
+{
+    ExprPtr enable;
+    std::string text;
+    ExprPtr value;     // optional value printed after the text
+};
+
+struct Module;
+
+/** A child module instance. */
+struct Instance
+{
+    std::string name;
+    std::shared_ptr<const Module> module;
+    /** Child input port -> expression in the parent scope. */
+    std::map<std::string, ExprPtr> inputs;
+    /** Parent wire name -> child output port it aliases. */
+    std::map<std::string, std::string> outputs;
+};
+
+/**
+ * A synthesizable module.  Every output port must be driven by a wire
+ * or register of the same name.
+ */
+struct Module
+{
+    std::string name;
+    std::vector<Port> ports;
+    std::vector<RegDecl> regs;
+    std::vector<WireDecl> wires;
+    std::vector<Update> updates;
+    std::vector<Print> prints;
+    std::vector<Instance> instances;
+
+    // Builder helpers.
+    ExprPtr input(const std::string &n, int width);
+    void output(const std::string &n, int width);
+    ExprPtr reg(const std::string &n, int width, uint64_t init = 0);
+    ExprPtr wire(const std::string &n, ExprPtr e);
+    void update(const std::string &r, ExprPtr enable, ExprPtr value);
+    void print(ExprPtr enable, const std::string &text,
+               ExprPtr value = nullptr);
+
+    const Port *findPort(const std::string &n) const;
+    const WireDecl *findWire(const std::string &n) const;
+    const RegDecl *findReg(const std::string &n) const;
+};
+
+using ModulePtr = std::shared_ptr<Module>;
+
+} // namespace rtl
+} // namespace anvil
+
+#endif // ANVIL_RTL_RTL_H

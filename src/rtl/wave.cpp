@@ -1,0 +1,68 @@
+#include "rtl/wave.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace anvil {
+namespace rtl {
+
+WaveRecorder::WaveRecorder(Sim &sim, std::vector<std::string> signals)
+    : _sim(sim), _signals(std::move(signals)),
+      _samples(_signals.size())
+{
+}
+
+void
+WaveRecorder::sample()
+{
+    for (size_t i = 0; i < _signals.size(); i++)
+        _samples[i].push_back(_sim.peek(_signals[i]));
+}
+
+const std::vector<BitVec> &
+WaveRecorder::samplesOf(const std::string &sig) const
+{
+    for (size_t i = 0; i < _signals.size(); i++)
+        if (_signals[i] == sig)
+            return _samples[i];
+    throw std::invalid_argument("signal not recorded: " + sig);
+}
+
+std::string
+WaveRecorder::render() const
+{
+    std::ostringstream os;
+    size_t name_w = 4;
+    for (const auto &s : _signals)
+        name_w = std::max(name_w, s.size());
+
+    size_t cycles = _samples.empty() ? 0 : _samples[0].size();
+    os << std::string(name_w, ' ') << " |";
+    for (size_t c = 0; c < cycles; c++) {
+        std::string h = std::to_string(c);
+        os << " " << h << std::string(h.size() < 6 ? 6 - h.size() : 0,
+                                      ' ');
+    }
+    os << "\n";
+
+    for (size_t i = 0; i < _signals.size(); i++) {
+        os << _signals[i]
+           << std::string(name_w - _signals[i].size(), ' ') << " |";
+        for (const auto &v : _samples[i]) {
+            std::string h;
+            if (v.width() == 1) {
+                h = v.any() ? "1" : "0";
+            } else {
+                h = v.toHex();
+            }
+            if (h.size() < 6)
+                h += std::string(6 - h.size(), ' ');
+            os << " " << h;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rtl
+} // namespace anvil

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * ASCII waveform recorder, used to reproduce the waveform figures of
+ * the paper (Fig. 1 and Fig. 4).
+ */
+
+#ifndef ANVIL_RTL_WAVE_H
+#define ANVIL_RTL_WAVE_H
+
+#include <string>
+#include <vector>
+
+#include "rtl/interp.h"
+
+namespace anvil {
+namespace rtl {
+
+/**
+ * Records a set of signals every cycle and renders them as rows of
+ * per-cycle values, in the style of the paper's waveforms.
+ */
+class WaveRecorder
+{
+  public:
+    WaveRecorder(Sim &sim, std::vector<std::string> signals);
+
+    /** Sample all recorded signals at the current cycle. */
+    void sample();
+
+    /** Render the waveform table. */
+    std::string render() const;
+
+    /** All sampled values for one signal. */
+    const std::vector<BitVec> &samplesOf(const std::string &sig) const;
+
+  private:
+    Sim &_sim;
+    std::vector<std::string> _signals;
+    std::vector<std::vector<BitVec>> _samples;
+};
+
+} // namespace rtl
+} // namespace anvil
+
+#endif // ANVIL_RTL_WAVE_H

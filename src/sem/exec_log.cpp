@@ -1,0 +1,135 @@
+#include "sem/exec_log.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace anvil {
+namespace sem {
+
+namespace {
+
+/** Everything known about one value across the log. */
+struct ValueFacts
+{
+    Time created = -1;
+    std::set<std::string> reg_deps;   // transitive (R-Create)
+    std::set<ValId> val_deps;
+    Time first_use = -1;
+    Time last_use = -1;               // uses and creation
+    Time send_window_end = -1;        // max promised window (excl.)
+    Time recv_window_end = -1;        // min received promise (excl.)
+
+    void use(Time t)
+    {
+        if (first_use < 0 || t < first_use)
+            first_use = t;
+        last_use = std::max(last_use, t);
+    }
+};
+
+} // namespace
+
+std::vector<LogViolation>
+checkLogSafety(const ExecLog &log)
+{
+    std::map<ValId, ValueFacts> facts;
+    std::map<std::string, std::vector<Time>> mutations;
+
+    for (const auto &[t, ops] : log.cycles) {
+        for (const auto &op : ops) {
+            switch (op.kind) {
+              case LogOp::Kind::ValCreate: {
+                auto &f = facts[op.value];
+                f.created = t;
+                f.use(t);
+                f.reg_deps = op.reg_deps;
+                f.val_deps = op.val_deps;
+                break;
+              }
+              case LogOp::Kind::ValUse:
+                facts[op.value].use(t);
+                break;
+              case LogOp::Kind::RegMut:
+                mutations[op.reg].push_back(t);
+                break;
+              case LogOp::Kind::ValSend: {
+                auto &f = facts[op.value];
+                f.use(t);
+                f.send_window_end =
+                    std::max(f.send_window_end, op.window_end);
+                break;
+              }
+              case LogOp::Kind::ValRecv: {
+                auto &f = facts[op.value];
+                if (f.created < 0)
+                    f.created = t;
+                f.use(t);
+                f.recv_window_end = op.window_end;
+                break;
+              }
+            }
+        }
+    }
+
+    // Propagate transitive register dependencies (R-Create).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &[id, f] : facts) {
+            for (ValId dep : f.val_deps) {
+                auto it = facts.find(dep);
+                if (it == facts.end())
+                    continue;
+                for (const auto &r : it->second.reg_deps) {
+                    if (f.reg_deps.insert(r).second)
+                        changed = true;
+                }
+            }
+        }
+    }
+
+    std::vector<LogViolation> out;
+    for (const auto &[id, f] : facts) {
+        // Window [a, b]: from creation to the last use, extended to
+        // cover promised send windows.
+        Time a = f.created;
+        Time b = f.last_use;
+        if (f.send_window_end >= 0)
+            b = std::max(b, f.send_window_end - 1);
+
+        // [a, b] must lie within the promise received.
+        if (f.recv_window_end >= 0 && b >= f.recv_window_end) {
+            out.push_back({strfmt("value v%d required until cycle %lld "
+                                  "but received promise ends at %lld",
+                                  id, static_cast<long long>(b),
+                                  static_cast<long long>(
+                                      f.recv_window_end)),
+                           b});
+        }
+        // Transitively depended-on registers must not mutate in
+        // [a, b).
+        for (const auto &r : f.reg_deps) {
+            auto it = mutations.find(r);
+            if (it == mutations.end())
+                continue;
+            for (Time m : it->second) {
+                if (m >= a && m < b) {
+                    out.push_back({strfmt("register '%s' mutated at "
+                                          "cycle %lld inside the "
+                                          "window [%lld, %lld] of v%d",
+                                          r.c_str(),
+                                          static_cast<long long>(m),
+                                          static_cast<long long>(a),
+                                          static_cast<long long>(b),
+                                          id),
+                                   m});
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace sem
+} // namespace anvil

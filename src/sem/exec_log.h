@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Execution logs and the dynamic safety predicate (Appendix C,
+ * Defs. C.1 and C.15).
+ *
+ * An execution log is a sequence of cycles, each containing a set of
+ * operations: value creation (with register and value dependencies),
+ * value use, register mutation, and message send/receive with the
+ * value's contract window.  The safety predicate requires, for every
+ * value, a continuous window [a, b] containing all its uses and
+ * promised send windows, within the windows promised by receives,
+ * with no dependent-register mutation inside [a, b).
+ */
+
+#ifndef ANVIL_SEM_EXEC_LOG_H
+#define ANVIL_SEM_EXEC_LOG_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace anvil {
+namespace sem {
+
+using ValId = int;
+using Time = int64_t;
+
+/** One logged operation. */
+struct LogOp
+{
+    enum class Kind { ValCreate, ValUse, RegMut, ValSend, ValRecv };
+
+    Kind kind = Kind::ValUse;
+    ValId value = -1;
+    std::set<std::string> reg_deps;   // ValCreate
+    std::set<ValId> val_deps;         // ValCreate
+    std::string reg;                  // RegMut
+    std::string msg;                  // ValSend / ValRecv
+    Time window_end = 0;              // ValSend: required exclusive end
+                                      // ValRecv: promised exclusive end
+};
+
+/** An execution log: ops per cycle. */
+struct ExecLog
+{
+    std::map<Time, std::vector<LogOp>> cycles;
+
+    void add(Time t, LogOp op) { cycles[t].push_back(std::move(op)); }
+};
+
+/** One safety violation found in a log. */
+struct LogViolation
+{
+    std::string what;
+    Time when = 0;
+};
+
+/**
+ * Check the Def. C.15 safety predicate on a log.  Returns every
+ * violation found (empty = the log is safe).
+ */
+std::vector<LogViolation> checkLogSafety(const ExecLog &log);
+
+} // namespace sem
+} // namespace anvil
+
+#endif // ANVIL_SEM_EXEC_LOG_H

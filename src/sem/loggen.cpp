@@ -1,0 +1,193 @@
+#include "sem/loggen.h"
+
+#include <algorithm>
+#include <random>
+
+#include "ir/ordering.h"
+
+namespace anvil {
+namespace sem {
+
+ScheduleSample
+sampleSchedule(const ThreadIR &tir, unsigned seed, int max_delay)
+{
+    std::mt19937 rng(seed);
+    ScheduleSample out;
+    const EventGraph &g = tir.graph;
+
+    std::map<int, bool> branch_taken;
+    std::map<std::string, Time> last_sync;
+
+    // Event ids are created in dependency order, so a single sweep
+    // resolves every timestamp.
+    for (EventId id : g.liveEvents()) {
+        const EventNode &n = g.node(id);
+        auto pred_time = [&](EventId p) { return out.at(p); };
+
+        Time t = ScheduleSample::kNoTime;
+        switch (n.kind) {
+          case EventKind::Root:
+            t = 0;
+            break;
+          case EventKind::Delay: {
+            Time p = pred_time(n.preds[0]);
+            if (p >= 0)
+                t = p + n.delay;
+            break;
+          }
+          case EventKind::Send:
+          case EventKind::Recv: {
+            Time p = pred_time(n.preds[0]);
+            if (p >= 0) {
+                int extra = n.max_sync >= 0
+                    ? static_cast<int>(rng() % (n.max_sync + 1))
+                    : static_cast<int>(rng() % (max_delay + 1));
+                t = p + extra;
+                // Same-message syncs are at least one cycle apart.
+                std::string key = n.endpoint + "." + n.msg;
+                auto it = last_sync.find(key);
+                if (it != last_sync.end())
+                    t = std::max(t, it->second + 1);
+                last_sync[key] = t;
+            }
+            break;
+          }
+          case EventKind::Branch: {
+            Time p = pred_time(n.preds[0]);
+            if (p >= 0) {
+                auto it = branch_taken.find(n.cond_id);
+                if (it == branch_taken.end())
+                    it = branch_taken
+                        .emplace(n.cond_id, rng() & 1)
+                        .first;
+                if (it->second == n.cond_taken)
+                    t = p;
+            }
+            break;
+          }
+          case EventKind::Join: {
+            t = 0;
+            for (EventId p : n.preds) {
+                Time pt = pred_time(p);
+                if (pt < 0) {
+                    t = ScheduleSample::kNoTime;
+                    break;
+                }
+                t = std::max(t, pt);
+            }
+            break;
+          }
+          case EventKind::Merge: {
+            t = ScheduleSample::kNoTime;
+            for (EventId p : n.preds) {
+                Time pt = pred_time(p);
+                if (pt >= 0)
+                    t = t < 0 ? pt : std::min(t, pt);
+            }
+            break;
+          }
+        }
+        if (t >= 0)
+            out.times[id] = t;
+    }
+    return out;
+}
+
+namespace {
+
+constexpr Time kFarFuture = 1 << 28;
+
+/** Resolve an event pattern against a sampled schedule. */
+Time
+resolvePattern(const EventPattern &p, const ThreadIR &tir,
+               const ScheduleSample &sched, Ordering &ord)
+{
+    Time base = sched.at(p.base);
+    if (base < 0)
+        return kFarFuture;
+    if (p.kind == EventPattern::Kind::FixedAfter)
+        return base + p.cycles;
+
+    // First occurrence of the message at or after the base event that
+    // is not a causal ancestor of it.
+    Time best = kFarFuture;
+    for (EventId id : tir.graph.liveEvents()) {
+        const EventNode &n = tir.graph.node(id);
+        if (n.kind != EventKind::Send && n.kind != EventKind::Recv)
+            continue;
+        if (n.endpoint != p.endpoint || n.msg != p.msg)
+            continue;
+        Time t = sched.at(id);
+        if (t < 0)
+            continue;
+        if (t > base || (t == base && !ord.reaches(id, p.base)))
+            best = std::min(best, t + p.cycles);
+    }
+    return best;
+}
+
+} // namespace
+
+ExecLog
+buildLog(const ThreadIR &tir, const ScheduleSample &sched)
+{
+    ExecLog log;
+    Ordering ord(tir.graph);
+    int next_val = 0;
+
+    for (const auto &u : tir.uses) {
+        Time use_t = sched.at(u.use_ev);
+        Time create_t = sched.at(u.value.create);
+        if (use_t < 0 || create_t < 0)
+            continue;
+
+        ValId vid = next_val++;
+        LogOp create;
+        create.kind = LogOp::Kind::ValCreate;
+        create.value = vid;
+        create.reg_deps = u.value.regs;
+        log.add(create_t, std::move(create));
+
+        // The promise this value received from the environment.
+        if (!u.value.end.eternal()) {
+            Time promise = kFarFuture;
+            for (const auto &p : u.value.end.pats)
+                promise = std::min(promise,
+                                   resolvePattern(p, tir, sched, ord));
+            LogOp recv;
+            recv.kind = LogOp::Kind::ValRecv;
+            recv.value = vid;
+            recv.window_end = promise;
+            log.add(create_t, std::move(recv));
+        }
+
+        if (u.point) {
+            LogOp use;
+            use.kind = LogOp::Kind::ValUse;
+            use.value = vid;
+            log.add(use_t, std::move(use));
+        } else {
+            LogOp send;
+            send.kind = LogOp::Kind::ValSend;
+            send.value = vid;
+            send.msg = "send";
+            send.window_end =
+                resolvePattern(u.required_end, tir, sched, ord);
+            log.add(use_t, std::move(send));
+        }
+    }
+
+    for (const auto &a : tir.assigns) {
+        Time t = sched.at(a.ev);
+        if (t < 0)
+            continue;
+        LogOp mut;
+        mut.kind = LogOp::Kind::RegMut;
+        mut.reg = a.reg;
+        log.add(t, std::move(mut));
+    }
+    return log;
+}
+
+} // namespace sem
+} // namespace anvil

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Random schedule sampling: turns an elaborated thread into concrete
+ * execution logs by assigning every dynamic synchronization a random
+ * delay and every branch a random arm (the nondeterminism of
+ * Def. C.2), then emitting the Appendix C operations.
+ *
+ * Used for property tests of Theorem C.20: every sampled log of a
+ * well-typed thread must satisfy the Def. C.15 safety predicate.
+ */
+
+#ifndef ANVIL_SEM_LOGGEN_H
+#define ANVIL_SEM_LOGGEN_H
+
+#include <map>
+
+#include "ir/elaborate.h"
+#include "sem/exec_log.h"
+
+namespace anvil {
+namespace sem {
+
+/** A concrete timing assignment for one run of a thread. */
+struct ScheduleSample
+{
+    /** Event -> cycle; kNoTime when the event was never reached. */
+    std::map<EventId, Time> times;
+
+    static constexpr Time kNoTime = -1;
+
+    Time at(EventId e) const
+    {
+        auto it = times.find(e);
+        return it != times.end() ? it->second : kNoTime;
+    }
+};
+
+/**
+ * Sample one timestamp function of the thread's event graph
+ * (Def. C.9): fixed delays are exact, dynamic syncs take 0..max_delay
+ * extra cycles (same-message syncs at least one cycle apart), and
+ * each branch takes a random arm.
+ */
+ScheduleSample sampleSchedule(const ThreadIR &tir, unsigned seed,
+                              int max_delay = 4);
+
+/**
+ * Emit the execution log of one sampled run: value creations with
+ * their register dependencies, point uses, register mutations, and
+ * send/receive windows resolved against the sampled times.
+ */
+ExecLog buildLog(const ThreadIR &tir, const ScheduleSample &sched);
+
+} // namespace sem
+} // namespace anvil
+
+#endif // ANVIL_SEM_LOGGEN_H

@@ -1,0 +1,49 @@
+#include "sem/safety.h"
+
+#include "ir/elaborate.h"
+#include "lang/parser.h"
+#include "sem/loggen.h"
+
+namespace anvil {
+namespace sem {
+
+FuzzReport
+fuzzProcessSafety(const std::string &source,
+                  const std::string &proc_name, int samples,
+                  unsigned seed, int max_delay)
+{
+    FuzzReport report;
+    DiagEngine diags;
+    Program prog = parseAnvil(source, diags);
+    const ProcDef *proc = prog.findProc(proc_name);
+    if (!proc || diags.hasErrors()) {
+        report.example_violations.push_back("elaboration failed: " +
+                                            diags.render());
+        report.unsafe_samples = samples;
+        return report;
+    }
+    ProcIR pir = elaborateProc(prog, *proc, diags, 2);
+
+    for (int s = 0; s < samples; s++) {
+        bool sample_bad = false;
+        for (const auto &tir : pir.threads) {
+            ScheduleSample sched =
+                sampleSchedule(*tir, seed + 977u * s, max_delay);
+            ExecLog log = buildLog(*tir, sched);
+            auto violations = checkLogSafety(log);
+            if (!violations.empty()) {
+                sample_bad = true;
+                if (report.example_violations.size() < 5)
+                    report.example_violations.push_back(
+                        violations[0].what);
+            }
+        }
+        report.samples++;
+        if (sample_bad)
+            report.unsafe_samples++;
+    }
+    return report;
+}
+
+} // namespace sem
+} // namespace anvil

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Dynamic-safety driver: samples many schedules of a compiled
+ * program's threads and checks every resulting execution log against
+ * the Def. C.15 predicate.  Property tests use this to validate
+ * Theorem C.20 (well-typed implies safe) and its contrapositive on
+ * the paper's unsafe examples.
+ */
+
+#ifndef ANVIL_SEM_SAFETY_H
+#define ANVIL_SEM_SAFETY_H
+
+#include <string>
+#include <vector>
+
+#include "sem/exec_log.h"
+
+namespace anvil {
+
+struct Program;
+struct ProcDef;
+class DiagEngine;
+
+namespace sem {
+
+/** Outcome of a dynamic-safety fuzz run over one process. */
+struct FuzzReport
+{
+    int samples = 0;
+    int unsafe_samples = 0;
+    std::vector<std::string> example_violations;
+
+    bool allSafe() const { return unsafe_samples == 0; }
+};
+
+/**
+ * Elaborate the named process of the source, sample @p samples random
+ * schedules per thread, and check each log.
+ */
+FuzzReport fuzzProcessSafety(const std::string &source,
+                             const std::string &proc_name, int samples,
+                             unsigned seed = 1, int max_delay = 4);
+
+} // namespace sem
+} // namespace anvil
+
+#endif // ANVIL_SEM_SAFETY_H

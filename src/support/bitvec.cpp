@@ -1,0 +1,319 @@
+#include "support/bitvec.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace anvil {
+
+namespace {
+
+int
+wordsFor(int width)
+{
+    return (width + 63) / 64;
+}
+
+} // namespace
+
+BitVec::BitVec(int width)
+    : _width(width), _data(wordsFor(width), 0)
+{
+    assert(width >= 1);
+}
+
+BitVec::BitVec(int width, uint64_t value)
+    : _width(width), _data(wordsFor(width), 0)
+{
+    assert(width >= 1);
+    _data[0] = value;
+    normalize();
+}
+
+BitVec
+BitVec::fromBinary(const std::string &bits)
+{
+    BitVec v(static_cast<int>(bits.size()));
+    for (size_t i = 0; i < bits.size(); i++) {
+        char c = bits[bits.size() - 1 - i];
+        if (c == '1')
+            v.setBit(static_cast<int>(i), true);
+        else if (c != '0')
+            throw std::invalid_argument("bad binary digit");
+    }
+    return v;
+}
+
+BitVec
+BitVec::fromHex(const std::string &hex)
+{
+    BitVec v(static_cast<int>(hex.size()) * 4);
+    for (size_t i = 0; i < hex.size(); i++) {
+        char c = hex[hex.size() - 1 - i];
+        int d;
+        if (c >= '0' && c <= '9')
+            d = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            d = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            d = c - 'A' + 10;
+        else
+            throw std::invalid_argument("bad hex digit");
+        for (int b = 0; b < 4; b++)
+            v.setBit(static_cast<int>(i) * 4 + b, (d >> b) & 1);
+    }
+    return v;
+}
+
+BitVec
+BitVec::ones(int width)
+{
+    BitVec v(width);
+    for (auto &w : v._data)
+        w = ~0ull;
+    v.normalize();
+    return v;
+}
+
+void
+BitVec::normalize()
+{
+    int top_bits = _width % 64;
+    if (top_bits != 0)
+        _data.back() &= (~0ull >> (64 - top_bits));
+}
+
+uint64_t
+BitVec::word(int i) const
+{
+    if (i < 0 || i >= words())
+        return 0;
+    return _data[i];
+}
+
+uint64_t
+BitVec::toUint64() const
+{
+    return _data[0];
+}
+
+bool
+BitVec::bit(int i) const
+{
+    if (i < 0 || i >= _width)
+        return false;
+    return (_data[i / 64] >> (i % 64)) & 1;
+}
+
+void
+BitVec::setBit(int i, bool v)
+{
+    assert(i >= 0 && i < _width);
+    if (v)
+        _data[i / 64] |= (1ull << (i % 64));
+    else
+        _data[i / 64] &= ~(1ull << (i % 64));
+}
+
+bool
+BitVec::any() const
+{
+    for (uint64_t w : _data)
+        if (w)
+            return true;
+    return false;
+}
+
+BitVec
+BitVec::resize(int new_width) const
+{
+    BitVec v(new_width);
+    for (int i = 0; i < v.words(); i++)
+        v._data[i] = word(i);
+    v.normalize();
+    return v;
+}
+
+BitVec
+BitVec::slice(int lo, int n) const
+{
+    assert(n >= 1);
+    BitVec v(n);
+    for (int i = 0; i < n; i++)
+        v.setBit(i, bit(lo + i));
+    return v;
+}
+
+BitVec
+BitVec::concatHigh(const BitVec &hi) const
+{
+    BitVec v(_width + hi._width);
+    for (int i = 0; i < _width; i++)
+        v.setBit(i, bit(i));
+    for (int i = 0; i < hi._width; i++)
+        v.setBit(_width + i, hi.bit(i));
+    return v;
+}
+
+BitVec
+BitVec::operator~() const
+{
+    BitVec v(_width);
+    for (int i = 0; i < words(); i++)
+        v._data[i] = ~_data[i];
+    v.normalize();
+    return v;
+}
+
+BitVec
+BitVec::operator&(const BitVec &o) const
+{
+    BitVec v(_width);
+    for (int i = 0; i < words(); i++)
+        v._data[i] = _data[i] & o.word(i);
+    v.normalize();
+    return v;
+}
+
+BitVec
+BitVec::operator|(const BitVec &o) const
+{
+    BitVec v(_width);
+    for (int i = 0; i < words(); i++)
+        v._data[i] = _data[i] | o.word(i);
+    v.normalize();
+    return v;
+}
+
+BitVec
+BitVec::operator^(const BitVec &o) const
+{
+    BitVec v(_width);
+    for (int i = 0; i < words(); i++)
+        v._data[i] = _data[i] ^ o.word(i);
+    v.normalize();
+    return v;
+}
+
+BitVec
+BitVec::operator+(const BitVec &o) const
+{
+    BitVec v(_width);
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < words(); i++) {
+        unsigned __int128 s = carry;
+        s += _data[i];
+        s += o.word(i);
+        v._data[i] = static_cast<uint64_t>(s);
+        carry = s >> 64;
+    }
+    v.normalize();
+    return v;
+}
+
+BitVec
+BitVec::operator-(const BitVec &o) const
+{
+    BitVec neg = ~o.resize(_width) + BitVec(_width, 1);
+    return *this + neg;
+}
+
+BitVec
+BitVec::operator*(const BitVec &o) const
+{
+    // Schoolbook multiplication, truncated to this->width().
+    BitVec v(_width);
+    for (int i = 0; i < words(); i++) {
+        unsigned __int128 carry = 0;
+        for (int j = 0; i + j < words(); j++) {
+            unsigned __int128 p = static_cast<unsigned __int128>(_data[i]) *
+                o.word(j);
+            p += v._data[i + j];
+            p += carry;
+            v._data[i + j] = static_cast<uint64_t>(p);
+            carry = p >> 64;
+        }
+    }
+    v.normalize();
+    return v;
+}
+
+BitVec
+BitVec::operator<<(int n) const
+{
+    BitVec v(_width);
+    for (int i = _width - 1; i >= n; i--)
+        v.setBit(i, bit(i - n));
+    return v;
+}
+
+BitVec
+BitVec::operator>>(int n) const
+{
+    BitVec v(_width);
+    for (int i = 0; i + n < _width; i++)
+        v.setBit(i, bit(i + n));
+    return v;
+}
+
+bool
+BitVec::operator==(const BitVec &o) const
+{
+    int w = std::max(words(), o.words());
+    for (int i = 0; i < w; i++)
+        if (word(i) != o.word(i))
+            return false;
+    return true;
+}
+
+bool
+BitVec::ult(const BitVec &o) const
+{
+    int w = std::max(words(), o.words());
+    for (int i = w - 1; i >= 0; i--) {
+        if (word(i) != o.word(i))
+            return word(i) < o.word(i);
+    }
+    return false;
+}
+
+bool
+BitVec::ule(const BitVec &o) const
+{
+    return ult(o) || *this == o;
+}
+
+int
+BitVec::popcount() const
+{
+    int n = 0;
+    for (uint64_t w : _data)
+        n += __builtin_popcountll(w);
+    return n;
+}
+
+std::string
+BitVec::toHex() const
+{
+    static const char digits[] = "0123456789abcdef";
+    int nibbles = (_width + 3) / 4;
+    std::string s = "0x";
+    for (int i = nibbles - 1; i >= 0; i--) {
+        int d = 0;
+        for (int b = 0; b < 4; b++)
+            if (bit(i * 4 + b))
+                d |= 1 << b;
+        s += digits[d];
+    }
+    return s;
+}
+
+std::string
+BitVec::toBinary() const
+{
+    std::string s;
+    for (int i = _width - 1; i >= 0; i--)
+        s += bit(i) ? '1' : '0';
+    return s;
+}
+
+} // namespace anvil

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Arbitrary-width bit vector used throughout the RTL substrate.
+ *
+ * Hardware values in both the Anvil compiler output and the handwritten
+ * baseline designs are modelled as fixed-width bit vectors.  Widths up to
+ * a few hundred bits (AES-256 keys) must be supported, so the storage is
+ * a small vector of 64-bit words, least-significant word first.
+ */
+
+#ifndef ANVIL_SUPPORT_BITVEC_H
+#define ANVIL_SUPPORT_BITVEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anvil {
+
+/**
+ * A fixed-width little-endian bit vector.
+ *
+ * All arithmetic wraps modulo 2^width, mirroring SystemVerilog packed
+ * logic semantics (without X/Z states; the simulator is two-state).
+ */
+class BitVec
+{
+  public:
+    /** Construct a zero value of the given width (default 1 bit). */
+    explicit BitVec(int width = 1);
+
+    /** Construct a value of the given width from a 64-bit integer. */
+    BitVec(int width, uint64_t value);
+
+    /** Parse a binary string ("1010") into a value of matching width. */
+    static BitVec fromBinary(const std::string &bits);
+
+    /** Parse a hex string ("deadbeef") into a value of 4*len bits. */
+    static BitVec fromHex(const std::string &hex);
+
+    /** An all-ones value of the given width. */
+    static BitVec ones(int width);
+
+    int width() const { return _width; }
+
+    /** Number of 64-bit words backing this value. */
+    int words() const { return static_cast<int>(_data.size()); }
+
+    uint64_t word(int i) const;
+
+    /** Low 64 bits as an integer (truncating wider values). */
+    uint64_t toUint64() const;
+
+    bool bit(int i) const;
+    void setBit(int i, bool v);
+
+    /** True iff any bit is set. */
+    bool any() const;
+
+    bool isZero() const { return !any(); }
+
+    /** Return this value zero-extended or truncated to a new width. */
+    BitVec resize(int new_width) const;
+
+    /** Bits [lo, lo+n) as an n-bit value. */
+    BitVec slice(int lo, int n) const;
+
+    /** Concatenation: {hi, lo} with this as the low part. */
+    BitVec concatHigh(const BitVec &hi) const;
+
+    BitVec operator~() const;
+    BitVec operator&(const BitVec &o) const;
+    BitVec operator|(const BitVec &o) const;
+    BitVec operator^(const BitVec &o) const;
+    BitVec operator+(const BitVec &o) const;
+    BitVec operator-(const BitVec &o) const;
+    BitVec operator*(const BitVec &o) const;
+    BitVec operator<<(int n) const;
+    BitVec operator>>(int n) const;
+
+    bool operator==(const BitVec &o) const;
+    bool operator!=(const BitVec &o) const { return !(*this == o); }
+
+    /** Unsigned comparison. */
+    bool ult(const BitVec &o) const;
+    bool ule(const BitVec &o) const;
+
+    /** Population count. */
+    int popcount() const;
+
+    /** Render as 0x-prefixed hex (width-padded). */
+    std::string toHex() const;
+
+    /** Render as a binary string of exactly width() characters. */
+    std::string toBinary() const;
+
+  private:
+    void normalize();
+
+    int _width;
+    std::vector<uint64_t> _data;
+};
+
+} // namespace anvil
+
+#endif // ANVIL_SUPPORT_BITVEC_H

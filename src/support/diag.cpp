@@ -1,0 +1,117 @@
+#include "support/diag.h"
+
+#include <sstream>
+
+namespace anvil {
+
+std::string
+SrcLoc::str() const
+{
+    std::ostringstream os;
+    os << line << ":" << col;
+    return os.str();
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::string sev;
+    switch (severity) {
+      case Severity::Note: sev = "note"; break;
+      case Severity::Warning: sev = "warning"; break;
+      case Severity::Error: sev = "error"; break;
+    }
+    std::ostringstream os;
+    os << sev << ": " << message;
+    if (loc.valid())
+        os << " (" << loc.str() << ")";
+    return os.str();
+}
+
+void
+DiagEngine::setSource(const std::string &source, const std::string &name)
+{
+    _sourceName = name;
+    _lines.clear();
+    std::string cur;
+    for (char c : source) {
+        if (c == '\n') {
+            _lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    _lines.push_back(cur);
+}
+
+void
+DiagEngine::error(const std::string &msg, SrcLoc loc)
+{
+    _diags.push_back({Severity::Error, msg, loc});
+}
+
+void
+DiagEngine::warning(const std::string &msg, SrcLoc loc)
+{
+    _diags.push_back({Severity::Warning, msg, loc});
+}
+
+void
+DiagEngine::note(const std::string &msg, SrcLoc loc)
+{
+    _diags.push_back({Severity::Note, msg, loc});
+}
+
+bool
+DiagEngine::hasErrors() const
+{
+    return errorCount() > 0;
+}
+
+int
+DiagEngine::errorCount() const
+{
+    int n = 0;
+    for (const auto &d : _diags)
+        if (d.severity == Severity::Error)
+            n++;
+    return n;
+}
+
+std::string
+DiagEngine::renderOne(const Diagnostic &d) const
+{
+    std::ostringstream os;
+    os << d.message << "\n";
+    if (d.loc.valid()) {
+        os << _sourceName << ":" << d.loc.line << ":" << d.loc.col << ":\n";
+        int idx = d.loc.line - 1;
+        if (idx >= 0 && idx < static_cast<int>(_lines.size())) {
+            const std::string &line = _lines[idx];
+            os << d.loc.line << "| " << line << "\n";
+            std::string pad(std::to_string(d.loc.line).size(), ' ');
+            os << pad << "| ";
+            for (int i = 1; i < d.loc.col; i++)
+                os << ' ';
+            int span = static_cast<int>(line.size()) - d.loc.col + 1;
+            if (span < 1)
+                span = 1;
+            for (int i = 0; i < span; i++)
+                os << '^';
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+DiagEngine::render() const
+{
+    std::ostringstream os;
+    for (const auto &d : _diags)
+        os << renderOne(d);
+    return os.str();
+}
+
+} // namespace anvil

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small string helpers shared across the compiler and benches.
+ */
+
+#ifndef ANVIL_SUPPORT_STRINGS_H
+#define ANVIL_SUPPORT_STRINGS_H
+
+#include <string>
+#include <vector>
+
+namespace anvil {
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Split on a single-character delimiter (empty tokens kept). */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** True iff @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Join tokens with a separator string. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+} // namespace anvil
+
+#endif // ANVIL_SUPPORT_STRINGS_H

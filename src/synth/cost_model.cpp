@@ -1,0 +1,308 @@
+#include "synth/cost_model.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "support/strings.h"
+
+namespace anvil {
+namespace synth {
+
+namespace {
+
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::Op;
+
+// 22 nm-class model constants.
+constexpr double kUm2PerGe = 0.2;      // NAND2-equivalent footprint
+constexpr double kGePerFlopBit = 4.5;
+constexpr double kGateDelayPs = 15.0;
+constexpr double kClockOverheadPs = 55.0;  // setup + clk->q + skew
+constexpr double kDynPjPerToggle = 0.00045; // nJ per bit toggle (scaled)
+constexpr double kLeakMwPerUm2 = 0.00008;
+
+int
+log2ceil(int w)
+{
+    int l = 0;
+    while ((1 << l) < w)
+        l++;
+    return std::max(l, 1);
+}
+
+/** Gate-equivalents for one operator application. */
+double
+opGates(Op op, int w)
+{
+    switch (op) {
+      case Op::Not: return 0.5 * w;
+      case Op::RedOr: return 1.0 * (w - 1) + 1;
+      case Op::RedAnd: return 1.0 * (w - 1) + 1;
+      case Op::And: return 1.0 * w;
+      case Op::Or: return 1.0 * w;
+      case Op::Xor: return 2.2 * w;
+      case Op::Add: return 6.5 * w;
+      case Op::Sub: return 7.0 * w;
+      case Op::Mul: return 4.8 * w * w / 2.0;
+      case Op::Eq: return 2.5 * w;
+      case Op::Ne: return 2.5 * w;
+      case Op::Lt: return 3.0 * w;
+      case Op::Le: return 3.0 * w;
+      case Op::Gt: return 3.0 * w;
+      case Op::Ge: return 3.0 * w;
+      case Op::Shl: return 2.2 * w * log2ceil(std::max(w, 2));
+      case Op::Shr: return 2.2 * w * log2ceil(std::max(w, 2));
+    }
+    return 1.0 * w;
+}
+
+/** Logic levels contributed by one operator application. */
+double
+opLevels(Op op, int w)
+{
+    switch (op) {
+      case Op::Not: return 0.6;
+      case Op::RedOr: return log2ceil(std::max(w, 2));
+      case Op::RedAnd: return log2ceil(std::max(w, 2));
+      case Op::And: return 1.0;
+      case Op::Or: return 1.0;
+      case Op::Xor: return 1.4;
+      case Op::Add: return 2.0 * log2ceil(std::max(w, 2)) + 2;
+      case Op::Sub: return 2.0 * log2ceil(std::max(w, 2)) + 2.4;
+      case Op::Mul: return 4.0 * log2ceil(std::max(w, 2)) + 4;
+      case Op::Eq: return log2ceil(std::max(w, 2)) + 1.4;
+      case Op::Ne: return log2ceil(std::max(w, 2)) + 1.4;
+      case Op::Lt: return log2ceil(std::max(w, 2)) + 2.0;
+      case Op::Le: return log2ceil(std::max(w, 2)) + 2.0;
+      case Op::Gt: return log2ceil(std::max(w, 2)) + 2.0;
+      case Op::Ge: return log2ceil(std::max(w, 2)) + 2.0;
+      case Op::Shl: return log2ceil(std::max(w, 2)) + 1;
+      case Op::Shr: return log2ceil(std::max(w, 2)) + 1;
+    }
+    return 1.0;
+}
+
+/** Flattens the hierarchy and accumulates area and path depth. */
+class Analyzer
+{
+  public:
+    SynthReport run(const rtl::Module &top)
+    {
+        flatten(top, "");
+        // Depth of every wire and register-update cone; the critical
+        // path is the deepest cone plus clocking overhead.
+        double worst = 0;
+        for (const auto &[name, w] : _wires)
+            worst = std::max(worst, wireDepth(name));
+        for (const auto &[e, scope] : _update_exprs)
+            worst = std::max(worst, exprDepth(e, scope));
+        _report.crit_path_ps = worst * kGateDelayPs + kClockOverheadPs;
+        return _report;
+    }
+
+  private:
+    struct FlatWire
+    {
+        ExprPtr expr;
+        std::string scope;
+    };
+
+    void flatten(const rtl::Module &m, const std::string &prefix)
+    {
+        for (const auto &r : m.regs) {
+            _report.seq_area_um2 += r.width * kGePerFlopBit * kUm2PerGe;
+            _regs.insert(prefix + r.name);
+        }
+        for (const auto &w : m.wires) {
+            _wires[prefix + w.name] = {w.expr, prefix};
+            countArea(w.expr);
+        }
+        for (const auto &u : m.updates) {
+            countArea(u.enable);
+            countArea(u.value);
+            _update_exprs.emplace_back(u.enable, prefix);
+            _update_exprs.emplace_back(u.value, prefix);
+            // Enable gating adds a mux in front of the flop.
+            _report.comb_area_um2 +=
+                opGates(Op::And, exprWidth(u.value)) * kUm2PerGe;
+        }
+        for (const auto &inst : m.instances) {
+            std::string child_prefix = prefix + inst.name + ".";
+            flatten(*inst.module, child_prefix);
+            for (const auto &[port, e] : inst.inputs) {
+                _wires[child_prefix + port] = {e, prefix};
+                countArea(e);
+            }
+            for (const auto &[parent, child] : inst.outputs)
+                _aliases[prefix + parent] = child_prefix + child;
+        }
+    }
+
+    int exprWidth(const ExprPtr &e) const { return e->width; }
+
+    /** Structural hash for CSE: synthesis shares equal cones. */
+    uint64_t exprHash(const ExprPtr &e)
+    {
+        auto it = _hash.find(e.get());
+        if (it != _hash.end())
+            return it->second;
+        uint64_t h = 1469598103934665603ull;
+        auto mix = [&h](uint64_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        };
+        mix(static_cast<uint64_t>(e->kind));
+        mix(static_cast<uint64_t>(e->op));
+        mix(static_cast<uint64_t>(e->width));
+        mix(static_cast<uint64_t>(e->lo));
+        if (e->kind == Expr::Kind::Const)
+            mix(e->value.toUint64() ^ e->value.word(1));
+        if (e->kind == Expr::Kind::Ref)
+            mix(std::hash<std::string>{}(e->name));
+        if (e->rom)
+            mix(reinterpret_cast<uintptr_t>(e->rom.get()));
+        for (const auto &a : e->args)
+            mix(exprHash(a));
+        _hash[e.get()] = h;
+        return h;
+    }
+
+    void countArea(const ExprPtr &e)
+    {
+        if (!e || !_counted.insert(e.get()).second)
+            return;
+        for (const auto &a : e->args)
+            countArea(a);
+        // Common-subexpression elimination: structurally identical
+        // cones synthesize to one instance.
+        if (!_counted_hashes.insert(exprHash(e)).second)
+            return;
+        double ge = 0;
+        switch (e->kind) {
+          case Expr::Kind::Unop:
+            ge = opGates(e->op, e->args[0]->width);
+            break;
+          case Expr::Kind::Binop:
+            ge = opGates(e->op, e->width);
+            break;
+          case Expr::Kind::Mux:
+            ge = 2.2 * e->width;
+            break;
+          case Expr::Kind::Rom:
+            // LUT-mapped ROM: entries x width at a packed density.
+            ge = 0.32 * static_cast<double>(e->rom->size()) * e->width;
+            break;
+          default:
+            break;  // consts, refs, slices, concats are free
+        }
+        _report.comb_area_um2 += ge * kUm2PerGe;
+    }
+
+    std::string resolve(const std::string &scope,
+                        const std::string &name) const
+    {
+        std::string flat = scope + name;
+        auto it = _aliases.find(flat);
+        while (it != _aliases.end()) {
+            flat = it->second;
+            it = _aliases.find(flat);
+        }
+        return flat;
+    }
+
+    double wireDepth(const std::string &flat)
+    {
+        auto memo = _depth.find(flat);
+        if (memo != _depth.end())
+            return memo->second;
+        auto it = _wires.find(flat);
+        if (it == _wires.end())
+            return 0;   // register or input: path starts here
+        _depth[flat] = 0;  // break defensive cycles
+        double d = exprDepth(it->second.expr, it->second.scope);
+        _depth[flat] = d;
+        return d;
+    }
+
+    double exprDepth(const ExprPtr &e, const std::string &scope)
+    {
+        switch (e->kind) {
+          case Expr::Kind::Const:
+            return 0;
+          case Expr::Kind::Ref:
+            return wireDepth(resolve(scope, e->name));
+          case Expr::Kind::Unop:
+            return exprDepth(e->args[0], scope) +
+                opLevels(e->op, e->args[0]->width);
+          case Expr::Kind::Binop:
+            return std::max(exprDepth(e->args[0], scope),
+                            exprDepth(e->args[1], scope)) +
+                opLevels(e->op, e->width);
+          case Expr::Kind::Mux: {
+            double d = 0;
+            for (const auto &a : e->args)
+                d = std::max(d, exprDepth(a, scope));
+            return d + 1.4;
+          }
+          case Expr::Kind::Slice:
+            return exprDepth(e->args[0], scope);
+          case Expr::Kind::Concat: {
+            double d = 0;
+            for (const auto &a : e->args)
+                d = std::max(d, exprDepth(a, scope));
+            return d;
+          }
+          case Expr::Kind::Rom:
+            return exprDepth(e->args[0], scope) +
+                log2ceil(static_cast<int>(e->rom->size())) * 0.9;
+        }
+        return 0;
+    }
+
+    SynthReport _report;
+    std::vector<std::pair<ExprPtr, std::string>> _update_exprs;
+    std::map<std::string, FlatWire> _wires;
+    std::set<std::string> _regs;
+    std::map<std::string, std::string> _aliases;
+    std::set<const Expr *> _counted;
+    std::map<const Expr *, uint64_t> _hash;
+    std::set<uint64_t> _counted_hashes;
+    std::map<std::string, double> _depth;
+};
+
+} // namespace
+
+double
+SynthReport::fmaxMhz() const
+{
+    double ps = std::max(crit_path_ps, kClockOverheadPs + 10.0);
+    return 1e6 / ps;
+}
+
+double
+SynthReport::powerMw(double freq_mhz, double toggles_per_cycle) const
+{
+    double dyn = toggles_per_cycle * kDynPjPerToggle * freq_mhz * 1e-3;
+    double leak = areaUm2() * kLeakMwPerUm2;
+    // Clock tree power scales with sequential area and frequency.
+    double clk = seq_area_um2 * 2.4e-7 * freq_mhz;
+    return dyn * 1e3 + leak + clk;
+}
+
+std::string
+SynthReport::str() const
+{
+    return strfmt("area=%.0fum2 (comb=%.0f seq=%.0f) fmax=%.0fMHz",
+                  areaUm2(), comb_area_um2, seq_area_um2, fmaxMhz());
+}
+
+SynthReport
+synthesize(const rtl::Module &top)
+{
+    Analyzer a;
+    return a.run(top);
+}
+
+} // namespace synth
+} // namespace anvil

@@ -1,0 +1,315 @@
+#include "types/checker.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace anvil {
+
+namespace {
+
+/** Checker for a single thread. */
+class ThreadChecker
+{
+  public:
+    ThreadChecker(const ProcIR &pir, const ThreadIR &tir,
+                  DiagEngine &diags, CheckResult &result)
+        : _pir(pir), _tir(tir), _diags(diags), _result(result),
+          _ord(tir.graph)
+    {
+    }
+
+    LoanTable run();
+
+  private:
+    void checkLoopProgress();
+    void checkUses(LoanTable &loans);
+    void checkAssigns(const LoanTable &loans);
+    void checkSendOverlap();
+    void checkSyncModes();
+
+    void error(const std::string &msg, SrcLoc loc)
+    {
+        std::string key = msg + "@" + loc.str();
+        if (_reported.insert(key).second)
+            _diags.error(msg, loc);
+        _result.safe = false;
+    }
+
+    void traceLine(const std::string &text, bool ok)
+    {
+        _result.trace.push_back({text, ok});
+        if (!ok)
+            _result.safe = false;
+    }
+
+    const ProcIR &_pir;
+    const ThreadIR &_tir;
+    DiagEngine &_diags;
+    CheckResult &_result;
+    Ordering _ord;
+    std::set<std::string> _reported;
+};
+
+void
+ThreadChecker::checkLoopProgress()
+{
+    EventId boundary = _tir.graph.iterBoundary();
+    if (boundary == kNoEvent)
+        return;
+    Gap lb = _ord.gapLb(boundary, _tir.root);
+    bool ok = lb >= 1;
+    traceLine(strfmt("loop iteration takes at least %lld cycle(s)",
+                     ok ? static_cast<long long>(lb) : 0LL), ok);
+    if (!ok) {
+        error("Loop body may complete within zero cycles",
+              _tir.def ? _tir.def->loc : SrcLoc{});
+    }
+}
+
+void
+ThreadChecker::checkUses(LoanTable &loans)
+{
+    for (const auto &u : _tir.uses) {
+        // Only report diagnostics for the first unrolled copy; the
+        // second copy exists so cross-iteration conflicts surface in
+        // the loan/overlap checks.
+        bool first_iter =
+            _tir.graph.node(u.use_ev).iteration == 0;
+
+        bool ok = true;
+        if (u.point) {
+            // The value must be live throughout the use cycle: for
+            // every end pattern p, tau(p) > tau(use).
+            for (const auto &p : u.value.end.pats) {
+                if (_ord.patGapLb(p, EventPattern::atEvent(u.use_ev))
+                    < 1) {
+                    ok = false;
+                    break;
+                }
+            }
+        } else {
+            // Send: the contract window end must be covered.
+            for (const auto &p : u.value.end.pats) {
+                if (!_ord.patLe(u.required_end, p)) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+
+        if (first_iter) {
+            std::string what =
+                u.kind == UseKind::SendPayload ? "message send" :
+                u.kind == UseKind::AssignRhs ? "register assignment" :
+                "condition";
+            traceLine(strfmt("value %s used at e%d in %s; available %s",
+                             lifetimeStr(u.value).c_str(), u.use_ev,
+                             what.c_str(),
+                             ok ? "in time" : "TOO SHORT"), ok);
+        }
+        if (!ok && first_iter) {
+            if (u.kind == UseKind::SendPayload)
+                error("Value not live long enough in message send!",
+                      u.loc);
+            else
+                error("Value not live long enough!", u.loc);
+        }
+
+        // Record loans for every register the value depends on.  The
+        // loan end is the exclusive expiry: one cycle past a point
+        // use, or the contract window end for sends.
+        for (const auto &reg : u.value.regs) {
+            Loan l;
+            l.reg = reg;
+            l.start = u.value.create;
+            l.end = u.point ? EventPattern::fixed(u.use_ev, 1)
+                            : u.required_end;
+            l.loc = u.loc;
+            l.why = u.kind == UseKind::SendPayload
+                ? "sent in message" : "used by signal";
+            loans.add(std::move(l));
+        }
+    }
+}
+
+void
+ThreadChecker::checkAssigns(const LoanTable &loans)
+{
+    for (const auto &a : _tir.assigns) {
+        bool first_iter = _tir.graph.node(a.ev).iteration == 0;
+        for (const auto &l : loans.loansOf(a.reg)) {
+            if (!_ord.compatible(a.ev, l.start))
+                continue;
+            // Safe iff the mutation is strictly before the loan
+            // starts, or the mutation takes effect (one cycle after
+            // the assignment) no earlier than the loan expiry
+            // (Def. C.15: MutSet is checked on [a, b), where b is the
+            // last use cycle).
+            bool before = _ord.lt(a.ev, l.start);
+            bool after = _ord.patLe(l.end, EventPattern::fixed(a.ev, 1));
+            bool ok = before || after;
+            if (!ok || first_iter ||
+                _tir.graph.node(l.start).iteration == 0) {
+                traceLine(strfmt("register '%s' mutated at e%d; "
+                                 "loan [e%d, %s) %s",
+                                 a.reg.c_str(), a.ev, l.start,
+                                 l.end.str().c_str(),
+                                 ok ? "not violated" : "VIOLATED"),
+                          ok);
+            }
+            if (!ok) {
+                error(strfmt("Attempted assignment to a loaned "
+                             "register '%s'", a.reg.c_str()), a.loc);
+            }
+        }
+    }
+}
+
+void
+ThreadChecker::checkSendOverlap()
+{
+    for (size_t i = 0; i < _tir.sends.size(); i++) {
+        for (size_t j = i + 1; j < _tir.sends.size(); j++) {
+            const SendRecord &s1 = _tir.sends[i];
+            const SendRecord &s2 = _tir.sends[j];
+            if (s1.endpoint != s2.endpoint || s1.msg != s2.msg)
+                continue;
+            if (!_ord.compatible(s1.done_ev, s2.done_ev))
+                continue;
+            bool s1_first = _ord.patLeEvent(s1.expiry, s2.init_ev);
+            bool s2_first = _ord.patLeEvent(s2.expiry, s1.init_ev);
+            bool ok = s1_first || s2_first;
+            bool relevant =
+                _tir.graph.node(s1.done_ev).iteration == 0;
+            if (relevant) {
+                traceLine(strfmt("sends of %s.%s at e%d and e%d %s",
+                                 s1.endpoint.c_str(), s1.msg.c_str(),
+                                 s1.done_ev, s2.done_ev,
+                                 ok ? "do not overlap" : "MAY OVERLAP"),
+                          ok);
+                if (!ok) {
+                    error(strfmt("Possibly overlapping sends of "
+                                 "message '%s.%s'", s1.endpoint.c_str(),
+                                 s1.msg.c_str()), s2.loc);
+                }
+            }
+        }
+    }
+}
+
+void
+ThreadChecker::checkSyncModes()
+{
+    // Group synchronization sites by message.
+    std::map<std::string, std::vector<const SyncRecord *>> by_msg;
+    for (const auto &s : _tir.syncs)
+        by_msg[s.endpoint + "." + s.msg].push_back(&s);
+
+    for (auto &[key, sites] : by_msg) {
+        const SyncRecord &first = *sites[0];
+        const MessageDef *m = _pir.contract(first.endpoint, first.msg);
+        const EndpointInfo *info = _pir.findEndpoint(first.endpoint);
+        if (!m || !info)
+            continue;
+        const SyncMode &ours = info->side == EndpointSide::Left
+            ? m->left_sync : m->right_sync;
+        const SyncMode &theirs = info->side == EndpointSide::Left
+            ? m->right_sync : m->left_sync;
+
+        // Receiver with a static mode: we promise to be ready again
+        // within N cycles, so consecutive receives must be bounded.
+        if (!first.is_send && ours.kind == SyncMode::Kind::Static) {
+            for (size_t k = 0; k + 1 < sites.size(); k++) {
+                Gap ub = _ord.gapUb(sites[k + 1]->ev, sites[k]->ev);
+                if (ub > ours.cycles) {
+                    error(strfmt("receive of '%s' may not meet its "
+                                 "static sync mode @#%d", key.c_str(),
+                                 ours.cycles), sites[k + 1]->loc);
+                }
+            }
+        }
+        // Sender whose peer has a static mode: the peer is only
+        // guaranteed ready N cycles after the previous sync.
+        if (first.is_send && theirs.kind == SyncMode::Kind::Static) {
+            for (size_t k = 0; k + 1 < sites.size(); k++) {
+                Gap lb = _ord.gapLb(sites[k + 1]->ev, sites[k]->ev);
+                if (lb < theirs.cycles) {
+                    error(strfmt("sends of '%s' may be closer than the "
+                                 "receiver's static sync mode @#%d",
+                                 key.c_str(), theirs.cycles),
+                          sites[k + 1]->loc);
+                }
+            }
+        }
+    }
+}
+
+LoanTable
+ThreadChecker::run()
+{
+    LoanTable loans;
+    checkLoopProgress();
+    checkUses(loans);
+    checkAssigns(loans);
+    checkSendOverlap();
+    checkSyncModes();
+    return loans;
+}
+
+} // namespace
+
+std::string
+CheckResult::traceStr() const
+{
+    std::ostringstream os;
+    for (const auto &l : trace)
+        os << (l.ok ? "  [ok]   " : "  [FAIL] ") << l.text << "\n";
+    os << "Final decision: " << (safe ? "SAFE" : "UNSAFE") << "\n";
+    return os.str();
+}
+
+CheckResult
+checkProc(const ProcIR &pir, DiagEngine &diags)
+{
+    CheckResult result;
+
+    // Registers written from more than one thread are rejected; reads
+    // across threads only warn (the formal model types one thread at
+    // a time; see DESIGN.md).
+    std::map<std::string, int> writer_count;
+    for (const auto &t : pir.threads)
+        for (const auto &r : t->regs_written)
+            writer_count[r]++;
+    for (const auto &[reg, n] : writer_count) {
+        if (n > 1) {
+            diags.error(strfmt("register '%s' is assigned from %d "
+                               "threads", reg.c_str(), n),
+                        pir.def->loc);
+            result.safe = false;
+        }
+    }
+    for (const auto &t : pir.threads) {
+        for (const auto &r : t->regs_read) {
+            if (!t->regs_written.count(r) && writer_count[r] > 0) {
+                diags.warning(strfmt("register '%s' is read across "
+                                     "threads; treated as a one-cycle "
+                                     "snapshot", r.c_str()),
+                              pir.def->loc);
+            }
+        }
+    }
+
+    int errors_before = diags.errorCount();
+    for (const auto &t : pir.threads) {
+        ThreadChecker checker(pir, *t, diags, result);
+        result.loan_tables.push_back(checker.run());
+    }
+    if (diags.errorCount() > errors_before)
+        result.safe = false;
+    return result;
+}
+
+} // namespace anvil

@@ -1,0 +1,50 @@
+#include "types/lifetime.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace anvil {
+
+const std::vector<Loan> LoanTable::_empty;
+
+std::string
+Loan::str() const
+{
+    return strfmt("%s loaned [e%d, %s) (%s)", reg.c_str(), start,
+                  end.str().c_str(), why.c_str());
+}
+
+void
+LoanTable::add(Loan loan)
+{
+    _loans[loan.reg].push_back(std::move(loan));
+}
+
+const std::vector<Loan> &
+LoanTable::loansOf(const std::string &reg) const
+{
+    auto it = _loans.find(reg);
+    return it != _loans.end() ? it->second : _empty;
+}
+
+std::string
+LoanTable::str() const
+{
+    std::ostringstream os;
+    for (const auto &[reg, loans] : _loans) {
+        os << reg << ":\n";
+        for (const auto &l : loans)
+            os << "  [e" << l.start << ", " << l.end.str() << ")  "
+               << l.why << "\n";
+    }
+    return os.str();
+}
+
+std::string
+lifetimeStr(const ValueInfo &v)
+{
+    return strfmt("[e%d, %s)", v.create, v.end.str().c_str());
+}
+
+} // namespace anvil

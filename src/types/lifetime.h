@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lifetimes and loan times (paper §5.2).
+ *
+ * A lifetime `[e, S)` is the interval in which a value is unchanging
+ * and meaningful; it is carried on ValueInfo (src/ir/elaborate.h).
+ * A loan time is the collection of intervals during which a register
+ * must not be mutated because a signal sourced from it is live.
+ */
+
+#ifndef ANVIL_TYPES_LIFETIME_H
+#define ANVIL_TYPES_LIFETIME_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/elaborate.h"
+#include "ir/ordering.h"
+
+namespace anvil {
+
+/** One loaned interval of a register. */
+struct Loan
+{
+    std::string reg;
+    EventId start = kNoEvent;   ///< value creation event
+    EventPattern end;           ///< exclusive end of the loan
+    SrcLoc loc;                 ///< where the loaning use occurs
+    std::string why;            ///< human-readable cause
+
+    std::string str() const;
+};
+
+/** Loan table: register name -> all loaned intervals. */
+class LoanTable
+{
+  public:
+    void add(Loan loan);
+
+    const std::vector<Loan> &loansOf(const std::string &reg) const;
+
+    const std::map<std::string, std::vector<Loan>> &all() const
+    {
+        return _loans;
+    }
+
+    /** Render the table (used by the Fig. 6 bench). */
+    std::string str() const;
+
+  private:
+    std::map<std::string, std::vector<Loan>> _loans;
+    static const std::vector<Loan> _empty;
+};
+
+/** Render a value's lifetime, e.g. "[e3, {e2 |> #1, e1 |> ch1.m})". */
+std::string lifetimeStr(const ValueInfo &v);
+
+} // namespace anvil
+
+#endif // ANVIL_TYPES_LIFETIME_H

@@ -1,0 +1,146 @@
+#include "verif/bmc.h"
+
+#include <deque>
+#include <map>
+
+#include "rtl/interp.h"
+
+namespace anvil {
+namespace verif {
+
+namespace {
+
+/** Flattened register snapshot, hashable as a string. */
+std::string
+snapshot(rtl::Sim &sim, const std::vector<std::string> &regs)
+{
+    std::string key;
+    for (const auto &r : regs) {
+        key += sim.regValue(r).toHex();
+        key += '|';
+    }
+    return key;
+}
+
+void
+restore(rtl::Sim &sim, const std::vector<std::string> &regs,
+        const std::vector<BitVec> &vals)
+{
+    for (size_t i = 0; i < regs.size(); i++)
+        sim.setRegValue(regs[i], vals[i]);
+}
+
+std::vector<BitVec>
+capture(rtl::Sim &sim, const std::vector<std::string> &regs)
+{
+    std::vector<BitVec> vals;
+    vals.reserve(regs.size());
+    for (const auto &r : regs)
+        vals.push_back(sim.regValue(r));
+    return vals;
+}
+
+} // namespace
+
+std::string
+BmcResult::statusStr() const
+{
+    switch (status) {
+      case Status::Proved: return "proved (state space exhausted)";
+      case Status::Violated: return "VIOLATED";
+      case Status::BoundReached: return "bound reached, no violation";
+      case Status::BudgetExhausted:
+        return "state budget exhausted, no violation";
+    }
+    return "?";
+}
+
+BmcResult
+boundedModelCheck(const std::shared_ptr<const rtl::Module> &top,
+                  const std::vector<Assertion> &asserts,
+                  const BmcOptions &opts)
+{
+    rtl::Sim sim(top);
+    auto regs = sim.regNames();
+    auto inputs = sim.inputNames();
+
+    // Enumerate input vectors: each input contributes its low
+    // input_bits_limit bits; the cross product is capped.
+    int total_bits = 0;
+    for (const auto &in : inputs) {
+        (void)in;
+        total_bits += opts.input_bits_limit;
+    }
+    total_bits = std::min(total_bits, 12);
+    uint64_t combos = 1ull << total_bits;
+
+    struct Node
+    {
+        std::vector<BitVec> regs;
+        int depth;
+    };
+
+    BmcResult result;
+    std::deque<Node> frontier;
+    std::map<std::string, bool> seen;
+
+    frontier.push_back({capture(sim, regs), 0});
+    seen[snapshot(sim, regs)] = true;
+
+    bool hit_bound = false;
+    while (!frontier.empty()) {
+        Node node = std::move(frontier.front());
+        frontier.pop_front();
+        result.depth_reached = std::max(result.depth_reached,
+                                        node.depth);
+        if (node.depth >= opts.max_depth) {
+            hit_bound = true;
+            continue;
+        }
+
+        for (uint64_t combo = 0; combo < combos; combo++) {
+            restore(sim, regs, node.regs);
+            uint64_t bits = combo;
+            for (const auto &in : inputs) {
+                uint64_t v = bits &
+                    ((1ull << opts.input_bits_limit) - 1);
+                bits >>= opts.input_bits_limit;
+                sim.setInput(in, v);
+            }
+
+            // Check assertions in this combinational frame.
+            for (const auto &a : asserts) {
+                if (sim.evalTop(a.enable).any() &&
+                    !sim.evalTop(a.expr).any()) {
+                    result.status = BmcResult::Status::Violated;
+                    result.violated_assertion = a.name;
+                    result.states_explored = seen.size();
+                    return result;
+                }
+            }
+
+            sim.step();
+            result.states_explored++;
+            std::string key = snapshot(sim, regs);
+            if (!seen.count(key)) {
+                if (seen.size() >= opts.max_states) {
+                    result.status =
+                        BmcResult::Status::BudgetExhausted;
+                    result.states_explored = seen.size();
+                    return result;
+                }
+                seen[key] = true;
+                frontier.push_back({capture(sim, regs),
+                                    node.depth + 1});
+            }
+        }
+    }
+
+    result.status = hit_bound ? BmcResult::Status::BoundReached
+                              : BmcResult::Status::Proved;
+    result.states_explored = seen.size();
+    return result;
+}
+
+} // namespace verif
+} // namespace anvil

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Explicit-state bounded model checker over the RTL IR (Appendix A).
+ *
+ * Checks safety properties of the form "assertion expression is true
+ * whenever its enable expression is true" by exploring the reachable
+ * register-state space breadth-first up to a depth bound, with
+ * nondeterministic top-level inputs.
+ *
+ * This substrate reproduces the paper's comparison: on designs with
+ * wide counters (Listing 2's 32-bit counter), the reachable state
+ * space explodes and BMC exhausts its budget without reaching the
+ * violating states, while Anvil's type checker rejects the same
+ * design structurally in microseconds.
+ */
+
+#ifndef ANVIL_VERIF_BMC_H
+#define ANVIL_VERIF_BMC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/rtl.h"
+
+namespace anvil {
+namespace verif {
+
+/** A checked property: when `enable` holds, `expr` must hold. */
+struct Assertion
+{
+    std::string name;
+    rtl::ExprPtr enable;
+    rtl::ExprPtr expr;
+};
+
+/** Outcome of a bounded model-checking run. */
+struct BmcResult
+{
+    enum class Status { Proved, Violated, BoundReached, BudgetExhausted };
+
+    Status status = Status::BoundReached;
+    int depth_reached = 0;
+    uint64_t states_explored = 0;
+    std::string violated_assertion;
+    std::vector<std::string> trace;   // input vectors along the cex
+
+    bool foundViolation() const { return status == Status::Violated; }
+    std::string statusStr() const;
+};
+
+/** Knobs for the exploration. */
+struct BmcOptions
+{
+    int max_depth = 32;
+    uint64_t max_states = 200000;
+    /** Bits per input sampled nondeterministically (the rest 0). */
+    int input_bits_limit = 4;
+};
+
+/**
+ * Explore the design from its reset state.  Inputs take all
+ * combinations of their low `input_bits_limit` bits each step.
+ */
+BmcResult boundedModelCheck(const std::shared_ptr<const rtl::Module> &top,
+                            const std::vector<Assertion> &asserts,
+                            const BmcOptions &opts = {});
+
+} // namespace verif
+} // namespace anvil
+
+#endif // ANVIL_VERIF_BMC_H

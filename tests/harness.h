@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Shared workload harness for driving valid/ack handshake interfaces
+ * of both baseline and Anvil-compiled designs.
+ */
+
+#ifndef ANVIL_TESTS_HARNESS_H
+#define ANVIL_TESTS_HARNESS_H
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "anvil/compiler.h"
+#include "rtl/interp.h"
+
+namespace anvil {
+namespace testing {
+
+/** Compile an Anvil source and return the module for `proc_name`. */
+inline rtl::ModulePtr
+compileDesign(const std::string &source, const std::string &proc_name,
+              std::string *errors = nullptr)
+{
+    CompileOutput out = compileAnvil(source, {.top = proc_name});
+    if (errors)
+        *errors = out.diags.render();
+    if (!out.ok)
+        return nullptr;
+    return out.module(proc_name);
+}
+
+/**
+ * Drives a produce/consume stream workload against a design with
+ * `<in>_valid/_data/_ack` and `<out>_valid/_data/_ack` ports.
+ *
+ * Producer offers `items` with the given duty cycle; the consumer
+ * accepts with its own duty cycle.  Returns the accepted outputs.
+ */
+class StreamHarness
+{
+  public:
+    StreamHarness(rtl::Sim &sim, std::string in_prefix,
+                  std::string out_prefix, unsigned seed = 1)
+        : _sim(sim), _in(std::move(in_prefix)),
+          _out(std::move(out_prefix)), _rng(seed)
+    {
+    }
+
+    /** Probability (percent) that the producer offers data. */
+    int produce_duty = 100;
+    /** Probability (percent) that the consumer is ready. */
+    int consume_duty = 100;
+
+    std::vector<uint64_t>
+    run(const std::vector<uint64_t> &items, int max_cycles)
+    {
+        std::vector<uint64_t> got;
+        size_t next = 0;
+        for (int cyc = 0; cyc < max_cycles; cyc++) {
+            bool offer = next < items.size() &&
+                roll(_rng) % 100 < produce_duty;
+            bool take = roll(_rng) % 100 < consume_duty;
+
+            _sim.setInput(_in + "_valid", offer ? 1 : 0);
+            _sim.setInput(_in + "_data",
+                          offer ? items[next] : 0xdeadbeefull);
+            _sim.setInput(_out + "_ack", take ? 1 : 0);
+
+            bool in_fire = offer &&
+                _sim.peek(_in + "_ack").any();
+            bool out_fire = take &&
+                _sim.peek(_out + "_valid").any();
+            uint64_t out_val =
+                _sim.peek(_out + "_data").toUint64();
+
+            _sim.step();
+            if (in_fire)
+                next++;
+            if (out_fire)
+                got.push_back(out_val);
+            if (got.size() == items.size())
+                break;
+        }
+        return got;
+    }
+
+  private:
+    static uint32_t roll(std::mt19937 &rng) { return rng(); }
+
+    rtl::Sim &_sim;
+    std::string _in;
+    std::string _out;
+    std::mt19937 _rng;
+};
+
+/**
+ * One blocking request/response transaction over
+ * `<p>_req_*` / `<p>_res_*`-style port pairs.  Returns the response
+ * data; `latency` receives the number of cycles from request
+ * acceptance to response.
+ */
+inline BitVec
+transact(rtl::Sim &sim, const std::string &req, const std::string &res,
+         const BitVec &payload, int *latency = nullptr,
+         int timeout = 1000)
+{
+    sim.setInput(req + "_data", payload);
+    sim.setInput(req + "_valid", 1);
+    sim.setInput(res + "_ack", 1);
+    int start = -1;
+    for (int i = 0; i < timeout; i++) {
+        bool req_fire = sim.peek(req + "_ack").any();
+        bool res_fire = sim.peek(res + "_valid").any();
+        BitVec data = sim.peek(res + "_data");
+        if (req_fire && start < 0) {
+            start = static_cast<int>(sim.cycle());
+        }
+        if (res_fire && start >= 0) {
+            if (latency)
+                *latency = static_cast<int>(sim.cycle()) - start;
+            sim.step();
+            sim.setInput(req + "_valid", 0);
+            sim.setInput(res + "_ack", 0);
+            return data;
+        }
+        sim.step();
+        if (start >= 0)
+            sim.setInput(req + "_valid", 0);
+    }
+    if (latency)
+        *latency = -1;
+    return BitVec(1);
+}
+
+} // namespace testing
+} // namespace anvil
+
+#endif // ANVIL_TESTS_HARNESS_H

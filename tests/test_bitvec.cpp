@@ -1,0 +1,161 @@
+/**
+ * @file
+ * BitVec unit and property tests: arithmetic wraps modulo 2^width,
+ * slicing/concatenation roundtrips, comparisons agree with uint64
+ * semantics on narrow values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "support/bitvec.h"
+
+using anvil::BitVec;
+
+namespace {
+
+TEST(BitVec, ConstructionAndWidth)
+{
+    BitVec v(8, 0x5a);
+    EXPECT_EQ(v.width(), 8);
+    EXPECT_EQ(v.toUint64(), 0x5au);
+    EXPECT_TRUE(v.bit(1));
+    EXPECT_FALSE(v.bit(0));
+}
+
+TEST(BitVec, TruncatesToWidth)
+{
+    BitVec v(4, 0xff);
+    EXPECT_EQ(v.toUint64(), 0xfu);
+}
+
+TEST(BitVec, FromBinaryAndHex)
+{
+    EXPECT_EQ(BitVec::fromBinary("1010").toUint64(), 10u);
+    EXPECT_EQ(BitVec::fromBinary("1010").width(), 4);
+    EXPECT_EQ(BitVec::fromHex("deadbeef").toUint64(), 0xdeadbeefu);
+    EXPECT_EQ(BitVec::fromHex("deadbeef").width(), 32);
+}
+
+TEST(BitVec, WideValues)
+{
+    BitVec v(200);
+    v.setBit(199, true);
+    v.setBit(0, true);
+    EXPECT_TRUE(v.bit(199));
+    EXPECT_TRUE(v.bit(0));
+    EXPECT_FALSE(v.bit(100));
+    EXPECT_EQ(v.popcount(), 2);
+}
+
+TEST(BitVec, AdditionWrapsAtWidth)
+{
+    BitVec a(8, 0xff);
+    BitVec b(8, 1);
+    EXPECT_EQ((a + b).toUint64(), 0u);
+}
+
+TEST(BitVec, AdditionCarriesAcrossWords)
+{
+    BitVec a = BitVec::ones(128);
+    BitVec b(128, 1);
+    BitVec s = a + b;
+    EXPECT_TRUE(s.isZero());
+}
+
+TEST(BitVec, SubtractionIsTwosComplement)
+{
+    BitVec a(16, 5);
+    BitVec b(16, 7);
+    EXPECT_EQ((a - b).toUint64(), 0xfffeu);
+}
+
+TEST(BitVec, MultiplyMatches64Bit)
+{
+    BitVec a(64, 123456789);
+    BitVec b(64, 987654321);
+    EXPECT_EQ((a * b).toUint64(), 123456789ull * 987654321ull);
+}
+
+TEST(BitVec, ShiftsAndSlices)
+{
+    BitVec v(16, 0x00ff);
+    EXPECT_EQ((v << 4).toUint64(), 0x0ff0u);
+    EXPECT_EQ((v >> 4).toUint64(), 0x000fu);
+    EXPECT_EQ(v.slice(4, 8).toUint64(), 0x0fu);
+    EXPECT_EQ(v.slice(4, 8).width(), 8);
+}
+
+TEST(BitVec, SliceBeyondWidthReadsZero)
+{
+    BitVec v(8, 0xff);
+    EXPECT_EQ(v.slice(4, 8).toUint64(), 0x0fu);
+}
+
+TEST(BitVec, ConcatHigh)
+{
+    BitVec lo(8, 0x34);
+    BitVec hi(8, 0x12);
+    BitVec v = lo.concatHigh(hi);
+    EXPECT_EQ(v.width(), 16);
+    EXPECT_EQ(v.toUint64(), 0x1234u);
+}
+
+TEST(BitVec, UnsignedComparison)
+{
+    EXPECT_TRUE(BitVec(8, 3).ult(BitVec(8, 200)));
+    EXPECT_FALSE(BitVec(8, 200).ult(BitVec(8, 3)));
+    EXPECT_TRUE(BitVec(8, 7).ule(BitVec(8, 7)));
+    // Across widths.
+    EXPECT_TRUE(BitVec(8, 200).ult(BitVec(128, 1) << 100));
+}
+
+TEST(BitVec, HexRendering)
+{
+    EXPECT_EQ(BitVec(8, 0x5a).toHex(), "0x5a");
+    EXPECT_EQ(BitVec(12, 0x5a).toHex(), "0x05a");
+    EXPECT_EQ(BitVec(4, 10).toBinary(), "1010");
+}
+
+/** Property sweep: BitVec arithmetic agrees with masked uint64. */
+class BitVecProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitVecProperty, MatchesUint64Semantics)
+{
+    int width = GetParam();
+    uint64_t mask = width >= 64 ? ~0ull : ((1ull << width) - 1);
+    std::mt19937_64 rng(width);
+    for (int i = 0; i < 200; i++) {
+        uint64_t x = rng() & mask;
+        uint64_t y = rng() & mask;
+        BitVec a(width, x), b(width, y);
+        EXPECT_EQ((a + b).toUint64(), (x + y) & mask);
+        EXPECT_EQ((a - b).toUint64(), (x - y) & mask);
+        EXPECT_EQ((a & b).toUint64(), x & y);
+        EXPECT_EQ((a | b).toUint64(), x | y);
+        EXPECT_EQ((a ^ b).toUint64(), x ^ y);
+        EXPECT_EQ((~a).toUint64(), ~x & mask);
+        EXPECT_EQ(a == b, x == y);
+        EXPECT_EQ(a.ult(b), x < y);
+        int sh = static_cast<int>(rng() % width);
+        EXPECT_EQ((a << sh).toUint64(), (x << sh) & mask);
+        EXPECT_EQ((a >> sh).toUint64(), (x & mask) >> sh);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecProperty,
+                         ::testing::Values(1, 3, 8, 13, 17, 32, 33, 48,
+                                           63, 64));
+
+TEST(BitVec, ResizeRoundtrip)
+{
+    BitVec v(40, 0xabcdef1234ull);
+    EXPECT_EQ(v.resize(64).toUint64(), 0xabcdef1234ull);
+    EXPECT_EQ(v.resize(16).toUint64(), 0x1234u);
+    EXPECT_EQ(v.resize(16).resize(40).toUint64(), 0x1234u);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Parameterized contract sweeps: the boundary behaviour of the type
+ * system.  For a message with contract `@#K`, a use D cycles after
+ * the sync must be accepted exactly when D < K; a mutation of a
+ * loaned register D cycles after a `@#K`-window send is accepted
+ * exactly when D >= K; and static sync modes `@#N` admit receive
+ * loops of period P exactly when P <= N.
+ */
+
+#include <gtest/gtest.h>
+
+#include "anvil/compiler.h"
+#include "support/strings.h"
+
+using namespace anvil;
+
+namespace {
+
+struct Sweep
+{
+    int contract;
+    int delay;
+};
+
+std::string
+sweepName(const ::testing::TestParamInfo<Sweep> &i)
+{
+    return strfmt("k%d_d%d", i.param.contract, i.param.delay);
+}
+
+/** Use a received value `delay` cycles after the sync. */
+class UseAfterContract : public ::testing::TestWithParam<Sweep>
+{
+};
+
+TEST_P(UseAfterContract, AcceptedIffInsideWindow)
+{
+    auto [k, d] = GetParam();
+    std::string src = strfmt(R"(
+chan c { left a : (logic[8]@#%d) }
+proc p(ep : left c) {
+    reg r : logic[8];
+    loop { let v = recv ep.a >> cycle %d >> set r := v >> cycle 1 }
+}
+)", k, d);
+    CompileOutput out = compileAnvil(src);
+    bool expect_ok = d < k;
+    EXPECT_EQ(out.ok, expect_ok)
+        << "contract #" << k << ", use at +" << d << "\n"
+        << out.diags.render();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundary, UseAfterContract,
+    ::testing::Values(Sweep{1, 0}, Sweep{1, 1}, Sweep{2, 0},
+                      Sweep{2, 1}, Sweep{2, 2}, Sweep{3, 2},
+                      Sweep{3, 3}, Sweep{5, 4}, Sweep{5, 5},
+                      Sweep{8, 7}, Sweep{8, 8}),
+    sweepName);
+
+/** Mutate a register `delay` cycles after a `@#K`-window send. */
+class MutateAfterSend : public ::testing::TestWithParam<Sweep>
+{
+};
+
+TEST_P(MutateAfterSend, AcceptedIffLoanExpired)
+{
+    auto [k, d] = GetParam();
+    std::string src = strfmt(R"(
+chan c { left m : (logic[8]@#%d) }
+proc p(ep : right c) {
+    reg r : logic[8];
+    loop {
+        send ep.m (*r) >>
+        cycle %d >>
+        set r := *r + 1 >>
+        cycle %d
+    }
+}
+)", k, d, k + 1);
+    CompileOutput out = compileAnvil(src);
+    // The send window is [init, done + k); the mutation at done + d
+    // takes effect at done + d + 1, so d >= k - 1 is safe
+    // (Def. C.15 checks mutations on [a, b)).
+    bool expect_ok = d >= k - 1;
+    EXPECT_EQ(out.ok, expect_ok)
+        << "window #" << k << ", mutation at +" << d << "\n"
+        << out.diags.render();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundary, MutateAfterSend,
+    ::testing::Values(Sweep{1, 0}, Sweep{2, 0}, Sweep{2, 1},
+                      Sweep{2, 2}, Sweep{3, 1}, Sweep{3, 2},
+                      Sweep{4, 2}, Sweep{4, 3}, Sweep{6, 4},
+                      Sweep{6, 5}),
+    sweepName);
+
+/** Receive loop of period P against a static promise `@#N`. */
+class StaticSyncPeriod : public ::testing::TestWithParam<Sweep>
+{
+};
+
+TEST_P(StaticSyncPeriod, AcceptedIffPeriodWithinPromise)
+{
+    auto [n, p] = GetParam();
+    std::string src = strfmt(R"(
+chan c { left a : (logic[8]@#1) @#%d-@#%d }
+proc p(ep : left c) {
+    reg r : logic[8];
+    loop { let v = recv ep.a >> set r := v >> cycle %d }
+}
+)", n, n, p - 1);
+    if (p < 1)
+        GTEST_SKIP();
+    CompileOutput out = compileAnvil(src);
+    // Iteration period is 1 (assign) + (p-1) = p cycles; the receive
+    // completes within max_sync = n-1 extra cycles, so the worst-case
+    // inter-receive gap is p + n - 1.
+    bool expect_ok = p + n - 1 <= n;
+    EXPECT_EQ(out.ok, expect_ok)
+        << "promise @#" << n << ", loop period " << p << "\n"
+        << out.diags.render();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundary, StaticSyncPeriod,
+    ::testing::Values(Sweep{1, 1}, Sweep{2, 1}, Sweep{2, 2},
+                      Sweep{3, 2}, Sweep{3, 3}, Sweep{4, 4},
+                      Sweep{4, 5}),
+    sweepName);
+
+/** Dynamic `@msg` contracts survive arbitrary waits before the sync. */
+class DynamicContractWait : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DynamicContractWait, UsableUntilNextSyncRegardlessOfWait)
+{
+    int wait = GetParam();
+    std::string src = strfmt(R"(
+chan c { left req : (logic[8]@res), right res : (logic[8]@#1) }
+proc p(ep : left c) {
+    reg r : logic[8];
+    loop {
+        let v = recv ep.req >>
+        cycle %d >>
+        set r := v >>
+        send ep.res (*r) >>
+        cycle 1
+    }
+}
+)", wait);
+    CompileOutput out = compileAnvil(src);
+    EXPECT_TRUE(out.ok) << "wait " << wait << "\n"
+                        << out.diags.render();
+}
+
+INSTANTIATE_TEST_SUITE_P(Waits, DynamicContractWait,
+                         ::testing::Values(0, 1, 2, 5, 17, 100));
+
+} // namespace

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * CVA6-style MMU designs: TLB hit/miss behaviour and the PTW's
+ * dynamic-latency three-level walk, for both the handwritten
+ * baselines and the Anvil-compiled versions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "designs/designs.h"
+#include "harness.h"
+
+using namespace anvil;
+using namespace anvil::designs;
+using anvil::testing::compileDesign;
+using anvil::testing::transact;
+
+namespace {
+
+/** Insert a TLB entry through the upd port. */
+void
+tlbInsert(rtl::Sim &sim, uint64_t vpn, uint64_t ppn)
+{
+    sim.setInput("io_upd_data", BitVec(64, (vpn << 32) | ppn));
+    sim.setInput("io_upd_valid", 1);
+    sim.step();
+    sim.setInput("io_upd_valid", 0);
+}
+
+/** One TLB lookup; returns {hit, ppn}. */
+std::pair<bool, uint64_t>
+tlbLookup(rtl::Sim &sim, uint64_t vpn)
+{
+    int latency = -1;
+    BitVec res = transact(sim, "io_req", "io_res", BitVec(32, vpn),
+                          &latency);
+    return {res.bit(32), res.slice(0, 32).toUint64()};
+}
+
+class TlbTest : public ::testing::TestWithParam<bool>
+{
+  public:
+    // Param false: baseline; true: Anvil-compiled.
+    rtl::ModulePtr build()
+    {
+        if (!GetParam())
+            return buildTlbBaseline();
+        std::string errs;
+        auto mod = compileDesign(anvilTlbSource(), "tlb", &errs);
+        EXPECT_NE(mod, nullptr) << errs;
+        return mod;
+    }
+};
+
+TEST_P(TlbTest, MissThenHit)
+{
+    auto mod = build();
+    ASSERT_NE(mod, nullptr);
+    rtl::Sim sim(mod);
+    sim.setInput("io_upd_valid", 0);
+    sim.setInput("io_req_valid", 0);
+    sim.step(2);
+
+    auto [hit0, ppn0] = tlbLookup(sim, 0x1234);
+    EXPECT_FALSE(hit0);
+
+    tlbInsert(sim, 0x1234, 0xabcd);
+    auto [hit1, ppn1] = tlbLookup(sim, 0x1234);
+    EXPECT_TRUE(hit1);
+    EXPECT_EQ(ppn1, 0xabcdu);
+
+    auto [hit2, ppn2] = tlbLookup(sim, 0x9999);
+    EXPECT_FALSE(hit2);
+}
+
+TEST_P(TlbTest, EightEntriesAndEviction)
+{
+    auto mod = build();
+    ASSERT_NE(mod, nullptr);
+    rtl::Sim sim(mod);
+    sim.setInput("io_upd_valid", 0);
+    sim.setInput("io_req_valid", 0);
+    sim.step(2);
+
+    for (uint64_t i = 0; i < 8; i++)
+        tlbInsert(sim, 0x100 + i, 0x500 + i);
+    for (uint64_t i = 0; i < 8; i++) {
+        auto [hit, ppn] = tlbLookup(sim, 0x100 + i);
+        EXPECT_TRUE(hit) << "entry " << i;
+        EXPECT_EQ(ppn, 0x500 + i);
+    }
+    // A ninth insert evicts the round-robin victim (entry 0).
+    tlbInsert(sim, 0x200, 0x700);
+    auto [hit_new, ppn_new] = tlbLookup(sim, 0x200);
+    EXPECT_TRUE(hit_new);
+    EXPECT_EQ(ppn_new, 0x700u);
+    auto [hit_old, ppn_old] = tlbLookup(sim, 0x100);
+    EXPECT_FALSE(hit_old);
+}
+
+INSTANTIATE_TEST_SUITE_P(BaselineAndAnvil, TlbTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &i) {
+                             return i.param ? "anvil" : "baseline";
+                         });
+
+// ---------------------------------------------------------------------
+// PTW
+// ---------------------------------------------------------------------
+
+/**
+ * A simple page-table memory model: 8-byte PTEs addressed physically.
+ * Responds to mreq/mres with a configurable latency.
+ */
+class PtwMemory
+{
+  public:
+    std::map<uint64_t, uint64_t> ptes;
+    int latency = 2;
+
+    /** Drive one cycle of the memory side; call before sim.step(). */
+    void drive(rtl::Sim &sim)
+    {
+        bool req = sim.peek("m_mreq_valid").any();
+        sim.setInput("m_mreq_ack", req && _count < 0 ? 1 : 0);
+        if (req && _count < 0) {
+            _addr = sim.peek("m_mreq_data").toUint64();
+            _count = latency;
+        }
+        if (_count == 0) {
+            sim.setInput("m_mres_valid", 1);
+            auto it = ptes.find(_addr);
+            sim.setInput("m_mres_data",
+                         BitVec(64, it != ptes.end() ? it->second : 0));
+            if (sim.peek("m_mres_ack").any())
+                _count = -1;
+        } else {
+            sim.setInput("m_mres_valid", 0);
+            if (_count > 0)
+                _count--;
+        }
+    }
+
+  private:
+    int _count = -1;
+    uint64_t _addr = 0;
+};
+
+/** PTE encoding: valid bit 0, perms bits 3:1, ppn from bit 10. */
+uint64_t
+makePte(uint64_t ppn, bool leaf, bool valid = true)
+{
+    return (ppn << 10) | (leaf ? 0xe : 0) | (valid ? 1 : 0);
+}
+
+struct WalkResult
+{
+    uint64_t pte = 0;
+    int latency = 0;
+};
+
+WalkResult
+walk(rtl::Sim &sim, PtwMemory &mem, uint64_t vpn, int timeout = 300)
+{
+    WalkResult r;
+    sim.setInput("cpu_req_data", BitVec(27, vpn));
+    sim.setInput("cpu_req_valid", 1);
+    sim.setInput("cpu_res_ack", 1);
+    int start = -1;
+    for (int i = 0; i < timeout; i++) {
+        mem.drive(sim);
+        bool req_fire = sim.peek("cpu_req_ack").any() &&
+            sim.peek("cpu_req_valid").any();
+        bool res_fire = sim.peek("cpu_res_valid").any();
+        uint64_t data = sim.peek("cpu_res_data").toUint64();
+        if (req_fire && start < 0)
+            start = static_cast<int>(sim.cycle());
+        if (res_fire && start >= 0) {
+            r.pte = data;
+            r.latency = static_cast<int>(sim.cycle()) - start;
+            sim.step();
+            sim.setInput("cpu_req_valid", 0);
+            sim.setInput("cpu_res_ack", 0);
+            return r;
+        }
+        sim.step();
+        if (start >= 0)
+            sim.setInput("cpu_req_valid", 0);
+    }
+    r.latency = -1;
+    return r;
+}
+
+class PtwTest : public ::testing::TestWithParam<bool>
+{
+  public:
+    rtl::ModulePtr build()
+    {
+        if (!GetParam())
+            return buildPtwBaseline();
+        std::string errs;
+        auto mod = compileDesign(anvilPtwSource(), "ptw", &errs);
+        EXPECT_NE(mod, nullptr) << errs;
+        return mod;
+    }
+};
+
+TEST_P(PtwTest, ThreeLevelWalk)
+{
+    auto mod = build();
+    ASSERT_NE(mod, nullptr);
+    rtl::Sim sim(mod);
+    PtwMemory mem;
+
+    // vpn = {l1=1, l2=2, l3=3}.
+    uint64_t vpn = (1ull << 18) | (2ull << 9) | 3;
+    // Level 1 at 4096 + 1*8: pointer to table at ppn 2.
+    mem.ptes[4096 + 8] = makePte(2, false);
+    // Level 2 at (2<<12) + 2*8: pointer to table at ppn 3.
+    mem.ptes[(2ull << 12) + 16] = makePte(3, false);
+    // Level 3 at (3<<12) + 3*8: leaf with ppn 0x77.
+    mem.ptes[(3ull << 12) + 24] = makePte(0x77, true);
+
+    auto r = walk(sim, mem, vpn);
+    ASSERT_GE(r.latency, 0) << "walk timed out";
+    EXPECT_EQ(r.pte, makePte(0x77, true));
+}
+
+TEST_P(PtwTest, SuperpageLeafIsFaster)
+{
+    auto mod = build();
+    ASSERT_NE(mod, nullptr);
+    rtl::Sim sim(mod);
+    PtwMemory mem;
+
+    // 1G superpage: leaf at level 1 for vpn l1=4.
+    mem.ptes[4096 + 4 * 8] = makePte(0x88, true);
+    // Full walk for vpn l1=1.
+    mem.ptes[4096 + 8] = makePte(2, false);
+    mem.ptes[(2ull << 12) + 0] = makePte(3, false);
+    mem.ptes[(3ull << 12) + 0] = makePte(0x99, true);
+
+    auto super = walk(sim, mem, 4ull << 18);
+    auto full = walk(sim, mem, 1ull << 18);
+    ASSERT_GE(super.latency, 0);
+    ASSERT_GE(full.latency, 0);
+    EXPECT_EQ(super.pte, makePte(0x88, true));
+    EXPECT_EQ(full.pte, makePte(0x99, true));
+    // Dynamic timing: the superpage walk is roughly one third.
+    EXPECT_LT(super.latency, full.latency);
+}
+
+TEST_P(PtwTest, FaultReturnsZero)
+{
+    auto mod = build();
+    ASSERT_NE(mod, nullptr);
+    rtl::Sim sim(mod);
+    PtwMemory mem;
+    // No PTEs mapped: the level-1 entry is invalid.
+    auto r = walk(sim, mem, 5ull << 18);
+    ASSERT_GE(r.latency, 0);
+    EXPECT_EQ(r.pte, 0u);
+}
+
+TEST_P(PtwTest, LatencyScalesWithMemory)
+{
+    auto mod = build();
+    ASSERT_NE(mod, nullptr);
+    rtl::Sim sim(mod);
+    PtwMemory mem;
+    mem.ptes[4096] = makePte(2, false);
+    mem.ptes[(2ull << 12)] = makePte(3, false);
+    mem.ptes[(3ull << 12)] = makePte(0x42, true);
+
+    mem.latency = 1;
+    auto fast = walk(sim, mem, 0);
+    mem.latency = 8;
+    auto slow = walk(sim, mem, 0);
+    ASSERT_GE(fast.latency, 0);
+    ASSERT_GE(slow.latency, 0);
+    EXPECT_GT(slow.latency, fast.latency + 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(BaselineAndAnvil, PtwTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &i) {
+                             return i.param ? "anvil" : "baseline";
+                         });
+
+} // namespace

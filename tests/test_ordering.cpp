@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Event-graph and ordering-relation tests (Defs. C.9-C.11): gap
+ * bounds on hand-built graphs, pattern comparisons, branch contexts,
+ * and a randomized soundness property — whenever the analysis claims
+ * a <=_G b, every sampled timestamp function satisfies
+ * tau(a) <= tau(b).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/elaborate.h"
+#include "ir/ordering.h"
+#include "lang/parser.h"
+#include "sem/loggen.h"
+
+using namespace anvil;
+
+namespace {
+
+TEST(Ordering, FixedDelaysAreExact)
+{
+    EventGraph g;
+    EventId root = g.addRoot();
+    EventId a = g.addDelay(root, 2);
+    EventId b = g.addDelay(a, 3);
+    Ordering ord(g);
+    EXPECT_EQ(ord.gapLb(b, root), 5);
+    EXPECT_EQ(ord.gapUb(b, root), 5);
+    EXPECT_EQ(ord.gapLb(root, b), -5);
+    EXPECT_TRUE(ord.le(root, b));
+    EXPECT_TRUE(ord.lt(root, b));
+    EXPECT_FALSE(ord.le(b, root));
+}
+
+TEST(Ordering, DynamicSyncIsUnbounded)
+{
+    EventGraph g;
+    EventId root = g.addRoot();
+    EventId s = g.addSend(root, "ep", "m");
+    Ordering ord(g);
+    EXPECT_EQ(ord.gapLb(s, root), 0);
+    EXPECT_GE(ord.gapUb(s, root), kGapInf);
+    EXPECT_TRUE(ord.le(root, s));
+    EXPECT_FALSE(ord.lt(root, s));
+}
+
+TEST(Ordering, BoundedSyncUsesMaxSync)
+{
+    EventGraph g;
+    EventId root = g.addRoot();
+    EventId s = g.addSend(root, "ep", "m");
+    g.node(s).max_sync = 0;
+    Ordering ord(g);
+    EXPECT_EQ(ord.gapUb(s, root), 0);
+}
+
+TEST(Ordering, JoinTakesTheMax)
+{
+    EventGraph g;
+    EventId root = g.addRoot();
+    EventId a = g.addDelay(root, 1);
+    EventId b = g.addDelay(root, 4);
+    EventId j = g.addJoin({a, b});
+    Ordering ord(g);
+    EXPECT_EQ(ord.gapLb(j, root), 4);
+    EXPECT_EQ(ord.gapUb(j, root), 4);
+    // The join is no earlier than either input.
+    EXPECT_TRUE(ord.le(a, j));
+    EXPECT_TRUE(ord.le(b, j));
+}
+
+TEST(Ordering, JoinWithUnboundedInput)
+{
+    EventGraph g;
+    EventId root = g.addRoot();
+    EventId a = g.addDelay(root, 1);
+    EventId s = g.addRecv(root, "ep", "m");
+    EventId j = g.addJoin({a, s});
+    Ordering ord(g);
+    EXPECT_EQ(ord.gapLb(j, root), 1);
+    EXPECT_GE(ord.gapUb(j, root), kGapInf);
+    // Worst-case reasoning (paper §5.4): even if the sync takes zero
+    // cycles, the join still happens at least one cycle after root.
+    EXPECT_TRUE(ord.lt(root, j));
+}
+
+TEST(Ordering, MergeTakesWhicheverArmRan)
+{
+    EventGraph g;
+    EventId root = g.addRoot();
+    int c = g.freshCond();
+    EventId bt = g.addBranch(root, c, true);
+    EventId bf = g.addBranch(root, c, false);
+    EventId slow = g.addDelay(bt, 5);
+    EventId fast = g.addDelay(bf, 1);
+    EventId m = g.addMerge(slow, fast, root);
+    Ordering ord(g);
+    EXPECT_EQ(ord.gapLb(m, root), 1);
+    EXPECT_EQ(ord.gapUb(m, root), 5);
+    // From inside the slow arm, the merge is exactly its end.
+    EXPECT_EQ(ord.gapLb(m, slow), 0);
+    EXPECT_EQ(ord.gapUb(m, slow), 0);
+}
+
+TEST(Ordering, BranchContextsDetectExclusivity)
+{
+    EventGraph g;
+    EventId root = g.addRoot();
+    int c = g.freshCond();
+    EventId bt = g.addBranch(root, c, true);
+    EventId bf = g.addBranch(root, c, false);
+    EventId in_t = g.addDelay(bt, 1);
+    EventId in_f = g.addDelay(bf, 1);
+    Ordering ord(g);
+    EXPECT_FALSE(ord.compatible(in_t, in_f));
+    EXPECT_TRUE(ord.compatible(in_t, root));
+    EXPECT_TRUE(ord.compatible(in_t, bt));
+}
+
+TEST(Ordering, JoinUnionsBranchContexts)
+{
+    EventGraph g;
+    EventId root = g.addRoot();
+    int c = g.freshCond();
+    EventId bt = g.addBranch(root, c, true);
+    EventId bf = g.addBranch(root, c, false);
+    EventId other = g.addDelay(root, 1);
+    EventId j = g.addJoin({bt, other});
+    Ordering ord(g);
+    // The join inherits the branch fact: incompatible with the other
+    // arm.
+    EXPECT_FALSE(ord.compatible(j, bf));
+}
+
+TEST(Ordering, SameMessageSyncsAreSeparated)
+{
+    EventGraph g;
+    EventId root = g.addRoot();
+    EventId s1 = g.addRecv(root, "ep", "m");
+    EventId s2 = g.addRecv(s1, "ep", "m");
+    Ordering ord(g);
+    // Two handshakes of the same message cannot complete in the same
+    // cycle.
+    EXPECT_GE(ord.gapLb(s2, s1), 1);
+    EXPECT_TRUE(ord.lt(s1, s2));
+}
+
+TEST(Ordering, PatternFixedComparisons)
+{
+    EventGraph g;
+    EventId root = g.addRoot();
+    EventId a = g.addDelay(root, 2);
+    Ordering ord(g);
+    EXPECT_TRUE(ord.patLe(EventPattern::fixed(root, 1),
+                          EventPattern::fixed(a, 0)));
+    EXPECT_TRUE(ord.patLe(EventPattern::fixed(a, 0),
+                          EventPattern::fixed(root, 2)));
+    EXPECT_FALSE(ord.patLe(EventPattern::fixed(a, 1),
+                           EventPattern::fixed(root, 2)));
+}
+
+TEST(Ordering, MessagePatternMonotone)
+{
+    EventGraph g;
+    EventId root = g.addRoot();
+    EventId a = g.addDelay(root, 1);
+    EventId s = g.addRecv(a, "ep", "m");
+    Ordering ord(g);
+    // first m after root <= first m after a (monotone in the base).
+    EXPECT_TRUE(ord.patLe(EventPattern::message(root, "ep", "m"),
+                          EventPattern::message(a, "ep", "m")));
+}
+
+TEST(Ordering, MessagePatternBoundedByOccurrence)
+{
+    EventGraph g;
+    EventId root = g.addRoot();
+    EventId use = g.addDelay(root, 1);
+    EventId s = g.addRecv(use, "ep", "m");
+    EventId later = g.addDelay(s, 2);
+    Ordering ord(g);
+    // The first m after root is at most the concrete occurrence s,
+    // which is at most `later` - 2.
+    EXPECT_TRUE(ord.patLe(EventPattern::message(root, "ep", "m"),
+                          EventPattern::fixed(later, 0)));
+}
+
+TEST(Ordering, EternalLifetimes)
+{
+    EventGraph g;
+    EventId root = g.addRoot();
+    Ordering ord(g);
+    PatternSet forever = PatternSet::forever();
+    PatternSet soon = PatternSet::one(EventPattern::fixed(root, 1));
+    EXPECT_TRUE(ord.setLe(soon, forever));
+    EXPECT_FALSE(ord.setLe(forever, soon));
+    EXPECT_TRUE(ord.eventLeSet(root, forever));
+    EXPECT_FALSE(ord.setLeEvent(forever, root));
+}
+
+// ---------------------------------------------------------------------
+// Soundness property: claimed orderings hold on sampled timestamp
+// functions (using the thread graphs of real designs).
+// ---------------------------------------------------------------------
+
+class OrderingSoundness : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(OrderingSoundness, GapBoundsHoldOnSampledSchedules)
+{
+    DiagEngine d;
+    Program prog = parseAnvil(GetParam(), d);
+    ASSERT_FALSE(d.hasErrors()) << d.render();
+    for (const auto &[name, proc] : prog.procs) {
+        ProcIR pir = elaborateProc(prog, proc, d, 2);
+        for (const auto &tir : pir.threads) {
+            Ordering ord(tir->graph);
+            auto events = tir->graph.liveEvents();
+            // Subsample event pairs for speed.
+            for (int s = 0; s < 20; s++) {
+                sem::ScheduleSample sched =
+                    sem::sampleSchedule(*tir, 1000 + s, 5);
+                for (size_t i = 0; i < events.size(); i += 3) {
+                    for (size_t j = 0; j < events.size(); j += 3) {
+                        EventId a = events[i], b = events[j];
+                        sem::Time ta = sched.at(a);
+                        sem::Time tb = sched.at(b);
+                        if (ta < 0 || tb < 0)
+                            continue;  // unreached in this run
+                        Gap lb = ord.gapLb(b, a);
+                        Gap ub = ord.gapUb(b, a);
+                        EXPECT_LE(lb, tb - ta)
+                            << "e" << a << " -> e" << b << " seed "
+                            << s;
+                        EXPECT_GE(ub, tb - ta)
+                            << "e" << a << " -> e" << b << " seed "
+                            << s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+const char *kSimpleLoop = R"(
+proc p() { reg r : logic[8];
+    loop { set r := *r + 1 >> cycle 2 }
+}
+)";
+
+const char *kBranchy = R"(
+chan c { left a : (logic[8]@#1), right b : (logic[8]@#2) }
+proc p(ep : left c) {
+    reg r : logic[8];
+    loop {
+        let v = recv ep.a >>
+        if v == 0 { set r := v >> cycle 3 } else { cycle 1 } >>
+        send ep.b (*r) >>
+        cycle 1
+    }
+}
+)";
+
+const char *kParallel = R"(
+chan c { left a : (logic[8]@#1), left b : (logic[8]@#1) }
+proc p(ep : left c) {
+    reg r : logic[8];
+    loop {
+        { let x = recv ep.a >> set r := x };
+        { let y = recv ep.b >> cycle 2 };
+        cycle 1
+    }
+}
+)";
+
+INSTANTIATE_TEST_SUITE_P(Programs, OrderingSoundness,
+                         ::testing::Values(kSimpleLoop, kBranchy,
+                                           kParallel));
+
+} // namespace

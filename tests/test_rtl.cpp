@@ -1,0 +1,301 @@
+/**
+ * @file
+ * RTL substrate tests: interpreter semantics (two-phase updates,
+ * wire evaluation, ROMs, instances, combinational-loop detection),
+ * the SystemVerilog printer, and codegen port-lowering rules (§6.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "anvil/compiler.h"
+#include "codegen/rtl_gen.h"
+#include "codegen/sv_printer.h"
+#include "rtl/interp.h"
+#include "rtl/wave.h"
+#include "designs/designs.h"
+#include <algorithm>
+
+using namespace anvil;
+using namespace anvil::rtl;
+
+namespace {
+
+TEST(Interp, RegisterUpdatesAreSynchronous)
+{
+    auto m = std::make_shared<Module>();
+    m->name = "swap";
+    auto a = m->reg("a", 8, 1);
+    auto b = m->reg("b", 8, 2);
+    // Swap every cycle: both updates read the cycle-start values.
+    m->update("a", cst(1, 1), b);
+    m->update("b", cst(1, 1), a);
+
+    Sim sim(m);
+    EXPECT_EQ(sim.peek("a").toUint64(), 1u);
+    sim.step();
+    EXPECT_EQ(sim.peek("a").toUint64(), 2u);
+    EXPECT_EQ(sim.peek("b").toUint64(), 1u);
+    sim.step();
+    EXPECT_EQ(sim.peek("a").toUint64(), 1u);
+}
+
+TEST(Interp, EnableGatesUpdates)
+{
+    auto m = std::make_shared<Module>();
+    m->name = "counter";
+    auto en = m->input("en", 1);
+    auto c = m->reg("c", 8);
+    m->update("c", en, c + cst(8, 1));
+    Sim sim(m);
+    sim.setInput("en", 0);
+    sim.step(3);
+    EXPECT_EQ(sim.peek("c").toUint64(), 0u);
+    sim.setInput("en", 1);
+    sim.step(3);
+    EXPECT_EQ(sim.peek("c").toUint64(), 3u);
+}
+
+TEST(Interp, WiresRecomputeOnInputChange)
+{
+    auto m = std::make_shared<Module>();
+    m->name = "comb";
+    auto x = m->input("x", 8);
+    m->wire("y", x + cst(8, 1));
+    Sim sim(m);
+    sim.setInput("x", 10);
+    EXPECT_EQ(sim.peek("y").toUint64(), 11u);
+    // Poking inputs invalidates cached evaluations within the cycle.
+    sim.setInput("x", 20);
+    EXPECT_EQ(sim.peek("y").toUint64(), 21u);
+}
+
+TEST(Interp, RomLookup)
+{
+    auto table = std::make_shared<std::vector<BitVec>>();
+    for (int i = 0; i < 16; i++)
+        table->push_back(BitVec(8, i * 3));
+    auto m = std::make_shared<Module>();
+    m->name = "rom";
+    auto addr = m->input("addr", 4);
+    m->wire("q", romLookup(table, addr, 8));
+    Sim sim(m);
+    sim.setInput("addr", 5);
+    EXPECT_EQ(sim.peek("q").toUint64(), 15u);
+    sim.setInput("addr", 15);
+    EXPECT_EQ(sim.peek("q").toUint64(), 45u);
+}
+
+TEST(Interp, InstancesConnectHierarchically)
+{
+    auto child = std::make_shared<Module>();
+    child->name = "adder";
+    auto ca = child->input("a", 8);
+    auto cb = child->input("b", 8);
+    child->output("sum", 8);
+    child->wire("sum", ca + cb);
+
+    auto top = std::make_shared<Module>();
+    top->name = "top";
+    auto x = top->input("x", 8);
+    Instance inst;
+    inst.name = "u0";
+    inst.module = child;
+    inst.inputs["a"] = x;
+    inst.inputs["b"] = cst(8, 7);
+    inst.outputs["x_plus_7"] = "sum";
+    top->instances.push_back(std::move(inst));
+    top->output("y", 8);
+    top->wire("y", ref("x_plus_7", 8) + cst(8, 1));
+
+    Sim sim(top);
+    sim.setInput("x", 5);
+    EXPECT_EQ(sim.peek("y").toUint64(), 13u);
+    EXPECT_EQ(sim.peek("u0.sum").toUint64(), 12u);
+}
+
+TEST(Interp, DetectsCombinationalLoops)
+{
+    auto m = std::make_shared<Module>();
+    m->name = "loop";
+    m->wire("a", ref("b", 1));
+    m->wire("b", ref("a", 1));
+    Sim sim(m);
+    EXPECT_THROW(sim.peek("a"), std::runtime_error);
+}
+
+TEST(Interp, CountsToggles)
+{
+    auto m = std::make_shared<Module>();
+    m->name = "tgl";
+    auto c = m->reg("c", 1);
+    m->update("c", cst(1, 1), ~c);
+    Sim sim(m);
+    sim.step(10);
+    EXPECT_GE(sim.totalToggles(), 10u);
+}
+
+TEST(Interp, StateBitsCounted)
+{
+    auto m = std::make_shared<Module>();
+    m->name = "sb";
+    m->reg("a", 32);
+    m->reg("b", 8);
+    Sim sim(m);
+    EXPECT_EQ(sim.stateBits(), 40);
+}
+
+TEST(Wave, RecordsAndRenders)
+{
+    auto m = std::make_shared<Module>();
+    m->name = "w";
+    auto c = m->reg("c", 4);
+    m->update("c", cst(1, 1), c + cst(4, 1));
+    Sim sim(m);
+    WaveRecorder rec(sim, {"c"});
+    for (int i = 0; i < 4; i++) {
+        rec.sample();
+        sim.step();
+    }
+    auto &samples = rec.samplesOf("c");
+    ASSERT_EQ(samples.size(), 4u);
+    EXPECT_EQ(samples[3].toUint64(), 3u);
+    EXPECT_NE(rec.render().find("c"), std::string::npos);
+}
+
+// --- Codegen port lowering (§6.2) ----------------------------------------
+
+TEST(Codegen, DynamicSyncGeneratesValidAndAck)
+{
+    CompileOutput out = compileAnvil(R"(
+chan c { left a : (logic[8]@#1), right b : (logic[8]@#1) }
+proc p(ep : left c) {
+    reg r : logic[8];
+    loop { set r := recv ep.a >> send ep.b (*r) >> cycle 1 }
+}
+)");
+    ASSERT_TRUE(out.ok) << out.diags.render();
+    auto mod = out.module("p");
+    // Receiving side of `a`: data+valid in, ack out.
+    EXPECT_NE(mod->findPort("ep_a_data"), nullptr);
+    EXPECT_NE(mod->findPort("ep_a_valid"), nullptr);
+    EXPECT_NE(mod->findPort("ep_a_ack"), nullptr);
+    EXPECT_TRUE(mod->findPort("ep_a_data")->is_input);
+    EXPECT_FALSE(mod->findPort("ep_a_ack")->is_input);
+    // Sending side of `b`.
+    EXPECT_FALSE(mod->findPort("ep_b_data")->is_input);
+    EXPECT_FALSE(mod->findPort("ep_b_valid")->is_input);
+    EXPECT_TRUE(mod->findPort("ep_b_ack")->is_input);
+}
+
+TEST(Codegen, StaticSyncOmitsHandshakePorts)
+{
+    CompileOutput out = compileAnvil(R"(
+chan c { left a : (logic[8]@#1) @#1-@#1 }
+proc p(ep : left c) {
+    reg r : logic[8];
+    loop { set r := recv ep.a }
+}
+)");
+    ASSERT_TRUE(out.ok) << out.diags.render();
+    auto mod = out.module("p");
+    EXPECT_NE(mod->findPort("ep_a_data"), nullptr);
+    EXPECT_EQ(mod->findPort("ep_a_valid"), nullptr);
+    EXPECT_EQ(mod->findPort("ep_a_ack"), nullptr);
+}
+
+TEST(Codegen, MixedSyncOmitsOnlyOneSide)
+{
+    // Sender static, receiver dynamic: valid omitted, ack kept.
+    CompileOutput out = compileAnvil(R"(
+chan c { left a : (logic[8]@#1) @dyn-@#1 }
+proc p(ep : left c) {
+    reg r : logic[8];
+    loop { set r := recv ep.a >> cycle 1 }
+}
+)");
+    ASSERT_TRUE(out.ok) << out.diags.render();
+    auto mod = out.module("p");
+    EXPECT_EQ(mod->findPort("ep_a_valid"), nullptr);
+    EXPECT_NE(mod->findPort("ep_a_ack"), nullptr);
+}
+
+TEST(Codegen, NoLifetimeMachineryGenerated)
+{
+    // The type system is static: no lifetime counters appear in the
+    // output (no register mentions "lifetime"/"loan").
+    CompileOutput out =
+        compileAnvil(designs::anvilTopSafeSource(), {.top = "top_safe"});
+    ASSERT_TRUE(out.ok);
+    for (const auto &r : out.module("top_safe")->regs) {
+        EXPECT_EQ(r.name.find("lifetime"), std::string::npos);
+        EXPECT_EQ(r.name.find("loan"), std::string::npos);
+    }
+}
+
+TEST(SvPrinter, EmitsWellFormedModule)
+{
+    CompileOutput out = compileAnvil(R"(
+chan c { left a : (logic[8]@#1) }
+proc p(ep : left c) {
+    reg r : logic[8];
+    loop { set r := recv ep.a >> cycle 1 }
+}
+)");
+    ASSERT_TRUE(out.ok) << out.diags.render();
+    std::string sv = printSystemVerilog(*out.module("p"));
+    EXPECT_NE(sv.find("module p ("), std::string::npos);
+    EXPECT_NE(sv.find("input logic clk"), std::string::npos);
+    EXPECT_NE(sv.find("input logic [7:0] ep_a_data"),
+              std::string::npos);
+    EXPECT_NE(sv.find("output logic [0:0] ep_a_ack"),
+              std::string::npos);
+    EXPECT_NE(sv.find("always_ff @(posedge clk)"), std::string::npos);
+    EXPECT_NE(sv.find("endmodule"), std::string::npos);
+    // Balanced parens overall.
+    EXPECT_EQ(std::count(sv.begin(), sv.end(), '('),
+              std::count(sv.begin(), sv.end(), ')'));
+}
+
+TEST(SvPrinter, HierarchyEmitsChildrenOnce)
+{
+    CompileOutput out = compileAnvil(R"(
+chan c { left a : (logic[8]@#1) }
+proc child(ep : left c) {
+    reg r : logic[8];
+    loop { set r := recv ep.a >> cycle 1 }
+}
+proc top() {
+    chan l -- rr : c;
+    spawn child(l);
+    loop { send rr.a (5) >> cycle 1 }
+}
+)", {.top = "top"});
+    ASSERT_TRUE(out.ok) << out.diags.render();
+    std::string sv = out.systemverilog;
+    // child printed before top, exactly once.
+    size_t child_pos = sv.find("module child");
+    size_t top_pos = sv.find("module top");
+    ASSERT_NE(child_pos, std::string::npos);
+    ASSERT_NE(top_pos, std::string::npos);
+    EXPECT_LT(child_pos, top_pos);
+    EXPECT_EQ(sv.find("module child", child_pos + 1),
+              std::string::npos);
+    EXPECT_NE(sv.find("child child_0"), std::string::npos);
+}
+
+TEST(SvPrinter, RomsBecomeLocalparams)
+{
+    CompileOutput out = compileAnvil(R"(
+chan c { left a : (logic[8]@#1), right b : (logic[8]@#1) }
+proc p(ep : left c) {
+    reg r : logic[8];
+    loop { set r := sbox(recv ep.a) >> send ep.b (*r) >> cycle 1 }
+}
+)");
+    ASSERT_TRUE(out.ok) << out.diags.render();
+    std::string sv = printSystemVerilog(*out.module("p"));
+    EXPECT_NE(sv.find("localparam"), std::string::npos);
+    EXPECT_NE(sv.find("_rom0"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Formal-semantics property tests (Appendix C / Theorem C.20): every
+ * sampled execution log of a well-typed process satisfies the
+ * Def. C.15 safety predicate, and the paper's ill-typed examples
+ * exhibit dynamic violations under some schedules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "anvil/compiler.h"
+#include "designs/designs.h"
+#include "sem/safety.h"
+
+using namespace anvil;
+
+namespace {
+
+TEST(ExecLog, DetectsMutationInsideWindow)
+{
+    sem::ExecLog log;
+    sem::LogOp create;
+    create.kind = sem::LogOp::Kind::ValCreate;
+    create.value = 0;
+    create.reg_deps = {"r"};
+    log.add(2, create);
+    sem::LogOp use;
+    use.kind = sem::LogOp::Kind::ValUse;
+    use.value = 0;
+    log.add(5, use);
+    sem::LogOp mut;
+    mut.kind = sem::LogOp::Kind::RegMut;
+    mut.reg = "r";
+    log.add(3, mut);
+    auto v = sem::checkLogSafety(log);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_NE(v[0].what.find("'r' mutated"), std::string::npos);
+}
+
+TEST(ExecLog, MutationAtLastUseIsSafe)
+{
+    // Def. C.15 checks MutSet on [a, b): a mutation in the last-use
+    // cycle takes effect afterwards.
+    sem::ExecLog log;
+    sem::LogOp create;
+    create.kind = sem::LogOp::Kind::ValCreate;
+    create.value = 0;
+    create.reg_deps = {"r"};
+    log.add(2, create);
+    sem::LogOp use;
+    use.kind = sem::LogOp::Kind::ValUse;
+    use.value = 0;
+    log.add(5, use);
+    sem::LogOp mut;
+    mut.kind = sem::LogOp::Kind::RegMut;
+    mut.reg = "r";
+    log.add(5, mut);
+    EXPECT_TRUE(sem::checkLogSafety(log).empty());
+}
+
+TEST(ExecLog, TransitiveRegisterDependencies)
+{
+    sem::ExecLog log;
+    sem::LogOp base;
+    base.kind = sem::LogOp::Kind::ValCreate;
+    base.value = 0;
+    base.reg_deps = {"r"};
+    log.add(1, base);
+    sem::LogOp derived;
+    derived.kind = sem::LogOp::Kind::ValCreate;
+    derived.value = 1;
+    derived.val_deps = {0};
+    log.add(2, derived);
+    sem::LogOp use;
+    use.kind = sem::LogOp::Kind::ValUse;
+    use.value = 1;
+    log.add(6, use);
+    sem::LogOp mut;
+    mut.kind = sem::LogOp::Kind::RegMut;
+    mut.reg = "r";
+    log.add(4, mut);
+    // v1 transitively depends on r (R-Create).
+    EXPECT_FALSE(sem::checkLogSafety(log).empty());
+}
+
+TEST(ExecLog, RecvPromiseViolationDetected)
+{
+    sem::ExecLog log;
+    sem::LogOp recv;
+    recv.kind = sem::LogOp::Kind::ValRecv;
+    recv.value = 0;
+    recv.window_end = 4;   // promised until cycle 4 (exclusive)
+    log.add(2, recv);
+    sem::LogOp use;
+    use.kind = sem::LogOp::Kind::ValUse;
+    use.value = 0;
+    log.add(6, use);       // used after the promise ends
+    EXPECT_FALSE(sem::checkLogSafety(log).empty());
+}
+
+// ---------------------------------------------------------------------
+// Theorem C.20: well-typed implies safe on sampled schedules.
+// ---------------------------------------------------------------------
+
+struct NamedSource
+{
+    const char *name;
+    std::string source;
+    const char *proc;
+};
+
+class WellTypedImpliesSafe
+    : public ::testing::TestWithParam<int>
+{
+  public:
+    static std::vector<NamedSource> cases()
+    {
+        using namespace designs;
+        return {
+            {"fifo", anvilFifoSource(), "fifo"},
+            {"spill_reg", anvilSpillRegSource(), "spill_reg"},
+            {"stream_fifo", anvilStreamFifoSource(), "stream_fifo"},
+            {"tlb", anvilTlbSource(), "tlb"},
+            {"ptw", anvilPtwSource(), "ptw"},
+            {"top_safe", anvilTopSafeSource(), "top_safe"},
+            {"alu", anvilPipelinedAluSource(), "alu"},
+            {"axi_demux", anvilAxiDemuxSource(), "axi_demux"},
+        };
+    }
+};
+
+TEST_P(WellTypedImpliesSafe, AllSampledLogsAreSafe)
+{
+    NamedSource c = cases()[GetParam()];
+    // Precondition: the design is well-typed.
+    CompileOutput out = compileAnvil(c.source);
+    ASSERT_TRUE(out.ok) << c.name << "\n" << out.diags.render();
+
+    sem::FuzzReport r =
+        sem::fuzzProcessSafety(c.source, c.proc, 60, 17, 5);
+    EXPECT_EQ(r.unsafe_samples, 0)
+        << c.name << ": "
+        << (r.example_violations.empty() ? ""
+                                         : r.example_violations[0]);
+    EXPECT_EQ(r.samples, 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, WellTypedImpliesSafe,
+    ::testing::Range(0, 8),
+    [](const ::testing::TestParamInfo<int> &i) {
+        return WellTypedImpliesSafe::cases()[i.param].name;
+    });
+
+TEST(IllTypedExhibitsViolations, Fig6Encrypt)
+{
+    // The contrapositive on the paper's unsafe example: some sampled
+    // schedule shows a dynamic violation.
+    sem::FuzzReport r = sem::fuzzProcessSafety(
+        designs::anvilEncryptSource(), "encrypt", 80, 5, 5);
+    EXPECT_GT(r.unsafe_samples, 0);
+}
+
+TEST(IllTypedExhibitsViolations, Fig5TopUnsafe)
+{
+    sem::FuzzReport r = sem::fuzzProcessSafety(
+        designs::anvilTopUnsafeSource(), "top_unsafe", 80, 5, 5);
+    EXPECT_GT(r.unsafe_samples, 0);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Synthesis cost model tests: area scales with structure, the
+ * critical path follows logic depth, power grows with activity and
+ * frequency, and the Table 1 designs produce plausible relative
+ * numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "designs/designs.h"
+#include "rtl/interp.h"
+#include "synth/cost_model.h"
+
+using namespace anvil;
+using namespace anvil::rtl;
+using anvil::synth::SynthReport;
+using anvil::synth::synthesize;
+
+namespace {
+
+ModulePtr
+adderChain(int stages, int width)
+{
+    auto m = std::make_shared<Module>();
+    m->name = "chain";
+    auto x = m->input("x", width);
+    ExprPtr e = x;
+    for (int i = 0; i < stages; i++)
+        e = e + cst(width, i + 1);
+    m->reg("r", width);
+    m->update("r", cst(1, 1), e);
+    return m;
+}
+
+TEST(Synth, AreaGrowsWithWidth)
+{
+    SynthReport narrow = synthesize(*adderChain(1, 8));
+    SynthReport wide = synthesize(*adderChain(1, 64));
+    EXPECT_GT(wide.areaUm2(), narrow.areaUm2());
+    EXPECT_GT(wide.seq_area_um2, narrow.seq_area_um2);
+}
+
+TEST(Synth, FmaxDropsWithLogicDepth)
+{
+    SynthReport shallow = synthesize(*adderChain(1, 32));
+    SynthReport deep = synthesize(*adderChain(8, 32));
+    EXPECT_GT(shallow.fmaxMhz(), deep.fmaxMhz());
+}
+
+TEST(Synth, RegistersDominateSequentialArea)
+{
+    auto m = std::make_shared<Module>();
+    m->name = "regs";
+    m->reg("a", 128);
+    SynthReport r = synthesize(*m);
+    EXPECT_GT(r.seq_area_um2, 100.0);
+    EXPECT_EQ(r.comb_area_um2, 0.0);
+}
+
+TEST(Synth, PowerGrowsWithFrequencyAndActivity)
+{
+    SynthReport r = synthesize(*adderChain(2, 32));
+    double slow = r.powerMw(500, 100);
+    double fast = r.powerMw(2000, 100);
+    double busy = r.powerMw(2000, 400);
+    EXPECT_GT(fast, slow);
+    EXPECT_GT(busy, fast);
+}
+
+TEST(Synth, HierarchiesIncludeChildren)
+{
+    auto child = std::make_shared<Module>();
+    child->name = "c";
+    child->reg("r", 64);
+    auto top = std::make_shared<Module>();
+    top->name = "t";
+    Instance inst;
+    inst.name = "u";
+    inst.module = child;
+    top->instances.push_back(std::move(inst));
+    SynthReport r = synthesize(*top);
+    EXPECT_GT(r.seq_area_um2, 50.0);
+}
+
+TEST(Synth, Table1DesignsHavePlausibleMagnitudes)
+{
+    // Shapes from Table 1: AES is by far the largest; the spill
+    // register is the smallest; everything lands in a 22nm-believable
+    // range.
+    SynthReport fifo = synthesize(*designs::buildFifoBaseline());
+    SynthReport spill = synthesize(*designs::buildSpillRegBaseline());
+    SynthReport aes = synthesize(*designs::buildAesBaseline());
+    SynthReport ptw = synthesize(*designs::buildPtwBaseline());
+
+    EXPECT_GT(aes.areaUm2(), 4 * fifo.areaUm2());
+    EXPECT_LT(spill.areaUm2(), fifo.areaUm2());
+    EXPECT_GT(fifo.areaUm2(), 100);
+    EXPECT_LT(fifo.areaUm2(), 5000);
+    EXPECT_GT(ptw.areaUm2(), 100);
+    // All designs clock above 500 MHz in the model.
+    for (const auto *r : {&fifo, &spill, &aes, &ptw})
+        EXPECT_GT(r->fmaxMhz(), 500.0) << r->str();
+}
+
+TEST(Synth, MeasuredActivityFeedsPower)
+{
+    auto mod = designs::buildFifoBaseline();
+    SynthReport r = synthesize(*mod);
+    Sim sim(mod);
+    sim.setInput("inp_enq_valid", 1);
+    sim.setInput("outp_deq_ack", 1);
+    for (int i = 0; i < 200; i++) {
+        sim.setInput("inp_enq_data", i * 2654435761u);
+        sim.step();
+    }
+    double toggles_per_cycle =
+        static_cast<double>(sim.totalToggles()) / sim.cycle();
+    double p = r.powerMw(2000, toggles_per_cycle);
+    EXPECT_GT(p, 0.01);
+    EXPECT_LT(p, 100.0);
+}
+
+} // namespace
