@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Simulation-core throughput benchmark: cycles/second of the compiled
+ * netlist simulator (rtl::Sim) versus the reference interpreter
+ * (rtl::RefSim) on the MMU (TLB + PTW), AXI (demux + mux), and
+ * encrypt (AES round core + compiled Anvil encrypt) designs.
+ *
+ * Build & run:  ./build/bench_sim_perf [out.json]
+ *
+ * Prints a table and emits a JSON record; with an argument the JSON
+ * is written to that file (BENCH_sim.json at the repo root holds the
+ * recorded baseline).  See docs/benchmarks.md.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "anvil/compiler.h"
+#include "designs/designs.h"
+#include "rtl/interp.h"
+#include "rtl/ref_interp.h"
+
+using namespace anvil;
+
+namespace {
+
+/** The repaired Fig. 6 Encrypt (the paper's version does not compile). */
+const char *kEncryptFixedSource = R"(
+chan encrypt_ch {
+    left enc_req : (logic[8]@enc_res),
+    right enc_res : (logic[8]@enc_req)
+}
+chan rng_ch {
+    left rng_req : (logic[8]@#1),
+    right rng_res : (logic[8]@#2)
+}
+
+proc encrypt(ch1 : left encrypt_ch, ch2 : left rng_ch) {
+    reg noise_q : logic[8];
+    reg rd1_ctext : logic[8];
+    reg r2_key : logic[8];
+    loop {
+        let ptext = recv ch1.enc_req;
+        let nq = { let noise = recv ch2.rng_req >>
+                   set noise_q := noise };
+        let r1_key = 25;
+        ptext >> nq >>
+        if ptext != 0 {
+            set rd1_ctext := (ptext ^ r1_key) + *noise_q
+        } else {
+            set rd1_ctext := ptext
+        };
+        cycle 1 >>
+        set r2_key := r1_key ^ *noise_q >>
+        send ch2.rng_res (*r2_key) >>
+        cycle 2 >>
+        send ch1.enc_res (*rd1_ctext ^ *r2_key) >>
+        cycle 1
+    }
+}
+)";
+
+template <typename SimT>
+double
+cyclesPerSec(const rtl::ModulePtr &mod, int cycles)
+{
+    SimT sim(mod);
+    // Drive every input active so the state machines actually move.
+    for (const auto &in : sim.inputNames())
+        sim.setInput(in, 1);
+    sim.step(1);   // warm up (first-cycle toggle priming, caches)
+    auto t0 = std::chrono::steady_clock::now();
+    sim.step(cycles);
+    auto t1 = std::chrono::steady_clock::now();
+    double s = std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(cycles) / s;
+}
+
+struct Row
+{
+    std::string name;
+    double ref = 0;      // reference interpreter, cycles/s
+    double sim = 0;      // compiled netlist core, cycles/s
+};
+
+Row
+runDesign(const std::string &name, const rtl::ModulePtr &mod,
+          int sim_cycles, int ref_cycles)
+{
+    Row r;
+    r.name = name;
+    r.sim = cyclesPerSec<rtl::Sim>(mod, sim_cycles);
+    r.ref = cyclesPerSec<rtl::RefSim>(mod, ref_cycles);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printf("=== Simulation core throughput "
+           "(compiled netlist vs reference interpreter) ===\n\n");
+
+    CompileOutput enc = compileAnvil(kEncryptFixedSource);
+    if (!enc.ok) {
+        fprintf(stderr, "encrypt design failed to compile:\n%s\n",
+                enc.diags.render().c_str());
+        return 1;
+    }
+
+    std::vector<Row> rows;
+    rows.push_back(runDesign("mmu_tlb", designs::buildTlbBaseline(),
+                             200000, 20000));
+    rows.push_back(runDesign("mmu_ptw", designs::buildPtwBaseline(),
+                             200000, 20000));
+    rows.push_back(runDesign("axi_demux",
+                             designs::buildAxiDemuxBaseline(),
+                             100000, 8000));
+    rows.push_back(runDesign("axi_mux",
+                             designs::buildAxiMuxBaseline(),
+                             50000, 4000));
+    rows.push_back(runDesign("aes", designs::buildAesBaseline(),
+                             50000, 5000));
+    rows.push_back(runDesign("encrypt_anvil", enc.module("encrypt"),
+                             200000, 20000));
+
+    printf("%-15s %14s %14s %9s\n", "design", "ref cyc/s",
+           "netlist cyc/s", "speedup");
+    double worst = 1e30;
+    for (const auto &r : rows) {
+        double speedup = r.sim / r.ref;
+        worst = std::min(worst, speedup);
+        printf("%-15s %14.0f %14.0f %8.1fx\n", r.name.c_str(), r.ref,
+               r.sim, speedup);
+    }
+    printf("\nworst-case speedup: %.1fx\n", worst);
+
+    std::string json = "{\n  \"bench\": \"sim_perf\",\n"
+        "  \"unit\": \"cycles_per_second\",\n  \"designs\": [\n";
+    for (size_t i = 0; i < rows.size(); i++) {
+        char buf[256];
+        snprintf(buf, sizeof buf,
+                 "    {\"name\": \"%s\", \"ref\": %.0f, "
+                 "\"netlist\": %.0f, \"speedup\": %.2f}%s\n",
+                 rows[i].name.c_str(), rows[i].ref, rows[i].sim,
+                 rows[i].sim / rows[i].ref,
+                 i + 1 < rows.size() ? "," : "");
+        json += buf;
+    }
+    json += "  ]\n}\n";
+
+    if (argc > 1) {
+        FILE *f = fopen(argv[1], "w");
+        if (!f) {
+            fprintf(stderr, "cannot write %s\n", argv[1]);
+            return 1;
+        }
+        fputs(json.c_str(), f);
+        fclose(f);
+        printf("\nwrote %s\n", argv[1]);
+    } else {
+        printf("\n%s", json.c_str());
+    }
+    return 0;
+}

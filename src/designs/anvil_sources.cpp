@@ -351,29 +351,6 @@ mixColsStr(const std::vector<std::string> &sv)
     return out;
 }
 
-/** On-the-fly next round key from a 128-bit key expression. */
-std::string
-nextKeyStr(const std::string &rk, int rcon)
-{
-    std::vector<std::string> k(16), nk(16);
-    for (int i = 0; i < 16; i++)
-        k[i] = byteStr(rk, i);
-    std::string t[4] = {
-        strfmt("((sbox(%s)) ^ %d)", k[13].c_str(), rcon),
-        strfmt("(sbox(%s))", k[14].c_str()),
-        strfmt("(sbox(%s))", k[15].c_str()),
-        strfmt("(sbox(%s))", k[12].c_str()),
-    };
-    for (int i = 0; i < 4; i++)
-        nk[i] = strfmt("(%s ^ %s)", k[i].c_str(), t[i].c_str());
-    for (int w = 1; w < 4; w++)
-        for (int i = 0; i < 4; i++)
-            nk[4 * w + i] = strfmt("(%s ^ %s)",
-                                   nk[4 * (w - 1) + i].c_str(),
-                                   k[4 * w + i].c_str());
-    return pack128(nk);
-}
-
 } // namespace
 
 std::string
@@ -392,8 +369,7 @@ anvilAesSource()
     auto sr = subShiftStr("(*state)");
     std::string mixed = pack128(mixColsStr(sr));
     std::string last = pack128(sr);
-    // Key schedule with the rcon mux inlined (cf. nextKeyStr, which
-    // takes a constant rcon).
+    // Key schedule with the per-round rcon mux inlined.
     std::string nk;
     {
         std::vector<std::string> k(16), nkv(16);

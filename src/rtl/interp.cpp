@@ -2,8 +2,6 @@
 
 #include <stdexcept>
 
-#include "support/strings.h"
-
 namespace anvil {
 namespace rtl {
 
@@ -40,154 +38,192 @@ applyBinop(Op op, const BitVec &a, const BitVec &b, int width)
       case Op::Le: return BitVec(1, a.ule(b) ? 1 : 0);
       case Op::Gt: return BitVec(1, b.ult(a) ? 1 : 0);
       case Op::Ge: return BitVec(1, b.ule(a) ? 1 : 0);
-      case Op::Shl: return ra << static_cast<int>(rb.toUint64());
-      case Op::Shr: return ra >> static_cast<int>(rb.toUint64());
+      case Op::Shl: {
+        // A shift amount at or beyond the width clears the value;
+        // do not feed huge amounts into the word shifter.
+        uint64_t sh = rb.toUint64();
+        if (sh >= static_cast<uint64_t>(width))
+            return BitVec(width);
+        return ra << static_cast<int>(sh);
+      }
+      case Op::Shr: {
+        uint64_t sh = rb.toUint64();
+        if (sh >= static_cast<uint64_t>(width))
+            return BitVec(width);
+        return ra >> static_cast<int>(sh);
+      }
       default:
         throw std::logic_error("bad binary op");
     }
 }
 
 Sim::Sim(std::shared_ptr<const Module> top)
-    : _top(std::move(top))
+    : _top(std::move(top)), _nl(*_top)
 {
-    flatten(*_top, "");
+    _val = _nl.initValues();
+    _lazy_gen.assign(_val.size(), 0);
+    _visiting.assign(_val.size(), 0);
+    _reg_next.reserve(_nl.regs().size());
+    for (NetId r : _nl.regs())
+        _reg_next.push_back(_val[static_cast<size_t>(r)]);
+    _wire_last.reserve(_nl.wireNets().size());
+    for (NetId w : _nl.wireNets())
+        _wire_last.emplace_back(_nl.net(w).width);
 }
 
-void
-Sim::flatten(const Module &m, const std::string &prefix)
+const NetSignal *
+Sim::findSignal(const std::string &flat) const
 {
-    for (const auto &p : m.ports) {
-        if (p.is_input && prefix.empty()) {
-            Signal s;
-            s.kind = Signal::Kind::Input;
-            s.width = p.width;
-            s.value = BitVec(p.width);
-            _signals[p.name] = std::move(s);
-        }
-        // Non-top input ports become wires during instance wiring;
-        // output ports resolve to the same-named wire/reg.
-    }
-    for (const auto &r : m.regs) {
-        Signal s;
-        s.kind = Signal::Kind::Reg;
-        s.width = r.width;
-        s.value = r.init;
-        s.next = r.init;
-        _signals[prefix + r.name] = std::move(s);
-    }
-    for (const auto &w : m.wires) {
-        Signal s;
-        s.kind = Signal::Kind::Wire;
-        s.width = w.width;
-        s.expr = w.expr;
-        s.scope = prefix;
-        _signals[prefix + w.name] = std::move(s);
-    }
-    for (const auto &u : m.updates)
-        _updates.push_back({prefix + u.reg, u.enable, u.value, prefix});
-    for (const auto &pr : m.prints)
-        _prints.push_back({pr.enable, pr.text, pr.value, prefix});
-
-    for (const auto &inst : m.instances) {
-        std::string child_prefix = prefix + inst.name + ".";
-        flatten(*inst.module, child_prefix);
-        // Child inputs: wires in the child scope, driven by parent
-        // expressions evaluated in the parent scope.
-        for (const auto &[port, expr] : inst.inputs) {
-            const Port *p = inst.module->findPort(port);
-            int w = p ? p->width : expr->width;
-            Signal s;
-            s.kind = Signal::Kind::Wire;
-            s.width = w;
-            s.expr = expr;
-            s.scope = prefix;   // resolve in the parent scope
-            _signals[child_prefix + port] = std::move(s);
-        }
-        // Child outputs: alias parent names to child signals.
-        for (const auto &[parent_wire, child_port] : inst.outputs)
-            _aliases[prefix + parent_wire] = child_prefix + child_port;
-    }
-}
-
-std::string
-Sim::resolveName(const std::string &scope, const std::string &name) const
-{
-    std::string flat = scope + name;
-    auto it = _aliases.find(flat);
-    while (it != _aliases.end()) {
-        flat = it->second;
-        it = _aliases.find(flat);
-    }
-    return flat;
+    auto it = _nl.signals().find(flat);
+    return it == _nl.signals().end() ? nullptr : &it->second;
 }
 
 void
 Sim::setInput(const std::string &name, const BitVec &v)
 {
-    auto it = _signals.find(name);
-    if (it == _signals.end() || it->second.kind != Signal::Kind::Input)
+    const NetSignal *sig = findSignal(name);
+    if (!sig || sig->kind != NetSignal::Kind::Input)
         throw std::invalid_argument("no such input: " + name);
-    it->second.value = v.resize(it->second.width);
-    _gen++;
+    _val[static_cast<size_t>(sig->net)] = v.resize(sig->width);
+    _dirty = true;
 }
 
 void
 Sim::setInput(const std::string &name, uint64_t v)
 {
-    auto it = _signals.find(name);
-    if (it == _signals.end() || it->second.kind != Signal::Kind::Input)
+    const NetSignal *sig = findSignal(name);
+    if (!sig || sig->kind != NetSignal::Kind::Input)
         throw std::invalid_argument("no such input: " + name);
-    it->second.value = BitVec(it->second.width, v);
-    _gen++;
+    _val[static_cast<size_t>(sig->net)] = BitVec(sig->width, v);
+    _dirty = true;
 }
 
-BitVec
-Sim::evalSignal(const std::string &flat)
+/** Compute one strict node from its already-computed operands. */
+void
+Sim::computeNet(NetId id)
 {
-    auto it = _signals.find(flat);
-    if (it == _signals.end())
-        throw std::invalid_argument("no such signal: " + flat);
-    Signal &s = it->second;
-    if (s.kind != Signal::Kind::Wire)
-        return s.value;
-    if (s.eval_cycle == _cycle && s.eval_gen == _gen)
-        return s.cached;
-    if (s.visiting)
-        throw std::runtime_error("combinational loop through " + flat);
-    s.visiting = true;
-    BitVec v = eval(s.expr, s.scope).resize(s.width);
-    s.visiting = false;
-    s.eval_cycle = _cycle;
-    s.eval_gen = _gen;
-    s.cached = v;
-    return v;
-}
+    const Net &n = _nl.net(id);
+    BitVec &out = _val[static_cast<size_t>(id)];
 
-BitVec
-Sim::eval(const ExprPtr &e, const std::string &scope)
-{
-    switch (e->kind) {
-      case Expr::Kind::Const:
-        return e->value;
-      case Expr::Kind::Ref:
-        return evalSignal(resolveName(scope, e->name)).resize(e->width);
-      case Expr::Kind::Unop:
-        return applyUnop(e->op, eval(e->args[0], scope));
-      case Expr::Kind::Binop:
-        return applyBinop(e->op, eval(e->args[0], scope),
-                          eval(e->args[1], scope), e->width);
-      case Expr::Kind::Mux:
-        return eval(e->args[0], scope).any()
-            ? eval(e->args[1], scope).resize(e->width)
-            : eval(e->args[2], scope).resize(e->width);
-      case Expr::Kind::Slice:
-        return eval(e->args[0], scope).slice(e->lo, e->width);
-      case Expr::Kind::Concat: {
-        BitVec acc(1);
+    if (n.fast) {
+        // u64 lane: every involved value fits one word.  Operand
+        // values are normalized, so toUint64() is the whole value;
+        // setUint64() re-applies this node's width mask.
+        uint64_t r = 0;
+        switch (n.kind) {
+          case Net::Kind::Copy:
+            r = _val[static_cast<size_t>(n.a)].toUint64();
+            break;
+          case Net::Kind::Unop: {
+            uint64_t a = _val[static_cast<size_t>(n.a)].toUint64();
+            switch (n.op) {
+              case Op::Not: r = ~a; break;
+              case Op::RedOr: r = a != 0; break;
+              case Op::RedAnd: r = a == _nl.net(n.a).mask; break;
+              default: throw std::logic_error("bad unary op");
+            }
+            break;
+          }
+          case Net::Kind::Binop: {
+            uint64_t a = _val[static_cast<size_t>(n.a)].toUint64();
+            uint64_t b = _val[static_cast<size_t>(n.b)].toUint64();
+            uint64_t m = n.mask;
+            switch (n.op) {
+              case Op::And: r = a & b; break;
+              case Op::Or: r = a | b; break;
+              case Op::Xor: r = a ^ b; break;
+              case Op::Add: r = (a & m) + (b & m); break;
+              case Op::Sub: r = (a & m) - (b & m); break;
+              case Op::Mul: r = (a & m) * (b & m); break;
+              case Op::Eq: r = a == b; break;
+              case Op::Ne: r = a != b; break;
+              case Op::Lt: r = a < b; break;
+              case Op::Le: r = a <= b; break;
+              case Op::Gt: r = a > b; break;
+              case Op::Ge: r = a >= b; break;
+              case Op::Shl: {
+                uint64_t sh = b & m;
+                r = sh >= static_cast<uint64_t>(n.width)
+                    ? 0 : (a & m) << sh;
+                break;
+              }
+              case Op::Shr: {
+                uint64_t sh = b & m;
+                r = sh >= static_cast<uint64_t>(n.width)
+                    ? 0 : (a & m) >> sh;
+                break;
+              }
+              default: throw std::logic_error("bad binary op");
+            }
+            break;
+          }
+          case Net::Kind::Mux:
+            r = _val[static_cast<size_t>(n.a)].toUint64() != 0
+                ? _val[static_cast<size_t>(n.b)].toUint64()
+                : _val[static_cast<size_t>(n.c)].toUint64();
+            break;
+          case Net::Kind::Slice: {
+            uint64_t a = _val[static_cast<size_t>(n.a)].toUint64();
+            if (n.lo >= 0)
+                r = n.lo >= 64 ? 0 : a >> n.lo;
+            else
+                // Bits below index 0 read as zero: a left shift.
+                r = -n.lo >= 64 ? 0 : a << -n.lo;
+            break;
+          }
+          case Net::Kind::Concat: {
+            uint64_t acc = 0;
+            int sh = 0;
+            // cargs are hi-first; assemble from the low end.
+            for (auto it = n.cargs.rbegin(); it != n.cargs.rend();
+                 ++it) {
+                acc |= _val[static_cast<size_t>(*it)].toUint64()
+                    << sh;
+                sh += _nl.net(*it).width;
+                if (sh >= 64)
+                    break;
+            }
+            r = acc;
+            break;
+          }
+          case Net::Kind::Rom: {
+            uint64_t addr =
+                _val[static_cast<size_t>(n.a)].toUint64();
+            r = addr < n.rom->size() ? (*n.rom)[addr].toUint64() : 0;
+            break;
+          }
+          default:
+            break;   // sources are never in the sweep order
+        }
+        out.setUint64(r);
+        return;
+    }
+
+    switch (n.kind) {
+      case Net::Kind::Copy:
+        out = _val[static_cast<size_t>(n.a)].resize(n.width);
+        break;
+      case Net::Kind::Unop:
+        out = applyUnop(n.op, _val[static_cast<size_t>(n.a)]);
+        break;
+      case Net::Kind::Binop:
+        out = applyBinop(n.op, _val[static_cast<size_t>(n.a)],
+                         _val[static_cast<size_t>(n.b)], n.width);
+        break;
+      case Net::Kind::Mux:
+        out = (_val[static_cast<size_t>(n.a)].any()
+                   ? _val[static_cast<size_t>(n.b)]
+                   : _val[static_cast<size_t>(n.c)])
+                  .resize(n.width);
+        break;
+      case Net::Kind::Slice:
+        out = _val[static_cast<size_t>(n.a)].slice(n.lo, n.width);
+        break;
+      case Net::Kind::Concat: {
+        BitVec acc(0);
         bool first = true;
-        // args are hi-first; build from the low end.
-        for (auto it = e->args.rbegin(); it != e->args.rend(); ++it) {
-            BitVec part = eval(*it, scope);
+        for (auto it = n.cargs.rbegin(); it != n.cargs.rend(); ++it) {
+            const BitVec &part = _val[static_cast<size_t>(*it)];
             if (first) {
                 acc = part;
                 first = false;
@@ -195,80 +231,175 @@ Sim::eval(const ExprPtr &e, const std::string &scope)
                 acc = acc.concatHigh(part);
             }
         }
-        return acc.resize(e->width);
+        out = acc.resize(n.width);
+        break;
       }
-      case Expr::Kind::Rom: {
-        uint64_t addr = eval(e->args[0], scope).toUint64();
-        if (addr >= e->rom->size())
-            return BitVec(e->width);
-        return (*e->rom)[addr].resize(e->width);
+      case Net::Kind::Rom: {
+        uint64_t addr = _val[static_cast<size_t>(n.a)].toUint64();
+        out = addr >= n.rom->size()
+            ? BitVec(n.width)
+            : (*n.rom)[addr].resize(n.width);
+        break;
       }
+      case Net::Kind::BadRef:
+        throw std::invalid_argument("no such signal: " +
+                                    _nl.nameOf(id));
+      default:
+        break;
     }
-    throw std::logic_error("bad expr kind");
+}
+
+/**
+ * Evaluate a lazy node recursively, reproducing the reference
+ * interpreter's order of effects: mux branches short-circuit,
+ * unresolved references fault only when reached, and re-entering a
+ * named wire raises the combinational-loop error.
+ */
+const BitVec &
+Sim::evalLazy(NetId id)
+{
+    size_t i = static_cast<size_t>(id);
+    const Net &n = _nl.net(id);
+    if (!n.lazy || _lazy_gen[i] == _gen)
+        return _val[i];
+    switch (n.kind) {
+      case Net::Kind::Const:
+      case Net::Kind::Input:
+      case Net::Kind::Reg:
+        _lazy_gen[i] = _gen;
+        return _val[i];
+      case Net::Kind::BadRef:
+        throw std::invalid_argument("no such signal: " +
+                                    _nl.nameOf(id));
+      default:
+        break;
+    }
+
+    // Loop detection guards named wire roots, as in the reference
+    // interpreter (cycles can only close through named wires).
+    bool guard =
+        n.kind == Net::Kind::Copy && !_nl.nameOf(id).empty();
+    if (guard) {
+        if (_visiting[i])
+            throw std::runtime_error("combinational loop through " +
+                                     _nl.nameOf(id));
+        _visiting[i] = 1;
+    }
+
+    if (n.kind == Net::Kind::Mux) {
+        bool taken = evalLazy(n.a).any();
+        const BitVec &src = evalLazy(taken ? n.b : n.c);
+        if (n.fast)
+            _val[i].setUint64(src.toUint64());
+        else
+            _val[i] = src.resize(n.width);
+    } else {
+        if (n.a != kNoNet)
+            evalLazy(n.a);
+        if (n.b != kNoNet)
+            evalLazy(n.b);
+        if (n.c != kNoNet)
+            evalLazy(n.c);
+        for (NetId arg : n.cargs)
+            evalLazy(arg);
+        computeNet(id);
+    }
+
+    if (guard)
+        _visiting[i] = 0;
+    _lazy_gen[i] = _gen;
+    return _val[i];
+}
+
+/**
+ * Recompute all strict combinational values if anything changed.
+ * Strict nodes are acyclic and fully resolved, so this never faults;
+ * lazy nodes are evaluated on demand (peek/evalTop touch only the
+ * requested cone, matching the reference interpreter's fault
+ * behaviour) or in bulk by step().
+ */
+void
+Sim::sweep()
+{
+    if (!_dirty)
+        return;
+    _gen++;
+    const auto &order = _nl.order();
+    const auto &lb = _nl.levelBegin();
+    for (size_t l = 0; l + 1 < lb.size(); l++)
+        for (int32_t k = lb[l]; k < lb[l + 1]; k++)
+            computeNet(order[static_cast<size_t>(k)]);
+    _dirty = false;
 }
 
 BitVec
 Sim::peek(const std::string &name)
 {
-    return evalSignal(resolveName("", name));
-}
-
-void
-Sim::evalAll()
-{
-    for (auto &[name, s] : _signals) {
-        if (s.kind != Signal::Kind::Wire)
-            continue;
-        BitVec v = evalSignal(name);
-        // Toggle accounting against the previous cycle's value.
-        if (s.last_cycle_val_cycle != UINT64_MAX) {
-            BitVec diff = v ^ s.last_cycle_val.resize(v.width());
-            _total_toggles += diff.popcount();
-        }
-        s.last_cycle_val = v;
-        s.last_cycle_val_cycle = _cycle;
-    }
+    std::string flat = _nl.resolveName("", name);
+    const NetSignal *sig = findSignal(flat);
+    if (!sig)
+        throw std::invalid_argument("no such signal: " + flat);
+    sweep();
+    return evalLazy(sig->net);
 }
 
 void
 Sim::step(int n)
 {
-    for (int i = 0; i < n; i++) {
-        evalAll();
+    const auto &wires = _nl.wireNets();
+    const auto &regs = _nl.regs();
+    for (int it = 0; it < n; it++) {
+        sweep();
+        // The edge evaluates every wire (like the reference
+        // interpreter's evalAll), so cyclic or unresolved regions
+        // fault here even when unpeeked.
+        for (NetId id : _nl.lazyRoots())
+            evalLazy(id);
+
+        // Toggle accounting against the previous cycle's values.
+        if (_toggles_primed) {
+            for (size_t i = 0; i < wires.size(); i++)
+                _total_toggles +=
+                    (_val[static_cast<size_t>(wires[i])] ^
+                     _wire_last[i])
+                        .popcount();
+        }
+        for (size_t i = 0; i < wires.size(); i++)
+            _wire_last[i] = _val[static_cast<size_t>(wires[i])];
+        _toggles_primed = true;
 
         // Compute next-state for all registers.
-        for (auto &[name, s] : _signals) {
-            if (s.kind == Signal::Kind::Reg)
-                s.next = s.value;
-        }
-        for (const auto &u : _updates) {
-            if (eval(u.enable, u.scope).any()) {
-                auto it = _signals.find(u.reg);
-                if (it == _signals.end())
-                    throw std::invalid_argument("update of unknown reg: "
-                                                + u.reg);
-                it->second.next =
-                    eval(u.value, u.scope).resize(it->second.width);
+        for (size_t i = 0; i < regs.size(); i++)
+            _reg_next[i] = _val[static_cast<size_t>(regs[i])];
+        for (const auto &u : _nl.updates()) {
+            if (_val[static_cast<size_t>(u.enable)].any()) {
+                if (u.reg_index < 0)
+                    throw std::invalid_argument(
+                        "update of unknown reg: " + u.reg_name);
+                size_t ri = static_cast<size_t>(u.reg_index);
+                _reg_next[ri] =
+                    _val[static_cast<size_t>(u.value)].resize(
+                        _nl.net(regs[ri]).width);
             }
         }
-        for (const auto &p : _prints) {
-            if (eval(p.enable, p.scope).any()) {
+        for (const auto &p : _nl.prints()) {
+            if (_val[static_cast<size_t>(p.enable)].any()) {
                 std::string line = p.text;
-                if (p.value)
-                    line += " " + eval(p.value, p.scope).toHex();
+                if (p.value != kNoNet)
+                    line += " " +
+                        _val[static_cast<size_t>(p.value)].toHex();
                 _log.push_back(line);
             }
         }
 
         // Clock edge: commit and count register toggles.
-        for (auto &[name, s] : _signals) {
-            if (s.kind == Signal::Kind::Reg) {
-                BitVec diff = s.next ^ s.value;
-                _total_toggles += diff.popcount();
-                s.value = s.next;
-            }
+        for (size_t i = 0; i < regs.size(); i++) {
+            BitVec &cur = _val[static_cast<size_t>(regs[i])];
+            _total_toggles += (_reg_next[i] ^ cur).popcount();
+            cur = _reg_next[i];
         }
         _cycle++;
+        _dirty = true;
     }
 }
 
@@ -276,9 +407,8 @@ int
 Sim::stateBits() const
 {
     int bits = 0;
-    for (const auto &[name, s] : _signals)
-        if (s.kind == Signal::Kind::Reg)
-            bits += s.width;
+    for (NetId r : _nl.regs())
+        bits += _nl.net(r).width;
     return bits;
 }
 
@@ -286,8 +416,8 @@ std::vector<std::string>
 Sim::regNames() const
 {
     std::vector<std::string> out;
-    for (const auto &[name, s] : _signals)
-        if (s.kind == Signal::Kind::Reg)
+    for (const auto &[name, sig] : _nl.signals())
+        if (sig.kind == NetSignal::Kind::Reg)
             out.push_back(name);
     return out;
 }
@@ -295,28 +425,28 @@ Sim::regNames() const
 BitVec
 Sim::regValue(const std::string &flat_name) const
 {
-    auto it = _signals.find(flat_name);
-    if (it == _signals.end() || it->second.kind != Signal::Kind::Reg)
+    const NetSignal *sig = findSignal(flat_name);
+    if (!sig || sig->kind != NetSignal::Kind::Reg)
         throw std::invalid_argument("no such register: " + flat_name);
-    return it->second.value;
+    return _val[static_cast<size_t>(sig->net)];
 }
 
 void
 Sim::setRegValue(const std::string &flat_name, const BitVec &v)
 {
-    auto it = _signals.find(flat_name);
-    if (it == _signals.end() || it->second.kind != Signal::Kind::Reg)
+    const NetSignal *sig = findSignal(flat_name);
+    if (!sig || sig->kind != NetSignal::Kind::Reg)
         throw std::invalid_argument("no such register: " + flat_name);
-    it->second.value = v.resize(it->second.width);
-    _gen++;
+    _val[static_cast<size_t>(sig->net)] = v.resize(sig->width);
+    _dirty = true;
 }
 
 std::vector<std::string>
 Sim::inputNames() const
 {
     std::vector<std::string> out;
-    for (const auto &[name, s] : _signals)
-        if (s.kind == Signal::Kind::Input)
+    for (const auto &[name, sig] : _nl.signals())
+        if (sig.kind == NetSignal::Kind::Input)
             out.push_back(name);
     return out;
 }
@@ -324,7 +454,23 @@ Sim::inputNames() const
 BitVec
 Sim::evalTop(const ExprPtr &e)
 {
-    return eval(e, "");
+    NetId id;
+    auto it = _top_cache.find(e.get());
+    if (it != _top_cache.end()) {
+        id = it->second;
+    } else {
+        id = _nl.compile(e, "");
+        // Appended nodes are lazy; grow the runtime arrays.
+        const auto &init = _nl.initValues();
+        for (size_t i = _val.size(); i < init.size(); i++)
+            _val.push_back(init[i]);
+        _lazy_gen.resize(init.size(), 0);
+        _visiting.resize(init.size(), 0);
+        _top_cache.emplace(e.get(), id);
+        _top_exprs.push_back(e);
+    }
+    sweep();
+    return evalLazy(id);
 }
 
 } // namespace rtl

@@ -1,15 +1,24 @@
 /**
  * @file
- * Cycle-accurate interpreter for the structural RTL IR.
+ * Cycle-accurate simulator for the structural RTL IR, built on a
+ * compiled netlist (rtl/netlist.h).
  *
- * The design hierarchy is flattened at construction (instance names
- * become dotted prefixes).  Each cycle has two phases, mirroring
- * synchronous RTL semantics: combinational evaluation (wires are pure
- * functions of registers and top-level inputs), then the clock edge
- * (all enabled register updates commit simultaneously).
+ * The design hierarchy is flattened and compiled once at
+ * construction: signal names are interned to dense integer ids,
+ * expression DAGs become compact ID-resolved nodes, and combinational
+ * logic is levelized.  Each cycle has two phases, mirroring
+ * synchronous RTL semantics: a dense per-level sweep computes every
+ * combinational node (wires are pure functions of registers and
+ * top-level inputs), then the clock edge commits all enabled register
+ * updates simultaneously.  No name resolution, map lookups, or
+ * per-node memoization bookkeeping happen on the hot path; values of
+ * 64 bits or fewer are computed in a plain-uint64 fast lane.
  *
- * The interpreter also counts per-signal bit toggles, which the
+ * The simulator also counts per-signal bit toggles, which the
  * synthesis cost model uses as switching activity for dynamic power.
+ * The original recursive interpreter is preserved as rtl::RefSim
+ * (rtl/ref_interp.h) and serves as the differential-testing oracle;
+ * both produce identical peeks, logs, and toggle counts.
  */
 
 #ifndef ANVIL_RTL_INTERP_H
@@ -20,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "rtl/netlist.h"
 #include "rtl/rtl.h"
 
 namespace anvil {
@@ -30,6 +40,8 @@ namespace rtl {
  *
  * Signal names use the instance path: a wire `w` inside instance `u`
  * of the top module is `u.w`.  Top-level signals are unprefixed.
+ * Names are only touched at the API boundary (setInput/peek/...);
+ * stepping works purely on interned ids.
  */
 class Sim
 {
@@ -70,56 +82,28 @@ class Sim
     /** Evaluate an expression in the top-level scope. */
     BitVec evalTop(const ExprPtr &e);
 
+    /** The compiled netlist (inspection / cost analyses). */
+    const Netlist &netlist() const { return _nl; }
+
   private:
-    struct Signal
-    {
-        enum class Kind { Input, Reg, Wire };
-        Kind kind = Kind::Wire;
-        int width = 1;
-        ExprPtr expr;       // Wire: driver (names resolved in scope)
-        std::string scope;  // prefix for resolving expr references
-        BitVec value{1};    // Input/Reg: current value
-        BitVec next{1};     // Reg: pending next value
-        // Evaluation cache (invalidated on input/register pokes).
-        uint64_t eval_cycle = UINT64_MAX;
-        uint64_t eval_gen = 0;
-        BitVec cached{1};
-        bool visiting = false;
-        uint64_t last_cycle_val_cycle = UINT64_MAX;
-        BitVec last_cycle_val{1};
-    };
-
-    struct FlatUpdate
-    {
-        std::string reg;     // flat name
-        ExprPtr enable;
-        ExprPtr value;
-        std::string scope;
-    };
-
-    struct FlatPrint
-    {
-        ExprPtr enable;
-        std::string text;
-        ExprPtr value;
-        std::string scope;
-    };
-
-    void flatten(const Module &m, const std::string &prefix);
-    std::string resolveName(const std::string &scope,
-                            const std::string &name) const;
-    BitVec eval(const ExprPtr &e, const std::string &scope);
-    BitVec evalSignal(const std::string &flat);
-    void evalAll();
+    void sweep();
+    void computeNet(NetId id);
+    const BitVec &evalLazy(NetId id);
+    const NetSignal *findSignal(const std::string &flat) const;
 
     std::shared_ptr<const Module> _top;
-    std::map<std::string, Signal> _signals;
-    std::vector<FlatUpdate> _updates;
-    std::vector<FlatPrint> _prints;
-    /** Child-output aliases: parent flat name -> child flat name. */
-    std::map<std::string, std::string> _aliases;
-    uint64_t _cycle = 0;
+    Netlist _nl;
+    std::vector<BitVec> _val;          // current value per node
+    std::vector<BitVec> _reg_next;     // pending next value per reg
+    std::vector<BitVec> _wire_last;    // previous-cycle wire values
+    std::vector<uint64_t> _lazy_gen;   // per-sweep memo for lazy nodes
+    std::vector<uint8_t> _visiting;    // lazy-walk loop detection
+    std::vector<ExprPtr> _top_exprs;   // keeps evalTop keys alive
+    std::map<const Expr *, NetId> _top_cache;
+    bool _dirty = true;
+    bool _toggles_primed = false;
     uint64_t _gen = 0;
+    uint64_t _cycle = 0;
     uint64_t _total_toggles = 0;
     std::vector<std::string> _log;
 };

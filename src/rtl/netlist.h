@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Compiled netlist: the flat, index-addressed form of a module
+ * hierarchy that the simulator executes.
+ *
+ * At construction the hierarchy is flattened once, every named signal
+ * (top-level input, register, wire, child port wire) is interned into
+ * a dense table addressed by an integer NetId, and every expression
+ * DAG is rewritten into compact nodes whose operands are NetIds — no
+ * strings, maps, or shared_ptr chasing remain on the evaluation path.
+ * Combinational nodes are then levelized (topologically sorted with a
+ * per-node logic level) so a simulation step is a dense per-level
+ * sweep over index arrays.
+ *
+ * Structural cycles and unresolved references cannot always be
+ * rejected eagerly: the reference interpreter only faults when an
+ * evaluation actually reaches them (a loop hidden behind an untaken
+ * mux branch is legal).  Nodes on or downstream of a cycle or a bad
+ * reference are therefore marked `lazy` and evaluated by a recursive
+ * short-circuiting walk that reproduces the reference semantics
+ * exactly, including "combinational loop through <name>" faults.
+ */
+
+#ifndef ANVIL_RTL_NETLIST_H
+#define ANVIL_RTL_NETLIST_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtl/rtl.h"
+
+namespace anvil {
+namespace rtl {
+
+/** Interned index of a signal or expression node in the netlist. */
+using NetId = int32_t;
+
+constexpr NetId kNoNet = -1;
+
+/** One compiled node.  Sources hold state; the rest compute. */
+struct Net
+{
+    enum class Kind : uint8_t
+    {
+        Const,   // value fixed at compile time
+        Input,   // top-level input (poked by the driver)
+        Reg,     // register (committed on the clock edge)
+        Copy,    // operand a, resized to this node's width
+        Unop,    // op(a)
+        Binop,   // op(a, b) at this node's width
+        Mux,     // a ? b : c, resized to this node's width
+        Slice,   // a[lo +: width]
+        Concat,  // cargs, hi-first, resized to this node's width
+        Rom,     // rom[a], resized; out-of-range reads zero
+        BadRef,  // unresolved name; faults only if evaluated
+    };
+
+    Kind kind = Kind::Const;
+    Op op = Op::And;
+    /** Evaluated in the u64 lane (width and operands fit a word). */
+    bool fast = false;
+    /** Evaluated by the recursive walk, not the levelized sweep. */
+    bool lazy = false;
+    int32_t width = 1;
+    int32_t lo = 0;                       // Slice
+    int32_t level = 0;
+    NetId a = kNoNet, b = kNoNet, c = kNoNet;
+    uint64_t mask = 1;                    // low-word mask, width <= 64
+    std::vector<NetId> cargs;             // Concat operands, hi-first
+    std::shared_ptr<const std::vector<BitVec>> rom;
+};
+
+/** A named flattened signal (dotted instance path). */
+struct NetSignal
+{
+    enum class Kind { Input, Reg, Wire };
+    Kind kind = Kind::Wire;
+    NetId net = kNoNet;
+    int32_t width = 1;
+};
+
+/** Guarded register update, ID-resolved. */
+struct NetUpdate
+{
+    int32_t reg_index = -1;   // into regs(); -1 = unknown register
+    NetId enable = kNoNet;
+    NetId value = kNoNet;
+    std::string reg_name;     // flat name, for diagnostics
+};
+
+/** Simulation-only print, ID-resolved. */
+struct NetPrint
+{
+    NetId enable = kNoNet;
+    NetId value = kNoNet;     // kNoNet: no value printed
+    std::string text;
+};
+
+/**
+ * The compiled form of one module hierarchy.
+ *
+ * `compile` may be called after construction (the simulator compiles
+ * ad-hoc top-scope expressions for evalTop); nodes added then are
+ * marked lazy so the levelized order stays valid.
+ */
+class Netlist
+{
+  public:
+    explicit Netlist(const Module &top);
+
+    const std::vector<Net> &nets() const { return _nets; }
+    const Net &net(NetId id) const
+    {
+        return _nets[static_cast<size_t>(id)];
+    }
+
+    /** Initial value of every node (register init, zeros, consts). */
+    const std::vector<BitVec> &initValues() const { return _init; }
+
+    /** Strict combinational nodes in evaluation order. */
+    const std::vector<NetId> &order() const { return _order; }
+
+    /** order()[level_begin[l] .. level_begin[l+1]) is level l. */
+    const std::vector<int32_t> &levelBegin() const
+    {
+        return _level_begin;
+    }
+
+    /** Lazy nodes the clock edge must evaluate every cycle. */
+    const std::vector<NetId> &lazyRoots() const { return _lazy_roots; }
+
+    /** Flat signal name -> interned signal (sorted by name). */
+    const std::map<std::string, NetSignal> &signals() const
+    {
+        return _signals;
+    }
+
+    /** Toggle-counted wire nodes, one entry per named wire. */
+    const std::vector<NetId> &wireNets() const { return _wire_nets; }
+
+    /** Register nodes in name order. */
+    const std::vector<NetId> &regs() const { return _regs; }
+
+    const std::vector<NetUpdate> &updates() const { return _updates; }
+    const std::vector<NetPrint> &prints() const { return _prints; }
+
+    /** Follow child-output aliases from a scoped name to a flat one. */
+    std::string resolveName(const std::string &scope,
+                            const std::string &name) const;
+
+    /**
+     * Compile an expression in the given scope and return its node.
+     * Post-construction nodes are marked lazy (see class comment).
+     */
+    NetId compile(const ExprPtr &e, const std::string &scope);
+
+    /** Debug name of a node ("" for anonymous expression nodes). */
+    const std::string &nameOf(NetId id) const;
+
+  private:
+    NetId newNet(Net n);
+    NetId internSource(NetSignal::Kind kind, const std::string &flat,
+                       int width, const BitVec &init);
+    void flatten(const Module &m, const std::string &prefix);
+    void levelize();
+    void finalizeNode(Net &n);
+    template <typename F> void forEachOperand(const Net &n, F f) const;
+
+    struct PendingWire
+    {
+        NetId root;
+        ExprPtr expr;
+        std::string scope;
+    };
+    struct PendingUpdate
+    {
+        std::string reg;      // flat name
+        ExprPtr enable, value;
+        std::string scope;
+    };
+    struct PendingPrint
+    {
+        ExprPtr enable, value;
+        std::string text;
+        std::string scope;
+    };
+
+    std::vector<Net> _nets;
+    std::vector<BitVec> _init;
+    std::vector<NetId> _order;
+    std::vector<int32_t> _level_begin;
+    std::vector<NetId> _lazy_roots;
+    std::map<std::string, NetSignal> _signals;
+    std::map<std::string, std::string> _aliases;
+    std::vector<NetId> _wire_nets;
+    std::vector<NetId> _regs;
+    std::vector<NetUpdate> _updates;
+    std::vector<NetPrint> _prints;
+    std::map<NetId, std::string> _names;
+    std::map<std::pair<const Expr *, std::string>, NetId> _expr_cache;
+    std::vector<PendingWire> _pending_wires;
+    std::vector<PendingUpdate> _pending_updates;
+    std::vector<PendingPrint> _pending_prints;
+    bool _constructed = false;
+};
+
+} // namespace rtl
+} // namespace anvil
+
+#endif // ANVIL_RTL_NETLIST_H

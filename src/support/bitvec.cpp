@@ -5,28 +5,32 @@
 
 namespace anvil {
 
-namespace {
-
-int
-wordsFor(int width)
-{
-    return (width + 63) / 64;
-}
-
-} // namespace
-
 BitVec::BitVec(int width)
-    : _width(width), _data(wordsFor(width), 0)
+    : _width(width)
 {
-    assert(width >= 1);
+    assert(width >= 0);
+    if (!small())
+        _wide.assign(static_cast<size_t>(words()), 0);
 }
 
 BitVec::BitVec(int width, uint64_t value)
-    : _width(width), _data(wordsFor(width), 0)
+    : BitVec(width)
 {
-    assert(width >= 1);
-    _data[0] = value;
-    normalize();
+    if (small())
+        _w0 = value & smallMask();
+    else
+        _wide[0] = value;
+}
+
+void
+BitVec::setUint64(uint64_t v)
+{
+    if (small()) {
+        _w0 = v & smallMask();
+        return;
+    }
+    _wide.assign(static_cast<size_t>(words()), 0);
+    _wide[0] = v;
 }
 
 BitVec
@@ -68,8 +72,9 @@ BitVec
 BitVec::ones(int width)
 {
     BitVec v(width);
-    for (auto &w : v._data)
-        w = ~0ull;
+    uint64_t *d = v.data();
+    for (int i = 0; i < v.words(); i++)
+        d[i] = ~0ull;
     v.normalize();
     return v;
 }
@@ -77,48 +82,32 @@ BitVec::ones(int width)
 void
 BitVec::normalize()
 {
+    if (small()) {
+        _w0 &= smallMask();
+        return;
+    }
     int top_bits = _width % 64;
     if (top_bits != 0)
-        _data.back() &= (~0ull >> (64 - top_bits));
-}
-
-uint64_t
-BitVec::word(int i) const
-{
-    if (i < 0 || i >= words())
-        return 0;
-    return _data[i];
-}
-
-uint64_t
-BitVec::toUint64() const
-{
-    return _data[0];
-}
-
-bool
-BitVec::bit(int i) const
-{
-    if (i < 0 || i >= _width)
-        return false;
-    return (_data[i / 64] >> (i % 64)) & 1;
+        _wide.back() &= ~0ull >> (64 - top_bits);
 }
 
 void
 BitVec::setBit(int i, bool v)
 {
     assert(i >= 0 && i < _width);
+    uint64_t *d = data();
     if (v)
-        _data[i / 64] |= (1ull << (i % 64));
+        d[i / 64] |= 1ull << (i % 64);
     else
-        _data[i / 64] &= ~(1ull << (i % 64));
+        d[i / 64] &= ~(1ull << (i % 64));
 }
 
 bool
 BitVec::any() const
 {
-    for (uint64_t w : _data)
-        if (w)
+    const uint64_t *d = data();
+    for (int i = 0; i < words(); i++)
+        if (d[i])
             return true;
     return false;
 }
@@ -127,8 +116,11 @@ BitVec
 BitVec::resize(int new_width) const
 {
     BitVec v(new_width);
-    for (int i = 0; i < v.words(); i++)
-        v._data[i] = word(i);
+    uint64_t *d = v.data();
+    int n = std::min(v.words(), words());
+    const uint64_t *s = data();
+    for (int i = 0; i < n; i++)
+        d[i] = s[i];
     v.normalize();
     return v;
 }
@@ -136,10 +128,25 @@ BitVec::resize(int new_width) const
 BitVec
 BitVec::slice(int lo, int n) const
 {
-    assert(n >= 1);
+    assert(n >= 0);
     BitVec v(n);
-    for (int i = 0; i < n; i++)
-        v.setBit(i, bit(lo + i));
+    if (n == 0)
+        return v;
+    if (lo < 0) {
+        // Bits below index 0 read as zero (cold path).
+        for (int i = 0; i < n; i++)
+            v.setBit(i, bit(lo + i));
+        return v;
+    }
+    uint64_t *d = v.data();
+    int ws = lo / 64, bs = lo % 64;
+    for (int j = 0; j < v.words(); j++) {
+        uint64_t w = word(ws + j) >> bs;
+        if (bs != 0)
+            w |= word(ws + j + 1) << (64 - bs);
+        d[j] = w;
+    }
+    v.normalize();
     return v;
 }
 
@@ -147,10 +154,20 @@ BitVec
 BitVec::concatHigh(const BitVec &hi) const
 {
     BitVec v(_width + hi._width);
-    for (int i = 0; i < _width; i++)
-        v.setBit(i, bit(i));
-    for (int i = 0; i < hi._width; i++)
-        v.setBit(_width + i, hi.bit(i));
+    uint64_t *d = v.data();
+    const uint64_t *s = data();
+    for (int i = 0; i < words(); i++)
+        d[i] = s[i];
+    int ws = _width / 64, bs = _width % 64;
+    for (int j = 0; j < hi.words(); j++) {
+        d[ws + j] |= hi.word(j) << bs;
+        if (bs != 0 && ws + j + 1 < v.words())
+            d[ws + j + 1] |= hi.word(j) >> (64 - bs);
+    }
+    // The low part's top partial word may have been only partially
+    // filled by `hi`; the result's own top partial word must be
+    // re-masked so the all-bits-above-width-are-zero invariant holds.
+    v.normalize();
     return v;
 }
 
@@ -158,8 +175,10 @@ BitVec
 BitVec::operator~() const
 {
     BitVec v(_width);
+    uint64_t *d = v.data();
+    const uint64_t *s = data();
     for (int i = 0; i < words(); i++)
-        v._data[i] = ~_data[i];
+        d[i] = ~s[i];
     v.normalize();
     return v;
 }
@@ -168,8 +187,10 @@ BitVec
 BitVec::operator&(const BitVec &o) const
 {
     BitVec v(_width);
+    uint64_t *d = v.data();
+    const uint64_t *s = data();
     for (int i = 0; i < words(); i++)
-        v._data[i] = _data[i] & o.word(i);
+        d[i] = s[i] & o.word(i);
     v.normalize();
     return v;
 }
@@ -178,8 +199,10 @@ BitVec
 BitVec::operator|(const BitVec &o) const
 {
     BitVec v(_width);
+    uint64_t *d = v.data();
+    const uint64_t *s = data();
     for (int i = 0; i < words(); i++)
-        v._data[i] = _data[i] | o.word(i);
+        d[i] = s[i] | o.word(i);
     v.normalize();
     return v;
 }
@@ -188,8 +211,10 @@ BitVec
 BitVec::operator^(const BitVec &o) const
 {
     BitVec v(_width);
+    uint64_t *d = v.data();
+    const uint64_t *s = data();
     for (int i = 0; i < words(); i++)
-        v._data[i] = _data[i] ^ o.word(i);
+        d[i] = s[i] ^ o.word(i);
     v.normalize();
     return v;
 }
@@ -198,13 +223,15 @@ BitVec
 BitVec::operator+(const BitVec &o) const
 {
     BitVec v(_width);
+    uint64_t *d = v.data();
+    const uint64_t *s = data();
     unsigned __int128 carry = 0;
     for (int i = 0; i < words(); i++) {
-        unsigned __int128 s = carry;
-        s += _data[i];
-        s += o.word(i);
-        v._data[i] = static_cast<uint64_t>(s);
-        carry = s >> 64;
+        unsigned __int128 sum = carry;
+        sum += s[i];
+        sum += o.word(i);
+        d[i] = static_cast<uint64_t>(sum);
+        carry = sum >> 64;
     }
     v.normalize();
     return v;
@@ -222,14 +249,16 @@ BitVec::operator*(const BitVec &o) const
 {
     // Schoolbook multiplication, truncated to this->width().
     BitVec v(_width);
+    uint64_t *d = v.data();
+    const uint64_t *s = data();
     for (int i = 0; i < words(); i++) {
         unsigned __int128 carry = 0;
         for (int j = 0; i + j < words(); j++) {
-            unsigned __int128 p = static_cast<unsigned __int128>(_data[i]) *
-                o.word(j);
-            p += v._data[i + j];
+            unsigned __int128 p =
+                static_cast<unsigned __int128>(s[i]) * o.word(j);
+            p += d[i + j];
             p += carry;
-            v._data[i + j] = static_cast<uint64_t>(p);
+            d[i + j] = static_cast<uint64_t>(p);
             carry = p >> 64;
         }
     }
@@ -241,8 +270,17 @@ BitVec
 BitVec::operator<<(int n) const
 {
     BitVec v(_width);
-    for (int i = _width - 1; i >= n; i--)
-        v.setBit(i, bit(i - n));
+    if (n < 0 || n >= _width)
+        return v;
+    uint64_t *d = v.data();
+    int ws = n / 64, bs = n % 64;
+    for (int j = v.words() - 1; j >= ws; j--) {
+        uint64_t w = word(j - ws) << bs;
+        if (bs != 0)
+            w |= word(j - ws - 1) >> (64 - bs);
+        d[j] = w;
+    }
+    v.normalize();
     return v;
 }
 
@@ -250,8 +288,17 @@ BitVec
 BitVec::operator>>(int n) const
 {
     BitVec v(_width);
-    for (int i = 0; i + n < _width; i++)
-        v.setBit(i, bit(i + n));
+    if (n < 0 || n >= _width)
+        return v;
+    uint64_t *d = v.data();
+    int ws = n / 64, bs = n % 64;
+    for (int j = 0; j < v.words(); j++) {
+        uint64_t w = word(ws + j) >> bs;
+        if (bs != 0)
+            w |= word(ws + j + 1) << (64 - bs);
+        d[j] = w;
+    }
+    v.normalize();
     return v;
 }
 
@@ -285,9 +332,10 @@ BitVec::ule(const BitVec &o) const
 int
 BitVec::popcount() const
 {
+    const uint64_t *d = data();
     int n = 0;
-    for (uint64_t w : _data)
-        n += __builtin_popcountll(w);
+    for (int i = 0; i < words(); i++)
+        n += __builtin_popcountll(d[i]);
     return n;
 }
 

@@ -60,8 +60,9 @@ class StreamHarness
         size_t next = 0;
         for (int cyc = 0; cyc < max_cycles; cyc++) {
             bool offer = next < items.size() &&
-                roll(_rng) % 100 < produce_duty;
-            bool take = roll(_rng) % 100 < consume_duty;
+                static_cast<int>(roll(_rng) % 100) < produce_duty;
+            bool take =
+                static_cast<int>(roll(_rng) % 100) < consume_duty;
 
             _sim.setInput(_in + "_valid", offer ? 1 : 0);
             _sim.setInput(_in + "_data",

@@ -158,4 +158,122 @@ TEST(BitVec, ResizeRoundtrip)
     EXPECT_EQ(v.resize(16).resize(40).toUint64(), 0x1234u);
 }
 
+// --- Edge cases hardened alongside the compiled-netlist core -------------
+
+TEST(BitVec, ShiftByWidthOrMoreIsZero)
+{
+    BitVec v(16, 0xffff);
+    EXPECT_EQ((v << 16).toUint64(), 0u);
+    EXPECT_EQ((v >> 16).toUint64(), 0u);
+    EXPECT_EQ((v << 1000).toUint64(), 0u);
+    EXPECT_EQ((v >> 1000).toUint64(), 0u);
+    // Exactly width-1 still works.
+    EXPECT_EQ((v << 15).toUint64(), 0x8000u);
+    EXPECT_EQ((v >> 15).toUint64(), 1u);
+}
+
+TEST(BitVec, ShiftBy64OrMoreOnWideValues)
+{
+    // Word-boundary shifts must not invoke UB on the backing words.
+    BitVec v = BitVec(128, 1);
+    EXPECT_TRUE((v << 64).bit(64));
+    EXPECT_EQ((v << 64).popcount(), 1);
+    EXPECT_TRUE((v << 127).bit(127));
+    EXPECT_EQ(((v << 127) >> 127).toUint64(), 1u);
+    EXPECT_TRUE(((v << 100) >> 36).bit(64));
+    EXPECT_EQ((v << 128).popcount(), 0);
+    BitVec w = BitVec::ones(64);
+    EXPECT_EQ((w << 63).toUint64(), 1ull << 63);
+    EXPECT_EQ((w >> 63).toUint64(), 1u);
+    EXPECT_EQ((w << 64).toUint64(), 0u);
+}
+
+TEST(BitVec, NegativeShiftIsZero)
+{
+    BitVec v(16, 0x1234);
+    EXPECT_EQ((v << -1).toUint64(), 0u);
+    EXPECT_EQ((v >> -1).toUint64(), 0u);
+}
+
+TEST(BitVec, ZeroWidthSlice)
+{
+    BitVec v(16, 0xffff);
+    BitVec z = v.slice(4, 0);
+    EXPECT_EQ(z.width(), 0);
+    EXPECT_EQ(z.popcount(), 0);
+    EXPECT_TRUE(z.isZero());
+    EXPECT_EQ(z.toUint64(), 0u);
+    // Zero-width values compose: concat and resize behave as the
+    // empty bit string.
+    EXPECT_EQ(z.concatHigh(v).toUint64(), 0xffffu);
+    EXPECT_EQ(v.concatHigh(z).toUint64(), 0xffffu);
+    EXPECT_EQ(z.resize(8).toUint64(), 0u);
+}
+
+TEST(BitVec, SliceWithNegativeLoReadsZeros)
+{
+    // Out-of-range bits (including negative indices) read as zero,
+    // matching bit()'s range semantics.
+    BitVec v(8, 0xa5);
+    BitVec s = v.slice(-2, 8);
+    EXPECT_EQ(s.toUint64(), (0xa5u << 2) & 0xffu);
+    BitVec wide = BitVec::ones(100);
+    EXPECT_EQ(wide.slice(-4, 70).popcount(), 66);
+    EXPECT_FALSE(wide.slice(-4, 70).bit(3));
+    EXPECT_TRUE(wide.slice(-4, 70).bit(4));
+}
+
+TEST(BitVec, ConcatHighNormalizesTopPartialWord)
+{
+    // 40 + 40 = 80 bits: the top word is partial; all-ones inputs
+    // must not leave stray bits above bit 79.
+    BitVec lo = BitVec::ones(40);
+    BitVec hi = BitVec::ones(40);
+    BitVec v = lo.concatHigh(hi);
+    EXPECT_EQ(v.width(), 80);
+    EXPECT_EQ(v.popcount(), 80);
+    EXPECT_EQ(v.word(1), 0xffffull);      // bits 64..79 only
+    EXPECT_EQ((~v).popcount(), 0);        // ~ of all-ones is zero
+    // Unaligned split across the word boundary.
+    BitVec a(50, 0x3ffffffffffffull);
+    BitVec b(30, 0x2aaaaaaau);
+    BitVec c = a.concatHigh(b);
+    EXPECT_EQ(c.width(), 80);
+    for (int i = 0; i < 50; i++)
+        EXPECT_TRUE(c.bit(i)) << i;
+    for (int i = 0; i < 30; i++)
+        EXPECT_EQ(c.bit(50 + i), (i % 2) == 1) << i;
+}
+
+TEST(BitVec, SetUint64KeepsWidthAndMasks)
+{
+    BitVec v(12);
+    v.setUint64(0xabcd);
+    EXPECT_EQ(v.width(), 12);
+    EXPECT_EQ(v.toUint64(), 0xbcdu);
+    BitVec w(100, 7);
+    w.setBit(90, true);
+    w.setUint64(0x55);
+    EXPECT_EQ(w.toUint64(), 0x55u);
+    EXPECT_FALSE(w.bit(90));   // overwrites the whole value
+    EXPECT_EQ(w.width(), 100);
+}
+
+TEST(BitVec, WideShiftMatchesSliceConcat)
+{
+    std::mt19937_64 rng(7);
+    for (int iter = 0; iter < 50; iter++) {
+        BitVec v(130);
+        for (int i = 0; i < 130; i++)
+            v.setBit(i, rng() & 1);
+        int sh = static_cast<int>(rng() % 130);
+        BitVec r = v >> sh;
+        BitVec s = v.slice(sh, 130 - sh).resize(130);
+        EXPECT_EQ(r.toBinary(), s.toBinary());
+        BitVec l = v << sh;
+        for (int i = 0; i < 130; i++)
+            EXPECT_EQ(l.bit(i), i >= sh && v.bit(i - sh));
+    }
+}
+
 } // namespace

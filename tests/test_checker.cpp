@@ -322,8 +322,9 @@ TEST(Checker, Listing1ChildRejectedGrandchildAccepted)
               std::string::npos) << diag;
     // grandchild itself carries no error (only cross-thread warnings).
     for (const auto &d : out.diags.all()) {
-        if (d.severity == Severity::Error)
+        if (d.severity == Severity::Error) {
             EXPECT_EQ(d.message.find("grandchild"), std::string::npos);
+        }
     }
 }
 

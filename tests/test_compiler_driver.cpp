@@ -50,7 +50,7 @@ TEST(Driver, CheckOnlySkipsCodegen)
 {
     CompileOutput out = compileAnvil(R"(
 proc p() { reg r : logic[8]; loop { set r := *r + 1 >> cycle 1 } }
-)", {.codegen = false});
+)", {.top = "", .codegen = false});
     EXPECT_TRUE(out.ok);
     EXPECT_TRUE(out.modules.empty());
     EXPECT_TRUE(out.systemverilog.empty());

@@ -70,8 +70,6 @@ TEST_P(AluTest, FullyPipelinedOnePerCycle)
               static_cast<int>(rng() % 8)};
         if (op.op == 6)
             op.op = 0;  // baseline uses shr, Anvil version omits it
-        uint64_t word = (static_cast<uint64_t>(op.op) << 64 >> 0, 0ull);
-        (void)word;
         BitVec payload(68);
         payload = BitVec(68, op.a | (op.b << 32));
         for (int i = 0; i < 32; i++) {

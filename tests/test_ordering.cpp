@@ -165,7 +165,7 @@ TEST(Ordering, MessagePatternMonotone)
     EventGraph g;
     EventId root = g.addRoot();
     EventId a = g.addDelay(root, 1);
-    EventId s = g.addRecv(a, "ep", "m");
+    g.addRecv(a, "ep", "m");
     Ordering ord(g);
     // first m after root <= first m after a (monotone in the base).
     EXPECT_TRUE(ord.patLe(EventPattern::message(root, "ep", "m"),
