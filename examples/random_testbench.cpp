@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Coverage-driven testbench walkthrough: the Anvil-compiled FIFO
+ * driven by constrained-random stimulus, checked by an in-order
+ * scoreboard, measured by the coverage engine, and dumped as a VCD
+ * that any waveform viewer opens.
+ *
+ * Build & run:  ./build/example_random_testbench
+ * Then e.g.:    gtkwave fifo_random.vcd
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "anvil/compiler.h"
+#include "designs/designs.h"
+#include "tb/testbench.h"
+
+using namespace anvil;
+
+int
+main()
+{
+    CompileOutput out = compileAnvil(designs::anvilFifoSource(),
+                                     {.top = "fifo"});
+    if (!out.ok) {
+        printf("%s\n", out.diags.render().c_str());
+        return 1;
+    }
+
+    tb::Testbench bench(out.module("fifo"), /*seed=*/2026);
+
+    // Constrained-random stimulus: random payloads, enq offered 70%
+    // of cycles, deq ready 50% of cycles.
+    bench.driveRandom("inp_enq_data");
+    tb::FieldSpec one;
+    one.width = 1;
+    one.min = one.max = 1;
+    tb::RandomSpec enq;
+    enq.fields = {one};
+    enq.active_pct = 70;
+    bench.driveRandom("inp_enq_valid", enq);
+    tb::RandomSpec deq = enq;
+    deq.active_pct = 50;
+    bench.driveRandom("outp_deq_ack", deq);
+
+    // Scoreboard: everything that goes in comes out, in order.
+    tb::Scoreboard &sb = bench.addScoreboard("fifo-order");
+    bench.check("fifo", [&sb](tb::Testbench &t) {
+        rtl::Sim &s = t.sim();
+        if (s.peek("inp_enq_valid").any() &&
+            s.peek("inp_enq_ack").any())
+            sb.expect(s.peek("inp_enq_data"));
+        if (s.peek("outp_deq_valid").any() &&
+            s.peek("outp_deq_ack").any())
+            sb.observed(s.cycle(), s.peek("outp_deq_data"));
+    });
+
+    // Coverage: what did this stimulus actually exercise?
+    tb::Coverage &cov = bench.coverage();
+    cov.addCover("enq-fire", rtl::ref("inp_enq_valid", 1) &
+                                 rtl::ref("inp_enq_ack", 1));
+    cov.addCover("deq-fire", rtl::ref("outp_deq_valid", 1) &
+                                 rtl::ref("outp_deq_ack", 1));
+
+    // Waves for a real viewer.
+    std::ofstream vcd("fifo_random.vcd");
+    bench.attachVcd(vcd);
+
+    tb::TbResult r = bench.run(2000);
+    printf("%s\n", r.summary().c_str());
+    printf("scoreboard: %llu matched, %zu still queued\n",
+           (unsigned long long)sb.matched(), sb.pending());
+    printf("\n%s", cov.report().c_str());
+    printf("\nsummary json: %s\n", cov.summaryJson().c_str());
+    printf("\nwrote fifo_random.vcd\n");
+    return r.ok() ? 0 : 1;
+}

@@ -8,8 +8,17 @@
  *     --top <proc>   top process (default: last defined)
  *     --no-opt       skip the Fig. 8 event-graph passes
  *     --trace        print the timing-check derivation
- *     --stats        print event-graph and synthesis statistics
+ *     --stats        print event-graph, synthesis, and (with --sim)
+ *                    simulation/coverage statistics
  *     --check-only   type check without generating code
+ *     --sim <N>      simulate N cycles under a seeded random
+ *                    testbench after compiling
+ *     --seed <S>     testbench seed (default 1)
+ *     --vcd <file>   write a VCD waveform of the simulation
+ *     --cov          print the coverage report after simulation
+ *
+ * Exit codes: 0 success; 1 check failure (type/compile errors);
+ * 2 usage error; 3 I/O error.
  */
 
 #include <cstdio>
@@ -20,10 +29,16 @@
 
 #include "anvil/compiler.h"
 #include "synth/cost_model.h"
+#include "tb/testbench.h"
 
 using namespace anvil;
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitCheckFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
 
 void
 usage()
@@ -34,8 +49,66 @@ usage()
             "  --top <proc>   top process (default: last defined)\n"
             "  --no-opt       skip event-graph optimizations\n"
             "  --trace        print the timing-check derivation\n"
-            "  --stats        print event-graph/synthesis stats\n"
-            "  --check-only   type check only\n");
+            "  --stats        print event-graph/synthesis stats (and\n"
+            "                 sim/coverage summaries with --sim)\n"
+            "  --check-only   type check only\n"
+            "  --sim <N>      simulate N cycles under a random\n"
+            "                 testbench\n"
+            "  --seed <S>     testbench seed (default 1)\n"
+            "  --vcd <file>   write a VCD waveform of the simulation\n"
+            "  --cov          print the coverage report\n"
+            "exit codes: 0 ok, 1 check failure, 2 usage, 3 I/O "
+            "error\n");
+}
+
+/** Random-testbench run over the compiled top module. */
+int
+simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
+         const std::string &vcd_path, bool cov, bool stats)
+{
+    tb::Testbench bench(mod, seed);
+    for (const auto &in : bench.sim().inputNames())
+        bench.driveRandom(in);
+
+    tb::Coverage *coverage = nullptr;
+    if (cov || stats)
+        coverage = &bench.coverage();
+
+    std::ofstream vcd_os;
+    if (!vcd_path.empty()) {
+        vcd_os.open(vcd_path);
+        if (!vcd_os) {
+            fprintf(stderr, "anvilc: cannot write '%s'\n",
+                    vcd_path.c_str());
+            return kExitIo;
+        }
+        bench.attachVcd(vcd_os);
+    }
+
+    tb::TbResult result = bench.run(static_cast<uint64_t>(cycles));
+
+    printf("sim: %llu cycles, %llu toggles, %zu dprint line(s)\n",
+           (unsigned long long)result.cycles,
+           (unsigned long long)bench.sim().totalToggles(),
+           bench.sim().log().size());
+    if (stats && coverage)
+        printf("sim-summary %s\n", coverage->summaryJson().c_str());
+    if (cov && coverage)
+        fputs(coverage->report().c_str(), stdout);
+    if (!vcd_path.empty()) {
+        vcd_os.flush();
+        if (!vcd_os.good()) {
+            fprintf(stderr, "anvilc: error writing '%s'\n",
+                    vcd_path.c_str());
+            return kExitIo;
+        }
+        fprintf(stderr, "anvilc: wrote %s\n", vcd_path.c_str());
+    }
+    if (!result.ok()) {
+        fprintf(stderr, "anvilc: %s\n", result.summary().c_str());
+        return kExitCheckFailure;
+    }
+    return kExitOk;
 }
 
 } // namespace
@@ -43,9 +116,11 @@ usage()
 int
 main(int argc, char **argv)
 {
-    std::string input, output, top;
+    std::string input, output, top, vcd_path;
     bool optimize = true, trace = false, stats = false;
-    bool check_only = false;
+    bool check_only = false, cov = false;
+    long sim_cycles = 0;
+    uint64_t seed = 1;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -61,30 +136,47 @@ main(int argc, char **argv)
             stats = true;
         } else if (arg == "--check-only") {
             check_only = true;
+        } else if (arg == "--sim" && i + 1 < argc) {
+            sim_cycles = atol(argv[++i]);
+            if (sim_cycles <= 0) {
+                fprintf(stderr, "anvilc: bad --sim cycle count\n");
+                return kExitUsage;
+            }
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--vcd" && i + 1 < argc) {
+            vcd_path = argv[++i];
+        } else if (arg == "--cov") {
+            cov = true;
         } else if (arg == "-h" || arg == "--help") {
             usage();
-            return 0;
+            return kExitOk;
         } else if (!arg.empty() && arg[0] == '-') {
             fprintf(stderr, "anvilc: unknown option '%s'\n",
                     arg.c_str());
             usage();
-            return 2;
+            return kExitUsage;
         } else if (input.empty()) {
             input = arg;
         } else {
             fprintf(stderr, "anvilc: multiple inputs\n");
-            return 2;
+            return kExitUsage;
         }
     }
     if (input.empty()) {
         usage();
-        return 2;
+        return kExitUsage;
+    }
+    if (sim_cycles == 0 && (cov || !vcd_path.empty() || seed != 1)) {
+        fprintf(stderr,
+                "anvilc: --vcd/--cov/--seed require --sim <N>\n");
+        return kExitUsage;
     }
 
     std::ifstream in(input);
     if (!in) {
         fprintf(stderr, "anvilc: cannot open '%s'\n", input.c_str());
-        return 2;
+        return kExitIo;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
@@ -120,22 +212,38 @@ main(int argc, char **argv)
     if (!out.ok) {
         fprintf(stderr, "anvilc: %d error(s)\n",
                 out.diags.errorCount());
-        return 1;
+        return kExitCheckFailure;
     }
 
     if (!check_only) {
         if (output.empty()) {
-            fputs(out.systemverilog.c_str(), stdout);
+            if (sim_cycles == 0)
+                fputs(out.systemverilog.c_str(), stdout);
         } else {
             std::ofstream os(output);
             if (!os) {
                 fprintf(stderr, "anvilc: cannot write '%s'\n",
                         output.c_str());
-                return 2;
+                return kExitIo;
             }
             os << out.systemverilog;
             fprintf(stderr, "anvilc: wrote %s\n", output.c_str());
         }
     }
-    return 0;
+
+    if (sim_cycles > 0) {
+        if (check_only) {
+            fprintf(stderr, "anvilc: --sim needs codegen "
+                            "(drop --check-only)\n");
+            return kExitUsage;
+        }
+        rtl::ModulePtr mod = out.module(out.top);
+        if (!mod) {
+            fprintf(stderr, "anvilc: no module for top '%s'\n",
+                    out.top.c_str());
+            return kExitCheckFailure;
+        }
+        return simulate(mod, sim_cycles, seed, vcd_path, cov, stats);
+    }
+    return kExitOk;
 }

@@ -104,6 +104,7 @@ compileAnvil(const std::string &source, const CompileOptions &opts)
     std::string top = opts.top;
     if (top.empty() && !order.empty())
         top = order.back()->name;
+    out.top = top;
     if (out.modules.count(top))
         out.systemverilog =
             printSystemVerilogHierarchy(*out.modules[top]);

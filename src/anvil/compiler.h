@@ -43,6 +43,9 @@ struct CompileOutput
     /** Generated SystemVerilog for the full hierarchy of `top`. */
     std::string systemverilog;
 
+    /** The resolved top process (explicit or last defined). */
+    std::string top;
+
     rtl::ModulePtr module(const std::string &proc) const
     {
         auto it = modules.find(proc);

@@ -441,6 +441,37 @@ Sim::setRegValue(const std::string &flat_name, const BitVec &v)
     _dirty = true;
 }
 
+std::vector<BitVec>
+Sim::captureRegs() const
+{
+    std::vector<BitVec> vals;
+    vals.reserve(_nl.regs().size());
+    for (NetId r : _nl.regs())
+        vals.push_back(_val[static_cast<size_t>(r)]);
+    return vals;
+}
+
+void
+Sim::restoreRegs(const std::vector<BitVec> &vals)
+{
+    const auto &regs = _nl.regs();
+    if (vals.size() != regs.size())
+        throw std::invalid_argument("register snapshot size mismatch");
+    for (size_t i = 0; i < regs.size(); i++)
+        _val[static_cast<size_t>(regs[i])] =
+            vals[i].resize(_nl.net(regs[i]).width);
+    _dirty = true;
+}
+
+const BitVec &
+Sim::value(NetId id)
+{
+    if (id < 0 || static_cast<size_t>(id) >= _val.size())
+        throw std::invalid_argument("no such net id");
+    sweep();
+    return evalLazy(id);
+}
+
 std::vector<std::string>
 Sim::inputNames() const
 {

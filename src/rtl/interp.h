@@ -76,6 +76,20 @@ class Sim
     BitVec regValue(const std::string &flat_name) const;
     void setRegValue(const std::string &flat_name, const BitVec &v);
 
+    /**
+     * Snapshot every register in netlist().regs() order, and restore
+     * such a snapshot.  The string-free state access of the BMC.
+     */
+    std::vector<BitVec> captureRegs() const;
+    void restoreRegs(const std::vector<BitVec> &vals);
+
+    /**
+     * Value of an interned node at the current cycle.  Sweeps if
+     * needed; lazy cones are evaluated on demand and fault exactly
+     * like peek.  The id-addressed access of coverage and VCD tracing.
+     */
+    const BitVec &value(NetId id);
+
     /** Top-level input port names. */
     std::vector<std::string> inputNames() const;
 
@@ -84,6 +98,9 @@ class Sim
 
     /** The compiled netlist (inspection / cost analyses). */
     const Netlist &netlist() const { return _nl; }
+
+    /** Name of the top module (VCD scope root). */
+    const std::string &topName() const { return _top->name; }
 
   private:
     void sweep();

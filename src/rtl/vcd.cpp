@@ -1,0 +1,155 @@
+#include "rtl/vcd.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace anvil {
+namespace rtl {
+
+namespace {
+
+/** Nested VCD scope: child scopes by name plus leaf vars. */
+struct ScopeNode
+{
+    std::map<std::string, ScopeNode> children;
+    std::vector<size_t> vars;   // indices into the traced list
+};
+
+/** Binary value with leading zeros stripped (VCD shorthand). */
+std::string
+trimmedBinary(const BitVec &v)
+{
+    std::string b = v.toBinary();
+    size_t first = b.find('1');
+    if (first == std::string::npos)
+        return "0";
+    return b.substr(first);
+}
+
+} // namespace
+
+std::string
+VcdWriter::idCode(size_t index)
+{
+    // Base-94 over the printable ASCII range '!'..'~'.
+    std::string id;
+    do {
+        id += static_cast<char>('!' + index % 94);
+        index /= 94;
+    } while (index > 0);
+    return id;
+}
+
+VcdWriter::VcdWriter(Sim &sim, std::ostream &os,
+                     std::vector<std::string> signals)
+    : _sim(sim), _os(os)
+{
+    const Netlist &nl = _sim.netlist();
+    if (signals.empty())
+        for (const auto &[name, sig] : nl.signals())
+            signals.push_back(name);
+
+    for (const auto &name : signals) {
+        std::string flat = nl.resolveName("", name);
+        auto it = nl.signals().find(flat);
+        if (it == nl.signals().end())
+            throw std::invalid_argument("no such signal: " + name);
+        Traced t;
+        t.name = flat;
+        t.id = idCode(_traced.size());
+        t.net = it->second.net;
+        t.width = it->second.width;
+        t.is_reg = it->second.kind == NetSignal::Kind::Reg;
+        t.last = BitVec(t.width);
+        _traced.push_back(std::move(t));
+    }
+    writeHeader();
+}
+
+void
+VcdWriter::writeHeader()
+{
+    // Deterministic header: no wall-clock date, fixed version text.
+    _os << "$date\n    (deterministic)\n$end\n"
+        << "$version\n    anvil VcdWriter\n$end\n"
+        << "$timescale\n    1ns\n$end\n";
+
+    ScopeNode root;
+    for (size_t i = 0; i < _traced.size(); i++) {
+        ScopeNode *node = &root;
+        const std::string &name = _traced[i].name;
+        size_t start = 0, dot;
+        while ((dot = name.find('.', start)) != std::string::npos) {
+            node = &node->children[name.substr(start, dot - start)];
+            start = dot + 1;
+        }
+        node->vars.push_back(i);
+    }
+
+    // Recursive emit; leaf var names drop the instance path prefix.
+    auto emitScope = [this](const ScopeNode &node,
+                            auto &&self) -> void {
+        for (size_t i : node.vars) {
+            const Traced &t = _traced[i];
+            std::string leaf = t.name.substr(t.name.rfind('.') + 1);
+            _os << "$var " << (t.is_reg ? "reg" : "wire") << " "
+                << t.width << " " << t.id << " " << leaf;
+            if (t.width > 1)
+                _os << " [" << t.width - 1 << ":0]";
+            _os << " $end\n";
+        }
+        for (const auto &[name, child] : node.children) {
+            _os << "$scope module " << name << " $end\n";
+            self(child, self);
+            _os << "$upscope $end\n";
+        }
+    };
+
+    _os << "$scope module " << _sim.topName() << " $end\n";
+    emitScope(root, emitScope);
+    _os << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void
+VcdWriter::emitValue(const Traced &t, const BitVec &v)
+{
+    if (t.width == 1)
+        _os << (v.any() ? '1' : '0') << t.id << "\n";
+    else
+        _os << "b" << trimmedBinary(v) << " " << t.id << "\n";
+    _changes++;
+}
+
+void
+VcdWriter::sample()
+{
+    if (!_primed) {
+        _os << "#" << _sim.cycle() << "\n$dumpvars\n";
+        for (auto &t : _traced) {
+            const BitVec &v = _sim.value(t.net);
+            emitValue(t, v);
+            t.last = v;
+        }
+        _os << "$end\n";
+        _primed = true;
+        return;
+    }
+
+    // Only nets that changed since the previous sample are dumped;
+    // a cycle with no changes emits nothing at all.
+    bool stamped = false;
+    for (auto &t : _traced) {
+        const BitVec &v = _sim.value(t.net);
+        if (v == t.last)
+            continue;
+        if (!stamped) {
+            _os << "#" << _sim.cycle() << "\n";
+            stamped = true;
+        }
+        emitValue(t, v);
+        t.last = v;
+    }
+}
+
+} // namespace rtl
+} // namespace anvil

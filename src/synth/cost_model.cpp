@@ -1,9 +1,11 @@
 #include "synth/cost_model.h"
 
+#include <algorithm>
 #include <cmath>
-#include <map>
 #include <set>
+#include <vector>
 
+#include "rtl/netlist.h"
 #include "support/strings.h"
 
 namespace anvil {
@@ -11,8 +13,9 @@ namespace synth {
 
 namespace {
 
-using rtl::Expr;
-using rtl::ExprPtr;
+using rtl::Net;
+using rtl::NetId;
+using rtl::Netlist;
 using rtl::Op;
 
 // 22 nm-class model constants.
@@ -84,191 +87,217 @@ opLevels(Op op, int w)
     return 1.0;
 }
 
-/** Flattens the hierarchy and accumulates area and path depth. */
+/**
+ * Prices a design over the compiled netlist's interned table: the
+ * same flattened form the simulator executes, so no re-flattening
+ * with string maps happens here.
+ *
+ * Area applies common-subexpression elimination by structural hash:
+ * two cones with the same shape over the same named source signals
+ * synthesize to one instance.  Cones end at named signals (a named
+ * operand hashes as a leaf by its flat name), so equal shapes over
+ * different signals stay distinct hardware, as on silicon.  Depth is
+ * a memoized walk over operand ids; defensive cycles (lazy nets)
+ * break to zero exactly like the old string-keyed analyzer.
+ */
 class Analyzer
 {
   public:
     SynthReport run(const rtl::Module &top)
     {
-        flatten(top, "");
-        // Depth of every wire and register-update cone; the critical
-        // path is the deepest cone plus clocking overhead.
+        Netlist nl(top);
+        const auto &nets = nl.nets();
+        _hash.assign(nets.size(), 0);
+        _hash_done.assign(nets.size(), 0);
+        _depth.assign(nets.size(), 0.0);
+        _depth_done.assign(nets.size(), 0);
+        _visiting.assign(nets.size(), 0);
+
+        for (NetId r : nl.regs())
+            _report.seq_area_um2 +=
+                nl.net(r).width * kGePerFlopBit * kUm2PerGe;
+
+        // Synthesized logic is what wires and register updates reach;
+        // simulation-only prints are not priced.
+        std::vector<uint8_t> reach(nets.size(), 0);
+        std::vector<NetId> work;
+        auto seed = [&](NetId id) {
+            if (id != rtl::kNoNet && !reach[static_cast<size_t>(id)]) {
+                reach[static_cast<size_t>(id)] = 1;
+                work.push_back(id);
+            }
+        };
+        for (NetId id : nl.wireNets())
+            seed(id);
+        for (const auto &u : nl.updates()) {
+            seed(u.enable);
+            seed(u.value);
+        }
+        while (!work.empty()) {
+            NetId id = work.back();
+            work.pop_back();
+            const Net &n = nl.net(id);
+            seed(n.a);
+            seed(n.b);
+            seed(n.c);
+            for (NetId o : n.cargs)
+                seed(o);
+        }
+
         double worst = 0;
-        for (const auto &[name, w] : _wires)
-            worst = std::max(worst, wireDepth(name));
-        for (const auto &[e, scope] : _update_exprs)
-            worst = std::max(worst, exprDepth(e, scope));
+        for (size_t i = 0; i < nets.size(); i++) {
+            if (!reach[i])
+                continue;
+            NetId id = static_cast<NetId>(i);
+            countArea(nl, id);
+            worst = std::max(worst, depth(nl, id));
+        }
+        for (const auto &u : nl.updates()) {
+            // Enable gating adds a mux in front of the flop.
+            _report.comb_area_um2 +=
+                opGates(Op::And, nl.net(u.value).width) * kUm2PerGe;
+        }
         _report.crit_path_ps = worst * kGateDelayPs + kClockOverheadPs;
         return _report;
     }
 
   private:
-    struct FlatWire
+    /**
+     * Structural hash of one net.  Named nets referenced as
+     * operands hash as leaves by their flat name (the CSE unit of
+     * the expression-level analyzer: a cone ends at named signals),
+     * so equal shapes over different signals never merge.
+     */
+    uint64_t hashOf(const Netlist &nl, NetId id)
     {
-        ExprPtr expr;
-        std::string scope;
-    };
+        size_t i = static_cast<size_t>(id);
+        if (_hash_done[i])
+            return _hash[i];
+        _hash_done[i] = 1;   // break defensive cycles
+        const Net &n = nl.net(id);
 
-    void flatten(const rtl::Module &m, const std::string &prefix)
-    {
-        for (const auto &r : m.regs) {
-            _report.seq_area_um2 += r.width * kGePerFlopBit * kUm2PerGe;
-            _regs.insert(prefix + r.name);
-        }
-        for (const auto &w : m.wires) {
-            _wires[prefix + w.name] = {w.expr, prefix};
-            countArea(w.expr);
-        }
-        for (const auto &u : m.updates) {
-            countArea(u.enable);
-            countArea(u.value);
-            _update_exprs.emplace_back(u.enable, prefix);
-            _update_exprs.emplace_back(u.value, prefix);
-            // Enable gating adds a mux in front of the flop.
-            _report.comb_area_um2 +=
-                opGates(Op::And, exprWidth(u.value)) * kUm2PerGe;
-        }
-        for (const auto &inst : m.instances) {
-            std::string child_prefix = prefix + inst.name + ".";
-            flatten(*inst.module, child_prefix);
-            for (const auto &[port, e] : inst.inputs) {
-                _wires[child_prefix + port] = {e, prefix};
-                countArea(e);
-            }
-            for (const auto &[parent, child] : inst.outputs)
-                _aliases[prefix + parent] = child_prefix + child;
-        }
-    }
-
-    int exprWidth(const ExprPtr &e) const { return e->width; }
-
-    /** Structural hash for CSE: synthesis shares equal cones. */
-    uint64_t exprHash(const ExprPtr &e)
-    {
-        auto it = _hash.find(e.get());
-        if (it != _hash.end())
-            return it->second;
         uint64_t h = 1469598103934665603ull;
         auto mix = [&h](uint64_t v) {
             h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
         };
-        mix(static_cast<uint64_t>(e->kind));
-        mix(static_cast<uint64_t>(e->op));
-        mix(static_cast<uint64_t>(e->width));
-        mix(static_cast<uint64_t>(e->lo));
-        if (e->kind == Expr::Kind::Const)
-            mix(e->value.toUint64() ^ e->value.word(1));
-        if (e->kind == Expr::Kind::Ref)
-            mix(std::hash<std::string>{}(e->name));
-        if (e->rom)
-            mix(reinterpret_cast<uintptr_t>(e->rom.get()));
-        for (const auto &a : e->args)
-            mix(exprHash(a));
-        _hash[e.get()] = h;
+        mix(static_cast<uint64_t>(n.kind));
+        mix(static_cast<uint64_t>(n.op));
+        mix(static_cast<uint64_t>(n.width));
+        mix(static_cast<uint64_t>(n.lo));
+        if (n.kind == Net::Kind::Const) {
+            const BitVec &v = nl.initValues()[i];
+            for (int w = 0; w < v.words(); w++)
+                mix(v.word(w));
+        }
+        if (n.rom)
+            mix(reinterpret_cast<uintptr_t>(n.rom.get()));
+
+        auto operand = [&](NetId o) {
+            if (o == rtl::kNoNet) {
+                mix(0x517cc1b727220a95ull);
+                return;
+            }
+            const std::string &name = nl.nameOf(o);
+            if (!name.empty())
+                mix(std::hash<std::string>{}(name));
+            else
+                mix(hashOf(nl, o));
+        };
+        operand(n.a);
+        operand(n.b);
+        operand(n.c);
+        for (NetId o : n.cargs)
+            operand(o);
+
+        _hash[i] = h;
         return h;
     }
 
-    void countArea(const ExprPtr &e)
+    void countArea(const Netlist &nl, NetId id)
     {
-        if (!e || !_counted.insert(e.get()).second)
-            return;
-        for (const auto &a : e->args)
-            countArea(a);
-        // Common-subexpression elimination: structurally identical
-        // cones synthesize to one instance.
-        if (!_counted_hashes.insert(exprHash(e)).second)
-            return;
+        const Net &n = nl.net(id);
         double ge = 0;
-        switch (e->kind) {
-          case Expr::Kind::Unop:
-            ge = opGates(e->op, e->args[0]->width);
+        switch (n.kind) {
+          case Net::Kind::Unop:
+            ge = opGates(n.op, nl.net(n.a).width);
             break;
-          case Expr::Kind::Binop:
-            ge = opGates(e->op, e->width);
+          case Net::Kind::Binop:
+            ge = opGates(n.op, n.width);
             break;
-          case Expr::Kind::Mux:
-            ge = 2.2 * e->width;
+          case Net::Kind::Mux:
+            ge = 2.2 * n.width;
             break;
-          case Expr::Kind::Rom:
+          case Net::Kind::Rom:
             // LUT-mapped ROM: entries x width at a packed density.
-            ge = 0.32 * static_cast<double>(e->rom->size()) * e->width;
+            ge = 0.32 * static_cast<double>(n.rom->size()) * n.width;
             break;
           default:
-            break;  // consts, refs, slices, concats are free
+            return;  // consts, sources, copies, slices, concats free
         }
+        // Common-subexpression elimination: structurally identical
+        // cones synthesize to one instance (named wires are Copy
+        // roots and free, so counted nodes are always anonymous).
+        if (!_counted.insert(hashOf(nl, id)).second)
+            return;
         _report.comb_area_um2 += ge * kUm2PerGe;
     }
 
-    std::string resolve(const std::string &scope,
-                        const std::string &name) const
+    double depth(const Netlist &nl, NetId id)
     {
-        std::string flat = scope + name;
-        auto it = _aliases.find(flat);
-        while (it != _aliases.end()) {
-            flat = it->second;
-            it = _aliases.find(flat);
-        }
-        return flat;
-    }
+        size_t i = static_cast<size_t>(id);
+        if (_depth_done[i])
+            return _depth[i];
+        if (_visiting[i])
+            return 0;   // break defensive cycles, like the old memo
+        _visiting[i] = 1;
+        const Net &n = nl.net(id);
 
-    double wireDepth(const std::string &flat)
-    {
-        auto memo = _depth.find(flat);
-        if (memo != _depth.end())
-            return memo->second;
-        auto it = _wires.find(flat);
-        if (it == _wires.end())
-            return 0;   // register or input: path starts here
-        _depth[flat] = 0;  // break defensive cycles
-        double d = exprDepth(it->second.expr, it->second.scope);
-        _depth[flat] = d;
+        double d = 0;
+        switch (n.kind) {
+          case Net::Kind::Const:
+          case Net::Kind::Input:
+          case Net::Kind::Reg:
+          case Net::Kind::BadRef:
+            d = 0;   // path starts at state, inputs, and constants
+            break;
+          case Net::Kind::Copy:
+          case Net::Kind::Slice:
+            d = n.a == rtl::kNoNet ? 0 : depth(nl, n.a);
+            break;
+          case Net::Kind::Unop:
+            d = depth(nl, n.a) + opLevels(n.op, nl.net(n.a).width);
+            break;
+          case Net::Kind::Binop:
+            d = std::max(depth(nl, n.a), depth(nl, n.b)) +
+                opLevels(n.op, n.width);
+            break;
+          case Net::Kind::Mux:
+            d = std::max({depth(nl, n.a), depth(nl, n.b),
+                          depth(nl, n.c)}) + 1.4;
+            break;
+          case Net::Kind::Concat:
+            for (NetId o : n.cargs)
+                d = std::max(d, depth(nl, o));
+            break;
+          case Net::Kind::Rom:
+            d = depth(nl, n.a) +
+                log2ceil(static_cast<int>(n.rom->size())) * 0.9;
+            break;
+        }
+
+        _visiting[i] = 0;
+        _depth_done[i] = 1;
+        _depth[i] = d;
         return d;
     }
 
-    double exprDepth(const ExprPtr &e, const std::string &scope)
-    {
-        switch (e->kind) {
-          case Expr::Kind::Const:
-            return 0;
-          case Expr::Kind::Ref:
-            return wireDepth(resolve(scope, e->name));
-          case Expr::Kind::Unop:
-            return exprDepth(e->args[0], scope) +
-                opLevels(e->op, e->args[0]->width);
-          case Expr::Kind::Binop:
-            return std::max(exprDepth(e->args[0], scope),
-                            exprDepth(e->args[1], scope)) +
-                opLevels(e->op, e->width);
-          case Expr::Kind::Mux: {
-            double d = 0;
-            for (const auto &a : e->args)
-                d = std::max(d, exprDepth(a, scope));
-            return d + 1.4;
-          }
-          case Expr::Kind::Slice:
-            return exprDepth(e->args[0], scope);
-          case Expr::Kind::Concat: {
-            double d = 0;
-            for (const auto &a : e->args)
-                d = std::max(d, exprDepth(a, scope));
-            return d;
-          }
-          case Expr::Kind::Rom:
-            return exprDepth(e->args[0], scope) +
-                log2ceil(static_cast<int>(e->rom->size())) * 0.9;
-        }
-        return 0;
-    }
-
     SynthReport _report;
-    std::vector<std::pair<ExprPtr, std::string>> _update_exprs;
-    std::map<std::string, FlatWire> _wires;
-    std::set<std::string> _regs;
-    std::map<std::string, std::string> _aliases;
-    std::set<const Expr *> _counted;
-    std::map<const Expr *, uint64_t> _hash;
-    std::set<uint64_t> _counted_hashes;
-    std::map<std::string, double> _depth;
+    std::vector<uint64_t> _hash;
+    std::vector<uint8_t> _hash_done;
+    std::vector<double> _depth;
+    std::vector<uint8_t> _depth_done;
+    std::vector<uint8_t> _visiting;
+    std::set<uint64_t> _counted;
 };
 
 } // namespace

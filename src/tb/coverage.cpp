@@ -1,0 +1,303 @@
+#include "tb/coverage.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace anvil {
+namespace tb {
+
+namespace {
+
+constexpr size_t kMaxFailCyclesKept = 16;
+
+int
+wordsFor(int width)
+{
+    return (width + 63) / 64;
+}
+
+int
+coveredIn(const std::vector<uint64_t> &rose,
+          const std::vector<uint64_t> &fell)
+{
+    int n = 0;
+    for (size_t i = 0; i < rose.size(); i++)
+        n += std::popcount(rose[i] & fell[i]);
+    return n;
+}
+
+/** JSON string escaping for user-provided point names. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** Fold a value's words so wide registers bin on all their bits. */
+uint64_t
+foldWords(const anvil::BitVec &v)
+{
+    uint64_t h = v.toUint64();
+    for (int w = 1; w < v.words(); w++)
+        h ^= v.word(w);
+    return h;
+}
+
+} // namespace
+
+int
+SignalCoverage::coveredBits() const
+{
+    return coveredIn(rose, fell);
+}
+
+int
+RegBins::binsHit() const
+{
+    int n = 0;
+    for (uint64_t h : hits)
+        n += h > 0;
+    return n;
+}
+
+Coverage::Coverage(int reg_bins)
+    : _req_bins(std::max(reg_bins, 2))
+{
+}
+
+void
+Coverage::addCover(const std::string &name, rtl::ExprPtr expr)
+{
+    _covers.push_back({name, std::move(expr), 0});
+}
+
+void
+Coverage::addAssert(const std::string &name, rtl::ExprPtr enable,
+                    rtl::ExprPtr expr)
+{
+    _asserts.push_back(
+        {name, std::move(enable), std::move(expr), 0, 0, {}});
+}
+
+void
+Coverage::bind(rtl::Sim &sim)
+{
+    const rtl::Netlist &nl = sim.netlist();
+    for (const auto &[name, sig] : nl.signals()) {
+        SignalCoverage sc;
+        sc.name = name;
+        sc.net = sig.net;
+        sc.width = sig.width;
+        sc.is_reg = sig.kind == rtl::NetSignal::Kind::Reg;
+        sc.rose.assign(wordsFor(sig.width), 0);
+        sc.fell.assign(wordsFor(sig.width), 0);
+        sc.last.assign(wordsFor(sig.width), 0);
+        _signals.push_back(std::move(sc));
+
+        if (sig.kind == rtl::NetSignal::Kind::Reg) {
+            RegBins rb;
+            rb.name = name;
+            rb.width = sig.width;
+            int bins = sig.width < 16
+                ? std::min(1 << sig.width, _req_bins)
+                : _req_bins;
+            rb.hits.assign(static_cast<size_t>(bins), 0);
+            _reg_bins.push_back(std::move(rb));
+            _reg_nets.push_back(sig.net);
+        }
+    }
+    _bound = true;
+}
+
+void
+Coverage::sample(rtl::Sim &sim)
+{
+    if (!_bound)
+        bind(sim);
+
+    for (auto &sc : _signals) {
+        const BitVec &v = sim.value(sc.net);
+        for (size_t w = 0; w < sc.rose.size(); w++) {
+            uint64_t cur = v.word(static_cast<int>(w));
+            if (_samples > 0) {
+                sc.rose[w] |= cur & ~sc.last[w];
+                sc.fell[w] |= ~cur & sc.last[w];
+            }
+            sc.last[w] = cur;
+        }
+    }
+
+    for (size_t i = 0; i < _reg_bins.size(); i++) {
+        RegBins &rb = _reg_bins[i];
+        uint64_t v = foldWords(sim.value(_reg_nets[i]));
+        rb.hits[static_cast<size_t>(v % rb.hits.size())]++;
+    }
+
+    for (auto &c : _covers)
+        if (sim.evalTop(c.expr).any())
+            c.hits++;
+    for (auto &a : _asserts) {
+        if (!sim.evalTop(a.enable).any())
+            continue;
+        a.checked++;
+        if (!sim.evalTop(a.expr).any()) {
+            a.failures++;
+            if (a.fail_cycles.size() < kMaxFailCyclesKept)
+                a.fail_cycles.push_back(sim.cycle());
+        }
+    }
+    _samples++;
+}
+
+double
+Coverage::togglePct() const
+{
+    int64_t total = 0, covered = 0;
+    for (const auto &sc : _signals) {
+        total += sc.width;
+        covered += sc.coveredBits();
+    }
+    return total == 0 ? 100.0 : 100.0 * covered / total;
+}
+
+double
+Coverage::regBinPct() const
+{
+    int64_t total = 0, hit = 0;
+    for (const auto &rb : _reg_bins) {
+        total += static_cast<int64_t>(rb.hits.size());
+        hit += rb.binsHit();
+    }
+    return total == 0 ? 100.0 : 100.0 * hit / total;
+}
+
+bool
+Coverage::assertsOk() const
+{
+    for (const auto &a : _asserts)
+        if (a.failures > 0)
+            return false;
+    return true;
+}
+
+std::string
+Coverage::report() const
+{
+    std::ostringstream os;
+    os << strfmt("coverage: %llu samples, toggle %.1f%%, "
+                 "reg-bins %.1f%%\n",
+                 static_cast<unsigned long long>(_samples),
+                 togglePct(), regBinPct());
+
+    // Least-covered signals first so the gaps lead the report.
+    std::vector<const SignalCoverage *> by_gap;
+    for (const auto &sc : _signals)
+        by_gap.push_back(&sc);
+    std::sort(by_gap.begin(), by_gap.end(),
+              [](const SignalCoverage *a, const SignalCoverage *b) {
+                  double ga = static_cast<double>(a->coveredBits()) /
+                      a->width;
+                  double gb = static_cast<double>(b->coveredBits()) /
+                      b->width;
+                  if (ga != gb)
+                      return ga < gb;
+                  return a->name < b->name;
+              });
+    os << "  toggle (least covered first):\n";
+    size_t shown = 0;
+    for (const auto *sc : by_gap) {
+        if (shown++ >= 12) {
+            os << strfmt("    ... %zu more signals\n",
+                         by_gap.size() - 12);
+            break;
+        }
+        os << strfmt("    %-32s %3d/%3d bits\n", sc->name.c_str(),
+                     sc->coveredBits(), sc->width);
+    }
+
+    if (!_reg_bins.empty()) {
+        os << "  register value bins:\n";
+        for (const auto &rb : _reg_bins)
+            os << strfmt("    %-32s %2d/%2zu bins\n", rb.name.c_str(),
+                         rb.binsHit(), rb.hits.size());
+    }
+    for (const auto &c : _covers)
+        os << strfmt("  cover  %-24s hits=%llu\n", c.name.c_str(),
+                     static_cast<unsigned long long>(c.hits));
+    for (const auto &a : _asserts) {
+        os << strfmt("  assert %-24s checked=%llu failures=%llu",
+                     a.name.c_str(),
+                     static_cast<unsigned long long>(a.checked),
+                     static_cast<unsigned long long>(a.failures));
+        if (!a.fail_cycles.empty()) {
+            os << " (cycles";
+            for (uint64_t c : a.fail_cycles)
+                os << " " << c;
+            os << ")";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Coverage::summaryJson() const
+{
+    int64_t bits_total = 0, bits_covered = 0;
+    for (const auto &sc : _signals) {
+        bits_total += sc.width;
+        bits_covered += sc.coveredBits();
+    }
+    int64_t bins_total = 0, bins_hit = 0;
+    for (const auto &rb : _reg_bins) {
+        bins_total += static_cast<int64_t>(rb.hits.size());
+        bins_hit += rb.binsHit();
+    }
+
+    std::ostringstream os;
+    os << "{\"samples\":" << _samples
+       << ",\"toggle_bits\":" << bits_covered
+       << ",\"toggle_total\":" << bits_total
+       << ",\"toggle_pct\":" << strfmt("%.2f", togglePct())
+       << ",\"reg_bins_hit\":" << bins_hit
+       << ",\"reg_bins_total\":" << bins_total
+       << ",\"covers\":[";
+    for (size_t i = 0; i < _covers.size(); i++) {
+        if (i)
+            os << ",";
+        os << "{\"name\":\"" << jsonEscape(_covers[i].name)
+           << "\",\"hits\":" << _covers[i].hits << "}";
+    }
+    os << "],\"asserts\":[";
+    for (size_t i = 0; i < _asserts.size(); i++) {
+        if (i)
+            os << ",";
+        os << "{\"name\":\"" << jsonEscape(_asserts[i].name)
+           << "\",\"checked\":" << _asserts[i].checked
+           << ",\"failures\":" << _asserts[i].failures << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace tb
+} // namespace anvil

@@ -1,0 +1,327 @@
+#include "tb/testbench.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/strings.h"
+
+namespace anvil {
+namespace tb {
+
+namespace {
+
+/** Resolve a top-level input's declared width (throws if absent). */
+int
+inputWidth(const rtl::Sim &sim, const std::string &name)
+{
+    auto it = sim.netlist().signals().find(name);
+    if (it == sim.netlist().signals().end() ||
+        it->second.kind != rtl::NetSignal::Kind::Input)
+        throw std::invalid_argument("no such input: " + name);
+    return it->second.width;
+}
+
+class SequenceDriver : public Driver
+{
+  public:
+    SequenceDriver(std::string input, std::vector<BitVec> values,
+                   bool hold_last, int width)
+        : _input(std::move(input)), _values(std::move(values)),
+          _hold_last(hold_last), _width(width)
+    {
+    }
+
+    void drive(rtl::Sim &sim, uint64_t, SplitMix64 &) override
+    {
+        if (_next < _values.size())
+            sim.setInput(_input, _values[_next++]);
+        else if (_hold_last && !_values.empty())
+            sim.setInput(_input, _values.back());
+        else
+            sim.setInput(_input, BitVec(_width));
+    }
+
+  private:
+    std::string _input;
+    std::vector<BitVec> _values;
+    bool _hold_last;
+    int _width;
+    size_t _next = 0;
+};
+
+class RandomDriver : public Driver
+{
+  public:
+    RandomDriver(std::string input, RandomSpec spec, int width)
+        : _input(std::move(input)), _spec(std::move(spec)),
+          _width(width)
+    {
+        if (_spec.fields.empty()) {
+            FieldSpec full;
+            full.lo = 0;
+            full.width = width;
+            _spec.fields.push_back(full);
+        }
+        for (const auto &f : _spec.fields) {
+            if (f.lo < 0 || f.width < 1 || f.lo + f.width > width)
+                throw std::invalid_argument(
+                    "random field outside input " + _input);
+            if (f.choices.empty()) {
+                uint64_t mask = f.width >= 64
+                    ? ~0ull : (1ull << f.width) - 1;
+                // A bound the field can't represent is a spec typo;
+                // silently sampling elsewhere would fake coverage.
+                if (f.min > mask || f.min > f.max)
+                    throw std::invalid_argument(
+                        "unsatisfiable min/max on a field of " +
+                        _input);
+            }
+        }
+    }
+
+    void drive(rtl::Sim &sim, uint64_t, SplitMix64 &rng) override
+    {
+        if (!rng.chance(_spec.active_pct)) {
+            sim.setInput(_input, BitVec(_width, _spec.idle_value));
+            return;
+        }
+        BitVec v(_width);
+        for (const auto &f : _spec.fields) {
+            uint64_t bits = fieldValue(f, rng);
+            for (int b = 0; b < f.width && b < 64; b++)
+                v.setBit(f.lo + b, (bits >> b) & 1);
+            // Fields wider than a word fill the rest with raw words.
+            for (int b = 64; b < f.width; b++) {
+                if (b % 64 == 0)
+                    bits = rng.next();
+                v.setBit(f.lo + b, (bits >> (b % 64)) & 1);
+            }
+        }
+        sim.setInput(_input, v);
+    }
+
+  private:
+    static uint64_t fieldValue(const FieldSpec &f, SplitMix64 &rng)
+    {
+        if (!f.choices.empty())
+            return f.choices[rng.below(f.choices.size())];
+        uint64_t mask = f.width >= 64
+            ? ~0ull : (1ull << f.width) - 1;
+        uint64_t lo = f.min;   // validated against mask and max
+        uint64_t hi = std::min(f.max, mask);
+        uint64_t span = hi - lo;
+        if (span == ~0ull)
+            return rng.next();
+        return lo + rng.below(span + 1);
+    }
+
+    std::string _input;
+    RandomSpec _spec;
+    int _width;
+};
+
+class CallbackDriver : public Driver
+{
+  public:
+    explicit CallbackDriver(
+        std::function<void(rtl::Sim &, uint64_t, SplitMix64 &)> fn)
+        : _fn(std::move(fn))
+    {
+    }
+
+    void drive(rtl::Sim &sim, uint64_t cycle,
+               SplitMix64 &rng) override
+    {
+        _fn(sim, cycle, rng);
+    }
+
+  private:
+    std::function<void(rtl::Sim &, uint64_t, SplitMix64 &)> _fn;
+};
+
+} // namespace
+
+void
+Monitor::fail(uint64_t cycle, const std::string &message)
+{
+    _failures.push_back({cycle, _name, message});
+}
+
+void
+Scoreboard::observed(uint64_t cycle, const BitVec &got)
+{
+    if (_queue.empty()) {
+        fail(cycle, "observed " + got.toHex() +
+                        " with nothing outstanding");
+        return;
+    }
+    BitVec want = _queue.front();
+    _queue.pop_front();
+    // Compare at the wider width: truncating the observation would
+    // silently mask high-bit corruption.
+    int w = std::max(got.width(), want.width());
+    if (got.resize(w) != want.resize(w))
+        fail(cycle,
+             "expected " + want.toHex() + " got " + got.toHex());
+    else
+        _matched++;
+}
+
+std::string
+TbResult::summary() const
+{
+    if (ok())
+        return strfmt("PASS: %llu cycles, 0 failures",
+                      static_cast<unsigned long long>(cycles));
+    std::string s =
+        strfmt("FAIL: %llu cycles, %zu failure(s)",
+               static_cast<unsigned long long>(cycles),
+               failures.size());
+    size_t shown = std::min<size_t>(failures.size(), 5);
+    for (size_t i = 0; i < shown; i++)
+        s += strfmt("\n  @%llu [%s] %s",
+                    static_cast<unsigned long long>(
+                        failures[i].cycle),
+                    failures[i].check.c_str(),
+                    failures[i].message.c_str());
+    if (failures.size() > shown)
+        s += strfmt("\n  ... %zu more", failures.size() - shown);
+    return s;
+}
+
+Testbench::Testbench(rtl::ModulePtr top, uint64_t seed)
+    : _sim(std::move(top)), _rng(seed)
+{
+}
+
+void
+Testbench::driveSequence(const std::string &input,
+                         std::vector<BitVec> values, bool hold_last)
+{
+    int w = inputWidth(_sim, input);
+    addDriver(std::make_unique<SequenceDriver>(
+        input, std::move(values), hold_last, w));
+}
+
+void
+Testbench::driveRandom(const std::string &input, RandomSpec spec)
+{
+    int w = inputWidth(_sim, input);
+    addDriver(
+        std::make_unique<RandomDriver>(input, std::move(spec), w));
+}
+
+void
+Testbench::driveWith(
+    std::function<void(rtl::Sim &, uint64_t, SplitMix64 &)> fn)
+{
+    addDriver(std::make_unique<CallbackDriver>(std::move(fn)));
+}
+
+void
+Testbench::addDriver(std::unique_ptr<Driver> d)
+{
+    _drivers.push_back(std::move(d));
+}
+
+Monitor &
+Testbench::addMonitor(std::unique_ptr<Monitor> m)
+{
+    _monitors.push_back(std::move(m));
+    return *_monitors.back();
+}
+
+Scoreboard &
+Testbench::addScoreboard(const std::string &name)
+{
+    auto sb = std::make_unique<Scoreboard>(name);
+    Scoreboard &ref = *sb;
+    _monitors.push_back(std::move(sb));
+    return ref;
+}
+
+void
+Testbench::check(const std::string &name,
+                 std::function<void(Testbench &)> fn)
+{
+    _checks.emplace_back(name, std::move(fn));
+}
+
+void
+Testbench::fail(const std::string &check, const std::string &message)
+{
+    _hook_failures.push_back({_sim.cycle(), check, message});
+}
+
+Coverage &
+Testbench::coverage()
+{
+    _coverage_enabled = true;
+    return _coverage;
+}
+
+void
+Testbench::attachVcd(std::ostream &os,
+                     std::vector<std::string> signals)
+{
+    _vcd = std::make_unique<rtl::VcdWriter>(_sim, os,
+                                            std::move(signals));
+}
+
+size_t
+Testbench::totalFailures() const
+{
+    size_t n = _hook_failures.size();
+    for (const auto &m : _monitors)
+        n += m->failures().size();
+    return n;
+}
+
+TbResult
+Testbench::run(uint64_t cycles)
+{
+    size_t hook_base = _hook_failures.size();
+    std::vector<size_t> mon_base;
+    for (const auto &m : _monitors)
+        mon_base.push_back(m->failures().size());
+    size_t fail_base = totalFailures();
+
+    TbResult result;
+    for (uint64_t i = 0; i < cycles; i++) {
+        uint64_t cyc = _sim.cycle();
+        for (auto &d : _drivers)
+            d->drive(_sim, cyc, _rng);
+        for (auto &[name, fn] : _checks)
+            fn(*this);
+        for (auto &m : _monitors)
+            m->observe(_sim, cyc);
+        if (_coverage_enabled)
+            _coverage.sample(_sim);
+        if (_vcd)
+            _vcd->sample();
+        _sim.step();
+        result.cycles++;
+        if (totalFailures() - fail_base >= max_failures)
+            break;
+    }
+
+    // Merge the failures recorded during this run, in cycle order.
+    result.failures.assign(_hook_failures.begin() +
+                               static_cast<long>(hook_base),
+                           _hook_failures.end());
+    for (size_t m = 0; m < _monitors.size(); m++) {
+        const auto &f = _monitors[m]->failures();
+        result.failures.insert(result.failures.end(),
+                               f.begin() +
+                                   static_cast<long>(mon_base[m]),
+                               f.end());
+    }
+    std::stable_sort(result.failures.begin(), result.failures.end(),
+                     [](const TbFailure &a, const TbFailure &b) {
+                         return a.cycle < b.cycle;
+                     });
+    return result;
+}
+
+} // namespace tb
+} // namespace anvil

@@ -1,7 +1,7 @@
 #include "verif/bmc.h"
 
 #include <deque>
-#include <map>
+#include <unordered_set>
 
 #include "rtl/interp.h"
 
@@ -10,35 +10,41 @@ namespace verif {
 
 namespace {
 
-/** Flattened register snapshot, hashable as a string. */
-std::string
-snapshot(rtl::Sim &sim, const std::vector<std::string> &regs)
+/**
+ * Flattened register snapshot packed as raw BitVec words over the
+ * interned register table — no string rendering on the exploration
+ * hot path.  Register order and widths are fixed for one design, so
+ * the packed words identify a state exactly (keys are compared for
+ * full equality; the hash below is only the table probe).
+ */
+std::vector<uint64_t>
+packState(const std::vector<BitVec> &regs)
 {
-    std::string key;
+    std::vector<uint64_t> words;
     for (const auto &r : regs) {
-        key += sim.regValue(r).toHex();
-        key += '|';
+        words.reserve(words.size() +
+                      static_cast<size_t>(r.words()));
+        for (int w = 0; w < r.words(); w++)
+            words.push_back(r.word(w));
     }
-    return key;
+    return words;
 }
 
-void
-restore(rtl::Sim &sim, const std::vector<std::string> &regs,
-        const std::vector<BitVec> &vals)
+struct StateHash
 {
-    for (size_t i = 0; i < regs.size(); i++)
-        sim.setRegValue(regs[i], vals[i]);
-}
+    size_t operator()(const std::vector<uint64_t> &words) const
+    {
+        uint64_t h = 1469598103934665603ull;   // FNV-1a over words
+        for (uint64_t w : words) {
+            h ^= w;
+            h *= 1099511628211ull;
+        }
+        return static_cast<size_t>(h);
+    }
+};
 
-std::vector<BitVec>
-capture(rtl::Sim &sim, const std::vector<std::string> &regs)
-{
-    std::vector<BitVec> vals;
-    vals.reserve(regs.size());
-    for (const auto &r : regs)
-        vals.push_back(sim.regValue(r));
-    return vals;
-}
+using StateSet =
+    std::unordered_set<std::vector<uint64_t>, StateHash>;
 
 } // namespace
 
@@ -61,7 +67,6 @@ boundedModelCheck(const std::shared_ptr<const rtl::Module> &top,
                   const BmcOptions &opts)
 {
     rtl::Sim sim(top);
-    auto regs = sim.regNames();
     auto inputs = sim.inputNames();
 
     // Enumerate input vectors: each input contributes its low
@@ -82,10 +87,10 @@ boundedModelCheck(const std::shared_ptr<const rtl::Module> &top,
 
     BmcResult result;
     std::deque<Node> frontier;
-    std::map<std::string, bool> seen;
+    StateSet seen;
 
-    frontier.push_back({capture(sim, regs), 0});
-    seen[snapshot(sim, regs)] = true;
+    frontier.push_back({sim.captureRegs(), 0});
+    seen.insert(packState(frontier.back().regs));
 
     bool hit_bound = false;
     while (!frontier.empty()) {
@@ -99,7 +104,7 @@ boundedModelCheck(const std::shared_ptr<const rtl::Module> &top,
         }
 
         for (uint64_t combo = 0; combo < combos; combo++) {
-            restore(sim, regs, node.regs);
+            sim.restoreRegs(node.regs);
             uint64_t bits = combo;
             for (const auto &in : inputs) {
                 uint64_t v = bits &
@@ -121,7 +126,8 @@ boundedModelCheck(const std::shared_ptr<const rtl::Module> &top,
 
             sim.step();
             result.states_explored++;
-            std::string key = snapshot(sim, regs);
+            std::vector<BitVec> next = sim.captureRegs();
+            std::vector<uint64_t> key = packState(next);
             if (!seen.count(key)) {
                 if (seen.size() >= opts.max_states) {
                     result.status =
@@ -129,8 +135,8 @@ boundedModelCheck(const std::shared_ptr<const rtl::Module> &top,
                     result.states_explored = seen.size();
                     return result;
                 }
-                seen[key] = true;
-                frontier.push_back({capture(sim, regs),
+                seen.insert(std::move(key));
+                frontier.push_back({std::move(next),
                                     node.depth + 1});
             }
         }

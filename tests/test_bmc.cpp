@@ -10,9 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <deque>
+#include <map>
 
 #include "anvil/compiler.h"
 #include "designs/designs.h"
+#include "rtl/interp.h"
 #include "verif/bmc.h"
 
 using namespace anvil;
@@ -121,6 +124,109 @@ TEST(Bmc, Listing2ViolationTooDeepForBmc)
     // Type checking is at least as fast (both are fast in absolute
     // terms here; the bench reports the full numbers).
     EXPECT_LE(type_ms, bmc_ms + 1000);
+}
+
+/**
+ * Reference exploration that snapshots register state via toHex
+ * strings — the pre-interning scheme — mirroring the BMC's traversal
+ * exactly.  The production checker now hashes raw BitVec words over
+ * the interned register table; both must visit the same states.
+ */
+uint64_t
+stringSnapshotExplore(const std::shared_ptr<const Module> &top,
+                      const BmcOptions &opts)
+{
+    Sim sim(top);
+    auto regs = sim.regNames();
+    auto inputs = sim.inputNames();
+
+    auto snapshot = [&]() {
+        std::string key;
+        for (const auto &r : regs) {
+            key += sim.regValue(r).toHex();
+            key += '|';
+        }
+        return key;
+    };
+    auto capture = [&]() {
+        std::vector<BitVec> vals;
+        for (const auto &r : regs)
+            vals.push_back(sim.regValue(r));
+        return vals;
+    };
+
+    int total_bits = 0;
+    for (size_t i = 0; i < inputs.size(); i++)
+        total_bits += opts.input_bits_limit;
+    total_bits = std::min(total_bits, 12);
+    uint64_t combos = 1ull << total_bits;
+
+    struct Node
+    {
+        std::vector<BitVec> regs;
+        int depth;
+    };
+    std::deque<Node> frontier;
+    std::map<std::string, bool> seen;
+    frontier.push_back({capture(), 0});
+    seen[snapshot()] = true;
+
+    while (!frontier.empty()) {
+        Node node = std::move(frontier.front());
+        frontier.pop_front();
+        if (node.depth >= opts.max_depth)
+            continue;
+        for (uint64_t combo = 0; combo < combos; combo++) {
+            for (size_t i = 0; i < regs.size(); i++)
+                sim.setRegValue(regs[i], node.regs[i]);
+            uint64_t bits = combo;
+            for (const auto &in : inputs) {
+                uint64_t v =
+                    bits & ((1ull << opts.input_bits_limit) - 1);
+                bits >>= opts.input_bits_limit;
+                sim.setInput(in, v);
+            }
+            sim.step();
+            std::string key = snapshot();
+            if (!seen.count(key)) {
+                if (seen.size() >= opts.max_states)
+                    return seen.size();
+                seen[key] = true;
+                frontier.push_back({capture(), node.depth + 1});
+            }
+        }
+    }
+    return seen.size();
+}
+
+TEST(Bmc, RawWordHashingVisitsIdenticalStates)
+{
+    // Eval designs with assertions that always hold, so both
+    // explorations run to their bound and report the full state set.
+    struct Case
+    {
+        const char *name;
+        ModulePtr mod;
+        BmcOptions opts;
+    };
+    BmcOptions shallow;
+    shallow.max_depth = 2;
+    shallow.max_states = 3000;
+    BmcOptions tiny;
+    tiny.max_depth = 1;
+    tiny.max_states = 3000;
+    std::vector<Case> cases = {
+        {"fifo", designs::buildFifoBaseline(), shallow},
+        {"spill", designs::buildSpillRegBaseline(), shallow},
+        {"tlb", designs::buildTlbBaseline(), tiny},
+    };
+    Assertion always{"true", cst(1, 1), cst(1, 1)};
+    for (auto &c : cases) {
+        BmcResult r = boundedModelCheck(c.mod, {always}, c.opts);
+        uint64_t ref = stringSnapshotExplore(c.mod, c.opts);
+        EXPECT_EQ(r.states_explored, ref) << c.name;
+        EXPECT_FALSE(r.foundViolation()) << c.name;
+    }
 }
 
 TEST(Bmc, WithSmallCounterBmcDoesFindIt)

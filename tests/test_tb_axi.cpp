@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Constrained-random AXI-Lite crossbar testbench: the 1-to-8 demux
+ * eval design driven by randomized master traffic and randomized
+ * slave-side handshakes, checked by routing monitors and in-order
+ * write/response/read scoreboards.  A deliberately broken demux
+ * (corrupted write data, mis-routed AW channel) is caught by the same
+ * bench, and the whole run reproduces bit-for-bit from its seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "designs/designs.h"
+#include "tb/testbench.h"
+
+using namespace anvil;
+using namespace anvil::rtl;
+
+namespace {
+
+constexpr int kSlaves = 8;
+
+/** Replace a named wire's driver (to break a design on purpose). */
+void
+replaceWire(const ModulePtr &m, const std::string &name, ExprPtr e)
+{
+    for (auto &w : m->wires) {
+        if (w.name == name) {
+            w.expr = std::move(e);
+            return;
+        }
+    }
+    ADD_FAILURE() << "no wire named " << name;
+}
+
+/** One-bit valid/ack style input driven high with the given duty. */
+tb::RandomSpec
+duty(int pct)
+{
+    tb::FieldSpec f;
+    f.lo = 0;
+    f.width = 1;
+    f.min = 1;
+    f.max = 1;
+    tb::RandomSpec spec;
+    spec.fields = {f};
+    spec.active_pct = pct;
+    return spec;
+}
+
+/** Randomized master traffic + randomized slave handshakes. */
+void
+addDemuxStimulus(tb::Testbench &bench)
+{
+    bench.driveRandom("m_aw_data");
+    bench.driveRandom("m_aw_valid", duty(60));
+    bench.driveRandom("m_w_data");
+    bench.driveRandom("m_w_valid", duty(60));
+    bench.driveRandom("m_b_ack", duty(70));
+    bench.driveRandom("m_ar_data");
+    bench.driveRandom("m_ar_valid", duty(50));
+    bench.driveRandom("m_r_ack", duty(70));
+    for (int i = 0; i < kSlaves; i++) {
+        std::string p = "s" + std::to_string(i);
+        bench.driveRandom(p + "_aw_ack", duty(80));
+        bench.driveRandom(p + "_w_ack", duty(80));
+        bench.driveRandom(p + "_b_valid", duty(60));
+        bench.driveRandom(p + "_b_data");
+        bench.driveRandom(p + "_ar_ack", duty(80));
+        bench.driveRandom(p + "_r_valid", duty(60));
+        bench.driveRandom(p + "_r_data");
+    }
+}
+
+/**
+ * Protocol checks:
+ *  - routing: a slave sees AW/AR only for addresses whose top bits
+ *    select it;
+ *  - write data: the W beat a slave accepts equals the W beat the
+ *    master sent (in order);
+ *  - responses: B and R payloads surface at the master exactly as
+ *    the selected slave produced them (in order).
+ */
+void
+addDemuxChecks(tb::Testbench &bench)
+{
+    tb::Scoreboard &wsb = bench.addScoreboard("w-data");
+    tb::Scoreboard &bsb = bench.addScoreboard("b-resp");
+    tb::Scoreboard &rsb = bench.addScoreboard("r-resp");
+
+    bench.check("axi", [&wsb, &bsb, &rsb](tb::Testbench &t) {
+        rtl::Sim &s = t.sim();
+        uint64_t cyc = s.cycle();
+
+        // Master-side fires push expectations / observe responses.
+        if (s.peek("m_w_valid").any() && s.peek("m_w_ack").any())
+            wsb.expect(s.peek("m_w_data"));
+        if (s.peek("m_b_valid").any() && s.peek("m_b_ack").any())
+            bsb.observed(cyc, s.peek("m_b_data"));
+        if (s.peek("m_r_valid").any() && s.peek("m_r_ack").any())
+            rsb.observed(cyc, s.peek("m_r_data"));
+
+        for (int i = 0; i < kSlaves; i++) {
+            std::string p = "s" + std::to_string(i);
+            uint64_t sel = static_cast<uint64_t>(i);
+            if (s.peek(p + "_aw_valid").any()) {
+                uint64_t top =
+                    s.peek(p + "_aw_data").toUint64() >> 29;
+                if (top != sel)
+                    t.fail("aw-route",
+                           p + " got aw for slave " +
+                               std::to_string(top));
+                // The write completes when both AW and W are acked.
+                if (s.peek(p + "_aw_ack").any() &&
+                    s.peek(p + "_w_ack").any())
+                    wsb.observed(cyc, s.peek(p + "_w_data"));
+            }
+            if (s.peek(p + "_ar_valid").any()) {
+                uint64_t top =
+                    s.peek(p + "_ar_data").toUint64() >> 29;
+                if (top != sel)
+                    t.fail("ar-route",
+                           p + " got ar for slave " +
+                               std::to_string(top));
+            }
+            if (s.peek(p + "_b_ack").any() &&
+                s.peek(p + "_b_valid").any())
+                bsb.expect(s.peek(p + "_b_data"));
+            if (s.peek(p + "_r_ack").any() &&
+                s.peek(p + "_r_valid").any())
+                rsb.expect(s.peek(p + "_r_data"));
+        }
+    });
+}
+
+TEST(TbAxi, RandomizedDemuxPassesProtocolChecks)
+{
+    tb::Testbench bench(designs::buildAxiDemuxBaseline(), 2024);
+    addDemuxStimulus(bench);
+    addDemuxChecks(bench);
+    tb::TbResult r = bench.run(3000);
+    EXPECT_TRUE(r.ok()) << r.summary();
+    // The random traffic actually exercised transactions.
+    EXPECT_GT(bench.sim().totalToggles(), 1000u);
+}
+
+TEST(TbAxi, SeededRunReproducesDeterministically)
+{
+    auto run_once = [](uint64_t seed, std::vector<uint64_t> *aw) {
+        tb::Testbench bench(designs::buildAxiDemuxBaseline(), seed);
+        addDemuxStimulus(bench);
+        addDemuxChecks(bench);
+        bench.check("record-aw", [aw](tb::Testbench &t) {
+            if (t.sim().peek("m_aw_valid").any())
+                aw->push_back(t.sim().peek("m_aw_data").toUint64());
+        });
+        tb::Coverage &cov = bench.coverage();
+        tb::TbResult r = bench.run(1500);
+        struct Out
+        {
+            size_t failures;
+            uint64_t toggles;
+            std::string cov;
+        };
+        return Out{r.failures.size(), bench.sim().totalToggles(),
+                   cov.summaryJson()};
+    };
+
+    std::vector<uint64_t> aw1, aw2, aw3;
+    auto a = run_once(99, &aw1);
+    auto b = run_once(99, &aw2);
+    auto c = run_once(100, &aw3);
+
+    EXPECT_EQ(a.failures, 0u);
+    EXPECT_EQ(aw1, aw2);
+    EXPECT_EQ(a.toggles, b.toggles);
+    EXPECT_EQ(a.cov, b.cov);
+    // A different seed produces genuinely different stimulus.
+    EXPECT_NE(aw1, aw3);
+    (void)c;
+}
+
+TEST(TbAxi, CorruptedWriteDataIsCaught)
+{
+    auto mod = designs::buildAxiDemuxBaseline();
+    // Slave 2's W payload picks up a stuck-at-flipped low bit.
+    replaceWire(mod, "s2_w_data",
+                rtl::ref("wreg", 32) ^ cst(32, 1));
+    tb::Testbench bench(mod, 2024);
+    addDemuxStimulus(bench);
+    addDemuxChecks(bench);
+    tb::TbResult r = bench.run(3000);
+    EXPECT_FALSE(r.ok());
+    ASSERT_FALSE(r.failures.empty());
+    bool saw_w_mismatch = false;
+    for (const auto &f : r.failures)
+        saw_w_mismatch |= f.check == "w-data";
+    EXPECT_TRUE(saw_w_mismatch);
+}
+
+TEST(TbAxi, MisroutedAwChannelIsCaught)
+{
+    auto mod = designs::buildAxiDemuxBaseline();
+    // Slave 5 erroneously answers to slave 4's address window.
+    replaceWire(mod, "s5_aw_valid",
+                rtl::ref("fwd_awst", 1) &
+                    eq(rtl::ref("wsel", 3), cst(3, 4)));
+    tb::Testbench bench(mod, 7);
+    addDemuxStimulus(bench);
+    addDemuxChecks(bench);
+    tb::TbResult r = bench.run(3000);
+    EXPECT_FALSE(r.ok());
+    bool saw_route = false;
+    for (const auto &f : r.failures)
+        saw_route |= f.check == "aw-route";
+    EXPECT_TRUE(saw_route);
+}
+
+} // namespace
