@@ -16,9 +16,21 @@
  *     --seed <S>     testbench seed (default 1)
  *     --vcd <file>   write a VCD waveform of the simulation
  *     --cov          print the coverage report after simulation
+ *     --replay <f>   re-execute a recorded VCD dump as stimulus and
+ *                    diff the re-simulation against the recording
+ *                    (--sim N overrides the cycle count, --vcd
+ *                    re-dumps the replay)
+ *     --check-trace <f>  check a recorded VCD dump against the
+ *                    channel timing contracts
+ *     --contracts    print the contract set in use; with --sim also
+ *                    monitor the contracts live during simulation
+ *     --contract <s> explicit contract spec (repeatable), e.g.
+ *                    "io_pong: ack within 4, stable, hold";
+ *                    replaces the inferred set
  *
- * Exit codes: 0 success; 1 check failure (type/compile errors);
- * 2 usage error; 3 I/O error.
+ * Exit codes: 0 success; 1 check failure (type/compile errors,
+ * testbench or contract violations, replay divergence); 2 usage
+ * error; 3 I/O error.
  */
 
 #include <cstdio>
@@ -26,10 +38,14 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "anvil/compiler.h"
 #include "synth/cost_model.h"
 #include "tb/testbench.h"
+#include "trace/contracts.h"
+#include "trace/replay.h"
+#include "trace/vcd_reader.h"
 
 using namespace anvil;
 
@@ -57,18 +73,103 @@ usage()
             "  --seed <S>     testbench seed (default 1)\n"
             "  --vcd <file>   write a VCD waveform of the simulation\n"
             "  --cov          print the coverage report\n"
+            "  --replay <f>   replay a recorded VCD dump as stimulus\n"
+            "                 and diff against the recording\n"
+            "  --check-trace <f>  check a recorded VCD dump against\n"
+            "                 the channel timing contracts\n"
+            "  --contracts    print the contract set in use (with\n"
+            "                 --sim: monitor live)\n"
+            "  --contract <s> explicit contract spec (repeatable)\n"
             "exit codes: 0 ok, 1 check failure, 2 usage, 3 I/O "
             "error\n");
+}
+
+/**
+ * Resolve the contract set: explicit --contract specs if given,
+ * otherwise inferred from the design's netlist.  Returns false on a
+ * spec syntax error.
+ */
+bool
+resolveContracts(const std::vector<std::string> &spec_texts,
+                 const rtl::Netlist &nl, bool print,
+                 std::vector<trace::ContractSpec> *out)
+{
+    if (spec_texts.empty()) {
+        *out = trace::inferContracts(nl);
+    } else {
+        for (const auto &text : spec_texts) {
+            try {
+                out->push_back(trace::parseContractSpec(text));
+            } catch (const std::invalid_argument &e) {
+                fprintf(stderr, "anvilc: %s\n", e.what());
+                return false;
+            }
+        }
+    }
+    if (print)
+        for (const auto &s : *out)
+            printf("contract %s\n", s.str().c_str());
+    return true;
+}
+
+/** Shared tail of --sim and --replay runs: run, report, exit code. */
+int
+finishRun(tb::Testbench &bench, uint64_t cycles,
+          tb::Coverage *coverage, std::ofstream *vcd_os,
+          const std::string &vcd_path, bool cov, bool stats)
+{
+    tb::TbResult result = bench.run(cycles);
+
+    printf("sim: %llu cycles, %llu toggles, %zu dprint line(s)\n",
+           (unsigned long long)result.cycles,
+           (unsigned long long)bench.sim().totalToggles(),
+           bench.sim().log().size());
+    if (stats && coverage)
+        printf("sim-summary %s\n", coverage->summaryJson().c_str());
+    if (cov && coverage)
+        fputs(coverage->report().c_str(), stdout);
+    if (vcd_os) {
+        vcd_os->flush();
+        if (!vcd_os->good()) {
+            fprintf(stderr, "anvilc: error writing '%s'\n",
+                    vcd_path.c_str());
+            return kExitIo;
+        }
+        fprintf(stderr, "anvilc: wrote %s\n", vcd_path.c_str());
+    }
+    if (!result.ok()) {
+        fprintf(stderr, "anvilc: %s\n", result.summary().c_str());
+        return kExitCheckFailure;
+    }
+    return kExitOk;
 }
 
 /** Random-testbench run over the compiled top module. */
 int
 simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
-         const std::string &vcd_path, bool cov, bool stats)
+         const std::string &vcd_path, bool cov, bool stats,
+         bool contracts,
+         const std::vector<std::string> &contract_specs)
 {
     tb::Testbench bench(mod, seed);
     for (const auto &in : bench.sim().inputNames())
         bench.driveRandom(in);
+
+    if (contracts || !contract_specs.empty()) {
+        std::vector<trace::ContractSpec> specs;
+        if (!resolveContracts(contract_specs,
+                              bench.sim().netlist(), contracts,
+                              &specs))
+            return kExitUsage;
+        try {
+            bench.addMonitor(
+                std::make_unique<trace::ContractMonitor>(
+                    std::move(specs), bench.sim()));
+        } catch (const std::invalid_argument &e) {
+            fprintf(stderr, "anvilc: %s\n", e.what());
+            return kExitUsage;
+        }
+    }
 
     tb::Coverage *coverage = nullptr;
     if (cov || stats)
@@ -85,27 +186,119 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
         bench.attachVcd(vcd_os);
     }
 
-    tb::TbResult result = bench.run(static_cast<uint64_t>(cycles));
+    return finishRun(bench, static_cast<uint64_t>(cycles), coverage,
+                     vcd_path.empty() ? nullptr : &vcd_os, vcd_path,
+                     cov, stats);
+}
 
-    printf("sim: %llu cycles, %llu toggles, %zu dprint line(s)\n",
-           (unsigned long long)result.cycles,
-           (unsigned long long)bench.sim().totalToggles(),
-           bench.sim().log().size());
-    if (stats && coverage)
-        printf("sim-summary %s\n", coverage->summaryJson().c_str());
-    if (cov && coverage)
-        fputs(coverage->report().c_str(), stdout);
+/** Replay a recorded dump as stimulus and diff the re-simulation. */
+int
+replay(const rtl::ModulePtr &mod, const std::string &dump_path,
+       long cycles_override, const std::string &vcd_path, bool cov,
+       bool stats, bool contracts,
+       const std::vector<std::string> &contract_specs)
+{
+    trace::Trace t;
+    try {
+        t = trace::VcdReader::readFile(dump_path);
+    } catch (const std::runtime_error &e) {
+        fprintf(stderr, "anvilc: %s: %s\n", dump_path.c_str(),
+                e.what());
+        return kExitIo;
+    }
+
+    tb::Testbench bench(mod);
+    auto driver =
+        std::make_unique<trace::ReplayDriver>(t, bench.sim());
+    uint64_t cycles = driver->cyclesAvailable();
+    // Inputs the dump never recorded stay at zero; say so rather
+    // than let the diff below blame the design.
+    for (const auto &in : driver->missingInputs())
+        fprintf(stderr,
+                "anvilc: note: input '%s' not recorded in %s; "
+                "replaying it as zero\n",
+                in.c_str(), dump_path.c_str());
+    bench.addDriver(std::move(driver));
+    bench.addMonitor(
+        std::make_unique<trace::ReplayMonitor>(t, bench.sim()));
+
+    // Contract monitoring applies to replayed runs too.
+    if (contracts || !contract_specs.empty()) {
+        std::vector<trace::ContractSpec> specs;
+        if (!resolveContracts(contract_specs,
+                              bench.sim().netlist(), contracts,
+                              &specs))
+            return kExitUsage;
+        try {
+            bench.addMonitor(
+                std::make_unique<trace::ContractMonitor>(
+                    std::move(specs), bench.sim()));
+        } catch (const std::invalid_argument &e) {
+            fprintf(stderr, "anvilc: %s\n", e.what());
+            return kExitUsage;
+        }
+    }
+
+    if (cycles_override > 0)
+        cycles = static_cast<uint64_t>(cycles_override);
+    printf("replay: %s: %zu signals, %llu change(s), %llu cycle(s)\n",
+           dump_path.c_str(), t.signals().size(),
+           (unsigned long long)t.changeCount(),
+           (unsigned long long)cycles);
+
+    tb::Coverage *coverage = nullptr;
+    if (cov || stats)
+        coverage = &bench.coverage();
+
+    std::ofstream vcd_os;
     if (!vcd_path.empty()) {
-        vcd_os.flush();
-        if (!vcd_os.good()) {
-            fprintf(stderr, "anvilc: error writing '%s'\n",
+        vcd_os.open(vcd_path);
+        if (!vcd_os) {
+            fprintf(stderr, "anvilc: cannot write '%s'\n",
                     vcd_path.c_str());
             return kExitIo;
         }
-        fprintf(stderr, "anvilc: wrote %s\n", vcd_path.c_str());
+        bench.attachVcd(vcd_os);
     }
-    if (!result.ok()) {
-        fprintf(stderr, "anvilc: %s\n", result.summary().c_str());
+
+    return finishRun(bench, cycles, coverage,
+                     vcd_path.empty() ? nullptr : &vcd_os, vcd_path,
+                     cov, stats);
+}
+
+/** Offline contract check of a recorded dump. */
+int
+checkTraceFile(const rtl::ModulePtr &mod,
+               const std::string &dump_path, bool print_contracts,
+               const std::vector<std::string> &contract_specs)
+{
+    trace::Trace t;
+    try {
+        t = trace::VcdReader::readFile(dump_path);
+    } catch (const std::runtime_error &e) {
+        fprintf(stderr, "anvilc: %s: %s\n", dump_path.c_str(),
+                e.what());
+        return kExitIo;
+    }
+
+    rtl::Sim sim(mod);
+    std::vector<trace::ContractSpec> specs;
+    if (!resolveContracts(contract_specs, sim.netlist(),
+                          print_contracts, &specs))
+        return kExitUsage;
+
+    std::vector<std::string> skipped;
+    auto violations = trace::checkTrace(specs, t, &skipped);
+    for (const auto &ch : skipped)
+        fprintf(stderr,
+                "anvilc: note: channel '%s' not recorded in %s\n",
+                ch.c_str(), dump_path.c_str());
+    printf("check-trace: %s: %zu contract(s), %llu cycle(s), "
+           "%zu violation(s)\n",
+           dump_path.c_str(), specs.size() - skipped.size(),
+           (unsigned long long)t.cycles(), violations.size());
+    if (!violations.empty()) {
+        fputs(trace::violationReport(violations).c_str(), stdout);
         return kExitCheckFailure;
     }
     return kExitOk;
@@ -117,8 +310,10 @@ int
 main(int argc, char **argv)
 {
     std::string input, output, top, vcd_path;
-    bool optimize = true, trace = false, stats = false;
-    bool check_only = false, cov = false;
+    std::string replay_path, check_trace_path;
+    bool optimize = true, trace_flag = false, stats = false;
+    bool check_only = false, cov = false, contracts = false;
+    std::vector<std::string> contract_specs;
     long sim_cycles = 0;
     uint64_t seed = 1;
 
@@ -131,7 +326,7 @@ main(int argc, char **argv)
         } else if (arg == "--no-opt") {
             optimize = false;
         } else if (arg == "--trace") {
-            trace = true;
+            trace_flag = true;
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg == "--check-only") {
@@ -148,6 +343,14 @@ main(int argc, char **argv)
             vcd_path = argv[++i];
         } else if (arg == "--cov") {
             cov = true;
+        } else if (arg == "--replay" && i + 1 < argc) {
+            replay_path = argv[++i];
+        } else if (arg == "--check-trace" && i + 1 < argc) {
+            check_trace_path = argv[++i];
+        } else if (arg == "--contracts") {
+            contracts = true;
+        } else if (arg == "--contract" && i + 1 < argc) {
+            contract_specs.push_back(argv[++i]);
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return kExitOk;
@@ -167,9 +370,23 @@ main(int argc, char **argv)
         usage();
         return kExitUsage;
     }
-    if (sim_cycles == 0 && (cov || !vcd_path.empty() || seed != 1)) {
+    if (!replay_path.empty() && !check_trace_path.empty()) {
         fprintf(stderr,
-                "anvilc: --vcd/--cov/--seed require --sim <N>\n");
+                "anvilc: --replay and --check-trace conflict\n");
+        return kExitUsage;
+    }
+    bool runs_sim = sim_cycles > 0 || !replay_path.empty();
+    if (!runs_sim && (cov || !vcd_path.empty() || seed != 1)) {
+        fprintf(stderr, "anvilc: --vcd/--cov/--seed require "
+                        "--sim <N> or --replay\n");
+        return kExitUsage;
+    }
+    bool needs_module = runs_sim || !check_trace_path.empty() ||
+                        contracts || !contract_specs.empty();
+    if (needs_module && check_only) {
+        fprintf(stderr, "anvilc: --sim/--replay/--check-trace/"
+                        "--contracts need codegen "
+                        "(drop --check-only)\n");
         return kExitUsage;
     }
 
@@ -190,7 +407,7 @@ main(int argc, char **argv)
     // Diagnostics (warnings and notes included).
     fputs(out.diags.render().c_str(), stderr);
 
-    if (trace) {
+    if (trace_flag) {
         for (const auto &[name, check] : out.checks) {
             printf("=== %s ===\n%s\n", name.c_str(),
                    check.traceStr().c_str());
@@ -217,7 +434,7 @@ main(int argc, char **argv)
 
     if (!check_only) {
         if (output.empty()) {
-            if (sim_cycles == 0)
+            if (!needs_module)
                 fputs(out.systemverilog.c_str(), stdout);
         } else {
             std::ofstream os(output);
@@ -231,19 +448,28 @@ main(int argc, char **argv)
         }
     }
 
-    if (sim_cycles > 0) {
-        if (check_only) {
-            fprintf(stderr, "anvilc: --sim needs codegen "
-                            "(drop --check-only)\n");
-            return kExitUsage;
-        }
+    if (needs_module) {
         rtl::ModulePtr mod = out.module(out.top);
         if (!mod) {
             fprintf(stderr, "anvilc: no module for top '%s'\n",
                     out.top.c_str());
             return kExitCheckFailure;
         }
-        return simulate(mod, sim_cycles, seed, vcd_path, cov, stats);
+        if (!check_trace_path.empty())
+            return checkTraceFile(mod, check_trace_path, contracts,
+                                  contract_specs);
+        if (!replay_path.empty())
+            return replay(mod, replay_path, sim_cycles, vcd_path,
+                          cov, stats, contracts, contract_specs);
+        if (sim_cycles > 0)
+            return simulate(mod, sim_cycles, seed, vcd_path, cov,
+                            stats, contracts, contract_specs);
+        // --contracts / --contract alone: print the contract set.
+        rtl::Sim sim(mod);
+        std::vector<trace::ContractSpec> specs;
+        if (!resolveContracts(contract_specs, sim.netlist(), true,
+                              &specs))
+            return kExitUsage;
     }
     return kExitOk;
 }

@@ -54,6 +54,10 @@ VcdWriter::VcdWriter(Sim &sim, std::ostream &os,
         auto it = nl.signals().find(flat);
         if (it == nl.signals().end())
             throw std::invalid_argument("no such signal: " + name);
+        // VCD has no representation for zero-width vars; skip them
+        // rather than emit a malformed "$var wire 0" declaration.
+        if (it->second.width < 1)
+            continue;
         Traced t;
         t.name = flat;
         t.id = idCode(_traced.size());

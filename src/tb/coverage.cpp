@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <sstream>
+#include <stdexcept>
 
 #include "support/strings.h"
 
@@ -79,6 +80,15 @@ RegBins::binsHit() const
     return n;
 }
 
+int
+CrossPoint::binsHit() const
+{
+    int n = 0;
+    for (uint64_t h : bins)
+        n += h > 0;
+    return n;
+}
+
 Coverage::Coverage(int reg_bins)
     : _req_bins(std::max(reg_bins, 2))
 {
@@ -87,7 +97,25 @@ Coverage::Coverage(int reg_bins)
 void
 Coverage::addCover(const std::string &name, rtl::ExprPtr expr)
 {
-    _covers.push_back({name, std::move(expr), 0});
+    _covers.push_back({name, std::move(expr), 0, false});
+}
+
+void
+Coverage::cross(const std::string &name, const std::string &pointA,
+                const std::string &pointB)
+{
+    auto indexOf = [this](const std::string &point) -> size_t {
+        for (size_t i = 0; i < _covers.size(); i++)
+            if (_covers[i].name == point)
+                return i;
+        throw std::invalid_argument("cross references unknown cover "
+                                    "point '" + point + "'");
+    };
+    CrossPoint cp;
+    cp.name = name;
+    cp.a = indexOf(pointA);
+    cp.b = indexOf(pointB);
+    _crosses.push_back(std::move(cp));
 }
 
 void
@@ -152,9 +180,16 @@ Coverage::sample(rtl::Sim &sim)
         rb.hits[static_cast<size_t>(v % rb.hits.size())]++;
     }
 
-    for (auto &c : _covers)
-        if (sim.evalTop(c.expr).any())
+    for (auto &c : _covers) {
+        c.last = sim.evalTop(c.expr).any();
+        if (c.last)
             c.hits++;
+    }
+    for (auto &x : _crosses) {
+        int bin = (_covers[x.a].last ? 2 : 0) |
+                  (_covers[x.b].last ? 1 : 0);
+        x.bins[bin]++;
+    }
     for (auto &a : _asserts) {
         if (!sim.evalTop(a.enable).any())
             continue;
@@ -243,6 +278,16 @@ Coverage::report() const
     for (const auto &c : _covers)
         os << strfmt("  cover  %-24s hits=%llu\n", c.name.c_str(),
                      static_cast<unsigned long long>(c.hits));
+    for (const auto &x : _crosses) {
+        os << strfmt("  cross  %-24s %d/4 bins (%s x %s:",
+                     x.name.c_str(), x.binsHit(),
+                     _covers[x.a].name.c_str(),
+                     _covers[x.b].name.c_str());
+        for (int b = 0; b < 4; b++)
+            os << strfmt(" %d%d=%llu", b >> 1, b & 1,
+                         static_cast<unsigned long long>(x.bins[b]));
+        os << ")\n";
+    }
     for (const auto &a : _asserts) {
         os << strfmt("  assert %-24s checked=%llu failures=%llu",
                      a.name.c_str(),
@@ -286,6 +331,17 @@ Coverage::summaryJson() const
             os << ",";
         os << "{\"name\":\"" << jsonEscape(_covers[i].name)
            << "\",\"hits\":" << _covers[i].hits << "}";
+    }
+    os << "],\"crosses\":[";
+    for (size_t i = 0; i < _crosses.size(); i++) {
+        const CrossPoint &x = _crosses[i];
+        if (i)
+            os << ",";
+        os << "{\"name\":\"" << jsonEscape(x.name)
+           << "\",\"bins_hit\":" << x.binsHit() << ",\"bins\":[";
+        for (int b = 0; b < 4; b++)
+            os << (b ? "," : "") << x.bins[b];
+        os << "]}";
     }
     os << "],\"asserts\":[";
     for (size_t i = 0; i < _asserts.size(); i++) {

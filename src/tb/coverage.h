@@ -52,6 +52,21 @@ struct CoverPoint
     std::string name;
     rtl::ExprPtr expr;
     uint64_t hits = 0;
+    bool last = false;   // truth value at the latest sample
+};
+
+/**
+ * Cross coverage of two cover points: per-cycle occupancy of the
+ * four (a, b) truth tuples.  A cross is closed once all four bins
+ * have been observed.
+ */
+struct CrossPoint
+{
+    std::string name;
+    size_t a = 0, b = 0;       // indices into the cover-point list
+    uint64_t bins[4] = {0, 0, 0, 0};   // bin (va << 1) | vb
+
+    int binsHit() const;
 };
 
 /** A user-declared assertion: expr must hold whenever enable does. */
@@ -87,6 +102,14 @@ class Coverage
                    rtl::ExprPtr expr);
 
     /**
+     * Cross two existing cover points (by name): bins the tuple of
+     * their truth values every sample.  Throws std::invalid_argument
+     * if either point has not been declared yet.
+     */
+    void cross(const std::string &name, const std::string &pointA,
+               const std::string &pointB);
+
+    /**
      * Sample the design once, on the combinational frame (call
      * before Sim::step so values line up with the current cycle).
      * The first call binds this engine to the sim's netlist.
@@ -109,6 +132,10 @@ class Coverage
     }
     const std::vector<RegBins> &regBins() const { return _reg_bins; }
     const std::vector<CoverPoint> &covers() const { return _covers; }
+    const std::vector<CrossPoint> &crosses() const
+    {
+        return _crosses;
+    }
     const std::vector<AssertPoint> &asserts() const
     {
         return _asserts;
@@ -130,6 +157,7 @@ class Coverage
     std::vector<RegBins> _reg_bins;
     std::vector<rtl::NetId> _reg_nets;   // parallel to _reg_bins
     std::vector<CoverPoint> _covers;
+    std::vector<CrossPoint> _crosses;
     std::vector<AssertPoint> _asserts;
 };
 

@@ -1,0 +1,81 @@
+#include "trace/replay.h"
+
+#include "support/strings.h"
+
+namespace anvil {
+namespace trace {
+
+ReplayDriver::ReplayDriver(const Trace &t, rtl::Sim &sim)
+    : _trace(t), _cursor(t), _t0(t.startTime())
+{
+    const auto &signals = t.signals();
+    for (const auto &name : sim.inputNames()) {
+        bool found = false;
+        for (size_t i = 0; i < signals.size(); i++) {
+            if (signals[i].name == name) {
+                _inputs.emplace_back(i, name);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            _missing.push_back(name);
+    }
+}
+
+void
+ReplayDriver::drive(rtl::Sim &sim, uint64_t cycle, tb::SplitMix64 &)
+{
+    _cursor.advanceTo(_t0 + cycle);
+    for (const auto &[idx, name] : _inputs)
+        sim.setInput(name, _cursor.value(idx));
+}
+
+ReplayMonitor::ReplayMonitor(const Trace &t, rtl::Sim &sim,
+                             std::string name)
+    : tb::Monitor(std::move(name)), _trace(t), _cursor(t),
+      _t0(t.startTime())
+{
+    const auto &table = sim.netlist().signals();
+    const auto &signals = t.signals();
+    for (size_t i = 0; i < signals.size(); i++) {
+        auto it = table.find(signals[i].name);
+        if (it == table.end() ||
+            it->second.kind == rtl::NetSignal::Kind::Input)
+            continue;
+        _checked.emplace_back(i, it->second.net);
+    }
+}
+
+void
+ReplayMonitor::observe(rtl::Sim &sim, uint64_t cycle)
+{
+    uint64_t t = _t0 + cycle;
+    if (t > _trace.endTime())
+        return;   // past the recording; nothing to compare
+    _cursor.advanceTo(t);
+    for (const auto &[idx, net] : _checked) {
+        const BitVec &want = _cursor.value(idx);
+        const BitVec &got = sim.value(net);
+        _compared++;
+        if (got != want)
+            fail(cycle,
+                 _trace.signals()[idx].name + ": recorded " +
+                     want.toHex() + " resimulated " + got.toHex());
+    }
+}
+
+uint64_t
+attachReplay(tb::Testbench &bench, const Trace &t, bool check)
+{
+    auto driver = std::make_unique<ReplayDriver>(t, bench.sim());
+    uint64_t cycles = driver->cyclesAvailable();
+    bench.addDriver(std::move(driver));
+    if (check)
+        bench.addMonitor(
+            std::make_unique<ReplayMonitor>(t, bench.sim()));
+    return cycles;
+}
+
+} // namespace trace
+} // namespace anvil

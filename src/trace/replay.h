@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Trace replay: feed a recorded dump back into a testbench as
+ * stimulus and diff the re-simulated design against the recording.
+ *
+ * ReplayDriver is a tb::Driver that drives every top-level input the
+ * trace recorded, cycle by cycle, so any dumped run — randomized
+ * benches included — re-executes deterministically without its
+ * original stimulus code.  ReplayMonitor is the checking half: each
+ * cycle it compares every recorded non-input signal against the live
+ * simulation and reports divergences with cycle numbers.
+ *
+ * Cycle alignment matches rtl::VcdWriter's convention: the dump's
+ * timestamp t holds the combinational frame of testbench cycle
+ * (t - startTime()), sampled after drivers ran and before the clock
+ * edge.
+ */
+
+#ifndef ANVIL_TRACE_REPLAY_H
+#define ANVIL_TRACE_REPLAY_H
+
+#include <string>
+#include <vector>
+
+#include "tb/testbench.h"
+#include "trace/trace.h"
+
+namespace anvil {
+namespace trace {
+
+/** Drives the recorded values of every top-level input. */
+class ReplayDriver : public tb::Driver
+{
+  public:
+    /**
+     * Bind the trace's signals to the sim's inputs by flat name.
+     * Inputs the trace never recorded are left for other drivers
+     * (listed in missingInputs()).
+     */
+    ReplayDriver(const Trace &t, rtl::Sim &sim);
+
+    void drive(rtl::Sim &sim, uint64_t cycle,
+               tb::SplitMix64 &rng) override;
+
+    /** Trace cycles available for replay. */
+    uint64_t cyclesAvailable() const { return _trace.cycles(); }
+
+    /** Sim inputs with no recorded signal in the trace. */
+    const std::vector<std::string> &missingInputs() const
+    {
+        return _missing;
+    }
+
+  private:
+    const Trace &_trace;
+    TraceCursor _cursor;
+    uint64_t _t0;
+    std::vector<std::pair<size_t, std::string>> _inputs;
+    std::vector<std::string> _missing;
+};
+
+/**
+ * Diffs the live simulation against the recording: every recorded
+ * signal that resolves to a non-input net is compared each cycle.
+ */
+class ReplayMonitor : public tb::Monitor
+{
+  public:
+    ReplayMonitor(const Trace &t, rtl::Sim &sim,
+                  std::string name = "replay-diff");
+
+    void observe(rtl::Sim &sim, uint64_t cycle) override;
+
+    /** Total per-signal comparisons performed. */
+    uint64_t compared() const { return _compared; }
+
+    /** Number of recorded signals being checked. */
+    size_t signalsChecked() const { return _checked.size(); }
+
+  private:
+    const Trace &_trace;
+    TraceCursor _cursor;
+    uint64_t _t0;
+    std::vector<std::pair<size_t, rtl::NetId>> _checked;
+    uint64_t _compared = 0;
+};
+
+/**
+ * Convenience: attach a ReplayDriver and (optionally) a
+ * ReplayMonitor to a bench.  Returns the cycle count to run.
+ */
+uint64_t attachReplay(tb::Testbench &bench, const Trace &t,
+                      bool check = true);
+
+} // namespace trace
+} // namespace anvil
+
+#endif // ANVIL_TRACE_REPLAY_H

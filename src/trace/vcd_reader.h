@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Parser for IEEE 1364 value change dump (VCD) files.
+ *
+ * Reads the full standard subset relevant to two-state simulation:
+ * header sections ($date/$version/$timescale/$comment), nested
+ * $scope/$upscope hierarchies, $var declarations with id-codes and
+ * optional bit ranges, $dumpvars/$dumpall/$dumpon/$dumpoff blocks,
+ * timestamps, scalar changes (0/1/x/z) and arbitrary-width binary
+ * vector changes.  x and z bits are read as 0 (the simulator is
+ * two-state).  Aliased id-codes (one code declared for several vars)
+ * fan changes out to every alias.
+ *
+ * The result is a trace::Trace whose metadata is rich enough that
+ * Trace::writeVcd reproduces an rtl::VcdWriter dump byte for byte.
+ * Malformed input raises std::runtime_error with a line number.
+ */
+
+#ifndef ANVIL_TRACE_VCD_READER_H
+#define ANVIL_TRACE_VCD_READER_H
+
+#include <istream>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace anvil {
+namespace trace {
+
+class VcdReader
+{
+  public:
+    /** Parse a whole VCD stream.  Throws std::runtime_error. */
+    static Trace read(std::istream &is);
+
+    /** Parse a VCD file from disk.  Throws std::runtime_error. */
+    static Trace readFile(const std::string &path);
+};
+
+} // namespace trace
+} // namespace anvil
+
+#endif // ANVIL_TRACE_VCD_READER_H

@@ -1,0 +1,41 @@
+#!/bin/sh
+# CLI end-to-end trace loop, run by ctest (cli_trace_e2e) and CI:
+#
+#  1. record a short seeded random sim of the quickstart design,
+#  2. replay the dump as stimulus, re-dumping the replayed run,
+#  3. the two dumps must be byte-identical (round-trip + determinism)
+#     and the coverage summaries must match,
+#  4. contract-check the healthy dump (exit 0),
+#  5. contract-check the hand-written violating fixture: exit code 1
+#     and a cycle-numbered report naming the broken rules.
+#
+# Usage: cli_trace_e2e.sh <path-to-anvilc> <repo-root>
+set -e
+ANVILC="$1"
+SRC="$2"
+DESIGN="$SRC/examples/quickstart.anvil"
+
+"$ANVILC" "$DESIGN" --sim 200 --seed 11 --vcd cli_a.vcd --stats \
+    > cli_a.log
+"$ANVILC" "$DESIGN" --replay cli_a.vcd --vcd cli_b.vcd --stats \
+    > cli_b.log
+
+cmp cli_a.vcd cli_b.vcd
+grep '^sim-summary' cli_a.log > cli_a.sum
+grep '^sim-summary' cli_b.log > cli_b.sum
+cmp cli_a.sum cli_b.sum
+echo "replay reproduced the recording byte for byte"
+
+"$ANVILC" "$DESIGN" --check-trace cli_a.vcd --contracts
+
+set +e
+"$ANVILC" "$DESIGN" \
+    --check-trace "$SRC/tests/golden/pong_violation.vcd" \
+    > cli_viol.log
+status=$?
+set -e
+cat cli_viol.log
+test "$status" -eq 1
+grep -q '@3 io_pong \[stable\]' cli_viol.log
+grep -q '@4 io_pong \[hold\]' cli_viol.log
+echo "violating trace rejected with exit code 1"

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Replay-as-stimulus tests: a seeded constrained-random AXI run is
+ * dumped, parsed back, and re-executed through ReplayDriver — the
+ * replay must reproduce the original bit for bit (final registers,
+ * scoreboard totals, coverage summary, zero replay-diff failures)
+ * without the original stimulus code, and a replay dump must be
+ * byte-identical to the recording.  A divergent design variant is
+ * caught by ReplayMonitor with cycle numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "axi_bench.h"
+#include "designs/designs.h"
+#include "tb/testbench.h"
+#include "trace/replay.h"
+#include "trace/vcd_reader.h"
+
+using namespace anvil;
+using namespace anvil::trace;
+
+namespace {
+
+struct Recorded
+{
+    std::string vcd;
+    std::vector<BitVec> final_regs;
+    uint64_t toggles = 0;
+    uint64_t w_matched = 0;
+    std::string cov_json;
+};
+
+/** Record a seeded randomized demux run with full VCD + coverage. */
+Recorded
+recordDemuxRun(uint64_t seed, uint64_t cycles)
+{
+    tb::Testbench bench(designs::buildAxiDemuxBaseline(), seed);
+    auto d = anvil::testing::attachDemuxBfmBench(bench);
+    tb::Coverage &cov = bench.coverage();
+    std::ostringstream os;
+    bench.attachVcd(os);
+    tb::TbResult r = bench.run(cycles);
+    EXPECT_TRUE(r.ok()) << r.summary();
+    return {os.str(), bench.sim().captureRegs(),
+            bench.sim().totalToggles(), d.wsb->matched(),
+            cov.summaryJson()};
+}
+
+TEST(TraceReplay, ReplayReproducesARecordedRandomRun)
+{
+    const uint64_t kCycles = 600;
+    Recorded rec = recordDemuxRun(411, kCycles);
+
+    std::istringstream in(rec.vcd);
+    Trace t = VcdReader::read(in);
+    EXPECT_EQ(t.startTime(), 0u);
+
+    // Replay without any of the original stimulus code: the trace
+    // drives the inputs, the protocol scoreboards check again, and
+    // the replay monitor diffs every recorded non-input signal.
+    tb::Testbench bench(designs::buildAxiDemuxBaseline(),
+                        /*seed=*/999);   // seed must not matter
+    auto drv = std::make_unique<ReplayDriver>(t, bench.sim());
+    ReplayDriver &driver = *drv;
+    bench.addDriver(std::move(drv));
+    EXPECT_TRUE(driver.missingInputs().empty());
+    EXPECT_EQ(driver.cyclesAvailable(), kCycles);
+
+    auto monitor =
+        std::make_unique<ReplayMonitor>(t, bench.sim());
+    ReplayMonitor &mon = *monitor;
+    bench.addMonitor(std::move(monitor));
+
+    tb::Coverage &cov = bench.coverage();
+    std::ostringstream os2;
+    bench.attachVcd(os2);
+    tb::TbResult r = bench.run(kCycles);
+
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_GT(mon.compared(), 0u);
+    EXPECT_GT(mon.signalsChecked(), 30u);
+
+    // Bit-identical re-execution: registers, toggles, coverage, and
+    // even the waveform dump.
+    EXPECT_EQ(bench.sim().captureRegs(), rec.final_regs);
+    EXPECT_EQ(bench.sim().totalToggles(), rec.toggles);
+    EXPECT_EQ(cov.summaryJson(), rec.cov_json);
+    EXPECT_EQ(os2.str(), rec.vcd);
+}
+
+TEST(TraceReplay, ReplayedScoreboardsMatchTheOriginal)
+{
+    const uint64_t kCycles = 500;
+    Recorded rec = recordDemuxRun(77, kCycles);
+
+    std::istringstream in(rec.vcd);
+    Trace t = VcdReader::read(in);
+
+    // Re-attach only the *checking* half of the bench; stimulus
+    // comes from the trace.
+    tb::Testbench bench(designs::buildAxiDemuxBaseline(), 1);
+    uint64_t cycles = attachReplay(bench, t);
+    EXPECT_EQ(cycles, kCycles);
+
+    // The protocol checks from the shared bench need the scoreboards
+    // but no BFMs; reuse the check body via a fresh demux bench is
+    // not possible without drivers, so check the w-data stream only.
+    tb::Scoreboard &wsb = bench.addScoreboard("w-data");
+    bench.check("axi-replay", [&wsb](tb::Testbench &tb2) {
+        rtl::Sim &s = tb2.sim();
+        uint64_t cyc = s.cycle();
+        if (s.peek("m_w_valid").any() && s.peek("m_w_ack").any())
+            wsb.expect(s.peek("m_w_data"));
+        for (int i = 0; i < 8; i++) {
+            std::string p = "s" + std::to_string(i);
+            if (s.peek(p + "_aw_valid").any() &&
+                s.peek(p + "_aw_ack").any() &&
+                s.peek(p + "_w_ack").any())
+                wsb.observed(cyc, s.peek(p + "_w_data"));
+        }
+    });
+
+    tb::TbResult r = bench.run(cycles);
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_EQ(wsb.matched(), rec.w_matched);
+}
+
+TEST(TraceReplay, DivergingDesignIsCaughtWithCycleNumbers)
+{
+    Recorded rec = recordDemuxRun(52, 400);
+    std::istringstream in(rec.vcd);
+    Trace t = VcdReader::read(in);
+
+    // Replay against a *different* design: slave 1's W data is
+    // corrupted, so the re-simulation diverges from the recording.
+    auto mod = designs::buildAxiDemuxBaseline();
+    for (auto &w : mod->wires)
+        if (w.name == "s1_w_data")
+            w.expr = rtl::ref("wreg", 32) ^ rtl::cst(32, 0x80);
+    tb::Testbench bench(mod, 1);
+    uint64_t cycles = attachReplay(bench, t);
+    tb::TbResult r = bench.run(cycles);
+
+    ASSERT_FALSE(r.ok());
+    bool saw_diff = false;
+    for (const auto &f : r.failures) {
+        if (f.check != "replay-diff")
+            continue;
+        saw_diff = true;
+        // The divergence names the signal.
+        EXPECT_NE(f.message.find("s1_w_data"), std::string::npos)
+            << f.message;
+        break;
+    }
+    EXPECT_TRUE(saw_diff);
+}
+
+} // namespace
