@@ -1,19 +1,34 @@
 /**
  * @file
  * Simulation-core throughput benchmark: cycles/second of the compiled
- * netlist simulator (rtl::Sim) versus the reference interpreter
- * (rtl::RefSim) on the MMU (TLB + PTW), AXI (demux + mux), and
- * encrypt (AES round core + compiled Anvil encrypt) designs.
+ * netlist simulator (rtl::Sim) in every sweep mode — dense full
+ * sweep, event-driven dirty sweep, and threaded dirty sweep at 2 and
+ * 4 workers — versus the reference interpreter (rtl::RefSim).
  *
- * Build & run:  ./build/bench_sim_perf [out.json]
+ * Workloads: the dense evaluation designs of Table 1 (MMU, AXI
+ * routers, AES round core, compiled Anvil encrypt) under saturating
+ * stimulus, plus the large low-activity workloads the dirty sweep is
+ * built for: N-master/M-slave AXI crossbars composed from the demux
+ * and mux baselines, and a K-way set-associative TLB, both driven by
+ * the seeded traffic generators shared with the sweep-mode
+ * differential tests (tests/sim_workloads.h).
  *
- * Prints a table and emits a JSON record; with an argument the JSON
- * is written to that file (BENCH_sim.json at the repo root holds the
- * recorded baseline).  See docs/benchmarks.md.
+ * Build & run:  ./build/bench_sim_perf [--cycles N] [out.json]
+ *
+ * Prints a table and emits a JSON record matching BENCH_sim.json
+ * (fields: ref, netlist = full sweep, dirty, threads.{2,4}, speedup
+ * = netlist/ref, dirty_vs_full, activity_pct).  With a file argument
+ * the JSON is written there; `--cycles N` caps every measurement at
+ * N cycles (the CI smoke configuration, which exercises all sweep
+ * modes).  See docs/benchmarks.md.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,6 +36,7 @@
 #include "designs/designs.h"
 #include "rtl/interp.h"
 #include "rtl/ref_interp.h"
+#include "sim_workloads.h"
 
 using namespace anvil;
 
@@ -62,37 +78,125 @@ proc encrypt(ch1 : left encrypt_ch, ch2 : left rng_ch) {
 }
 )";
 
+/** Factory for a fresh per-run stimulus stream. */
+using StimFactory =
+    std::function<std::function<anvil::testing::InputFrame()>()>;
+
+/** Saturating stimulus: every input driven to 1 once, then held. */
+StimFactory
+allOnesStim(const rtl::ModulePtr &mod)
+{
+    // Top-level inputs straight off the module's port list — no
+    // throwaway compiled simulator just to learn the names.
+    auto names = std::make_shared<std::vector<std::string>>();
+    for (const auto &p : mod->ports)
+        if (p.is_input)
+            names->push_back(p.name);
+    return [names]() {
+        auto first = std::make_shared<bool>(true);
+        return [names, first]() {
+            anvil::testing::InputFrame f;
+            if (*first) {
+                *first = false;
+                for (const auto &n : *names)
+                    f.emplace_back(n, 1);
+            }
+            return f;
+        };
+    };
+}
+
+StimFactory
+xbarStim(int n_masters, int n_slaves, uint64_t seed)
+{
+    return [n_masters, n_slaves, seed]() {
+        auto s = std::make_shared<anvil::testing::XbarStimulus>(
+            n_masters, n_slaves, seed);
+        return [s]() { return s->next(); };
+    };
+}
+
+StimFactory
+tlbStim(uint64_t seed)
+{
+    return [seed]() {
+        auto s =
+            std::make_shared<anvil::testing::TlbStimulus>(seed);
+        return [s]() { return s->next(); };
+    };
+}
+
+/**
+ * Best-of-`reps` throughput: repeated timing windows over one live
+ * simulation, keeping the fastest (least noisy) window.  The
+ * stimulus stream runs continuously across windows.
+ */
 template <typename SimT>
 double
-cyclesPerSec(const rtl::ModulePtr &mod, int cycles)
+timedRun(SimT &sim, int cycles, const StimFactory &make_stim,
+         int reps = 3)
 {
-    SimT sim(mod);
-    // Drive every input active so the state machines actually move.
-    for (const auto &in : sim.inputNames())
-        sim.setInput(in, 1);
-    sim.step(1);   // warm up (first-cycle toggle priming, caches)
-    auto t0 = std::chrono::steady_clock::now();
-    sim.step(cycles);
-    auto t1 = std::chrono::steady_clock::now();
-    double s = std::chrono::duration<double>(t1 - t0).count();
-    return static_cast<double>(cycles) / s;
+    auto stim = make_stim();
+    // Warm up one cycle: first-sweep (dense) cost, toggle priming.
+    for (const auto &[n, v] : stim())
+        sim.setInput(n, v);
+    sim.step(1);
+    double best = 0;
+    for (int rep = 0; rep < reps; rep++) {
+        auto t0 = std::chrono::steady_clock::now();
+        for (int c = 0; c < cycles; c++) {
+            for (const auto &[n, v] : stim())
+                sim.setInput(n, v);
+            sim.step(1);
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        double s = std::chrono::duration<double>(t1 - t0).count();
+        best = std::max(best, static_cast<double>(cycles) / s);
+    }
+    return best;
 }
 
 struct Row
 {
     std::string name;
-    double ref = 0;      // reference interpreter, cycles/s
-    double sim = 0;      // compiled netlist core, cycles/s
+    double ref = 0;          // reference interpreter
+    double full = 0;         // dense sweep ("netlist" in the JSON)
+    double dirty = 0;        // event-driven sweep
+    double t2 = 0, t4 = 0;   // threaded sweep, 2 / 4 workers
+    double activity_pct = 0; // strict nodes evaluated / total, dirty
 };
 
 Row
 runDesign(const std::string &name, const rtl::ModulePtr &mod,
-          int sim_cycles, int ref_cycles)
+          int sim_cycles, int ref_cycles, const StimFactory &stim)
 {
     Row r;
     r.name = name;
-    r.sim = cyclesPerSec<rtl::Sim>(mod, sim_cycles);
-    r.ref = cyclesPerSec<rtl::RefSim>(mod, ref_cycles);
+    {
+        rtl::Sim sim(mod);
+        sim.setSweepMode(rtl::SweepMode::Full);
+        r.full = timedRun(sim, sim_cycles, stim);
+    }
+    {
+        rtl::Sim sim(mod);
+        sim.setSweepMode(rtl::SweepMode::Dirty);
+        r.dirty = timedRun(sim, sim_cycles, stim);
+        const rtl::SweepStats &st = sim.sweepStats();
+        r.activity_pct = st.cycles && st.strict_nodes
+            ? 100.0 * st.avgNodes() /
+                static_cast<double>(st.strict_nodes)
+            : 0.0;
+    }
+    for (int threads : {2, 4}) {
+        rtl::Sim sim(mod);
+        sim.setSweepMode(rtl::SweepMode::Threaded, threads);
+        double v = timedRun(sim, sim_cycles, stim);
+        (threads == 2 ? r.t2 : r.t4) = v;
+    }
+    {
+        rtl::RefSim sim(mod);
+        r.ref = timedRun(sim, ref_cycles, stim, 2);
+    }
     return r;
 }
 
@@ -101,8 +205,25 @@ runDesign(const std::string &name, const rtl::ModulePtr &mod,
 int
 main(int argc, char **argv)
 {
+    std::string out_path;
+    long cap = 0;
+    for (int i = 1; i < argc; i++) {
+        if (!strcmp(argv[i], "--cycles") && i + 1 < argc) {
+            cap = atol(argv[++i]);
+            if (cap <= 0) {
+                fprintf(stderr, "bad --cycles\n");
+                return 2;
+            }
+        } else {
+            out_path = argv[i];
+        }
+    }
+    auto cycles = [cap](int dflt) {
+        return cap > 0 && cap < dflt ? static_cast<int>(cap) : dflt;
+    };
+
     printf("=== Simulation core throughput "
-           "(compiled netlist vs reference interpreter) ===\n\n");
+           "(sweep modes vs reference interpreter) ===\n\n");
 
     CompileOutput enc = compileAnvil(kEncryptFixedSource);
     if (!enc.ok) {
@@ -112,55 +233,70 @@ main(int argc, char **argv)
     }
 
     std::vector<Row> rows;
-    rows.push_back(runDesign("mmu_tlb", designs::buildTlbBaseline(),
-                             200000, 20000));
-    rows.push_back(runDesign("mmu_ptw", designs::buildPtwBaseline(),
-                             200000, 20000));
-    rows.push_back(runDesign("axi_demux",
-                             designs::buildAxiDemuxBaseline(),
-                             100000, 8000));
-    rows.push_back(runDesign("axi_mux",
-                             designs::buildAxiMuxBaseline(),
-                             50000, 4000));
-    rows.push_back(runDesign("aes", designs::buildAesBaseline(),
-                             50000, 5000));
-    rows.push_back(runDesign("encrypt_anvil", enc.module("encrypt"),
-                             200000, 20000));
+    auto dense = [&](const std::string &name,
+                     const rtl::ModulePtr &mod, int sc, int rc) {
+        rows.push_back(runDesign(name, mod, cycles(sc), cycles(rc),
+                                 allOnesStim(mod)));
+    };
+    dense("mmu_tlb", designs::buildTlbBaseline(), 200000, 20000);
+    dense("mmu_ptw", designs::buildPtwBaseline(), 200000, 20000);
+    dense("axi_demux", designs::buildAxiDemuxBaseline(), 100000,
+          8000);
+    dense("axi_mux", designs::buildAxiMuxBaseline(), 50000, 4000);
+    dense("aes", designs::buildAesBaseline(), 50000, 5000);
+    dense("encrypt_anvil", enc.module("encrypt"), 200000, 20000);
 
-    printf("%-15s %14s %14s %9s\n", "design", "ref cyc/s",
-           "netlist cyc/s", "speedup");
-    double worst = 1e30;
-    for (const auto &r : rows) {
-        double speedup = r.sim / r.ref;
-        worst = std::min(worst, speedup);
-        printf("%-15s %14.0f %14.0f %8.1fx\n", r.name.c_str(), r.ref,
-               r.sim, speedup);
-    }
-    printf("\nworst-case speedup: %.1fx\n", worst);
+    // Large low-activity workloads (the dirty-sweep target case).
+    rows.push_back(runDesign("axi_xbar_4x4",
+                             designs::buildAxiXbarBaseline(4, 4),
+                             cycles(40000), cycles(2000),
+                             xbarStim(4, 4, 2026)));
+    rows.push_back(runDesign("axi_xbar_8x8",
+                             designs::buildAxiXbarBaseline(8, 8),
+                             cycles(20000), cycles(600),
+                             xbarStim(8, 8, 2027)));
+    rows.push_back(runDesign("tlb_4w64s",
+                             designs::buildSetAssocTlbBaseline(4, 64),
+                             cycles(40000), cycles(2000),
+                             tlbStim(4242)));
+
+    printf("%-14s %11s %11s %11s %10s %10s %7s %6s\n", "design",
+           "ref cyc/s", "full cyc/s", "dirty", "thr2", "thr4",
+           "dirty/f", "act%");
+    for (const auto &r : rows)
+        printf("%-14s %11.0f %11.0f %11.0f %10.0f %10.0f %6.2fx "
+               "%5.1f%%\n",
+               r.name.c_str(), r.ref, r.full, r.dirty, r.t2, r.t4,
+               r.dirty / r.full, r.activity_pct);
 
     std::string json = "{\n  \"bench\": \"sim_perf\",\n"
         "  \"unit\": \"cycles_per_second\",\n  \"designs\": [\n";
     for (size_t i = 0; i < rows.size(); i++) {
-        char buf[256];
+        char buf[512];
         snprintf(buf, sizeof buf,
                  "    {\"name\": \"%s\", \"ref\": %.0f, "
-                 "\"netlist\": %.0f, \"speedup\": %.2f}%s\n",
-                 rows[i].name.c_str(), rows[i].ref, rows[i].sim,
-                 rows[i].sim / rows[i].ref,
+                 "\"netlist\": %.0f, \"dirty\": %.0f, "
+                 "\"threads\": {\"2\": %.0f, \"4\": %.0f}, "
+                 "\"speedup\": %.2f, \"dirty_vs_full\": %.2f, "
+                 "\"activity_pct\": %.1f}%s\n",
+                 rows[i].name.c_str(), rows[i].ref, rows[i].full,
+                 rows[i].dirty, rows[i].t2, rows[i].t4,
+                 rows[i].full / rows[i].ref,
+                 rows[i].dirty / rows[i].full, rows[i].activity_pct,
                  i + 1 < rows.size() ? "," : "");
         json += buf;
     }
     json += "  ]\n}\n";
 
-    if (argc > 1) {
-        FILE *f = fopen(argv[1], "w");
+    if (!out_path.empty()) {
+        FILE *f = fopen(out_path.c_str(), "w");
         if (!f) {
-            fprintf(stderr, "cannot write %s\n", argv[1]);
+            fprintf(stderr, "cannot write %s\n", out_path.c_str());
             return 1;
         }
         fputs(json.c_str(), f);
         fclose(f);
-        printf("\nwrote %s\n", argv[1]);
+        printf("\nwrote %s\n", out_path.c_str());
     } else {
         printf("\n%s", json.c_str());
     }

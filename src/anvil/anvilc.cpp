@@ -14,6 +14,8 @@
  *     --sim <N>      simulate N cycles under a seeded random
  *                    testbench after compiling
  *     --seed <S>     testbench seed (default 1)
+ *     --sweep <m>    sweep mode: full, dirty (default), or
+ *                    threaded[:N] with N worker threads
  *     --vcd <file>   write a VCD waveform of the simulation
  *     --cov          print the coverage report after simulation
  *     --replay <f>   re-execute a recorded VCD dump as stimulus and
@@ -71,6 +73,8 @@ usage()
             "  --sim <N>      simulate N cycles under a random\n"
             "                 testbench\n"
             "  --seed <S>     testbench seed (default 1)\n"
+            "  --sweep <m>    sweep mode: full, dirty (default),\n"
+            "                 or threaded[:N]\n"
             "  --vcd <file>   write a VCD waveform of the simulation\n"
             "  --cov          print the coverage report\n"
             "  --replay <f>   replay a recorded VCD dump as stimulus\n"
@@ -112,6 +116,34 @@ resolveContracts(const std::vector<std::string> &spec_texts,
     return true;
 }
 
+/** Parse a --sweep argument: full, dirty, or threaded[:N]. */
+bool
+parseSweepMode(const std::string &text, rtl::SweepMode *mode,
+               int *threads)
+{
+    if (text == "full") {
+        *mode = rtl::SweepMode::Full;
+        return true;
+    }
+    if (text == "dirty") {
+        *mode = rtl::SweepMode::Dirty;
+        return true;
+    }
+    if (text.rfind("threaded", 0) == 0) {
+        *mode = rtl::SweepMode::Threaded;
+        if (text.size() == 8)
+            return true;   // default worker count
+        if (text[8] == ':') {
+            int n = atoi(text.c_str() + 9);
+            if (n >= 1) {
+                *threads = n;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
 /** Shared tail of --sim and --replay runs: run, report, exit code. */
 int
 finishRun(tb::Testbench &bench, uint64_t cycles,
@@ -124,6 +156,24 @@ finishRun(tb::Testbench &bench, uint64_t cycles,
            (unsigned long long)result.cycles,
            (unsigned long long)bench.sim().totalToggles(),
            bench.sim().log().size());
+    if (stats) {
+        // The activity factor is what the event-driven sweep
+        // exploits: nodes actually evaluated vs. the whole strict
+        // table, per cycle.
+        const rtl::SweepStats &ss = bench.sim().sweepStats();
+        double act = ss.strict_nodes
+            ? 100.0 * ss.avgNodes() /
+                static_cast<double>(ss.strict_nodes)
+            : 0.0;
+        printf("sweep: mode=%s threads=%d strict-nodes=%zu "
+               "evaluated/cycle avg=%.1f peak=%llu "
+               "changed-nets/cycle avg=%.1f peak=%llu "
+               "activity=%.1f%%\n",
+               rtl::sweepModeName(ss.mode), ss.threads,
+               ss.strict_nodes, ss.avgNodes(),
+               (unsigned long long)ss.peak_nodes, ss.avgChanged(),
+               (unsigned long long)ss.peak_changed, act);
+    }
     if (stats && coverage)
         printf("sim-summary %s\n", coverage->summaryJson().c_str());
     if (cov && coverage)
@@ -149,9 +199,11 @@ int
 simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
          const std::string &vcd_path, bool cov, bool stats,
          bool contracts,
-         const std::vector<std::string> &contract_specs)
+         const std::vector<std::string> &contract_specs,
+         rtl::SweepMode sweep_mode, int sweep_threads)
 {
     tb::Testbench bench(mod, seed);
+    bench.sim().setSweepMode(sweep_mode, sweep_threads);
     for (const auto &in : bench.sim().inputNames())
         bench.driveRandom(in);
 
@@ -196,7 +248,8 @@ int
 replay(const rtl::ModulePtr &mod, const std::string &dump_path,
        long cycles_override, const std::string &vcd_path, bool cov,
        bool stats, bool contracts,
-       const std::vector<std::string> &contract_specs)
+       const std::vector<std::string> &contract_specs,
+       rtl::SweepMode sweep_mode, int sweep_threads)
 {
     trace::Trace t;
     try {
@@ -208,6 +261,7 @@ replay(const rtl::ModulePtr &mod, const std::string &dump_path,
     }
 
     tb::Testbench bench(mod);
+    bench.sim().setSweepMode(sweep_mode, sweep_threads);
     auto driver =
         std::make_unique<trace::ReplayDriver>(t, bench.sim());
     uint64_t cycles = driver->cyclesAvailable();
@@ -316,6 +370,9 @@ main(int argc, char **argv)
     std::vector<std::string> contract_specs;
     long sim_cycles = 0;
     uint64_t seed = 1;
+    rtl::SweepMode sweep_mode = rtl::SweepMode::Dirty;
+    int sweep_threads = 0;
+    bool sweep_set = false;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -339,6 +396,15 @@ main(int argc, char **argv)
             }
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--sweep" && i + 1 < argc) {
+            if (!parseSweepMode(argv[++i], &sweep_mode,
+                                &sweep_threads)) {
+                fprintf(stderr,
+                        "anvilc: bad --sweep mode '%s' (expected "
+                        "full, dirty, or threaded[:N])\n", argv[i]);
+                return kExitUsage;
+            }
+            sweep_set = true;
         } else if (arg == "--vcd" && i + 1 < argc) {
             vcd_path = argv[++i];
         } else if (arg == "--cov") {
@@ -376,8 +442,9 @@ main(int argc, char **argv)
         return kExitUsage;
     }
     bool runs_sim = sim_cycles > 0 || !replay_path.empty();
-    if (!runs_sim && (cov || !vcd_path.empty() || seed != 1)) {
-        fprintf(stderr, "anvilc: --vcd/--cov/--seed require "
+    if (!runs_sim &&
+        (cov || !vcd_path.empty() || seed != 1 || sweep_set)) {
+        fprintf(stderr, "anvilc: --vcd/--cov/--seed/--sweep require "
                         "--sim <N> or --replay\n");
         return kExitUsage;
     }
@@ -460,10 +527,12 @@ main(int argc, char **argv)
                                   contract_specs);
         if (!replay_path.empty())
             return replay(mod, replay_path, sim_cycles, vcd_path,
-                          cov, stats, contracts, contract_specs);
+                          cov, stats, contracts, contract_specs,
+                          sweep_mode, sweep_threads);
         if (sim_cycles > 0)
             return simulate(mod, sim_cycles, seed, vcd_path, cov,
-                            stats, contracts, contract_specs);
+                            stats, contracts, contract_specs,
+                            sweep_mode, sweep_threads);
         // --contracts / --contract alone: print the contract set.
         rtl::Sim sim(mod);
         std::vector<trace::ContractSpec> specs;

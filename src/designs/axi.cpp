@@ -166,6 +166,148 @@ buildAxiDemuxBaseline(int n)
 }
 
 rtl::ModulePtr
+buildAxiXbarBaseline(int n_masters, int n_slaves)
+{
+    auto m = std::make_shared<Module>();
+    m->name = strfmt("axi_xbar_%dx%d", n_masters, n_slaves);
+
+    // Shared child modules: one demux shape for every master, one
+    // mux shape for every slave.
+    rtl::ModulePtr demux = buildAxiDemuxBaseline(n_slaves);
+    rtl::ModulePtr muxm = buildAxiMuxBaseline(n_masters);
+
+    // Top-level master-facing ports (the demux master contract).
+    for (int i = 0; i < n_masters; i++) {
+        std::string p = strfmt("m%d", i);
+        m->input(p + "_aw_data", 32);
+        m->input(p + "_aw_valid", 1);
+        m->output(p + "_aw_ack", 1);
+        m->input(p + "_w_data", 32);
+        m->input(p + "_w_valid", 1);
+        m->output(p + "_w_ack", 1);
+        m->output(p + "_b_data", 2);
+        m->output(p + "_b_valid", 1);
+        m->input(p + "_b_ack", 1);
+        m->input(p + "_ar_data", 32);
+        m->input(p + "_ar_valid", 1);
+        m->output(p + "_ar_ack", 1);
+        m->output(p + "_r_data", 33);
+        m->output(p + "_r_valid", 1);
+        m->input(p + "_r_ack", 1);
+    }
+    // Top-level slave-facing ports (the mux slave contract).
+    for (int j = 0; j < n_slaves; j++) {
+        std::string p = strfmt("s%d", j);
+        m->output(p + "_aw_data", 32);
+        m->output(p + "_aw_valid", 1);
+        m->input(p + "_aw_ack", 1);
+        m->output(p + "_w_data", 32);
+        m->output(p + "_w_valid", 1);
+        m->input(p + "_w_ack", 1);
+        m->input(p + "_b_data", 2);
+        m->input(p + "_b_valid", 1);
+        m->output(p + "_b_ack", 1);
+        m->output(p + "_ar_data", 32);
+        m->output(p + "_ar_valid", 1);
+        m->input(p + "_ar_ack", 1);
+        m->input(p + "_r_data", 33);
+        m->input(p + "_r_valid", 1);
+        m->output(p + "_r_ack", 1);
+    }
+
+    // Demux d<i> per master: master side from the top ports, slave
+    // side wired to mux x<j>'s per-master channel <i>.  The internal
+    // channels cross through parent-scope alias wires
+    // d<i>_s<j>_* (demux outputs) and x<j>_m<i>_* (mux outputs).
+    for (int i = 0; i < n_masters; i++) {
+        std::string mp = strfmt("m%d", i);
+        Instance d;
+        d.name = strfmt("d%d", i);
+        d.module = demux;
+        d.inputs["m_aw_data"] = ref(mp + "_aw_data", 32);
+        d.inputs["m_aw_valid"] = ref(mp + "_aw_valid", 1);
+        d.inputs["m_w_data"] = ref(mp + "_w_data", 32);
+        d.inputs["m_w_valid"] = ref(mp + "_w_valid", 1);
+        d.inputs["m_b_ack"] = ref(mp + "_b_ack", 1);
+        d.inputs["m_ar_data"] = ref(mp + "_ar_data", 32);
+        d.inputs["m_ar_valid"] = ref(mp + "_ar_valid", 1);
+        d.inputs["m_r_ack"] = ref(mp + "_r_ack", 1);
+        d.outputs[mp + "_aw_ack"] = "m_aw_ack";
+        d.outputs[mp + "_w_ack"] = "m_w_ack";
+        d.outputs[mp + "_b_data"] = "m_b_data";
+        d.outputs[mp + "_b_valid"] = "m_b_valid";
+        d.outputs[mp + "_ar_ack"] = "m_ar_ack";
+        d.outputs[mp + "_r_data"] = "m_r_data";
+        d.outputs[mp + "_r_valid"] = "m_r_valid";
+        for (int j = 0; j < n_slaves; j++) {
+            std::string sp = strfmt("s%d", j);
+            std::string x = strfmt("x%d_m%d", j, i);
+            std::string di = strfmt("d%d_s%d", i, j);
+            d.inputs[sp + "_aw_ack"] = ref(x + "_aw_ack", 1);
+            d.inputs[sp + "_w_ack"] = ref(x + "_w_ack", 1);
+            d.inputs[sp + "_b_data"] = ref(x + "_b_data", 2);
+            d.inputs[sp + "_b_valid"] = ref(x + "_b_valid", 1);
+            d.inputs[sp + "_ar_ack"] = ref(x + "_ar_ack", 1);
+            d.inputs[sp + "_r_data"] = ref(x + "_r_data", 33);
+            d.inputs[sp + "_r_valid"] = ref(x + "_r_valid", 1);
+            d.outputs[di + "_aw_data"] = sp + "_aw_data";
+            d.outputs[di + "_aw_valid"] = sp + "_aw_valid";
+            d.outputs[di + "_w_data"] = sp + "_w_data";
+            d.outputs[di + "_w_valid"] = sp + "_w_valid";
+            d.outputs[di + "_b_ack"] = sp + "_b_ack";
+            d.outputs[di + "_ar_data"] = sp + "_ar_data";
+            d.outputs[di + "_ar_valid"] = sp + "_ar_valid";
+            d.outputs[di + "_r_ack"] = sp + "_r_ack";
+        }
+        m->instances.push_back(std::move(d));
+    }
+
+    for (int j = 0; j < n_slaves; j++) {
+        std::string sp = strfmt("s%d", j);
+        Instance x;
+        x.name = strfmt("x%d", j);
+        x.module = muxm;
+        x.inputs["s_aw_ack"] = ref(sp + "_aw_ack", 1);
+        x.inputs["s_w_ack"] = ref(sp + "_w_ack", 1);
+        x.inputs["s_b_data"] = ref(sp + "_b_data", 2);
+        x.inputs["s_b_valid"] = ref(sp + "_b_valid", 1);
+        x.inputs["s_ar_ack"] = ref(sp + "_ar_ack", 1);
+        x.inputs["s_r_data"] = ref(sp + "_r_data", 33);
+        x.inputs["s_r_valid"] = ref(sp + "_r_valid", 1);
+        x.outputs[sp + "_aw_data"] = "s_aw_data";
+        x.outputs[sp + "_aw_valid"] = "s_aw_valid";
+        x.outputs[sp + "_w_data"] = "s_w_data";
+        x.outputs[sp + "_w_valid"] = "s_w_valid";
+        x.outputs[sp + "_b_ack"] = "s_b_ack";
+        x.outputs[sp + "_ar_data"] = "s_ar_data";
+        x.outputs[sp + "_ar_valid"] = "s_ar_valid";
+        x.outputs[sp + "_r_ack"] = "s_r_ack";
+        for (int i = 0; i < n_masters; i++) {
+            std::string mp = strfmt("m%d", i);
+            std::string di = strfmt("d%d_s%d", i, j);
+            std::string xm = strfmt("x%d_m%d", j, i);
+            x.inputs[mp + "_aw_data"] = ref(di + "_aw_data", 32);
+            x.inputs[mp + "_aw_valid"] = ref(di + "_aw_valid", 1);
+            x.inputs[mp + "_w_data"] = ref(di + "_w_data", 32);
+            x.inputs[mp + "_w_valid"] = ref(di + "_w_valid", 1);
+            x.inputs[mp + "_b_ack"] = ref(di + "_b_ack", 1);
+            x.inputs[mp + "_ar_data"] = ref(di + "_ar_data", 32);
+            x.inputs[mp + "_ar_valid"] = ref(di + "_ar_valid", 1);
+            x.inputs[mp + "_r_ack"] = ref(di + "_r_ack", 1);
+            x.outputs[xm + "_aw_ack"] = mp + "_aw_ack";
+            x.outputs[xm + "_w_ack"] = mp + "_w_ack";
+            x.outputs[xm + "_b_data"] = mp + "_b_data";
+            x.outputs[xm + "_b_valid"] = mp + "_b_valid";
+            x.outputs[xm + "_ar_ack"] = mp + "_ar_ack";
+            x.outputs[xm + "_r_data"] = mp + "_r_data";
+            x.outputs[xm + "_r_valid"] = mp + "_r_valid";
+        }
+        m->instances.push_back(std::move(x));
+    }
+    return m;
+}
+
+rtl::ModulePtr
 buildAxiMuxBaseline(int n)
 {
     auto m = std::make_shared<Module>();

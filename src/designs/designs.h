@@ -40,6 +40,18 @@ rtl::ModulePtr buildStreamFifoBaseline();
 /** 8-entry fully-associative TLB with pseudo-random replacement. */
 rtl::ModulePtr buildTlbBaseline();
 
+/**
+ * K-way set-associative TLB (`ways` x `sets` entries, same port
+ * contract as buildTlbBaseline; both `ways` and `sets` must be
+ * powers of two).
+ * Lookup indexes one set by the VPN's low bits and compares its ways
+ * in parallel; replacement is a per-set round-robin victim counter.
+ * At the default 4x64 geometry the flattened design carries ~16k
+ * state bits, but a lookup only perturbs one set's comparators —
+ * the low-activity profile the event-driven sweep exploits.
+ */
+rtl::ModulePtr buildSetAssocTlbBaseline(int ways = 4, int sets = 64);
+
 /** Sv39-style three-level page table walker. */
 rtl::ModulePtr buildPtwBaseline();
 
@@ -55,6 +67,19 @@ rtl::ModulePtr buildAxiDemuxBaseline(int n_slaves = 8);
 
 /** N masters -> 1 slave mux with fair (round-robin) arbitration. */
 rtl::ModulePtr buildAxiMuxBaseline(int n_masters = 8);
+
+/**
+ * N-master/M-slave AXI-Lite crossbar composed from the demux and mux
+ * baselines: one address-decoded demux per master, one round-robin
+ * mux per slave, fully wired through the instance graph.  Masters
+ * face ports `m<i>_*`, slaves `s<j>_*` (the mux slave-side channel
+ * set).  `n_masters` must be a power of two and both dimensions at
+ * most 8 (the 3-bit select/grant fields of the underlying routers).
+ * This is the large low-activity simulation workload: a couple of
+ * in-flight transactions touch only their own routers' cones.
+ */
+rtl::ModulePtr buildAxiXbarBaseline(int n_masters = 4,
+                                    int n_slaves = 4);
 
 // --- Filament-style pipelined designs ------------------------------------
 

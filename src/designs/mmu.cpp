@@ -11,6 +11,11 @@
 
 #include "designs/designs.h"
 
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/strings.h"
+
 namespace anvil {
 namespace designs {
 
@@ -19,6 +24,18 @@ using namespace rtl;
 namespace {
 
 constexpr int kTlbEntries = 8;
+
+int
+log2Exact(int v, const char *what)
+{
+    int bits = 0;
+    while ((1 << bits) < v)
+        bits++;
+    if ((1 << bits) != v || v < 1)
+        throw std::invalid_argument(std::string(what) +
+                                    " must be a power of two");
+    return bits;
+}
 
 } // namespace
 
@@ -77,6 +94,70 @@ buildTlbBaseline()
                   slice(upd_data, 0, 32));
     }
     m->update("vict", upd_valid, vict + cst(3, 1));
+    return m;
+}
+
+rtl::ModulePtr
+buildSetAssocTlbBaseline(int ways, int sets)
+{
+    int idxbits = log2Exact(sets, "sets");
+    int waybits = std::max(log2Exact(ways, "ways"), 1);
+
+    auto m = std::make_shared<Module>();
+    m->name = strfmt("tlb_%dw%ds_baseline", ways, sets);
+
+    auto req_data = m->input("io_req_data", 32);   // vpn
+    auto req_valid = m->input("io_req_valid", 1);
+    m->output("io_req_ack", 1);
+    m->output("io_res_data", 64);                  // {hit, ppn}
+    m->output("io_res_valid", 1);
+    auto res_ack = m->input("io_res_ack", 1);
+    auto upd_data = m->input("io_upd_data", 64);   // {vpn, ppn}
+    auto upd_valid = m->input("io_upd_valid", 1);
+    m->output("io_upd_ack", 1);
+
+    auto idx = m->wire("set_idx", slice(req_data, 0, idxbits));
+    auto uvpn = m->wire("upd_vpn", slice(upd_data, 32, 32));
+    auto uppn = m->wire("upd_ppn", slice(upd_data, 0, 32));
+    auto uidx = m->wire("upd_idx", slice(uvpn, 0, idxbits));
+
+    ExprPtr hit = cst(1, 0);
+    ExprPtr out_ppn = cst(32, 0);
+    for (int s = 0; s < sets; s++) {
+        // One lookup touches one set: the set-select gate keeps the
+        // hit cone of an idle or differently-indexed request dark.
+        auto ssel = m->wire(strfmt("ssel%d", s),
+                            eq(idx, cst(idxbits, s)));
+        auto usel = m->wire(strfmt("usel%d", s),
+                            upd_valid & eq(uidx, cst(idxbits, s)));
+        auto vict = m->reg(strfmt("vict%d", s), waybits);
+        // Wrap modulo `ways` explicitly: for ways == 1 the 1-bit
+        // counter would otherwise visit 1, where no way exists.
+        m->update(strfmt("vict%d", s), usel,
+                  (vict + cst(waybits, 1)) &
+                      cst(waybits, static_cast<uint64_t>(ways - 1)));
+        for (int w = 0; w < ways; w++) {
+            std::string e = strfmt("%d_%d", s, w);
+            auto valid = m->reg("valid" + e, 1);
+            auto vpn = m->reg("vpn" + e, 32);
+            auto ppn = m->reg("ppn" + e, 32);
+            auto h = m->wire("hit" + e,
+                             ssel & valid & eq(vpn, req_data));
+            hit = hit | h;
+            out_ppn = out_ppn | mux(h, ppn, cst(32, 0));
+            auto wsel = usel & eq(vict, cst(waybits, w));
+            m->update("valid" + e, wsel, cst(1, 1));
+            m->update("vpn" + e, wsel, uvpn);
+            m->update("ppn" + e, wsel, uppn);
+        }
+    }
+    auto hit_w = m->wire("hit_any", hit);
+    auto ppn_w = m->wire("ppn_out", out_ppn);
+
+    m->wire("io_res_valid", req_valid);
+    m->wire("io_res_data", concat({cst(31, 0), hit_w, ppn_w}));
+    m->wire("io_req_ack", res_ack);
+    m->wire("io_upd_ack", cst(1, 1));
     return m;
 }
 

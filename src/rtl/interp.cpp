@@ -1,9 +1,120 @@
 #include "rtl/interp.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace anvil {
 namespace rtl {
+
+const char *
+sweepModeName(SweepMode mode)
+{
+    switch (mode) {
+      case SweepMode::Full: return "full";
+      case SweepMode::Dirty: return "dirty";
+      case SweepMode::Threaded: return "threaded";
+    }
+    return "?";
+}
+
+/**
+ * Fork/join worker pool for sharding one level's dirty worklist.
+ * run() splits [0, total) into one contiguous chunk per thread; the
+ * calling thread takes the first chunk and then blocks until every
+ * helper has finished, so all writes made inside `fn` are ordered
+ * before anything the caller does next (mutex handshake — no atomics
+ * on simulation values).
+ */
+class SweepPool
+{
+  public:
+    explicit SweepPool(int threads) : _threads(std::max(threads, 1))
+    {
+        for (int i = 1; i < _threads; i++)
+            _workers.emplace_back([this, i] { workerLoop(i); });
+    }
+
+    ~SweepPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(_m);
+            _stop = true;
+        }
+        _cv_start.notify_all();
+        for (auto &t : _workers)
+            t.join();
+    }
+
+    int threads() const { return _threads; }
+
+    void run(const std::function<void(size_t, size_t)> &fn,
+             size_t total)
+    {
+        if (total == 0)
+            return;
+        if (_threads == 1) {
+            fn(0, total);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lk(_m);
+            _fn = &fn;
+            _total = total;
+            _pending = static_cast<int>(_workers.size());
+            _epoch++;
+        }
+        _cv_start.notify_all();
+        size_t end0 = total / static_cast<size_t>(_threads);
+        if (end0 > 0)
+            fn(0, end0);
+        std::unique_lock<std::mutex> lk(_m);
+        _cv_done.wait(lk, [this] { return _pending == 0; });
+        _fn = nullptr;
+    }
+
+  private:
+    void workerLoop(int index)
+    {
+        uint64_t seen = 0;
+        for (;;) {
+            const std::function<void(size_t, size_t)> *fn;
+            size_t b, e;
+            {
+                std::unique_lock<std::mutex> lk(_m);
+                _cv_start.wait(
+                    lk, [&] { return _stop || _epoch != seen; });
+                if (_stop)
+                    return;
+                seen = _epoch;
+                fn = _fn;
+                size_t t = static_cast<size_t>(_threads);
+                b = _total * static_cast<size_t>(index) / t;
+                e = _total * static_cast<size_t>(index + 1) / t;
+            }
+            if (b < e)
+                (*fn)(b, e);
+            {
+                std::lock_guard<std::mutex> lk(_m);
+                --_pending;
+            }
+            _cv_done.notify_one();
+        }
+    }
+
+    int _threads;
+    std::vector<std::thread> _workers;
+    std::mutex _m;
+    std::condition_variable _cv_start, _cv_done;
+    const std::function<void(size_t, size_t)> *_fn = nullptr;
+    size_t _total = 0;
+    int _pending = 0;
+    uint64_t _epoch = 0;
+    bool _stop = false;
+};
 
 BitVec
 applyUnop(Op op, const BitVec &a)
@@ -67,8 +178,46 @@ Sim::Sim(std::shared_ptr<const Module> top)
     for (NetId r : _nl.regs())
         _reg_next.push_back(_val[static_cast<size_t>(r)]);
     _wire_last.reserve(_nl.wireNets().size());
-    for (NetId w : _nl.wireNets())
+    _wire_slot.assign(_val.size(), -1);
+    for (size_t i = 0; i < _nl.wireNets().size(); i++) {
+        NetId w = _nl.wireNets()[i];
         _wire_last.emplace_back(_nl.net(w).width);
+        _wire_slot[static_cast<size_t>(w)] =
+            static_cast<int32_t>(i);
+    }
+    _buckets.resize(_nl.levelCount());
+    _dirty_mark.assign(_val.size(), 0);
+    _change_mark.assign(_val.size(), 0);
+    _level_of.reserve(_val.size());
+    for (const Net &n : _nl.nets())
+        _level_of.push_back(n.level);
+    _stats.strict_nodes = _nl.order().size();
+    _stats.mode = _mode;
+}
+
+Sim::~Sim() = default;
+
+void
+Sim::setSweepMode(SweepMode mode, int threads, size_t shard_min)
+{
+    _mode = mode;
+    _shard_min = std::max<size_t>(shard_min, 1);
+    if (mode == SweepMode::Threaded) {
+        unsigned hw = std::thread::hardware_concurrency();
+        int want = threads > 0
+            ? threads
+            : static_cast<int>(std::max(2u, std::min(4u, hw)));
+        if (!_pool || _pool->threads() != want)
+            _pool = std::make_unique<SweepPool>(want);
+    } else {
+        _pool.reset();
+    }
+    _stats.mode = _mode;
+    _stats.threads = _pool ? _pool->threads() : 1;
+    // Re-sweep the whole table once so the new mode starts from a
+    // fully consistent frame regardless of pending dirty state.
+    _need_full = true;
+    _dirty = true;
 }
 
 const NetSignal *
@@ -79,12 +228,56 @@ Sim::findSignal(const std::string &flat) const
 }
 
 void
+Sim::recordChange(NetId id)
+{
+    size_t i = static_cast<size_t>(id);
+    if (_change_mark[i] == _frame_id)
+        return;
+    _change_mark[i] = _frame_id;
+    _frame_changed.push_back(id);
+}
+
+void
+Sim::seedSource(NetId id)
+{
+    _seeds.push_back(id);
+    _poke_tick++;
+}
+
+/** Mark the strict consumers of a changed net for re-evaluation. */
+void
+Sim::pushConsumers(NetId id)
+{
+    const auto &fb = _nl.fanoutBegin();
+    // Nets appended after construction (evalTop) are lazy and have
+    // no CSR entry.
+    if (static_cast<size_t>(id) + 1 >= fb.size())
+        return;
+    const auto &fo = _nl.fanout();
+    for (int32_t k = fb[static_cast<size_t>(id)];
+         k < fb[static_cast<size_t>(id) + 1]; k++) {
+        NetId c = fo[static_cast<size_t>(k)];
+        size_t ci = static_cast<size_t>(c);
+        if (_dirty_mark[ci] == _sweep_id)
+            continue;
+        _dirty_mark[ci] = _sweep_id;
+        _buckets[static_cast<size_t>(_level_of[ci])].push_back(c);
+    }
+}
+
+void
 Sim::setInput(const std::string &name, const BitVec &v)
 {
     const NetSignal *sig = findSignal(name);
     if (!sig || sig->kind != NetSignal::Kind::Input)
         throw std::invalid_argument("no such input: " + name);
-    _val[static_cast<size_t>(sig->net)] = v.resize(sig->width);
+    size_t i = static_cast<size_t>(sig->net);
+    BitVec nv = v.resize(sig->width);
+    if (nv == _val[i])
+        return;
+    _val[i] = std::move(nv);
+    recordChange(sig->net);
+    seedSource(sig->net);
     _dirty = true;
 }
 
@@ -94,12 +287,25 @@ Sim::setInput(const std::string &name, uint64_t v)
     const NetSignal *sig = findSignal(name);
     if (!sig || sig->kind != NetSignal::Kind::Input)
         throw std::invalid_argument("no such input: " + name);
-    _val[static_cast<size_t>(sig->net)] = BitVec(sig->width, v);
+    size_t i = static_cast<size_t>(sig->net);
+    BitVec nv(sig->width, v);
+    if (nv == _val[i])
+        return;
+    _val[i] = std::move(nv);
+    recordChange(sig->net);
+    seedSource(sig->net);
     _dirty = true;
 }
 
-/** Compute one strict node from its already-computed operands. */
-void
+/**
+ * Compute one strict node from its already-computed operands.
+ * Returns whether the node's value actually changed — the signal the
+ * dirty sweep uses to cut propagation and the changed-net list uses
+ * to feed observers.  Called concurrently on distinct nodes by the
+ * threaded sweep: only _val[id] is written, operands are at lower
+ * levels and therefore stable.
+ */
+bool
 Sim::computeNet(NetId id)
 {
     const Net &n = _nl.net(id);
@@ -109,6 +315,7 @@ Sim::computeNet(NetId id)
         // u64 lane: every involved value fits one word.  Operand
         // values are normalized, so toUint64() is the whole value;
         // setUint64() re-applies this node's width mask.
+        uint64_t old = out.toUint64();
         uint64_t r = 0;
         switch (n.kind) {
           case Net::Kind::Copy:
@@ -196,28 +403,29 @@ Sim::computeNet(NetId id)
             break;   // sources are never in the sweep order
         }
         out.setUint64(r);
-        return;
+        return (r & n.mask) != old;
     }
 
+    BitVec nv(n.width);
     switch (n.kind) {
       case Net::Kind::Copy:
-        out = _val[static_cast<size_t>(n.a)].resize(n.width);
+        nv = _val[static_cast<size_t>(n.a)].resize(n.width);
         break;
       case Net::Kind::Unop:
-        out = applyUnop(n.op, _val[static_cast<size_t>(n.a)]);
+        nv = applyUnop(n.op, _val[static_cast<size_t>(n.a)]);
         break;
       case Net::Kind::Binop:
-        out = applyBinop(n.op, _val[static_cast<size_t>(n.a)],
-                         _val[static_cast<size_t>(n.b)], n.width);
+        nv = applyBinop(n.op, _val[static_cast<size_t>(n.a)],
+                        _val[static_cast<size_t>(n.b)], n.width);
         break;
       case Net::Kind::Mux:
-        out = (_val[static_cast<size_t>(n.a)].any()
-                   ? _val[static_cast<size_t>(n.b)]
-                   : _val[static_cast<size_t>(n.c)])
-                  .resize(n.width);
+        nv = (_val[static_cast<size_t>(n.a)].any()
+                  ? _val[static_cast<size_t>(n.b)]
+                  : _val[static_cast<size_t>(n.c)])
+                 .resize(n.width);
         break;
       case Net::Kind::Slice:
-        out = _val[static_cast<size_t>(n.a)].slice(n.lo, n.width);
+        nv = _val[static_cast<size_t>(n.a)].slice(n.lo, n.width);
         break;
       case Net::Kind::Concat: {
         BitVec acc(0);
@@ -231,12 +439,12 @@ Sim::computeNet(NetId id)
                 acc = acc.concatHigh(part);
             }
         }
-        out = acc.resize(n.width);
+        nv = acc.resize(n.width);
         break;
       }
       case Net::Kind::Rom: {
         uint64_t addr = _val[static_cast<size_t>(n.a)].toUint64();
-        out = addr >= n.rom->size()
+        nv = addr >= n.rom->size()
             ? BitVec(n.width)
             : (*n.rom)[addr].resize(n.width);
         break;
@@ -247,6 +455,10 @@ Sim::computeNet(NetId id)
       default:
         break;
     }
+    if (nv == out)
+        return false;
+    out = std::move(nv);
+    return true;
 }
 
 /**
@@ -289,10 +501,18 @@ Sim::evalLazy(NetId id)
     if (n.kind == Net::Kind::Mux) {
         bool taken = evalLazy(n.a).any();
         const BitVec &src = evalLazy(taken ? n.b : n.c);
-        if (n.fast)
+        if (n.fast) {
+            uint64_t old = _val[i].toUint64();
             _val[i].setUint64(src.toUint64());
-        else
-            _val[i] = src.resize(n.width);
+            if (_val[i].toUint64() != old)
+                recordChange(id);
+        } else {
+            BitVec nv = src.resize(n.width);
+            if (nv != _val[i]) {
+                _val[i] = std::move(nv);
+                recordChange(id);
+            }
+        }
     } else {
         if (n.a != kNoNet)
             evalLazy(n.a);
@@ -302,7 +522,8 @@ Sim::evalLazy(NetId id)
             evalLazy(n.c);
         for (NetId arg : n.cargs)
             evalLazy(arg);
-        computeNet(id);
+        if (computeNet(id))
+            recordChange(id);
     }
 
     if (guard)
@@ -311,10 +532,73 @@ Sim::evalLazy(NetId id)
     return _val[i];
 }
 
+/** Dense fallback: recompute every strict node in levelized order. */
+void
+Sim::sweepFull()
+{
+    const auto &order = _nl.order();
+    for (NetId id : order)
+        if (computeNet(id))
+            recordChange(id);
+    _frame_evals += order.size();
+    _seeds.clear();
+    _need_full = false;
+}
+
 /**
- * Recompute all strict combinational values if anything changed.
- * Strict nodes are acyclic and fully resolved, so this never faults;
- * lazy nodes are evaluated on demand (peek/evalTop touch only the
+ * Event-driven sweep: seed the per-level worklists with the strict
+ * consumers of every source that changed since the last sweep, then
+ * walk levels bottom-up re-evaluating only marked nodes.  A node
+ * whose value is unchanged does not propagate, so the cost is the
+ * size of the *changing* cone, not the design.  Wide levels are
+ * sharded across the worker pool in Threaded mode; bookkeeping
+ * (change records, consumer pushes) is joined back on this thread in
+ * worklist order, so results and observer feeds are deterministic.
+ */
+void
+Sim::sweepDirty()
+{
+    _sweep_id++;
+    for (NetId s : _seeds)
+        pushConsumers(s);
+    _seeds.clear();
+
+    for (size_t l = 0; l < _buckets.size(); l++) {
+        auto &bucket = _buckets[l];
+        if (bucket.empty())
+            continue;
+        if (_pool && bucket.size() >= _shard_min) {
+            _shard_changed.assign(bucket.size(), 0);
+            _pool->run(
+                [this, &bucket](size_t b, size_t e) {
+                    for (size_t k = b; k < e; k++)
+                        _shard_changed[k] =
+                            computeNet(bucket[k]) ? 1 : 0;
+                },
+                bucket.size());
+            _stats.sharded_levels++;
+            _frame_evals += bucket.size();
+            for (size_t k = 0; k < bucket.size(); k++)
+                if (_shard_changed[k]) {
+                    recordChange(bucket[k]);
+                    pushConsumers(bucket[k]);
+                }
+        } else {
+            _frame_evals += bucket.size();
+            for (NetId id : bucket)
+                if (computeNet(id)) {
+                    recordChange(id);
+                    pushConsumers(id);
+                }
+        }
+        bucket.clear();
+    }
+}
+
+/**
+ * Recompute strict combinational values if anything changed.  Strict
+ * nodes are acyclic and fully resolved, so this never faults; lazy
+ * nodes are evaluated on demand (peek/evalTop touch only the
  * requested cone, matching the reference interpreter's fault
  * behaviour) or in bulk by step().
  */
@@ -324,12 +608,50 @@ Sim::sweep()
     if (!_dirty)
         return;
     _gen++;
-    const auto &order = _nl.order();
-    const auto &lb = _nl.levelBegin();
-    for (size_t l = 0; l + 1 < lb.size(); l++)
-        for (int32_t k = lb[l]; k < lb[l + 1]; k++)
-            computeNet(order[static_cast<size_t>(k)]);
+    if (_mode == SweepMode::Full || _need_full)
+        sweepFull();
+    else if (_mode == SweepMode::Dirty && _prefer_dense)
+        // Adaptive fallback: on frames where most of the design is
+        // switching anyway (see rollFrame), worklist bookkeeping
+        // costs more than it saves — run the dense path, which
+        // produces the same values and the same changed-net feed.
+        sweepFull();
+    else
+        sweepDirty();
     _dirty = false;
+}
+
+const std::vector<NetId> &
+Sim::changedNets()
+{
+    sweep();
+    return _frame_changed;
+}
+
+/** Close the per-cycle activity window: stats, then a fresh frame. */
+void
+Sim::rollFrame()
+{
+    _stats.cycles++;
+    _stats.nodes_evaluated += _frame_evals;
+    _stats.peak_nodes = std::max(_stats.peak_nodes, _frame_evals);
+    uint64_t changed = _frame_changed.size();
+    _stats.nets_changed += changed;
+    _stats.peak_changed = std::max(_stats.peak_changed, changed);
+    // Hysteresis for the adaptive dense fallback: enter when more
+    // than half the strict table changed this frame, leave once the
+    // fraction drops below 40%.
+    uint64_t strict = _stats.strict_nodes;
+    if (strict > 0) {
+        if (changed * 2 > strict)
+            _prefer_dense = true;
+        else if (changed * 5 < strict * 2)
+            _prefer_dense = false;
+    }
+    _frame_evals = 0;
+    _frame_changed.clear();
+    _frame_id++;
+    _poke_at_roll = _poke_tick;
 }
 
 BitVec
@@ -356,17 +678,25 @@ Sim::step(int n)
         for (NetId id : _nl.lazyRoots())
             evalLazy(id);
 
-        // Toggle accounting against the previous cycle's values.
+        // Toggle accounting against the previous cycle's values,
+        // driven by the changed-net list: a wire absent from the
+        // list is unchanged and contributes no toggles.
         if (_toggles_primed) {
-            for (size_t i = 0; i < wires.size(); i++)
+            for (NetId id : _frame_changed) {
+                int32_t slot = _wire_slot[static_cast<size_t>(id)];
+                if (slot < 0)
+                    continue;
+                size_t s = static_cast<size_t>(slot);
                 _total_toggles +=
-                    (_val[static_cast<size_t>(wires[i])] ^
-                     _wire_last[i])
+                    (_val[static_cast<size_t>(id)] ^ _wire_last[s])
                         .popcount();
+                _wire_last[s] = _val[static_cast<size_t>(id)];
+            }
+        } else {
+            for (size_t i = 0; i < wires.size(); i++)
+                _wire_last[i] = _val[static_cast<size_t>(wires[i])];
+            _toggles_primed = true;
         }
-        for (size_t i = 0; i < wires.size(); i++)
-            _wire_last[i] = _val[static_cast<size_t>(wires[i])];
-        _toggles_primed = true;
 
         // Compute next-state for all registers.
         for (size_t i = 0; i < regs.size(); i++)
@@ -392,11 +722,22 @@ Sim::step(int n)
             }
         }
 
-        // Clock edge: commit and count register toggles.
+        // The pre-edge frame is complete: fold it into the activity
+        // stats and start the next one, so the commits below seed
+        // the new frame's changed list.
+        rollFrame();
+
+        // Clock edge: commit, count register toggles, and seed the
+        // next sweep with the registers that actually changed.
         for (size_t i = 0; i < regs.size(); i++) {
             BitVec &cur = _val[static_cast<size_t>(regs[i])];
-            _total_toggles += (_reg_next[i] ^ cur).popcount();
+            int flips = (_reg_next[i] ^ cur).popcount();
+            if (flips == 0)
+                continue;
+            _total_toggles += static_cast<uint64_t>(flips);
             cur = _reg_next[i];
+            recordChange(regs[i]);
+            seedSource(regs[i]);
         }
         _cycle++;
         _dirty = true;
@@ -437,7 +778,13 @@ Sim::setRegValue(const std::string &flat_name, const BitVec &v)
     const NetSignal *sig = findSignal(flat_name);
     if (!sig || sig->kind != NetSignal::Kind::Reg)
         throw std::invalid_argument("no such register: " + flat_name);
-    _val[static_cast<size_t>(sig->net)] = v.resize(sig->width);
+    size_t i = static_cast<size_t>(sig->net);
+    BitVec nv = v.resize(sig->width);
+    if (nv == _val[i])
+        return;
+    _val[i] = std::move(nv);
+    recordChange(sig->net);
+    seedSource(sig->net);
     _dirty = true;
 }
 
@@ -457,10 +804,16 @@ Sim::restoreRegs(const std::vector<BitVec> &vals)
     const auto &regs = _nl.regs();
     if (vals.size() != regs.size())
         throw std::invalid_argument("register snapshot size mismatch");
-    for (size_t i = 0; i < regs.size(); i++)
-        _val[static_cast<size_t>(regs[i])] =
-            vals[i].resize(_nl.net(regs[i]).width);
-    _dirty = true;
+    for (size_t i = 0; i < regs.size(); i++) {
+        size_t ri = static_cast<size_t>(regs[i]);
+        BitVec nv = vals[i].resize(_nl.net(regs[i]).width);
+        if (nv == _val[ri])
+            continue;
+        _val[ri] = std::move(nv);
+        recordChange(regs[i]);
+        seedSource(regs[i]);
+        _dirty = true;
+    }
 }
 
 const BitVec &
@@ -482,6 +835,19 @@ Sim::inputNames() const
     return out;
 }
 
+void
+Sim::growRuntimeArrays(size_t n)
+{
+    const auto &init = _nl.initValues();
+    for (size_t i = _val.size(); i < n; i++)
+        _val.push_back(init[i]);
+    _lazy_gen.resize(n, 0);
+    _visiting.resize(n, 0);
+    _dirty_mark.resize(n, 0);
+    _change_mark.resize(n, 0);
+    _wire_slot.resize(n, -1);
+}
+
 BitVec
 Sim::evalTop(const ExprPtr &e)
 {
@@ -492,11 +858,7 @@ Sim::evalTop(const ExprPtr &e)
     } else {
         id = _nl.compile(e, "");
         // Appended nodes are lazy; grow the runtime arrays.
-        const auto &init = _nl.initValues();
-        for (size_t i = _val.size(); i < init.size(); i++)
-            _val.push_back(init[i]);
-        _lazy_gen.resize(init.size(), 0);
-        _visiting.resize(init.size(), 0);
+        growRuntimeArrays(_nl.initValues().size());
         _top_cache.emplace(e.get(), id);
         _top_exprs.push_back(e);
     }

@@ -7,12 +7,30 @@
  * construction: signal names are interned to dense integer ids,
  * expression DAGs become compact ID-resolved nodes, and combinational
  * logic is levelized.  Each cycle has two phases, mirroring
- * synchronous RTL semantics: a dense per-level sweep computes every
- * combinational node (wires are pure functions of registers and
- * top-level inputs), then the clock edge commits all enabled register
- * updates simultaneously.  No name resolution, map lookups, or
- * per-node memoization bookkeeping happen on the hot path; values of
- * 64 bits or fewer are computed in a plain-uint64 fast lane.
+ * synchronous RTL semantics: a levelized sweep computes combinational
+ * nodes (wires are pure functions of registers and top-level inputs),
+ * then the clock edge commits all enabled register updates
+ * simultaneously.  No name resolution, map lookups, or per-node
+ * memoization bookkeeping happen on the hot path; values of 64 bits
+ * or fewer are computed in a plain-uint64 fast lane.
+ *
+ * The sweep is event-driven by default (SweepMode::Dirty): each cycle
+ * seeds a per-level worklist with the inputs and registers whose
+ * value actually changed, and only the transitive fan-out cone of
+ * those sources is re-evaluated, in the same levelized order as the
+ * dense sweep — a node whose recomputed value is unchanged cuts
+ * propagation to its consumers.  Cost is therefore proportional to
+ * switching activity, not design size.  SweepMode::Full preserves the
+ * dense whole-table sweep as a fallback; SweepMode::Threaded shards
+ * levels whose dirty population is wide enough across a small worker
+ * pool (nodes within a level are independent by construction, and
+ * changed-value bookkeeping is joined deterministically on the main
+ * thread, so all three modes are bit-identical).
+ *
+ * The per-cycle list of changed nets is exposed (changedNets), so
+ * observers — VCD tracing, coverage toggle sampling, contract
+ * monitors — consume change events instead of rescanning the whole
+ * net table every cycle.
  *
  * The simulator also counts per-signal bit toggles, which the
  * synthesis cost model uses as switching activity for dynamic power.
@@ -26,6 +44,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +53,50 @@
 
 namespace anvil {
 namespace rtl {
+
+class SweepPool;
+
+/** Strategy used to recompute combinational values each cycle. */
+enum class SweepMode : uint8_t
+{
+    Full,      // dense sweep over every strict node (PR 1 behaviour)
+    Dirty,     // event-driven: only the changed fan-out cone
+    Threaded,  // dirty + wide levels sharded across a worker pool
+};
+
+/** Human-readable mode name ("full", "dirty", "threaded"). */
+const char *sweepModeName(SweepMode mode);
+
+/**
+ * Activity counters for the sweep, accumulated per committed cycle.
+ * The activity factor (nodes_evaluated / (cycles * strict_nodes)) is
+ * the fraction of the design the dirty sweep actually touches.
+ */
+struct SweepStats
+{
+    SweepMode mode = SweepMode::Dirty;
+    int threads = 1;
+    size_t strict_nodes = 0;      // strict comb nodes in the design
+    uint64_t cycles = 0;          // committed cycles observed
+    uint64_t nodes_evaluated = 0; // strict node evaluations, total
+    uint64_t peak_nodes = 0;      // most evaluations in one cycle
+    uint64_t nets_changed = 0;    // changed-net records, total
+    uint64_t peak_changed = 0;    // most changed nets in one cycle
+    uint64_t sharded_levels = 0;  // level worklists run on the pool
+
+    double avgNodes() const
+    {
+        return cycles ? static_cast<double>(nodes_evaluated) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+    double avgChanged() const
+    {
+        return cycles ? static_cast<double>(nets_changed) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
 
 /**
  * Simulator for a flattened module hierarchy.
@@ -47,10 +110,57 @@ class Sim
 {
   public:
     explicit Sim(std::shared_ptr<const Module> top);
+    ~Sim();
+    Sim(Sim &&) = delete;
+    Sim &operator=(Sim &&) = delete;
 
     /** Drive a top-level input for the current cycle onwards. */
     void setInput(const std::string &name, const BitVec &v);
     void setInput(const std::string &name, uint64_t v);
+
+    /**
+     * Select the sweep strategy.  `threads` applies to
+     * SweepMode::Threaded (0 picks a small default from the hardware
+     * concurrency); `shard_min` is the dirty-population threshold at
+     * which a level is sharded across the pool.  Safe at any time;
+     * the next sweep re-evaluates the full table once so every mode
+     * starts from identical committed state.
+     */
+    void setSweepMode(SweepMode mode, int threads = 0,
+                      size_t shard_min = 256);
+    SweepMode sweepMode() const { return _mode; }
+
+    /** Activity counters (see SweepStats). */
+    const SweepStats &sweepStats() const { return _stats; }
+
+    /**
+     * Nets whose value may have changed since the previous clock
+     * edge, deduplicated (a superset: a net poked back to its old
+     * value stays listed).  Sweeps first.  Nets NOT listed are
+     * guaranteed unchanged since the last edge, so observers that
+     * sample once per cycle — before step(), like VcdWriter and
+     * Coverage — can visit only this list instead of every net.
+     * Lazy nodes appear only once evaluated; observers of lazy nets
+     * must read them directly every cycle (value() preserves the
+     * on-demand fault semantics).
+     */
+    const std::vector<NetId> &changedNets();
+
+    /**
+     * Monotonic count of source mutations (setInput, setRegValue,
+     * restoreRegs, clock-edge commits) ever recorded.  Strict-net
+     * values only move downstream of a source mutation, so an
+     * observer that captures this at its sample can verify at the
+     * next sample that nothing was poked between its sample and the
+     * clock edge (lastEdgePokeTick() equals the captured tick).  If
+     * the ticks differ, changes recorded after the sample were
+     * flushed with the edge and the per-cycle feed is incomplete for
+     * that observer — it must rescan.
+     */
+    uint64_t pokeTick() const { return _poke_tick; }
+
+    /** pokeTick() as of the most recent clock-edge frame roll. */
+    uint64_t lastEdgePokeTick() const { return _poke_at_roll; }
 
     /** Read any signal (port, wire, or register) by flat name. */
     BitVec peek(const std::string &name);
@@ -104,9 +214,16 @@ class Sim
 
   private:
     void sweep();
-    void computeNet(NetId id);
+    void sweepFull();
+    void sweepDirty();
+    bool computeNet(NetId id);
     const BitVec &evalLazy(NetId id);
     const NetSignal *findSignal(const std::string &flat) const;
+    void growRuntimeArrays(size_t n);
+    void recordChange(NetId id);
+    void seedSource(NetId id);
+    void pushConsumers(NetId id);
+    void rollFrame();
 
     std::shared_ptr<const Module> _top;
     Netlist _nl;
@@ -117,12 +234,68 @@ class Sim
     std::vector<uint8_t> _visiting;    // lazy-walk loop detection
     std::vector<ExprPtr> _top_exprs;   // keeps evalTop keys alive
     std::map<const Expr *, NetId> _top_cache;
+
+    // Event-driven sweep state.
+    SweepMode _mode = SweepMode::Dirty;
+    size_t _shard_min = 256;
+    std::unique_ptr<SweepPool> _pool;
+    bool _need_full = true;            // next sweep must be dense
+    bool _prefer_dense = false;        // activity too high to cut
+    std::vector<int32_t> _level_of;    // flat per-net level cache
+    std::vector<NetId> _seeds;         // changed sources, un-swept
+    std::vector<std::vector<NetId>> _buckets;   // per-level worklist
+    std::vector<uint64_t> _dirty_mark; // per-net, keyed by _sweep_id
+    uint64_t _sweep_id = 0;
+    std::vector<NetId> _frame_changed; // changed since last edge
+    std::vector<uint64_t> _change_mark;// per-net, keyed by _frame_id
+    uint64_t _frame_id = 1;
+    uint64_t _poke_tick = 0;           // source mutations, ever
+    uint64_t _poke_at_roll = 0;        // _poke_tick at last edge
+    std::vector<uint8_t> _shard_changed;        // pool join scratch
+    std::vector<int32_t> _wire_slot;   // net -> wireNets index or -1
+    uint64_t _frame_evals = 0;
+    SweepStats _stats;
+
     bool _dirty = true;
     bool _toggles_primed = false;
     uint64_t _gen = 0;
     uint64_t _cycle = 0;
     uint64_t _total_toggles = 0;
     std::vector<std::string> _log;
+};
+
+/**
+ * Freshness cursor for consumers of Sim::changedNets().
+ *
+ * The per-cycle feed only covers an observer's window when (a) the
+ * observer sampled the immediately preceding cycle and (b) no source
+ * was poked between that sample and its clock edge (a late poke's
+ * change records are flushed with the edge and never re-listed).
+ * This cursor owns that invariant so every observer checks it the
+ * same way: call fresh() before taking the fast path, sync() at the
+ * end of every sample (after all reads — reads of lazy cones are
+ * fine, they never poke).
+ */
+class ChangeFeedCursor
+{
+  public:
+    bool fresh(const Sim &sim) const
+    {
+        return _synced && sim.cycle() == _cycle + 1 &&
+            sim.lastEdgePokeTick() == _tick;
+    }
+
+    void sync(const Sim &sim)
+    {
+        _synced = true;
+        _cycle = sim.cycle();
+        _tick = sim.pokeTick();
+    }
+
+  private:
+    bool _synced = false;
+    uint64_t _cycle = 0;
+    uint64_t _tick = 0;
 };
 
 /** Apply a binary operator to two values (shared with the BMC). */

@@ -409,6 +409,30 @@ Netlist::levelize()
     }
     for (size_t l = 1; l < _level_begin.size(); l++)
         _level_begin[l] += _level_begin[l - 1];
+
+    // Fan-out CSR over strict consumers only: the edge list the
+    // event-driven sweep follows when a net's value changes.  The
+    // `consumers` adjacency above includes lazy nodes; those are
+    // evaluated by the recursive walk, which never consults the
+    // dirty sets, so they are dropped here.
+    _fanout_begin.assign(count + 1, 0);
+    for (size_t i = 0; i < count; i++)
+        for (NetId ci : consumers[i]) {
+            const Net &cn = _nets[static_cast<size_t>(ci)];
+            if (!cn.lazy && isCompute(cn.kind))
+                _fanout_begin[i + 1]++;
+        }
+    for (size_t i = 1; i < _fanout_begin.size(); i++)
+        _fanout_begin[i] += _fanout_begin[i - 1];
+    _fanout.resize(static_cast<size_t>(_fanout_begin[count]));
+    std::vector<int32_t> cursor(_fanout_begin.begin(),
+                                _fanout_begin.end() - 1);
+    for (size_t i = 0; i < count; i++)
+        for (NetId ci : consumers[i]) {
+            const Net &cn = _nets[static_cast<size_t>(ci)];
+            if (!cn.lazy && isCompute(cn.kind))
+                _fanout[static_cast<size_t>(cursor[i]++)] = ci;
+        }
 }
 
 const std::string &

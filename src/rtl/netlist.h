@@ -129,6 +129,27 @@ class Netlist
         return _level_begin;
     }
 
+    /**
+     * Fan-out cone edges, CSR form: the strict combinational nodes
+     * that read net `id` directly are
+     * fanout()[fanoutBegin()[id] .. fanoutBegin()[id+1]).  Built once
+     * during levelization; the event-driven sweep walks these edges
+     * to re-evaluate only the cone downstream of a changed source.
+     * Lazy consumers are excluded (the recursive walk re-reads its
+     * whole cone every evaluation anyway).
+     */
+    const std::vector<int32_t> &fanoutBegin() const
+    {
+        return _fanout_begin;
+    }
+    const std::vector<NetId> &fanout() const { return _fanout; }
+
+    /** Number of distinct levels in the strict order. */
+    size_t levelCount() const
+    {
+        return _level_begin.empty() ? 0 : _level_begin.size() - 1;
+    }
+
     /** Lazy nodes the clock edge must evaluate every cycle. */
     const std::vector<NetId> &lazyRoots() const { return _lazy_roots; }
 
@@ -192,6 +213,8 @@ class Netlist
     std::vector<BitVec> _init;
     std::vector<NetId> _order;
     std::vector<int32_t> _level_begin;
+    std::vector<int32_t> _fanout_begin;
+    std::vector<NetId> _fanout;
     std::vector<NetId> _lazy_roots;
     std::map<std::string, NetSignal> _signals;
     std::map<std::string, std::string> _aliases;

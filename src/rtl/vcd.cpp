@@ -1,5 +1,6 @@
 #include "rtl/vcd.h"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
 
@@ -49,6 +50,7 @@ VcdWriter::VcdWriter(Sim &sim, std::ostream &os,
         for (const auto &[name, sig] : nl.signals())
             signals.push_back(name);
 
+    _net_slot.assign(nl.nets().size(), -1);
     for (const auto &name : signals) {
         std::string flat = nl.resolveName("", name);
         auto it = nl.signals().find(flat);
@@ -64,7 +66,14 @@ VcdWriter::VcdWriter(Sim &sim, std::ostream &os,
         t.net = it->second.net;
         t.width = it->second.width;
         t.is_reg = it->second.kind == NetSignal::Kind::Reg;
+        // One feed slot per net: a second trace of the same net (an
+        // alias next to its flat name) is re-read every sample.
+        t.fed = !nl.net(t.net).lazy &&
+            _net_slot[static_cast<size_t>(t.net)] < 0;
         t.last = BitVec(t.width);
+        if (t.fed)
+            _net_slot[static_cast<size_t>(t.net)] =
+                static_cast<int32_t>(_traced.size());
         _traced.push_back(std::move(t));
     }
     writeHeader();
@@ -125,6 +134,20 @@ VcdWriter::emitValue(const Traced &t, const BitVec &v)
 }
 
 void
+VcdWriter::sampleTraced(Traced &t, bool &stamped)
+{
+    const BitVec &v = _sim.value(t.net);
+    if (v == t.last)
+        return;
+    if (!stamped) {
+        _os << "#" << _sim.cycle() << "\n";
+        stamped = true;
+    }
+    emitValue(t, v);
+    t.last = v;
+}
+
+void
 VcdWriter::sample()
 {
     if (!_primed) {
@@ -136,23 +159,48 @@ VcdWriter::sample()
         }
         _os << "$end\n";
         _primed = true;
+        _cursor.sync(_sim);
         return;
     }
 
     // Only nets that changed since the previous sample are dumped;
-    // a cycle with no changes emits nothing at all.
+    // a cycle with no changes emits nothing at all.  When sampling
+    // every cycle (the documented usage) the simulator's changed-net
+    // list bounds the candidates, so the scan is proportional to
+    // activity; nets outside the feed (lazy cones, duplicate traces
+    // of one net) are re-read every sample.  The fast path also
+    // requires the feed to cover the window since the previous
+    // sample (ChangeFeedCursor) — a sample after skipped cycles or
+    // late pokes rescans every traced net instead.
     bool stamped = false;
-    for (auto &t : _traced) {
-        const BitVec &v = _sim.value(t.net);
-        if (v == t.last)
-            continue;
-        if (!stamped) {
-            _os << "#" << _sim.cycle() << "\n";
-            stamped = true;
+    if (_cursor.fresh(_sim)) {
+        _scratch.clear();
+        for (NetId id : _sim.changedNets()) {
+            if (static_cast<size_t>(id) >= _net_slot.size())
+                continue;
+            int32_t slot = _net_slot[static_cast<size_t>(id)];
+            if (slot >= 0)
+                _scratch.push_back(static_cast<size_t>(slot));
         }
-        emitValue(t, v);
-        t.last = v;
+        // Emit in declaration order, exactly as the full scan would.
+        std::sort(_scratch.begin(), _scratch.end());
+        size_t next_unfed = 0;
+        for (size_t slot : _scratch) {
+            // Interleave un-fed nets to keep the order global.
+            for (; next_unfed < slot; next_unfed++)
+                if (!_traced[next_unfed].fed)
+                    sampleTraced(_traced[next_unfed], stamped);
+            next_unfed = std::max(next_unfed, slot + 1);
+            sampleTraced(_traced[slot], stamped);
+        }
+        for (; next_unfed < _traced.size(); next_unfed++)
+            if (!_traced[next_unfed].fed)
+                sampleTraced(_traced[next_unfed], stamped);
+    } else {
+        for (auto &t : _traced)
+            sampleTraced(t, stamped);
     }
+    _cursor.sync(_sim);
 }
 
 } // namespace rtl

@@ -11,6 +11,15 @@
  * previous sample.  The output is fully deterministic (no wall-clock
  * date stamp), so emitted files can be compared against checked-in
  * goldens.
+ *
+ * Sampling is change-fed: after the first full checkpoint, a sample
+ * visits only the simulator's per-cycle changed-net list
+ * (Sim::changedNets) instead of rescanning every traced net, so the
+ * cost per cycle is proportional to activity.  Lazy nets (cyclic or
+ * ad-hoc cones) are re-read every sample, preserving their on-demand
+ * fault semantics, and a sample that does not line up with the
+ * change feed (first sample, skipped cycles) falls back to the full
+ * scan — the emitted bytes are identical either way.
  */
 
 #ifndef ANVIL_RTL_VCD_H
@@ -61,16 +70,24 @@ class VcdWriter
         NetId net;
         int width;
         bool is_reg;
+        /** Covered by the change feed; false for lazy nets and for
+         *  duplicate traces of an already-fed net (both re-read
+         *  every sample). */
+        bool fed;
         BitVec last{1};
     };
 
     void writeHeader();
     void emitValue(const Traced &t, const BitVec &v);
+    void sampleTraced(Traced &t, bool &stamped);
 
     Sim &_sim;
     std::ostream &_os;
     std::vector<Traced> _traced;
+    std::vector<int32_t> _net_slot;   // net -> traced index or -1
+    std::vector<size_t> _scratch;     // changed traced indices
     bool _primed = false;
+    ChangeFeedCursor _cursor;         // feed-freshness tracking
     uint64_t _changes = 0;
 };
 

@@ -130,6 +130,7 @@ void
 Coverage::bind(rtl::Sim &sim)
 {
     const rtl::Netlist &nl = sim.netlist();
+    _net_slot.assign(nl.nets().size(), -1);
     for (const auto &[name, sig] : nl.signals()) {
         SignalCoverage sc;
         sc.name = name;
@@ -139,6 +140,16 @@ Coverage::bind(rtl::Sim &sim)
         sc.rose.assign(wordsFor(sig.width), 0);
         sc.fell.assign(wordsFor(sig.width), 0);
         sc.last.assign(wordsFor(sig.width), 0);
+        // Lazy nets never appear on the change feed — they are
+        // re-read every sample (value() keeps their fault
+        // semantics) — and a net can carry only one feed slot.
+        // Everything else is change-fed.
+        if (nl.net(sig.net).lazy ||
+            _net_slot[static_cast<size_t>(sig.net)] >= 0)
+            _unfed_slots.push_back(_signals.size());
+        else
+            _net_slot[static_cast<size_t>(sig.net)] =
+                static_cast<int32_t>(_signals.size());
         _signals.push_back(std::move(sc));
 
         if (sig.kind == rtl::NetSignal::Kind::Reg) {
@@ -157,21 +168,44 @@ Coverage::bind(rtl::Sim &sim)
 }
 
 void
+Coverage::sampleSignal(rtl::Sim &sim, SignalCoverage &sc)
+{
+    const BitVec &v = sim.value(sc.net);
+    for (size_t w = 0; w < sc.rose.size(); w++) {
+        uint64_t cur = v.word(static_cast<int>(w));
+        if (_samples > 0) {
+            sc.rose[w] |= cur & ~sc.last[w];
+            sc.fell[w] |= ~cur & sc.last[w];
+        }
+        sc.last[w] = cur;
+    }
+}
+
+void
 Coverage::sample(rtl::Sim &sim)
 {
     if (!_bound)
         bind(sim);
 
-    for (auto &sc : _signals) {
-        const BitVec &v = sim.value(sc.net);
-        for (size_t w = 0; w < sc.rose.size(); w++) {
-            uint64_t cur = v.word(static_cast<int>(w));
-            if (_samples > 0) {
-                sc.rose[w] |= cur & ~sc.last[w];
-                sc.fell[w] |= ~cur & sc.last[w];
-            }
-            sc.last[w] = cur;
+    // Toggle sampling: a signal absent from the changed-net list has
+    // the same value as at the previous sample and cannot contribute
+    // a new edge, so after the priming pass only changed signals are
+    // visited.  Samples that skip cycles, or follow pokes made after
+    // the previous sample (rtl::ChangeFeedCursor), cannot rely on
+    // the per-cycle feed and fall back to the full scan.
+    if (_samples > 0 && _cursor.fresh(sim)) {
+        for (rtl::NetId id : sim.changedNets()) {
+            if (static_cast<size_t>(id) >= _net_slot.size())
+                continue;
+            int32_t slot = _net_slot[static_cast<size_t>(id)];
+            if (slot >= 0)
+                sampleSignal(sim, _signals[static_cast<size_t>(slot)]);
         }
+        for (size_t slot : _unfed_slots)
+            sampleSignal(sim, _signals[slot]);
+    } else {
+        for (auto &sc : _signals)
+            sampleSignal(sim, sc);
     }
 
     for (size_t i = 0; i < _reg_bins.size(); i++) {
@@ -200,6 +234,9 @@ Coverage::sample(rtl::Sim &sim)
                 a.fail_cycles.push_back(sim.cycle());
         }
     }
+    // Any source poke recorded after this point and before the clock
+    // edge invalidates next cycle's fast path (cursor check above).
+    _cursor.sync(sim);
     _samples++;
 }
 

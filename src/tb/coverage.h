@@ -7,7 +7,11 @@
  * rtl::Netlist so sampling is a dense id-addressed walk:
  *
  *  - toggle coverage: per named signal, a rose/fell bitmask pair; a
- *    bit is covered once it has been observed going 0->1 AND 1->0;
+ *    bit is covered once it has been observed going 0->1 AND 1->0.
+ *    After the first (priming) sample, toggle sampling is change-fed:
+ *    only signals on the simulator's per-cycle changed-net list are
+ *    revisited — an unchanged signal cannot toggle — so the per-cycle
+ *    cost tracks activity, not design size;
  *  - register-value bins: each register's sampled values are hashed
  *    into a small fixed number of bins (exact values for narrow
  *    registers); bin occupancy distinguishes stimuli that park a
@@ -149,10 +153,14 @@ class Coverage
 
   private:
     void bind(rtl::Sim &sim);
+    void sampleSignal(rtl::Sim &sim, SignalCoverage &sc);
 
     int _req_bins;
     bool _bound = false;
     uint64_t _samples = 0;
+    rtl::ChangeFeedCursor _cursor;       // feed-freshness tracking
+    std::vector<int32_t> _net_slot;      // net -> _signals index
+    std::vector<size_t> _unfed_slots;    // signals outside the feed
     std::vector<SignalCoverage> _signals;
     std::vector<RegBins> _reg_bins;
     std::vector<rtl::NetId> _reg_nets;   // parallel to _reg_bins

@@ -270,20 +270,65 @@ ContractMonitor::ContractMonitor(std::vector<ContractSpec> specs,
             throw std::invalid_argument(
                 "contract channel '" + s.channel +
                 "' has no valid/ack pair in the design");
+        size_t index = _bound.size();
+        const rtl::Netlist &nl = sim.netlist();
+        if (_feed_slot.empty())
+            _feed_slot.assign(nl.nets().size(), -1);
+        for (rtl::NetId id : {b.valid, b.ack, b.data}) {
+            if (id == rtl::kNoNet)
+                continue;
+            if (nl.net(id).lazy) {
+                _all_change_fed = false;
+                continue;
+            }
+            int32_t &slot = _feed_slot[static_cast<size_t>(id)];
+            if (slot < 0) {
+                slot = static_cast<int32_t>(_feed_lists.size());
+                _feed_lists.emplace_back();
+            }
+            _feed_lists[static_cast<size_t>(slot)].push_back(index);
+        }
         _bound.push_back(std::move(b));
     }
+}
+
+/** Re-read one channel's frame values from the simulation. */
+void
+ContractMonitor::refresh(rtl::Sim &sim, Bound &b)
+{
+    b.valid_v = sim.value(b.valid).any();
+    b.ack_v = sim.value(b.ack).any();
+    if (b.data != rtl::kNoNet)
+        b.data_v = sim.value(b.data);
 }
 
 void
 ContractMonitor::observe(rtl::Sim &sim, uint64_t cycle)
 {
-    static const BitVec kNoData(1);
+    if (_primed && _all_change_fed && _cursor.fresh(sim)) {
+        // Only channels whose nets actually changed are re-read;
+        // every checker still ticks below.  Observations that skip
+        // cycles or follow late pokes re-read everything instead.
+        for (rtl::NetId id : sim.changedNets()) {
+            if (static_cast<size_t>(id) >= _feed_slot.size())
+                continue;
+            int32_t slot = _feed_slot[static_cast<size_t>(id)];
+            if (slot < 0)
+                continue;
+            for (size_t index :
+                 _feed_lists[static_cast<size_t>(slot)])
+                refresh(sim, _bound[index]);
+        }
+    } else {
+        for (auto &b : _bound)
+            refresh(sim, b);
+        _primed = true;
+    }
+    _cursor.sync(sim);
+
     for (auto &b : _bound) {
         size_t before = _violations.size();
-        b.checker.cycle(cycle, sim.value(b.valid).any(),
-                        sim.value(b.ack).any(),
-                        b.data == rtl::kNoNet ? kNoData
-                                              : sim.value(b.data),
+        b.checker.cycle(cycle, b.valid_v, b.ack_v, b.data_v,
                         _violations);
         for (size_t i = before; i < _violations.size(); i++)
             fail(cycle, "contract:" + _violations[i].channel + " [" +

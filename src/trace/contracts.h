@@ -125,6 +125,13 @@ std::vector<ContractViolation> checkTrace(
  * Live monitoring: a tb::Monitor that runs the same checkers against
  * the simulation each cycle and reports violations as testbench
  * failures ("contract:<channel>").
+ *
+ * The monitor is change-fed: channel signal values are cached, and
+ * after the first observation only nets on the simulator's per-cycle
+ * changed-net list are re-read (the checkers themselves still tick
+ * every cycle — ack-within deadlines advance even when nothing
+ * changes).  Lazy nets and observations that skip cycles fall back
+ * to direct reads.
  */
 class ContractMonitor : public tb::Monitor
 {
@@ -143,8 +150,20 @@ class ContractMonitor : public tb::Monitor
     {
         ChannelChecker checker;
         rtl::NetId valid, ack, data;   // data may be kNoNet
+        bool valid_v = false, ack_v = false;   // cached frame values
+        BitVec data_v{1};
     };
+    void refresh(rtl::Sim &sim, Bound &b);
+
     std::vector<Bound> _bound;
+    /** net -> slot into _feed_lists, flat (or -1): O(1) per changed
+     *  net on the fast path. */
+    std::vector<int32_t> _feed_slot;
+    /** Per fed net, the _bound indices whose channel reads it. */
+    std::vector<std::vector<size_t>> _feed_lists;
+    bool _all_change_fed = true;   // no lazy nets among the channels
+    bool _primed = false;
+    rtl::ChangeFeedCursor _cursor; // feed-freshness tracking
     std::vector<ContractViolation> _violations;
 };
 

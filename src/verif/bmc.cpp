@@ -67,6 +67,9 @@ boundedModelCheck(const std::shared_ptr<const rtl::Module> &top,
                   const BmcOptions &opts)
 {
     rtl::Sim sim(top);
+    if (opts.sweep_mode != rtl::SweepMode::Dirty)
+        sim.setSweepMode(opts.sweep_mode, opts.sweep_threads,
+                         /*shard_min=*/64);
     auto inputs = sim.inputNames();
 
     // Enumerate input vectors: each input contributes its low

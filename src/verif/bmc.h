@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "rtl/interp.h"
 #include "rtl/rtl.h"
 
 namespace anvil {
@@ -56,6 +57,11 @@ struct BmcOptions
     uint64_t max_states = 200000;
     /** Bits per input sampled nondeterministically (the rest 0). */
     int input_bits_limit = 4;
+    /** Sweep strategy for the underlying simulator.  All modes
+     *  explore identical state spaces (pinned by the differential
+     *  tests); Dirty is fastest for the restore-poke-step pattern. */
+    rtl::SweepMode sweep_mode = rtl::SweepMode::Dirty;
+    int sweep_threads = 0;
 };
 
 /**

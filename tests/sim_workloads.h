@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Shared low-activity stimulus generators for the large simulation
+ * workloads (AXI crossbar, set-associative TLB), used by both
+ * bench/bench_sim_perf.cpp and the sweep-mode differential tests so
+ * the measured workload and the pinned-equivalence workload are the
+ * same by construction.
+ *
+ * Stimulus is emitted as per-cycle *deltas*: only inputs whose value
+ * differs from what was last driven appear in a frame.  Applying the
+ * same seeded stream to any simulator (any sweep mode, or RefSim)
+ * reproduces the same run bit-for-bit, because inputs hold their
+ * value between assignments.  The profiles are deliberately
+ * low-activity — a few agents in flight against an otherwise idle
+ * fabric — which is what event-driven sweeping exploits.
+ */
+
+#ifndef ANVIL_TESTS_SIM_WORKLOADS_H
+#define ANVIL_TESTS_SIM_WORKLOADS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/strings.h"
+#include "tb/testbench.h"
+
+namespace anvil {
+namespace testing {
+
+/** One cycle of stimulus: inputs to (re)drive this cycle. */
+using InputFrame = std::vector<std::pair<std::string, uint64_t>>;
+
+/** Delta-tracking helper: drop assignments that repeat the held value. */
+class FrameBuilder
+{
+  public:
+    void set(InputFrame &out, const std::string &name, uint64_t v)
+    {
+        auto it = _held.find(name);
+        if (it != _held.end() && it->second == v)
+            return;
+        _held[name] = v;
+        out.emplace_back(name, v);
+    }
+
+  private:
+    std::map<std::string, uint64_t> _held;
+};
+
+/**
+ * Crossbar traffic: each master independently idles, then issues a
+ * write or read burst to a random slave, holding valids long enough
+ * for the routers to complete the handshake chain.  Slave-side acks
+ * and responses are constant (an always-ready memory), so they are
+ * driven once and never re-enter the stimulus stream.
+ */
+class XbarStimulus
+{
+  public:
+    XbarStimulus(int n_masters, int n_slaves, uint64_t seed)
+        : _rng(seed), _n_masters(n_masters), _n_slaves(n_slaves),
+          _m(static_cast<size_t>(n_masters))
+    {
+    }
+
+    /** Stimulus for the coming cycle (call once per cycle). */
+    InputFrame next()
+    {
+        InputFrame out;
+        if (_first) {
+            _first = false;
+            for (int j = 0; j < _n_slaves; j++) {
+                std::string p = strfmt("s%d", j);
+                _fb.set(out, p + "_aw_ack", 1);
+                _fb.set(out, p + "_w_ack", 1);
+                _fb.set(out, p + "_ar_ack", 1);
+                _fb.set(out, p + "_b_valid", 1);
+                _fb.set(out, p + "_b_data", 0);
+                _fb.set(out, p + "_r_valid", 1);
+                _fb.set(out, p + "_r_data",
+                        static_cast<uint64_t>(j) + 0x100);
+            }
+            for (int i = 0; i < _n_masters; i++) {
+                std::string p = strfmt("m%d", i);
+                _fb.set(out, p + "_b_ack", 1);
+                _fb.set(out, p + "_r_ack", 1);
+            }
+        }
+        for (int i = 0; i < _n_masters; i++) {
+            Master &ms = _m[static_cast<size_t>(i)];
+            std::string p = strfmt("m%d", i);
+            if (ms.hold > 0) {
+                if (--ms.hold == 0) {
+                    _fb.set(out, p + "_aw_valid", 0);
+                    _fb.set(out, p + "_w_valid", 0);
+                    _fb.set(out, p + "_ar_valid", 0);
+                    // An idle gap before the next burst: most cycles
+                    // this master contributes no activity at all.
+                    ms.gap = 8 + _rng.below(33);
+                }
+                continue;
+            }
+            if (ms.gap > 0) {
+                ms.gap--;
+                continue;
+            }
+            uint64_t slave = _rng.below(
+                static_cast<uint64_t>(_n_slaves));
+            uint64_t addr = (slave << 29) | (_rng.below(4) << 2);
+            // Long enough for demux + mux + response to complete.
+            ms.hold = 14;
+            if (_rng.chance(50)) {
+                _fb.set(out, p + "_aw_data", addr);
+                _fb.set(out, p + "_w_data", _rng.below(0x10000));
+                _fb.set(out, p + "_aw_valid", 1);
+                _fb.set(out, p + "_w_valid", 1);
+            } else {
+                _fb.set(out, p + "_ar_data", addr);
+                _fb.set(out, p + "_ar_valid", 1);
+            }
+        }
+        return out;
+    }
+
+  private:
+    struct Master
+    {
+        int hold = 0;
+        int gap = 0;
+    };
+
+    tb::SplitMix64 _rng;
+    int _n_masters, _n_slaves;
+    std::vector<Master> _m;
+    FrameBuilder _fb;
+    bool _first = true;
+};
+
+/**
+ * TLB traffic: short lookup pulses from a small VPN pool (so repeat
+ * lookups re-drive identical values and cost nothing), occasional
+ * fills through the update port, long idle gaps in between.
+ */
+class TlbStimulus
+{
+  public:
+    explicit TlbStimulus(uint64_t seed) : _rng(seed)
+    {
+        for (int i = 0; i < 16; i++)
+            _pool.push_back(_rng.next() & 0xffffffffull);
+    }
+
+    InputFrame next()
+    {
+        InputFrame out;
+        if (_first) {
+            _first = false;
+            _fb.set(out, "io_res_ack", 1);
+        }
+        if (_req_hold > 0) {
+            if (--_req_hold == 0)
+                _fb.set(out, "io_req_valid", 0);
+        } else if (_req_gap > 0) {
+            _req_gap--;
+        } else {
+            _fb.set(out, "io_req_data",
+                    _pool[_rng.below(_pool.size())]);
+            _fb.set(out, "io_req_valid", 1);
+            _req_hold = 2;
+            _req_gap = 6 + static_cast<int>(_rng.below(18));
+        }
+        if (_upd_hold > 0) {
+            if (--_upd_hold == 0)
+                _fb.set(out, "io_upd_valid", 0);
+        } else if (_upd_gap > 0) {
+            _upd_gap--;
+        } else {
+            uint64_t vpn = _pool[_rng.below(_pool.size())];
+            _fb.set(out, "io_upd_data",
+                    (vpn << 32) | (_rng.next() & 0xffffffffull));
+            _fb.set(out, "io_upd_valid", 1);
+            _upd_hold = 1;
+            _upd_gap = 20 + static_cast<int>(_rng.below(24));
+        }
+        return out;
+    }
+
+  private:
+    tb::SplitMix64 _rng;
+    std::vector<uint64_t> _pool;
+    FrameBuilder _fb;
+    bool _first = true;
+    int _req_hold = 0, _req_gap = 0;
+    int _upd_hold = 0, _upd_gap = 3;
+};
+
+} // namespace testing
+} // namespace anvil
+
+#endif // ANVIL_TESTS_SIM_WORKLOADS_H
