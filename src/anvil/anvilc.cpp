@@ -29,10 +29,29 @@
  *     --contract <s> explicit contract spec (repeatable), e.g.
  *                    "io_pong: ack within 4, stable, hold";
  *                    replaces the inferred set
+ *     --infer-contracts  print the contract set inferred from the
+ *                    Anvil types (design obligations, environment
+ *                    assumptions, lifetime provenance) and exit
+ *                    unless another action is requested
+ *     --prove [k]    compile the design-obligation contracts into
+ *                    safety automata and prove them by k-induction
+ *                    (max depth k, default 6); with --vcd, a
+ *                    violated obligation's counterexample is dumped
+ *                    as VCD (feed it to --replay / --check-trace)
+ *     --prove-report detailed per-obligation report (cone sizes,
+ *                    state counts, timings); implies --prove
+ *     --diff-trace <A> <B>  diff two VCD dumps: report the first
+ *                    divergent cycle and signal (no design needed)
+ *
+ * Contract resolution order: explicit --contract specs; otherwise
+ * the typed inference from the compiled program (formal::
+ * inferContracts — design obligations only); otherwise the netlist
+ * name-pair guess.
  *
  * Exit codes: 0 success; 1 check failure (type/compile errors,
- * testbench or contract violations, replay divergence); 2 usage
- * error; 3 I/O error.
+ * testbench or contract violations, replay or trace divergence,
+ * disproved obligations); 2 usage error; 3 I/O error; 4 proof
+ * inconclusive (bound or budget reached).
  */
 
 #include <cstdio>
@@ -43,9 +62,13 @@
 #include <vector>
 
 #include "anvil/compiler.h"
+#include "formal/contracts.h"
+#include "formal/kinduction.h"
+#include "formal/property.h"
 #include "synth/cost_model.h"
 #include "tb/testbench.h"
 #include "trace/contracts.h"
+#include "trace/diff.h"
 #include "trace/replay.h"
 #include "trace/vcd_reader.h"
 
@@ -57,6 +80,7 @@ constexpr int kExitOk = 0;
 constexpr int kExitCheckFailure = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitIo = 3;
+constexpr int kExitInconclusive = 4;
 
 void
 usage()
@@ -84,23 +108,28 @@ usage()
             "  --contracts    print the contract set in use (with\n"
             "                 --sim: monitor live)\n"
             "  --contract <s> explicit contract spec (repeatable)\n"
+            "  --infer-contracts  print the typed contract set\n"
+            "  --prove [k]    prove the contracts by k-induction\n"
+            "                 (--vcd dumps a counterexample)\n"
+            "  --prove-report detailed prover report\n"
+            "  --diff-trace <A> <B>  first divergence of two dumps\n"
             "exit codes: 0 ok, 1 check failure, 2 usage, 3 I/O "
-            "error\n");
+            "error,\n            4 proof inconclusive\n");
 }
 
 /**
  * Resolve the contract set: explicit --contract specs if given,
- * otherwise inferred from the design's netlist.  Returns false on a
- * spec syntax error.
+ * otherwise the typed inference from the compiled program, otherwise
+ * the netlist name-pair guess.  Returns false on a spec syntax
+ * error.
  */
 bool
 resolveContracts(const std::vector<std::string> &spec_texts,
-                 const rtl::Netlist &nl, bool print,
+                 const rtl::Netlist &nl,
+                 const formal::ContractSet *typed, bool print,
                  std::vector<trace::ContractSpec> *out)
 {
-    if (spec_texts.empty()) {
-        *out = trace::inferContracts(nl);
-    } else {
+    if (!spec_texts.empty()) {
         for (const auto &text : spec_texts) {
             try {
                 out->push_back(trace::parseContractSpec(text));
@@ -109,6 +138,22 @@ resolveContracts(const std::vector<std::string> &spec_texts,
                 return false;
             }
         }
+    } else if (typed && !typed->channels.empty()) {
+        // The one spec every consumer shares: typed design
+        // obligations plus the netlist guess for internal child
+        // channels the typed set cannot see.
+        *out = formal::checkableSpecs(*typed, nl);
+        if (print) {
+            fputs(typed->str().c_str(), stdout);
+            for (size_t i = typed->obligations().size();
+                 i < out->size(); i++)
+                printf("contract %s\n  // internal channel "
+                       "(netlist-inferred)\n",
+                       (*out)[i].str().c_str());
+        }
+        return true;
+    } else {
+        *out = trace::inferContracts(nl);
     }
     if (print)
         for (const auto &s : *out)
@@ -174,7 +219,7 @@ finishRun(tb::Testbench &bench, uint64_t cycles,
                (unsigned long long)ss.peak_nodes, ss.avgChanged(),
                (unsigned long long)ss.peak_changed, act);
     }
-    if (stats && coverage)
+    if (coverage && (stats || cov))
         printf("sim-summary %s\n", coverage->summaryJson().c_str());
     if (cov && coverage)
         fputs(coverage->report().c_str(), stdout);
@@ -200,6 +245,7 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
          const std::string &vcd_path, bool cov, bool stats,
          bool contracts,
          const std::vector<std::string> &contract_specs,
+         const formal::ContractSet *typed,
          rtl::SweepMode sweep_mode, int sweep_threads)
 {
     tb::Testbench bench(mod, seed);
@@ -210,8 +256,8 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
     if (contracts || !contract_specs.empty()) {
         std::vector<trace::ContractSpec> specs;
         if (!resolveContracts(contract_specs,
-                              bench.sim().netlist(), contracts,
-                              &specs))
+                              bench.sim().netlist(), typed,
+                              contracts, &specs))
             return kExitUsage;
         try {
             bench.addMonitor(
@@ -249,6 +295,7 @@ replay(const rtl::ModulePtr &mod, const std::string &dump_path,
        long cycles_override, const std::string &vcd_path, bool cov,
        bool stats, bool contracts,
        const std::vector<std::string> &contract_specs,
+       const formal::ContractSet *typed,
        rtl::SweepMode sweep_mode, int sweep_threads)
 {
     trace::Trace t;
@@ -280,8 +327,8 @@ replay(const rtl::ModulePtr &mod, const std::string &dump_path,
     if (contracts || !contract_specs.empty()) {
         std::vector<trace::ContractSpec> specs;
         if (!resolveContracts(contract_specs,
-                              bench.sim().netlist(), contracts,
-                              &specs))
+                              bench.sim().netlist(), typed,
+                              contracts, &specs))
             return kExitUsage;
         try {
             bench.addMonitor(
@@ -320,11 +367,12 @@ replay(const rtl::ModulePtr &mod, const std::string &dump_path,
                      cov, stats);
 }
 
-/** Offline contract check of a recorded dump. */
+/** Offline contract check (and coverage grading) of a recorded dump. */
 int
 checkTraceFile(const rtl::ModulePtr &mod,
                const std::string &dump_path, bool print_contracts,
-               const std::vector<std::string> &contract_specs)
+               const std::vector<std::string> &contract_specs,
+               const formal::ContractSet *typed, bool cov)
 {
     trace::Trace t;
     try {
@@ -337,9 +385,21 @@ checkTraceFile(const rtl::ModulePtr &mod,
 
     rtl::Sim sim(mod);
     std::vector<trace::ContractSpec> specs;
-    if (!resolveContracts(contract_specs, sim.netlist(),
+    if (!resolveContracts(contract_specs, sim.netlist(), typed,
                           print_contracts, &specs))
         return kExitUsage;
+
+    if (cov) {
+        // Offline coverage replay: grade the recording against the
+        // design's coverage model without re-simulating.
+        tb::Coverage coverage;
+        uint64_t frames =
+            trace::gradeCoverage(sim.netlist(), t, coverage);
+        printf("coverage-replay: %s: %llu frame(s)\n",
+               dump_path.c_str(), (unsigned long long)frames);
+        printf("sim-summary %s\n", coverage.summaryJson().c_str());
+        fputs(coverage.report().c_str(), stdout);
+    }
 
     std::vector<std::string> skipped;
     auto violations = trace::checkTrace(specs, t, &skipped);
@@ -358,6 +418,105 @@ checkTraceFile(const rtl::ModulePtr &mod,
     return kExitOk;
 }
 
+/** Diff two recorded dumps; no design needed. */
+int
+diffTraceFiles(const std::string &path_a, const std::string &path_b)
+{
+    trace::Trace a, b;
+    try {
+        a = trace::VcdReader::readFile(path_a);
+        b = trace::VcdReader::readFile(path_b);
+    } catch (const std::runtime_error &e) {
+        fprintf(stderr, "anvilc: %s\n", e.what());
+        return kExitIo;
+    }
+    trace::TraceDiff d = trace::diffTraces(a, b);
+    printf("diff-trace: %s (%zu signal(s)) vs %s (%zu signal(s))\n",
+           path_a.c_str(), a.signals().size(), path_b.c_str(),
+           b.signals().size());
+    fputs(d.str().c_str(), stdout);
+    return d.identical ? kExitOk : kExitCheckFailure;
+}
+
+/** Prove the contract obligations by k-induction. */
+int
+proveDesign(const rtl::ModulePtr &mod,
+            const std::vector<std::string> &contract_specs,
+            const formal::ContractSet *typed, bool print_contracts,
+            int prove_k, bool detailed, const std::string &vcd_path,
+            rtl::SweepMode sweep_mode, int sweep_threads)
+{
+    rtl::Sim sim(mod);
+    std::vector<trace::ContractSpec> specs;
+    if (!resolveContracts(contract_specs, sim.netlist(), typed,
+                          print_contracts, &specs))
+        return kExitUsage;
+
+    formal::InstrumentedDesign inst =
+        formal::compileProperties(*mod, specs);
+    if (inst.props.empty()) {
+        printf("prove: no checkable obligations\n");
+        return kExitOk;
+    }
+
+    formal::ProveOptions opts;
+    if (prove_k > 0)
+        opts.k_max = prove_k;
+    opts.sweep_mode = sweep_mode;
+    opts.sweep_threads = sweep_threads;
+    formal::ProveResult res = formal::prove(inst, opts);
+    fputs(res.report(detailed).c_str(), stdout);
+
+    int proved = 0, violated = 0, unknown = 0, conditional = 0;
+    const formal::ObligationOutcome *cex = nullptr;
+    for (const auto &o : res.obligations) {
+        switch (o.status) {
+          case formal::ObligationOutcome::Status::Proved:
+            proved++;
+            break;
+          case formal::ObligationOutcome::Status::Violated:
+            violated++;
+            if (!cex)
+                cex = &o;
+            break;
+          case formal::ObligationOutcome::Status::Unknown:
+            unknown++;
+            break;
+          case formal::ObligationOutcome::Status::Conditional:
+            conditional++;
+            break;
+        }
+    }
+    printf("prove: %zu obligation(s), %d proved, %d conditional, "
+           "%d violated, %d unknown\n",
+           res.obligations.size(), proved, conditional, violated,
+           unknown);
+
+    if (cex && !vcd_path.empty()) {
+        std::ofstream os(vcd_path);
+        if (!os) {
+            fprintf(stderr, "anvilc: cannot write '%s'\n",
+                    vcd_path.c_str());
+            return kExitIo;
+        }
+        formal::writeCexVcd(inst, *cex, os, sweep_mode,
+                            sweep_threads);
+        if (!os.good()) {
+            fprintf(stderr, "anvilc: error writing '%s'\n",
+                    vcd_path.c_str());
+            return kExitIo;
+        }
+        fprintf(stderr,
+                "anvilc: wrote %s (counterexample for %s)\n",
+                vcd_path.c_str(), cex->name.c_str());
+    }
+    if (violated)
+        return kExitCheckFailure;
+    if (unknown)
+        return kExitInconclusive;
+    return kExitOk;
+}
+
 } // namespace
 
 int
@@ -365,8 +524,12 @@ main(int argc, char **argv)
 {
     std::string input, output, top, vcd_path;
     std::string replay_path, check_trace_path;
+    std::string diff_a, diff_b;
     bool optimize = true, trace_flag = false, stats = false;
     bool check_only = false, cov = false, contracts = false;
+    bool infer_contracts = false, prove = false;
+    bool prove_report = false;
+    int prove_k = 0;
     std::vector<std::string> contract_specs;
     long sim_cycles = 0;
     uint64_t seed = 1;
@@ -417,6 +580,21 @@ main(int argc, char **argv)
             contracts = true;
         } else if (arg == "--contract" && i + 1 < argc) {
             contract_specs.push_back(argv[++i]);
+        } else if (arg == "--infer-contracts") {
+            infer_contracts = true;
+        } else if (arg == "--prove") {
+            prove = true;
+            // Optional depth: `--prove 4`.
+            if (i + 1 < argc && argv[i + 1][0] != '\0' &&
+                strspn(argv[i + 1], "0123456789") ==
+                    strlen(argv[i + 1]))
+                prove_k = atoi(argv[++i]);
+        } else if (arg == "--prove-report") {
+            prove = true;
+            prove_report = true;
+        } else if (arg == "--diff-trace" && i + 2 < argc) {
+            diff_a = argv[++i];
+            diff_b = argv[++i];
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return kExitOk;
@@ -432,6 +610,18 @@ main(int argc, char **argv)
             return kExitUsage;
         }
     }
+    // Trace diffing needs no design at all.
+    if (!diff_a.empty()) {
+        if (!input.empty() || sim_cycles > 0 ||
+            !replay_path.empty() || !check_trace_path.empty() ||
+            prove || infer_contracts || contracts || cov ||
+            !output.empty()) {
+            fprintf(stderr, "anvilc: --diff-trace takes no other "
+                            "action\n");
+            return kExitUsage;
+        }
+        return diffTraceFiles(diff_a, diff_b);
+    }
     if (input.empty()) {
         usage();
         return kExitUsage;
@@ -441,19 +631,31 @@ main(int argc, char **argv)
                 "anvilc: --replay and --check-trace conflict\n");
         return kExitUsage;
     }
+    if (prove && (sim_cycles > 0 || !replay_path.empty() ||
+                  !check_trace_path.empty())) {
+        fprintf(stderr, "anvilc: --prove conflicts with "
+                        "--sim/--replay/--check-trace\n");
+        return kExitUsage;
+    }
     bool runs_sim = sim_cycles > 0 || !replay_path.empty();
-    if (!runs_sim &&
-        (cov || !vcd_path.empty() || seed != 1 || sweep_set)) {
-        fprintf(stderr, "anvilc: --vcd/--cov/--seed/--sweep require "
-                        "--sim <N> or --replay\n");
+    if (!runs_sim && !prove &&
+        (!vcd_path.empty() || seed != 1 || sweep_set)) {
+        fprintf(stderr, "anvilc: --vcd/--seed/--sweep require "
+                        "--sim <N>, --replay, or --prove\n");
+        return kExitUsage;
+    }
+    if (!runs_sim && check_trace_path.empty() && cov) {
+        fprintf(stderr, "anvilc: --cov requires --sim <N>, "
+                        "--replay, or --check-trace\n");
         return kExitUsage;
     }
     bool needs_module = runs_sim || !check_trace_path.empty() ||
-                        contracts || !contract_specs.empty();
-    if (needs_module && check_only) {
+                        contracts || !contract_specs.empty() ||
+                        prove;
+    if ((needs_module || infer_contracts) && check_only) {
         fprintf(stderr, "anvilc: --sim/--replay/--check-trace/"
-                        "--contracts need codegen "
-                        "(drop --check-only)\n");
+                        "--contracts/--prove/--infer-contracts "
+                        "need codegen (drop --check-only)\n");
         return kExitUsage;
     }
 
@@ -501,7 +703,7 @@ main(int argc, char **argv)
 
     if (!check_only) {
         if (output.empty()) {
-            if (!needs_module)
+            if (!needs_module && !infer_contracts)
                 fputs(out.systemverilog.c_str(), stdout);
         } else {
             std::ofstream os(output);
@@ -515,6 +717,24 @@ main(int argc, char **argv)
         }
     }
 
+    // The typed contract set: the single spec source shared by the
+    // monitors, the offline checker, and the prover.  Only computed
+    // when a contract consumer will read it — plain codegen and
+    // contract-less --sim/--replay runs skip the re-elaboration it
+    // costs.
+    bool wants_contracts = infer_contracts || prove || contracts ||
+        !contract_specs.empty() || !check_trace_path.empty();
+    formal::ContractSet typed;
+    if (wants_contracts)
+        typed = formal::inferContracts(out.program, out.top);
+    if (infer_contracts) {
+        printf("infer-contracts: %s: %zu channel(s)\n",
+               typed.top.c_str(), typed.channels.size());
+        fputs(typed.str().c_str(), stdout);
+        if (!needs_module)
+            return kExitOk;
+    }
+
     if (needs_module) {
         rtl::ModulePtr mod = out.module(out.top);
         if (!mod) {
@@ -522,22 +742,26 @@ main(int argc, char **argv)
                     out.top.c_str());
             return kExitCheckFailure;
         }
+        if (prove)
+            return proveDesign(mod, contract_specs, &typed,
+                               contracts, prove_k, prove_report,
+                               vcd_path, sweep_mode, sweep_threads);
         if (!check_trace_path.empty())
             return checkTraceFile(mod, check_trace_path, contracts,
-                                  contract_specs);
+                                  contract_specs, &typed, cov);
         if (!replay_path.empty())
             return replay(mod, replay_path, sim_cycles, vcd_path,
                           cov, stats, contracts, contract_specs,
-                          sweep_mode, sweep_threads);
+                          &typed, sweep_mode, sweep_threads);
         if (sim_cycles > 0)
             return simulate(mod, sim_cycles, seed, vcd_path, cov,
                             stats, contracts, contract_specs,
-                            sweep_mode, sweep_threads);
+                            &typed, sweep_mode, sweep_threads);
         // --contracts / --contract alone: print the contract set.
         rtl::Sim sim(mod);
         std::vector<trace::ContractSpec> specs;
-        if (!resolveContracts(contract_specs, sim.netlist(), true,
-                              &specs))
+        if (!resolveContracts(contract_specs, sim.netlist(), &typed,
+                              true, &specs))
             return kExitUsage;
     }
     return kExitOk;

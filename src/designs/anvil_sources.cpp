@@ -179,11 +179,16 @@ anvilTlbSource()
     // ppn[32]} in a 65-bit register each.  The request stays live
     // until the next request (`@req`), so the combinational lookup
     // result may be forwarded directly (`@req` response contract).
+    // The update channel carries a readiness bound (`@dyn#3`): the
+    // TLB promises to accept an offered update within three cycles —
+    // its update loop never blocks on the environment — which the
+    // formal subsystem compiles into an `ack within 3` contract and
+    // proves by k-induction.
     std::string s = R"(
 chan tlb_ch {
     left req : (logic[32]@req),
     right res : (logic[64]@req),
-    left upd : (logic[64]@#1)
+    left upd : (logic[64]@#1) @dyn#3 - @dyn
 }
 
 proc tlb(io : left tlb_ch) {
@@ -642,10 +647,14 @@ anvilSystolicSource()
 {
     // 4x4 weight-stationary systolic array, one activation column per
     // cycle (static sync), weights loaded over a dynamic channel.
+    // The weight-load loop polls `ready` and never waits on any other
+    // channel, so its acceptance latency is statically bounded: the
+    // `@dyn#3` readiness bound becomes a provable `ack within 3`
+    // contract.
     std::string s = R"(
 chan sys_in_ch {
     left act : (logic[32]@#1) @#1-@#1,
-    left wld : (logic[128]@#1)
+    left wld : (logic[128]@#1) @dyn#3 - @dyn
 }
 chan sys_out_ch {
     right out : (logic[128]@#1) @#1-@#1
@@ -790,6 +799,45 @@ proc encrypt(ch1 : left encrypt_ch, ch2 : left rng_ch) {
         send ch2.rng_res (*r2_key) >>
         send ch1.enc_res (ctext_out) >>
         send ch1.enc_res (r1_key)
+    }
+}
+)";
+}
+
+std::string
+anvilListing2Source()
+{
+    // Listing 2 (Appendix A), recast as a contract-proving workload:
+    // a request sink whose acceptance loop is statically bounded
+    // (`@dyn#3` => `ack within 3`), next to a free-running 32-bit
+    // counter that gates the *data* path only.  The counter inflates
+    // the packed register state space past any explicit-state BMC
+    // budget — exactly the Listing 2 blow-up — while the contract's
+    // cone of influence stays a handful of control bits, so the
+    // k-induction prover discharges the same obligation in
+    // milliseconds.
+    return R"(
+chan l2_ch {
+    left req : (logic[8]@#1) @dyn#3 - @dyn,
+    right res : (logic[8]@req)
+}
+
+proc listing2(io : left l2_ch) {
+    reg cnt : logic[32];
+    reg acc : logic[8];
+    loop {
+        set cnt := *cnt + 1
+    }
+    loop {
+        {
+        if ready(io.req) {
+            let v = recv io.req >>
+            set acc := (*acc ^ (if (*cnt) > 32'h100000 { v }
+                                else { 0 })) >>
+            cycle 1
+        } else { cycle 1 }
+        };
+        cycle 1
     }
 }
 )";

@@ -123,6 +123,16 @@ std::string anvilEncryptSource();
 /** Listing 1 (Appendix A): Top / child / grandchild. */
 std::string anvilListing1Source();
 
+/**
+ * Listing 2 (Appendix A), as a formal-verification workload: a
+ * bounded request sink (`@dyn#3` readiness bound on `io.req`) beside
+ * a free-running 32-bit counter that gates only the data path.  The
+ * counter blows any explicit-state BMC budget while the contract's
+ * cone of influence stays small — the k-induction prover's headline
+ * case (docs/formal.md).
+ */
+std::string anvilListing2Source();
+
 // --- AES golden model (software) -----------------------------------------
 
 /** FIPS-197 AES-128 block encryption (golden model for tests). */

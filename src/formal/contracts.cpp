@@ -1,0 +1,175 @@
+#include "formal/contracts.h"
+
+#include "ir/elaborate.h"
+#include "support/strings.h"
+#include "types/lifetime.h"
+
+namespace anvil {
+namespace formal {
+
+namespace {
+
+/** Sync mode of the side that sends message `m`. */
+const SyncMode &
+senderSync(const MessageDef &m)
+{
+    return m.dir == MsgDir::Right ? m.left_sync : m.right_sync;
+}
+
+/** Sync mode of the side that receives message `m`. */
+const SyncMode &
+receiverSync(const MessageDef &m)
+{
+    return m.dir == MsgDir::Right ? m.right_sync : m.left_sync;
+}
+
+/** True when the process holding `side` of the channel sends `m`. */
+bool
+sideSends(EndpointSide side, const MessageDef &m)
+{
+    return side == EndpointSide::Left ? m.dir == MsgDir::Right
+                                      : m.dir == MsgDir::Left;
+}
+
+} // namespace
+
+std::vector<trace::ContractSpec>
+ContractSet::obligations() const
+{
+    // Clause-less specs (the design receives on an unbounded @dyn
+    // side) monitor nothing; handing them to checkers only inflates
+    // contract counts and skip notes.  They stay visible in
+    // `channels` / str() as "none".
+    std::vector<trace::ContractSpec> out;
+    for (const auto &c : channels)
+        if (c.design.ack_within > 0 || c.design.stable ||
+            c.design.hold)
+            out.push_back(c.design);
+    return out;
+}
+
+std::vector<trace::ContractSpec>
+ContractSet::assumptions() const
+{
+    std::vector<trace::ContractSpec> out;
+    for (const auto &c : channels)
+        if (c.env.ack_within > 0 || c.env.stable || c.env.hold)
+            out.push_back(c.env);
+    return out;
+}
+
+const ChannelContract *
+ContractSet::find(const std::string &channel) const
+{
+    for (const auto &c : channels)
+        if (c.channel == channel)
+            return &c;
+    return nullptr;
+}
+
+std::string
+ContractSet::str() const
+{
+    std::string s;
+    for (const auto &c : channels) {
+        s += strfmt("contract %s\n", c.design.str().c_str());
+        if (c.env.ack_within > 0 || c.env.stable || c.env.hold)
+            s += strfmt("assume   %s\n", c.env.str().c_str());
+        s += strfmt("  // %s.%s: %s, lifetime @%s",
+                    c.endpoint.c_str(), c.msg.c_str(),
+                    c.design_sends ? "design sends" : "design receives",
+                    c.lifetime.c_str());
+        for (const auto &lt : c.send_lifetimes)
+            s += strfmt(", payload live %s", lt.c_str());
+        s += "\n";
+    }
+    return s;
+}
+
+std::vector<trace::ContractSpec>
+checkableSpecs(const ContractSet &typed, const rtl::Netlist &nl)
+{
+    std::vector<trace::ContractSpec> out = typed.obligations();
+    for (auto &spec : trace::inferContracts(nl))
+        if (!typed.find(spec.channel))
+            out.push_back(std::move(spec));
+    return out;
+}
+
+ContractSet
+inferContracts(const Program &prog, const std::string &top)
+{
+    ContractSet set;
+    set.top = top;
+    const ProcDef *proc = prog.findProc(top);
+    if (!proc)
+        return set;
+
+    // Re-elaborate (single iteration, diagnostics discarded — the
+    // caller has already compiled this program) to attach the
+    // lifetime of each send site's payload value: the interval the
+    // type system proves unchanging, which is what makes the
+    // stable/hold obligations sound for a well-typed sender.
+    DiagEngine scratch;
+    ProcIR pir = elaborateProc(prog, *proc, scratch, /*unroll=*/1);
+
+    for (const auto &param : proc->params) {
+        const ChannelDef *chan = prog.findChannel(param.chan_type);
+        if (!chan)
+            continue;
+        for (const auto &m : chan->messages) {
+            // Only dynamic/dynamic messages lower to a valid/ack
+            // handshake; anything else has no wires to monitor.
+            if (senderSync(m).kind != SyncMode::Kind::Dynamic ||
+                receiverSync(m).kind != SyncMode::Kind::Dynamic)
+                continue;
+
+            ChannelContract c;
+            c.channel = param.name + "_" + m.name;
+            c.endpoint = param.name;
+            c.msg = m.name;
+            c.design_sends = sideSends(param.side, m);
+            c.lifetime = m.lifetime.str();
+
+            // Sender-side clauses: payload unchanging (stable) and
+            // offer not retracted (hold) while the sync is pending.
+            trace::ContractSpec sender;
+            sender.channel = c.channel;
+            sender.stable = true;
+            sender.hold = true;
+
+            // Receiver-side clause: the `@dyn#N` readiness bound.
+            trace::ContractSpec receiver;
+            receiver.channel = c.channel;
+            receiver.stable = false;
+            receiver.hold = false;
+            receiver.ack_within = receiverSync(m).cycles > 0
+                ? receiverSync(m).cycles : 0;
+
+            c.design = c.design_sends ? sender : receiver;
+            c.env = c.design_sends ? receiver : sender;
+
+            if (c.design_sends) {
+                for (const auto &tir : pir.threads) {
+                    for (const auto &send : tir->sends) {
+                        if (send.endpoint != param.name ||
+                            send.msg != m.name)
+                            continue;
+                        for (const auto &use : tir->uses) {
+                            if (use.kind != UseKind::SendPayload ||
+                                use.use_ev != send.init_ev)
+                                continue;
+                            c.send_lifetimes.push_back(
+                                lifetimeStr(use.value));
+                        }
+                    }
+                }
+            }
+            set.channels.push_back(std::move(c));
+        }
+    }
+    return set;
+}
+
+} // namespace formal
+} // namespace anvil

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Typed contract inference: from the Anvil program's channel
+ * annotations to the one ContractSpec per channel endpoint that the
+ * runtime monitors, the offline trace checker, and the k-induction
+ * prover all consume.
+ *
+ * The trace subsystem's netlist inference (trace::inferContracts)
+ * guesses a stable+hold default from `<ch>_valid`/`<ch>_ack` name
+ * pairs.  This engine derives the same channels — and their clauses —
+ * from the *types* instead:
+ *
+ *  - a message whose sender and receiver sync modes are both dynamic
+ *    lowers to a valid/ack handshake, so it gets a runtime-checkable
+ *    contract; static and dependent sync modes carry no handshake
+ *    wires and nothing to monitor;
+ *  - the sending side owes `stable` and `hold`: the type system loans
+ *    the payload's registers over the whole pending window (paper
+ *    §5.2, the lifetime results in src/types/lifetime.*), so a
+ *    well-typed sender can neither mutate the payload nor retract the
+ *    offer before the sync completes;
+ *  - the receiving side owes `ack within N` when its sync mode
+ *    carries a readiness bound (`@dyn#N`): the handshake is still
+ *    dynamic, but that side promises to complete it within N cycles
+ *    of the offer.
+ *
+ * Each clause binds one party.  Clauses owed by the process under
+ * observation are its *obligations* (checked by monitors, proved by
+ * the prover); clauses owed by its peer are *assumptions* about the
+ * environment (reported, and judged only on recordings of a closed
+ * system where the peer is also under test).
+ */
+
+#ifndef ANVIL_FORMAL_CONTRACTS_H
+#define ANVIL_FORMAL_CONTRACTS_H
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "trace/contracts.h"
+
+namespace anvil {
+namespace formal {
+
+/** One top-level channel endpoint's inferred contract, split by the
+ *  party each clause binds. */
+struct ChannelContract
+{
+    std::string channel;      // signal prefix: <endpoint>_<msg>
+    std::string endpoint;     // top-process endpoint parameter
+    std::string msg;          // message name in the channel type
+    bool design_sends = false;
+
+    /** Clauses the design owes (monitored and proved). */
+    trace::ContractSpec design;
+
+    /** Clauses the environment owes (reported as assumptions). */
+    trace::ContractSpec env;
+
+    /** Declared payload lifetime (`@#N`, `@msg+k`), for reporting. */
+    std::string lifetime;
+
+    /**
+     * Lifetime-analysis provenance of the stable/hold clauses: the
+     * payload value's lifetime interval at each send site of this
+     * message, rendered by types/lifetime (empty when the design
+     * only receives).
+     */
+    std::vector<std::string> send_lifetimes;
+};
+
+/** The inferred contract set of one compiled program's top process. */
+struct ContractSet
+{
+    std::string top;
+    std::vector<ChannelContract> channels;
+
+    /** The design-obligation specs with at least one clause
+     *  (clause-less channels — the design receives on an unbounded
+     *  `@dyn` side — stay listed in `channels` and str(), but are
+     *  not handed to checkers). */
+    std::vector<trace::ContractSpec> obligations() const;
+
+    /** Environment-assumption specs with at least one clause:
+     *  what `--infer-contracts` reports as `assume` lines, and what
+     *  a closed-system recording (peer also under test) would be
+     *  judged against. */
+    std::vector<trace::ContractSpec> assumptions() const;
+
+    /** Find a channel's contract by signal prefix, or null. */
+    const ChannelContract *find(const std::string &channel) const;
+
+    /** Human-readable table: one `contract`/`assume` line per side
+     *  that carries clauses, with lifetime provenance. */
+    std::string str() const;
+};
+
+/**
+ * Infer the contract set for process `top` of a parsed program.
+ * Walks the top process's endpoint parameters, keeps every message
+ * with a dynamic/dynamic handshake, and splits the clauses by the
+ * party that owes them.  Re-elaborates the process (single
+ * iteration) to attach lifetime provenance to each send site.
+ *
+ * For the *top-level* channels the derived set coincides with
+ * trace::inferContracts' netlist guess — every design-driven
+ * valid/ack pair is a dynamic message the design sends — but carries
+ * the `@dyn#N` ack bounds the netlist cannot see (pinned by
+ * tests/test_formal_infer).  Internal channels of spawned children
+ * flatten to plain wires and are invisible here; anvilc merges the
+ * netlist guess back in for those, so hierarchical designs keep
+ * their internal handshakes monitored.
+ */
+ContractSet inferContracts(const Program &prog, const std::string &top);
+
+/**
+ * The checker-facing spec list of a compiled design: the typed
+ * design obligations, plus trace::inferContracts' netlist guess for
+ * every handshake the typed set cannot see — internal channels of
+ * spawned children flatten to plain wires, not top-level endpoints,
+ * but their valid/ack pairs are just as monitorable.  The typed
+ * obligations come first (anvilc prints the netlist-guessed tail as
+ * internal channels).
+ */
+std::vector<trace::ContractSpec> checkableSpecs(
+    const ContractSet &typed, const rtl::Netlist &nl);
+
+} // namespace formal
+} // namespace anvil
+
+#endif // ANVIL_FORMAL_CONTRACTS_H

@@ -1,0 +1,129 @@
+#include "formal/property.h"
+
+#include "support/strings.h"
+
+namespace anvil {
+namespace formal {
+
+using rtl::ExprPtr;
+using rtl::Op;
+
+namespace {
+
+/** Width of a named top-level signal, or -1 when absent. */
+int
+widthOf(const rtl::Module &m, const std::string &n)
+{
+    if (const rtl::Port *p = m.findPort(n))
+        return p->width;
+    if (const rtl::WireDecl *w = m.findWire(n))
+        return w->width;
+    if (const rtl::RegDecl *r = m.findReg(n))
+        return r->width;
+    return -1;
+}
+
+/** Bits needed to count up to n. */
+int
+bitsFor(int n)
+{
+    int w = 1;
+    while ((1 << w) <= n)
+        w++;
+    return w;
+}
+
+} // namespace
+
+std::vector<verif::Assertion>
+InstrumentedDesign::assertions() const
+{
+    std::vector<verif::Assertion> out;
+    for (const auto &p : props)
+        out.push_back(p.assertion);
+    return out;
+}
+
+InstrumentedDesign
+compileProperties(const rtl::Module &top,
+                  const std::vector<trace::ContractSpec> &specs)
+{
+    InstrumentedDesign d;
+    d.module = std::make_shared<rtl::Module>(top);
+    rtl::Module &m = *d.module;
+
+    for (const auto &spec : specs) {
+        if (!spec.stable && !spec.hold && spec.ack_within <= 0)
+            continue;
+        int vw = widthOf(top, spec.channel + "_valid");
+        int aw = widthOf(top, spec.channel + "_ack");
+        if (vw < 0 || aw < 0)
+            continue;   // channel not exposed by this module
+        ExprPtr valid = rtl::ref(spec.channel + "_valid", vw);
+        ExprPtr ack = rtl::ref(spec.channel + "_ack", aw);
+        if (vw != 1)
+            valid = rtl::unop(Op::RedOr, valid);
+        if (aw != 1)
+            ack = rtl::unop(Op::RedOr, ack);
+        ExprPtr pending_in = valid & ~ack;   // offer not completing
+
+        // Shared pending tracker for this channel.
+        std::string base = "__fml_" + spec.channel;
+        ExprPtr pend = m.reg(base + "_pend", 1, 0);
+        m.update(base + "_pend", rtl::cst(1, 1), pending_in);
+
+        auto emit = [&](const std::string &rule, ExprPtr bad,
+                        const std::string &data_wire = "") {
+            std::string wire = base + "_" + rule + "_bad";
+            m.wire(wire, std::move(bad));
+            CompiledProperty p;
+            p.channel = spec.channel;
+            p.rule = rule;
+            p.bad_wire = wire;
+            p.data_wire = data_wire;
+            p.assertion = {"contract:" + spec.channel + ":" + rule,
+                           rtl::cst(1, 1),
+                           rtl::unop(Op::Not, rtl::ref(wire, 1))};
+            d.props.push_back(std::move(p));
+        };
+
+        if (spec.hold)
+            emit("hold", pend & ~valid);
+
+        int dw = widthOf(top, spec.channel + "_data");
+        if (spec.stable && dw > 0) {
+            // Shadow of the offered payload: captured while the
+            // channel is not pending (the offer cycle included),
+            // frozen while it is.
+            ExprPtr data = rtl::ref(spec.channel + "_data", dw);
+            ExprPtr shadow = m.reg(base + "_shadow", dw, 0);
+            m.update(base + "_shadow", rtl::cst(1, 1),
+                     rtl::mux(pend, shadow, data));
+            emit("stable", pend & ne(data, shadow),
+                 spec.channel + "_data");
+        }
+
+        if (spec.ack_within > 0) {
+            // Completed pending cycles, saturating at N so the
+            // counter stays narrow.
+            int n = spec.ack_within;
+            int cw = bitsFor(n);
+            ExprPtr cnt = m.reg(base + "_cnt", cw, 0);
+            ExprPtr sat = rtl::mux(
+                rtl::binop(Op::Ge, cnt, rtl::cst(cw, n)), cnt,
+                cnt + rtl::cst(cw, 1));
+            m.update(base + "_cnt", rtl::cst(1, 1),
+                     rtl::mux(pending_in, sat, rtl::cst(cw, 0)));
+            // Elapsed = cnt + 1 on an un-acked offer cycle; the
+            // deadline trips when elapsed >= N — the same cycle
+            // trace::ChannelChecker first reports it.
+            emit("ack-within",
+                 pending_in &
+                     rtl::binop(Op::Ge, cnt, rtl::cst(cw, n - 1)));
+        }
+    }
+    return d;
+}
+
+} // namespace formal
+} // namespace anvil

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Property compilation: lower per-channel timing contracts into
+ * safety automata woven into the RTL module itself, so the
+ * obligations become ordinary `Assertion`s over the *compiled*
+ * netlist — checked through the interned-NetId fast lane by both the
+ * legacy BMC and the k-induction prover, with no per-cycle expression
+ * walking.
+ *
+ * Each clause of a ContractSpec becomes a small monitor block on a
+ * clone of the top module (`__fml_<ch>_*` registers and wires; the
+ * original module is never mutated):
+ *
+ *  - a shared 1-bit `pend` register tracks "offer outstanding":
+ *    pend' = valid & ~ack;
+ *  - `hold`:  bad when pend & ~valid (the offer was retracted);
+ *  - `stable`: a payload-wide shadow register captures the offered
+ *    data (shadow' = pend ? shadow : data); bad when
+ *    pend & (data != shadow);
+ *  - `ack within N`: a saturating counter of completed pending
+ *    cycles (cnt' = valid & ~ack ? sat(cnt + 1) : 0); bad when
+ *    valid & ~ack & cnt >= N-1 — the exact cycle trace::
+ *    ChannelChecker first reports the same violation.
+ *
+ * The bad conditions are named wires, so a violation shows up in VCD
+ * dumps of the instrumented design and the prover reads them as
+ * plain interned nets.
+ */
+
+#ifndef ANVIL_FORMAL_PROPERTY_H
+#define ANVIL_FORMAL_PROPERTY_H
+
+#include <string>
+#include <vector>
+
+#include "rtl/rtl.h"
+#include "trace/contracts.h"
+#include "verif/bmc.h"
+
+namespace anvil {
+namespace formal {
+
+/** One lowered obligation: a clause of one channel's contract. */
+struct CompiledProperty
+{
+    std::string channel;
+    std::string rule;       // "ack-within", "stable", "hold"
+    std::string bad_wire;   // 1-bit wire: high on violation
+    std::string data_wire;  // stable only: the payload signal
+    verif::Assertion assertion;   // enable 1, expr = ~bad
+};
+
+/** A module clone carrying the compiled safety automata. */
+struct InstrumentedDesign
+{
+    rtl::ModulePtr module;
+    std::vector<CompiledProperty> props;
+
+    /** All assertions, for the legacy BMC comparison path. */
+    std::vector<verif::Assertion> assertions() const;
+};
+
+/**
+ * Compile the clauses of each spec onto a clone of `top`.  Channels
+ * whose `<ch>_valid`/`<ch>_ack` signals the module does not expose
+ * are skipped; specs with no clauses compile to nothing.  The clone
+ * shares expression DAGs and child instances with the original
+ * (both are immutable).
+ */
+InstrumentedDesign compileProperties(
+    const rtl::Module &top,
+    const std::vector<trace::ContractSpec> &specs);
+
+} // namespace formal
+} // namespace anvil
+
+#endif // ANVIL_FORMAL_PROPERTY_H

@@ -160,6 +160,12 @@ syncBound(const SyncMode &peer)
       case SyncMode::Kind::Dependent:
         return std::max(0, peer.cycles);
       case SyncMode::Kind::Dynamic:
+        // A `@dyn#N` readiness bound is deliberately NOT used here:
+        // the checker may not trust an unverified promise, so
+        // bounded-dynamic syncs stay unbounded for timing checks.
+        // The bound's consumer is the formal subsystem, which turns
+        // it into an `ack within N` obligation and *proves* it
+        // (src/formal/contracts.h).
         return -1;
     }
     return -1;

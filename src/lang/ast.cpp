@@ -37,7 +37,8 @@ std::string
 SyncMode::str() const
 {
     switch (kind) {
-      case Kind::Dynamic: return "dyn";
+      case Kind::Dynamic:
+        return cycles > 0 ? strfmt("dyn#%d", cycles) : "dyn";
       case Kind::Static: return strfmt("#%d", cycles);
       case Kind::Dependent: return strfmt("#%s+%d", dep_msg.c_str(),
                                           cycles);

@@ -52,13 +52,19 @@ struct Duration
  * A synchronization mode (paper §4.1): dynamic (valid/ack handshake),
  * static (`@#N`: ready at most N cycles after the previous sync), or
  * dependent (`@#msg+N`: exactly N cycles after message `msg`).
+ *
+ * A dynamic mode may carry a readiness bound (`@dyn#N`): the
+ * handshake hardware is unchanged, but this side promises to complete
+ * the sync within N cycles of the peer's offer.  The bound is the
+ * compile-time source of the formal subsystem's `ack within N`
+ * contracts (src/formal/contracts.h).
  */
 struct SyncMode
 {
     enum class Kind { Dynamic, Static, Dependent };
 
     Kind kind = Kind::Dynamic;
-    int cycles = 0;
+    int cycles = 0;       // Static/Dependent: timing; Dynamic: bound
     std::string dep_msg;  // for Kind::Dependent
 
     std::string str() const;

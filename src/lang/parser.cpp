@@ -150,6 +150,14 @@ Parser::parseSyncMode()
     SyncMode s;
     if (match(Tok::KwDyn)) {
         s.kind = SyncMode::Kind::Dynamic;
+        // Bounded-dynamic: `@dyn#N` keeps the valid/ack handshake but
+        // additionally promises this side is ready (syncs) within N
+        // cycles of the peer's offer.  The bound changes no generated
+        // hardware; it is the `@#N`-style annotation the formal
+        // subsystem compiles into `ack within N` contracts.
+        if (match(Tok::Hash))
+            s.cycles = static_cast<int>(
+                expect(Tok::Number, "sync readiness bound").value);
         return s;
     }
     expect(Tok::Hash, "sync mode");

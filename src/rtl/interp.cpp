@@ -799,6 +799,37 @@ Sim::captureRegs() const
 }
 
 void
+Sim::setReg(size_t reg_index, const BitVec &v)
+{
+    const auto &regs = _nl.regs();
+    if (reg_index >= regs.size())
+        throw std::invalid_argument("register index out of range");
+    size_t ri = static_cast<size_t>(regs[reg_index]);
+    int width = _nl.net(regs[reg_index]).width;
+    // No-op fast path before any resize copy: the prover re-parks
+    // the whole register file every step and nearly every write is
+    // a no-op.
+    if (v.width() == width && v == _val[ri])
+        return;
+    BitVec nv = v.resize(width);
+    if (nv == _val[ri])
+        return;
+    _val[ri] = std::move(nv);
+    recordChange(regs[reg_index]);
+    seedSource(regs[reg_index]);
+    _dirty = true;
+}
+
+const BitVec &
+Sim::regValue(size_t reg_index) const
+{
+    const auto &regs = _nl.regs();
+    if (reg_index >= regs.size())
+        throw std::invalid_argument("register index out of range");
+    return _val[static_cast<size_t>(regs[reg_index])];
+}
+
+void
 Sim::restoreRegs(const std::vector<BitVec> &vals)
 {
     const auto &regs = _nl.regs();

@@ -194,6 +194,23 @@ class Sim
     void restoreRegs(const std::vector<BitVec> &vals);
 
     /**
+     * Indexed single-register write (netlist().regs() order), with
+     * the same change seeding as restoreRegs.  The k-induction
+     * prover's cone-restricted restore: touching only the cone's
+     * registers keeps per-step cost proportional to the cone, not
+     * the design.
+     */
+    void setReg(size_t reg_index, const BitVec &v);
+
+    /**
+     * Committed value of the i-th register (netlist().regs()
+     * order).  No sweep: register state only moves on pokes and
+     * clock edges, so snapshots taken right after step() need not
+     * recompute the combinational frame.
+     */
+    const BitVec &regValue(size_t reg_index) const;
+
+    /**
      * Value of an interned node at the current cycle.  Sweeps if
      * needed; lazy cones are evaluated on demand and fault exactly
      * like peek.  The id-addressed access of coverage and VCD tracing.

@@ -7,23 +7,67 @@ namespace anvil {
 namespace rtl {
 
 WaveRecorder::WaveRecorder(Sim &sim, std::vector<std::string> signals)
-    : _sim(sim), _signals(std::move(signals)),
-      _samples(_signals.size())
+    : _sim(sim), _samples(signals.size())
 {
+    const Netlist &nl = sim.netlist();
+    _net_slot.assign(nl.nets().size(), -1);
+    for (auto &name : signals) {
+        Rec r;
+        r.name = std::move(name);
+        std::string flat = nl.resolveName("", r.name);
+        auto it = nl.signals().find(flat);
+        if (it != nl.signals().end()) {
+            r.net = it->second.net;
+            // One feed slot per net; lazy nets are re-read directly
+            // every sample so their on-demand faults still fire.
+            size_t ni = static_cast<size_t>(r.net);
+            if (!nl.net(r.net).lazy && _net_slot[ni] < 0) {
+                _net_slot[ni] = static_cast<int32_t>(_recs.size());
+                r.fed = true;
+            }
+        }
+        _recs.push_back(std::move(r));
+    }
 }
 
 void
 WaveRecorder::sample()
 {
-    for (size_t i = 0; i < _signals.size(); i++)
-        _samples[i].push_back(_sim.peek(_signals[i]));
+    auto direct = [&](Rec &r) {
+        // Unresolved names keep peek()'s error; resolved ones read
+        // the interned value (identical result, no name lookup).
+        r.last = r.net == kNoNet ? _sim.peek(r.name)
+                                 : _sim.value(r.net);
+    };
+
+    if (_primed && _cursor.fresh(_sim)) {
+        for (NetId id : _sim.changedNets()) {
+            if (static_cast<size_t>(id) >= _net_slot.size())
+                continue;
+            int32_t slot = _net_slot[static_cast<size_t>(id)];
+            if (slot >= 0)
+                _recs[static_cast<size_t>(slot)].last =
+                    _sim.value(id);
+        }
+        for (auto &r : _recs)
+            if (!r.fed)
+                direct(r);
+    } else {
+        for (auto &r : _recs)
+            direct(r);
+        _primed = true;
+    }
+    _cursor.sync(_sim);
+
+    for (size_t i = 0; i < _recs.size(); i++)
+        _samples[i].push_back(_recs[i].last);
 }
 
 const std::vector<BitVec> &
 WaveRecorder::samplesOf(const std::string &sig) const
 {
-    for (size_t i = 0; i < _signals.size(); i++)
-        if (_signals[i] == sig)
+    for (size_t i = 0; i < _recs.size(); i++)
+        if (_recs[i].name == sig)
             return _samples[i];
     throw std::invalid_argument("signal not recorded: " + sig);
 }
@@ -33,8 +77,8 @@ WaveRecorder::render() const
 {
     std::ostringstream os;
     size_t name_w = 4;
-    for (const auto &s : _signals)
-        name_w = std::max(name_w, s.size());
+    for (const auto &r : _recs)
+        name_w = std::max(name_w, r.name.size());
 
     size_t cycles = _samples.empty() ? 0 : _samples[0].size();
     os << std::string(name_w, ' ') << " |";
@@ -45,9 +89,9 @@ WaveRecorder::render() const
     }
     os << "\n";
 
-    for (size_t i = 0; i < _signals.size(); i++) {
-        os << _signals[i]
-           << std::string(name_w - _signals[i].size(), ' ') << " |";
+    for (size_t i = 0; i < _recs.size(); i++) {
+        os << _recs[i].name
+           << std::string(name_w - _recs[i].name.size(), ' ') << " |";
         for (const auto &v : _samples[i]) {
             std::string h;
             if (v.width() == 1) {

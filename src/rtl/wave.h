@@ -2,6 +2,15 @@
  * @file
  * ASCII waveform recorder, used to reproduce the waveform figures of
  * the paper (Fig. 1 and Fig. 4).
+ *
+ * Like the other per-cycle observers (VcdWriter, Coverage,
+ * ContractMonitor), sampling is change-fed: recorded signals resolve
+ * to interned NetIds at construction, and after the priming sample
+ * only signals on the simulator's per-cycle changed-net list
+ * (Sim::changedNets) are re-read — the rest repeat their cached
+ * value.  Samples that skip cycles, follow late pokes, or touch lazy
+ * / unresolved names fall back to direct reads, preserving peek()'s
+ * fault semantics exactly.
  */
 
 #ifndef ANVIL_RTL_WAVE_H
@@ -34,9 +43,21 @@ class WaveRecorder
     const std::vector<BitVec> &samplesOf(const std::string &sig) const;
 
   private:
+    struct Rec
+    {
+        std::string name;
+        NetId net = kNoNet;   // kNoNet: unresolved, peek every sample
+        bool fed = false;     // covered by the change feed
+        BitVec last{1};
+    };
+
     Sim &_sim;
-    std::vector<std::string> _signals;
+    std::vector<Rec> _recs;
+    /** net -> _recs index (first trace of that net), or -1. */
+    std::vector<int32_t> _net_slot;
     std::vector<std::vector<BitVec>> _samples;
+    bool _primed = false;
+    ChangeFeedCursor _cursor;
 };
 
 } // namespace rtl

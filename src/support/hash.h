@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared packed-state hashing: FNV-1a over 64-bit words.
+ *
+ * This is the state-key convention of the explicit-state explorers —
+ * the BMC (src/verif/bmc.cpp) and the k-induction prover
+ * (src/formal/kinduction.cpp) both identify register snapshots by
+ * their packed words; keys are compared for full equality, the hash
+ * is only the table probe.
+ */
+
+#ifndef ANVIL_SUPPORT_HASH_H
+#define ANVIL_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace anvil {
+
+/** FNV-1a over a word vector. */
+inline uint64_t
+fnv1aWords(const std::vector<uint64_t> &words)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (uint64_t w : words) {
+        h ^= w;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Hash functor for unordered containers keyed by packed words. */
+struct PackedWordsHash
+{
+    size_t operator()(const std::vector<uint64_t> &words) const
+    {
+        return static_cast<size_t>(fnv1aWords(words));
+    }
+};
+
+} // namespace anvil
+
+#endif // ANVIL_SUPPORT_HASH_H

@@ -129,7 +129,12 @@ Coverage::addAssert(const std::string &name, rtl::ExprPtr enable,
 void
 Coverage::bind(rtl::Sim &sim)
 {
-    const rtl::Netlist &nl = sim.netlist();
+    bindNetlist(sim.netlist());
+}
+
+void
+Coverage::bindNetlist(const rtl::Netlist &nl)
+{
     _net_slot.assign(nl.nets().size(), -1);
     for (const auto &[name, sig] : nl.signals()) {
         SignalCoverage sc;
@@ -237,6 +242,34 @@ Coverage::sample(rtl::Sim &sim)
     // Any source poke recorded after this point and before the clock
     // edge invalidates next cycle's fast path (cursor check above).
     _cursor.sync(sim);
+    _samples++;
+}
+
+void
+Coverage::sampleNamed(
+    const std::function<const BitVec *(const std::string &)> &value)
+{
+    for (auto &sc : _signals) {
+        const BitVec *v = value(sc.name);
+        if (!v)
+            continue;
+        for (size_t w = 0; w < sc.rose.size(); w++) {
+            uint64_t cur = static_cast<int>(w) < v->words()
+                ? v->word(static_cast<int>(w)) : 0;
+            if (_samples > 0) {
+                sc.rose[w] |= cur & ~sc.last[w];
+                sc.fell[w] |= ~cur & sc.last[w];
+            }
+            sc.last[w] = cur;
+        }
+    }
+    for (auto &rb : _reg_bins) {
+        const BitVec *v = value(rb.name);
+        if (!v)
+            continue;
+        rb.hits[static_cast<size_t>(foldWords(*v) %
+                                    rb.hits.size())]++;
+    }
     _samples++;
 }
 

@@ -28,6 +28,7 @@
 #define ANVIL_TB_COVERAGE_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -119,6 +120,25 @@ class Coverage
      * The first call binds this engine to the sim's netlist.
      */
     void sample(rtl::Sim &sim);
+
+    /**
+     * Offline grading: bind the toggle/reg-bin models to a netlist
+     * without a live simulation — recorded traces are then fed
+     * through sampleNamed (trace::gradeCoverage).  The signal and
+     * bin tables are identical to a live bind, so a full dump of a
+     * run grades to the same summary the run printed.
+     */
+    void bindNetlist(const rtl::Netlist &nl);
+
+    /**
+     * One offline sample: `value` returns the frame value of a flat
+     * signal name, or null when the recording does not carry it
+     * (the signal is skipped that cycle).  User cover/assert points
+     * need live expressions and are not evaluated offline.
+     */
+    void sampleNamed(
+        const std::function<const BitVec *(const std::string &)>
+            &value);
 
     uint64_t samples() const { return _samples; }
 

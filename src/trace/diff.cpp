@@ -1,0 +1,113 @@
+#include "trace/diff.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace anvil {
+namespace trace {
+
+std::string
+TraceDiff::str() const
+{
+    std::string s;
+    for (const auto &n : only_in_a)
+        s += strfmt("  signal '%s' only in the first trace\n",
+                    n.c_str());
+    for (const auto &n : only_in_b)
+        s += strfmt("  signal '%s' only in the second trace\n",
+                    n.c_str());
+    for (const auto &n : width_mismatch)
+        s += strfmt("  signal '%s' recorded at different widths\n",
+                    n.c_str());
+    if (extent_mismatch)
+        s += strfmt("  recorded extents differ: first ends @%llu, "
+                    "second ends @%llu\n",
+                    static_cast<unsigned long long>(a_end),
+                    static_cast<unsigned long long>(b_end));
+    if (value_diverged)
+        s += strfmt("  first divergence @%llu %s: %s != %s\n",
+                    static_cast<unsigned long long>(cycle),
+                    signal.c_str(), a_value.c_str(),
+                    b_value.c_str());
+    if (identical)
+        s += strfmt("  identical: %zu signal(s) over %llu cycle(s)\n",
+                    signals_compared,
+                    static_cast<unsigned long long>(cycles_compared));
+    return s;
+}
+
+TraceDiff
+diffTraces(const Trace &a, const Trace &b)
+{
+    TraceDiff d;
+
+    // Structural comparison: match signals by dotted name.
+    struct Pair
+    {
+        size_t ia, ib;
+        const std::string *name;
+    };
+    std::vector<Pair> pairs;
+    for (size_t i = 0; i < a.signals().size(); i++) {
+        const TraceSignal &sa = a.signals()[i];
+        int j = b.indexOf(sa.name);
+        if (j < 0) {
+            d.only_in_a.push_back(sa.name);
+            continue;
+        }
+        if (b.signals()[static_cast<size_t>(j)].width != sa.width) {
+            d.width_mismatch.push_back(sa.name);
+            continue;
+        }
+        pairs.push_back({i, static_cast<size_t>(j), &sa.name});
+    }
+    for (const auto &sb : b.signals())
+        if (a.indexOf(sb.name) < 0)
+            d.only_in_b.push_back(sb.name);
+    // A truncated prefix whose tail went quiet matches every value
+    // it recorded; the differing extent is the only witness.  A dump
+    // with declarations but no change records at all (cut before its
+    // $dumpvars) is likewise only betrayed by its extent.
+    d.a_end = a.endTime();
+    d.b_end = b.endTime();
+    bool a_empty = a.cycles() == 0, b_empty = b.cycles() == 0;
+    d.extent_mismatch = (a_empty != b_empty) ||
+        (!a_empty && !b_empty &&
+         (d.a_end != d.b_end || a.startTime() != b.startTime()));
+    d.identical = d.only_in_a.empty() && d.only_in_b.empty() &&
+        d.width_mismatch.empty() && !d.extent_mismatch;
+    d.signals_compared = pairs.size();
+
+    if (pairs.empty())
+        return d;
+
+    uint64_t start = std::min(a.startTime(), b.startTime());
+    uint64_t end = std::max(a.endTime(), b.endTime());
+    if (a.cycles() == 0 && b.cycles() == 0)
+        return d;
+    d.cycles_compared = end - start + 1;
+
+    TraceCursor ca(a), cb(b);
+    for (uint64_t t = start; t <= end; t++) {
+        ca.advanceTo(t);
+        cb.advanceTo(t);
+        for (const auto &p : pairs) {
+            const BitVec &va = ca.value(p.ia);
+            const BitVec &vb = cb.value(p.ib);
+            if (va == vb)
+                continue;
+            d.identical = false;
+            d.value_diverged = true;
+            d.cycle = t;
+            d.signal = *p.name;
+            d.a_value = va.toHex();
+            d.b_value = vb.toHex();
+            return d;
+        }
+    }
+    return d;
+}
+
+} // namespace trace
+} // namespace anvil

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Multi-trace diffing: compare two loaded dumps cycle by cycle and
+ * report the first divergence — the regression-triage primitive
+ * behind `anvilc --diff-trace A.vcd B.vcd`.
+ *
+ * Signals are matched by dotted name; each common signal's value
+ * timeline (TraceCursor semantics: declared-width zero before the
+ * first change) is compared over the union of both dumps' time
+ * ranges.  Signals present in only one dump, or recorded at
+ * different widths, are structural divergences reported up front.
+ */
+
+#ifndef ANVIL_TRACE_DIFF_H
+#define ANVIL_TRACE_DIFF_H
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace anvil {
+namespace trace {
+
+/** Outcome of diffing two traces. */
+struct TraceDiff
+{
+    bool identical = true;
+
+    /** First divergent (cycle, signal) — valid when a value
+     *  divergence was found. */
+    bool value_diverged = false;
+    uint64_t cycle = 0;
+    std::string signal;
+    std::string a_value, b_value;   // hex at the divergent cycle
+
+    /** Signals recorded in only one dump. */
+    std::vector<std::string> only_in_a, only_in_b;
+    /** Signals recorded at different widths. */
+    std::vector<std::string> width_mismatch;
+    /** The dumps record different time extents (e.g. one is a
+     *  truncated prefix whose tail went quiet): a structural
+     *  divergence even when every compared value matches. */
+    bool extent_mismatch = false;
+    uint64_t a_end = 0, b_end = 0;
+
+    uint64_t cycles_compared = 0;
+    size_t signals_compared = 0;
+
+    /** Multi-line human-readable report. */
+    std::string str() const;
+};
+
+/** Compare every common signal of `a` and `b` over time. */
+TraceDiff diffTraces(const Trace &a, const Trace &b);
+
+} // namespace trace
+} // namespace anvil
+
+#endif // ANVIL_TRACE_DIFF_H

@@ -1,5 +1,7 @@
 #include "trace/replay.h"
 
+#include <map>
+
 #include "support/strings.h"
 
 namespace anvil {
@@ -75,6 +77,54 @@ attachReplay(tb::Testbench &bench, const Trace &t, bool check)
         bench.addMonitor(
             std::make_unique<ReplayMonitor>(t, bench.sim()));
     return cycles;
+}
+
+uint64_t
+gradeCoverage(const rtl::Netlist &nl, const Trace &t,
+              tb::Coverage &cov)
+{
+    cov.bindNetlist(nl);
+    if (t.cycles() == 0)
+        return 0;
+
+    // Flat signal name -> trace index, resolved once.
+    std::map<std::string, size_t> index;
+    for (size_t i = 0; i < t.signals().size(); i++)
+        index.emplace(t.signals()[i].name, i);
+
+    // The sampler queries the same names in the same order every
+    // frame, so the first frame's resolutions are memoized and
+    // replayed by position: no per-frame string lookups on an
+    // archive-sized grade.
+    std::vector<int32_t> order;
+    bool primed = false;
+    size_t call = 0;
+
+    TraceCursor cursor(t);
+    uint64_t frames = 0;
+    for (uint64_t time = t.startTime(); time <= t.endTime(); time++) {
+        cursor.advanceTo(time);
+        call = 0;
+        cov.sampleNamed(
+            [&](const std::string &name) -> const BitVec * {
+                int32_t idx;
+                if (!primed) {
+                    auto it = index.find(name);
+                    idx = it == index.end()
+                        ? -1 : static_cast<int32_t>(it->second);
+                    order.push_back(idx);
+                } else {
+                    idx = order[call];
+                }
+                call++;
+                return idx < 0
+                    ? nullptr
+                    : &cursor.value(static_cast<size_t>(idx));
+            });
+        primed = true;
+        frames++;
+    }
+    return frames;
 }
 
 } // namespace trace

@@ -92,6 +92,26 @@ class ReplayMonitor : public tb::Monitor
 uint64_t attachReplay(tb::Testbench &bench, const Trace &t,
                       bool check = true);
 
+/**
+ * Coverage replay: grade a recorded trace against a design's
+ * coverage model *offline* — no re-simulation.  The coverage engine
+ * is bound to the netlist and every recorded frame is fed through
+ * its offline sampler, so a full dump of a run reproduces the run's
+ * own toggle / reg-bin summary (pinned by tests); recordings from
+ * regression archives are graded the same way.  Returns the number
+ * of frames sampled.  User cover/assert points are not evaluated
+ * offline (they need live expressions).
+ *
+ * Frames run from the dump's first to its *last recorded change*: a
+ * VCD carries no run length, so trailing cycles in which nothing
+ * changed are not graded.  Changeless cycles cannot toggle anything,
+ * but the sample count (and thus reg-bin occupancy totals) matches
+ * the live run only when the run's final cycle recorded a change —
+ * true of change-dense random stimulus, not of runs that end idle.
+ */
+uint64_t gradeCoverage(const rtl::Netlist &nl, const Trace &t,
+                       tb::Coverage &cov);
+
 } // namespace trace
 } // namespace anvil
 

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "rtl/interp.h"
+#include "support/hash.h"
 
 namespace anvil {
 namespace verif {
@@ -30,21 +31,8 @@ packState(const std::vector<BitVec> &regs)
     return words;
 }
 
-struct StateHash
-{
-    size_t operator()(const std::vector<uint64_t> &words) const
-    {
-        uint64_t h = 1469598103934665603ull;   // FNV-1a over words
-        for (uint64_t w : words) {
-            h ^= w;
-            h *= 1099511628211ull;
-        }
-        return static_cast<size_t>(h);
-    }
-};
-
 using StateSet =
-    std::unordered_set<std::vector<uint64_t>, StateHash>;
+    std::unordered_set<std::vector<uint64_t>, PackedWordsHash>;
 
 } // namespace
 

@@ -12,6 +12,12 @@
  * space explodes and BMC exhausts its budget without reaching the
  * violating states, while Anvil's type checker rejects the same
  * design structurally in microseconds.
+ *
+ * The formal subsystem (src/formal/kinduction.h) layers a
+ * cone-of-influence-projected k-induction prover on this same
+ * exploration substrate; for contract-shaped properties it closes
+ * unboundedly on exactly the designs that exhaust this checker
+ * (bench_formal_prove reproduces the comparison).
  */
 
 #ifndef ANVIL_VERIF_BMC_H

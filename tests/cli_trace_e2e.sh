@@ -7,7 +7,16 @@
 #     and the coverage summaries must match,
 #  4. contract-check the healthy dump (exit 0),
 #  5. contract-check the hand-written violating fixture: exit code 1
-#     and a cycle-numbered report naming the broken rules.
+#     and a cycle-numbered report naming the broken rules,
+#  6. --diff-trace: identical dumps compare equal (exit 0), the
+#     violating fixture diverges (exit 1) with a cycle-stamped report,
+#  7. coverage replay: both the re-simulating (--replay --cov) and
+#     the offline (--check-trace --cov) graders print the same
+#     sim-summary JSON the live run printed,
+#  8. --infer-contracts prints the typed obligations/assumptions,
+#  9. --prove discharges quickstart's and listing2's obligations
+#     (exit 0), and a mis-annotated listing2 is disproved (exit 1)
+#     with a counterexample VCD that --check-trace flags in turn.
 #
 # Usage: cli_trace_e2e.sh <path-to-anvilc> <repo-root>
 set -e
@@ -39,3 +48,58 @@ test "$status" -eq 1
 grep -q '@3 io_pong \[stable\]' cli_viol.log
 grep -q '@4 io_pong \[hold\]' cli_viol.log
 echo "violating trace rejected with exit code 1"
+
+# --- Multi-trace diffing -------------------------------------------------
+
+"$ANVILC" --diff-trace cli_a.vcd cli_b.vcd > cli_diff_ok.log
+grep -q 'identical' cli_diff_ok.log
+set +e
+"$ANVILC" --diff-trace cli_a.vcd \
+    "$SRC/tests/golden/pong_violation.vcd" > cli_diff_bad.log
+status=$?
+set -e
+test "$status" -eq 1
+grep -Eq 'first divergence @|only in' cli_diff_bad.log
+echo "diff-trace: identical passes, divergent exits 1"
+
+# --- Coverage replay -----------------------------------------------------
+
+# Re-simulating grader: --replay --cov reproduces the live summary.
+"$ANVILC" "$DESIGN" --replay cli_a.vcd --cov > cli_rcov.log
+grep '^sim-summary' cli_rcov.log > cli_rcov.sum
+cmp cli_a.sum cli_rcov.sum
+# Offline grader: --check-trace --cov grades the dump alone.
+"$ANVILC" "$DESIGN" --check-trace cli_a.vcd --cov > cli_ocov.log
+grep '^sim-summary' cli_ocov.log > cli_ocov.sum
+cmp cli_a.sum cli_ocov.sum
+echo "coverage replay matches the live summary (live and offline)"
+
+# --- Typed contract inference and the k-induction prover -----------------
+
+"$ANVILC" "$DESIGN" --infer-contracts > cli_inf.log
+grep -q 'contract io_pong: stable, hold' cli_inf.log
+grep -q 'assume   io_pong: ack within 4' cli_inf.log
+
+"$ANVILC" "$DESIGN" --prove 4 > cli_prove.log
+grep -q 'proved' cli_prove.log
+
+L2="$SRC/examples/listing2.anvil"
+"$ANVILC" "$L2" --prove 4 --prove-report > cli_prove_l2.log
+grep -q 'contract:io_req:ack-within' cli_prove_l2.log
+
+# Mis-annotate the bound: disproved with a replayable cex VCD.
+sed 's/dyn#3/dyn#1/' "$L2" > cli_l2_bad.anvil
+set +e
+"$ANVILC" cli_l2_bad.anvil --prove 4 --vcd cli_cex.vcd \
+    > cli_prove_bad.log
+status=$?
+set -e
+test "$status" -eq 1
+grep -q 'VIOLATED' cli_prove_bad.log
+set +e
+"$ANVILC" cli_l2_bad.anvil --check-trace cli_cex.vcd > cli_cex.log
+status=$?
+set -e
+test "$status" -eq 1
+grep -q 'io_req \[ack-within\]' cli_cex.log
+echo "prover proves healthy designs and refutes the mis-annotation"

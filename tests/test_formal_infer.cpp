@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Typed contract inference tests: the specs derived from `@dyn#N`
+ * annotations and lifetime results reproduce the hand-written specs
+ * the trace tests use, agree with the netlist name-pair guess on
+ * every eval design, and a deliberately mis-annotated channel is
+ * disproved by the k-induction prover with a counterexample VCD that
+ * the offline trace checker flags at the same cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "anvil/compiler.h"
+#include "designs/designs.h"
+#include "formal/contracts.h"
+#include "formal/kinduction.h"
+#include "formal/property.h"
+#include "rtl/interp.h"
+#include "trace/contracts.h"
+#include "trace/vcd_reader.h"
+
+#ifndef ANVIL_TEST_DIR
+#define ANVIL_TEST_DIR "tests"
+#endif
+
+using namespace anvil;
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Compile and return both the output and the typed contract set. */
+formal::ContractSet
+inferFor(const std::string &source, CompileOutput *out_p = nullptr)
+{
+    CompileOutput out = compileAnvil(source);
+    EXPECT_TRUE(out.ok) << out.diags.render();
+    formal::ContractSet set =
+        formal::inferContracts(out.program, out.top);
+    if (out_p)
+        *out_p = std::move(out);
+    return set;
+}
+
+TEST(FormalInfer, QuickstartMatchesHandWrittenSpec)
+{
+    formal::ContractSet set = inferFor(
+        readFile(std::string(ANVIL_TEST_DIR) +
+                 "/../examples/quickstart.anvil"));
+    ASSERT_EQ(set.channels.size(), 2u);
+
+    // The design-sent pong channel carries exactly the hand-written
+    // default the trace tests pin ("io_pong" == stable, hold).
+    const formal::ChannelContract *pong = set.find("io_pong");
+    ASSERT_NE(pong, nullptr);
+    EXPECT_TRUE(pong->design_sends);
+    EXPECT_EQ(pong->design.str(),
+              trace::parseContractSpec("io_pong").str());
+    // The `@dyn#4` bound on the receiving side is an environment
+    // assumption, not a design obligation.
+    EXPECT_EQ(pong->env.str(),
+              trace::parseContractSpec("io_pong: ack within 4").str());
+    EXPECT_EQ(pong->lifetime, "#1");
+    // Lifetime provenance from the type system rides along.
+    ASSERT_EQ(pong->send_lifetimes.size(), 1u);
+
+    // The design-received ping channel has no readiness bound (its
+    // ack latency depends on the environment acking pong), so the
+    // design owes nothing checkable; stable/hold bind the sender —
+    // the environment.
+    const formal::ChannelContract *ping = set.find("io_ping");
+    ASSERT_NE(ping, nullptr);
+    EXPECT_FALSE(ping->design_sends);
+    EXPECT_EQ(ping->design.str(), "io_ping: none");
+    EXPECT_EQ(ping->env.str(),
+              trace::parseContractSpec("io_ping: stable, hold").str());
+
+    // The checker-facing views: clause-less obligations are
+    // filtered; both channels carry environment assumptions.
+    auto obligations = set.obligations();
+    ASSERT_EQ(obligations.size(), 1u);
+    EXPECT_EQ(obligations[0].str(), "io_pong: stable, hold");
+    auto assumptions = set.assumptions();
+    ASSERT_EQ(assumptions.size(), 2u);
+    EXPECT_EQ(assumptions[0].str(), "io_ping: stable, hold");
+    EXPECT_EQ(assumptions[1].str(), "io_pong: ack within 4");
+}
+
+TEST(FormalInfer, AnnotatedBoundsBecomeAckWithinObligations)
+{
+    // The shipped `@dyn#3` annotations land verbatim as design
+    // obligations on the receiving side.
+    struct Case
+    {
+        std::string source;
+        const char *channel;
+        const char *spec;
+    };
+    std::vector<Case> cases = {
+        {designs::anvilTlbSource(), "io_upd", "io_upd: ack within 3"},
+        {designs::anvilSystolicSource(), "inp_wld",
+         "inp_wld: ack within 3"},
+        {designs::anvilListing2Source(), "io_req",
+         "io_req: ack within 3"},
+    };
+    for (const auto &c : cases) {
+        formal::ContractSet set = inferFor(c.source);
+        const formal::ChannelContract *ch = set.find(c.channel);
+        ASSERT_NE(ch, nullptr) << c.channel;
+        EXPECT_FALSE(ch->design_sends) << c.channel;
+        EXPECT_EQ(ch->design.str(),
+                  trace::parseContractSpec(c.spec).str());
+        // The spec round-trips through the one-line syntax.
+        EXPECT_EQ(trace::parseContractSpec(ch->design.str()).str(),
+                  ch->design.str());
+    }
+}
+
+TEST(FormalInfer, AgreesWithNetlistInferenceOnEvalDesigns)
+{
+    // The typed design-sent channels coincide with the netlist
+    // name-pair guess (design-driven valid/ack pairs), clauses
+    // included — the netlist default is stable+hold, which is
+    // exactly the sender obligation the types derive.
+    std::vector<std::pair<const char *, std::string>> designs = {
+        {"fifo", designs::anvilFifoSource()},
+        {"spill_reg", designs::anvilSpillRegSource()},
+        {"stream_fifo", designs::anvilStreamFifoSource()},
+        {"tlb", designs::anvilTlbSource()},
+        {"ptw", designs::anvilPtwSource()},
+        {"aes", designs::anvilAesSource()},
+        {"axi_demux", designs::anvilAxiDemuxSource()},
+        {"axi_mux", designs::anvilAxiMuxSource()},
+        {"systolic", designs::anvilSystolicSource()},
+        {"listing2", designs::anvilListing2Source()},
+    };
+    for (const auto &[name, source] : designs) {
+        CompileOutput out;
+        formal::ContractSet typed = inferFor(source, &out);
+        rtl::Sim sim(out.module(out.top));
+        auto guessed = trace::inferContracts(sim.netlist());
+
+        std::set<std::string> typed_sent, netlist_found;
+        for (const auto &c : typed.channels)
+            if (c.design_sends) {
+                typed_sent.insert(c.channel);
+                EXPECT_EQ(c.design.str(),
+                          trace::ContractSpec{c.channel}.str())
+                    << name << " " << c.channel;
+            }
+        for (const auto &s : guessed)
+            netlist_found.insert(s.channel);
+        EXPECT_EQ(typed_sent, netlist_found) << name;
+    }
+}
+
+TEST(FormalInfer, HierarchicalInternalChannelsStayMonitored)
+{
+    // A spawned child's internal channel flattens to plain wires:
+    // invisible to the typed inference, but its valid/ack handshake
+    // is still monitorable.  checkableSpecs must merge the netlist
+    // guess back in, so hierarchical designs lose nothing the old
+    // netlist-only default covered.
+    CompileOutput out;
+    formal::ContractSet typed = inferFor(R"(
+chan inner_ch {
+    right d : (logic[8]@#1)
+}
+chan outer_ch {
+    left in : (logic[8]@in),
+    right out : (logic[8]@#1)
+}
+proc child(ep : left inner_ch) {
+    loop { send ep.d (200) >> cycle 1 }
+}
+proc parent(io : left outer_ch) {
+    reg acc : logic[8];
+    chan cl -- cr : inner_ch;
+    spawn child(cl);
+    loop {
+        let w = recv io.in >>
+        let v = recv cr.d >>
+        set acc := v + w >>
+        send io.out (*acc) >>
+        cycle 1
+    }
+}
+)", &out);
+    ASSERT_EQ(out.top, "parent");
+    // The internal channel flattens under the child instance's
+    // scope; it is not a top endpoint the typed set can see.
+    EXPECT_EQ(typed.find("child_0.ep_d"), nullptr);
+
+    rtl::Sim sim(out.module(out.top));
+    auto specs = formal::checkableSpecs(typed, sim.netlist());
+    bool saw_internal = false, saw_out = false;
+    for (const auto &s : specs) {
+        if (s.channel == "child_0.ep_d") {
+            saw_internal = true;
+            // Netlist default clauses for the merged channel.
+            EXPECT_EQ(s.str(), "child_0.ep_d: stable, hold");
+        }
+        saw_out |= s.channel == "io_out";
+        EXPECT_NE(s.channel, "io_in");   // clause-less: filtered
+    }
+    EXPECT_TRUE(saw_internal);
+    EXPECT_TRUE(saw_out);
+}
+
+TEST(FormalInfer, StaticSyncChannelsHaveNoContract)
+{
+    // alu's op/res use static sync on both sides: no handshake
+    // wires, nothing to monitor.
+    formal::ContractSet set = inferFor(designs::anvilPipelinedAluSource());
+    EXPECT_EQ(set.find("io_op"), nullptr);
+    EXPECT_EQ(set.find("io_res"), nullptr);
+    // systolic mixes: act is static (skipped), wld is dynamic.
+    formal::ContractSet sys = inferFor(designs::anvilSystolicSource());
+    EXPECT_EQ(sys.find("inp_act"), nullptr);
+    EXPECT_NE(sys.find("inp_wld"), nullptr);
+}
+
+TEST(FormalInfer, Listing2FileMatchesGeneratorSource)
+{
+    // examples/listing2.anvil must stay in sync with
+    // designs::anvilListing2Source(): same generated hardware, same
+    // inferred contracts.
+    CompileOutput from_file, from_func;
+    formal::ContractSet set_file = inferFor(
+        readFile(std::string(ANVIL_TEST_DIR) +
+                 "/../examples/listing2.anvil"),
+        &from_file);
+    formal::ContractSet set_func =
+        inferFor(designs::anvilListing2Source(), &from_func);
+    EXPECT_EQ(from_file.systemverilog, from_func.systemverilog);
+    ASSERT_EQ(set_file.channels.size(), set_func.channels.size());
+    for (size_t i = 0; i < set_file.channels.size(); i++) {
+        EXPECT_EQ(set_file.channels[i].design.str(),
+                  set_func.channels[i].design.str());
+        EXPECT_EQ(set_file.channels[i].env.str(),
+                  set_func.channels[i].env.str());
+    }
+}
+
+TEST(FormalInfer, MisAnnotatedChannelCaughtWithReplayableCex)
+{
+    // Tighten listing2's bound to `@dyn#1`: the accept loop's busy
+    // cycle makes a one-cycle deadline unmeetable.  The prover must
+    // find a reset-reachable counterexample, and its VCD must be
+    // flagged by the offline trace checker for the same channel and
+    // rule.
+    std::string src = designs::anvilListing2Source();
+    size_t pos = src.find("@dyn#3");
+    ASSERT_NE(pos, std::string::npos);
+    src.replace(pos, 6, "@dyn#1");
+
+    CompileOutput out;
+    formal::ContractSet typed = inferFor(src, &out);
+    const formal::ChannelContract *req = typed.find("io_req");
+    ASSERT_NE(req, nullptr);
+    EXPECT_EQ(req->design.str(), "io_req: ack within 1");
+
+    auto inst = formal::compileProperties(*out.module(out.top),
+                                          typed.obligations());
+    formal::ProveResult res = formal::prove(inst);
+    ASSERT_TRUE(res.anyViolated()) << res.report(true);
+
+    const formal::ObligationOutcome *cex = nullptr;
+    for (const auto &o : res.obligations)
+        if (o.status == formal::ObligationOutcome::Status::Violated)
+            cex = &o;
+    ASSERT_NE(cex, nullptr);
+    EXPECT_EQ(cex->channel, "io_req");
+    EXPECT_EQ(cex->rule, "ack-within");
+    ASSERT_FALSE(cex->cex.empty());
+
+    std::ostringstream vcd;
+    formal::writeCexVcd(inst, *cex, vcd);
+    std::istringstream in(vcd.str());
+    trace::Trace t = trace::VcdReader::read(in);
+    auto violations = trace::checkTrace(typed.obligations(), t);
+    ASSERT_FALSE(violations.empty());
+    EXPECT_EQ(violations[0].channel, "io_req");
+    EXPECT_EQ(violations[0].rule, "ack-within");
+    // The dump's final frame is the violating one.
+    EXPECT_EQ(violations[0].cycle, t.endTime());
+}
+
+} // namespace
