@@ -2,8 +2,9 @@
  * @file
  * Simulation-core throughput benchmark: cycles/second of the compiled
  * netlist simulator (rtl::Sim) in every sweep mode — dense full
- * sweep, event-driven dirty sweep, and threaded dirty sweep at 2 and
- * 4 workers — versus the reference interpreter (rtl::RefSim).
+ * sweep, event-driven dirty sweep, threaded dirty sweep at 2 and 4
+ * workers, and the JIT-compiled C++ kernel backend — versus the
+ * reference interpreter (rtl::RefSim).
  *
  * Workloads: the dense evaluation designs of Table 1 (MMU, AXI
  * routers, AES round core, compiled Anvil encrypt) under saturating
@@ -16,8 +17,9 @@
  * Build & run:  ./build/bench_sim_perf [--cycles N] [out.json]
  *
  * Prints a table and emits a JSON record matching BENCH_sim.json
- * (fields: ref, netlist = full sweep, dirty, threads.{2,4}, speedup
- * = netlist/ref, dirty_vs_full, activity_pct).  With a file argument
+ * (fields: ref, netlist = full sweep, dirty, threads.{2,4}, compiled
+ * — 0 when no system compiler is present — speedup = netlist/ref,
+ * dirty_vs_full, compiled_vs_dirty, activity_pct).  With a file argument
  * the JSON is written there; `--cycles N` caps every measurement at
  * N cycles (the CI smoke configuration, which exercises all sweep
  * modes).  See docs/benchmarks.md.
@@ -33,6 +35,7 @@
 #include <vector>
 
 #include "anvil/compiler.h"
+#include "codegen/jit.h"
 #include "designs/designs.h"
 #include "rtl/interp.h"
 #include "rtl/ref_interp.h"
@@ -163,6 +166,7 @@ struct Row
     double full = 0;         // dense sweep ("netlist" in the JSON)
     double dirty = 0;        // event-driven sweep
     double t2 = 0, t4 = 0;   // threaded sweep, 2 / 4 workers
+    double compiled = 0;     // JIT C++ kernel (0 = no compiler)
     double activity_pct = 0; // strict nodes evaluated / total, dirty
 };
 
@@ -192,6 +196,19 @@ runDesign(const std::string &name, const rtl::ModulePtr &mod,
         sim.setSweepMode(rtl::SweepMode::Threaded, threads);
         double v = timedRun(sim, sim_cycles, stim);
         (threads == 2 ? r.t2 : r.t4) = v;
+    }
+    if (!codegen::jitCompilerPath().empty()) {
+        rtl::Sim sim(mod);
+        sim.setSweepMode(rtl::SweepMode::Dirty);
+        codegen::JitResult jr =
+            codegen::jitCompileKernel(sim.netlist());
+        if (jr.kernel &&
+            sim.attachKernel(codegen::kernelRef(jr.kernel))) {
+            r.compiled = timedRun(sim, sim_cycles, stim);
+        } else {
+            fprintf(stderr, "%s: compiled backend unavailable (%s)\n",
+                    name.c_str(), jr.error.c_str());
+        }
     }
     {
         rtl::RefSim sim(mod);
@@ -260,29 +277,37 @@ main(int argc, char **argv)
                              cycles(40000), cycles(2000),
                              tlbStim(4242)));
 
-    printf("%-14s %11s %11s %11s %10s %10s %7s %6s\n", "design",
-           "ref cyc/s", "full cyc/s", "dirty", "thr2", "thr4",
-           "dirty/f", "act%");
+    printf("%-14s %11s %11s %11s %10s %10s %11s %7s %7s %6s\n",
+           "design", "ref cyc/s", "full cyc/s", "dirty", "thr2",
+           "thr4", "compiled", "dirty/f", "cmp/d", "act%");
     for (const auto &r : rows)
-        printf("%-14s %11.0f %11.0f %11.0f %10.0f %10.0f %6.2fx "
-               "%5.1f%%\n",
+        printf("%-14s %11.0f %11.0f %11.0f %10.0f %10.0f %11.0f "
+               "%6.2fx %6.2fx %5.1f%%\n",
                r.name.c_str(), r.ref, r.full, r.dirty, r.t2, r.t4,
-               r.dirty / r.full, r.activity_pct);
+               r.compiled, r.dirty / r.full,
+               r.dirty > 0 ? r.compiled / r.dirty : 0.0,
+               r.activity_pct);
 
     std::string json = "{\n  \"bench\": \"sim_perf\",\n"
         "  \"unit\": \"cycles_per_second\",\n  \"designs\": [\n";
     for (size_t i = 0; i < rows.size(); i++) {
-        char buf[512];
+        char buf[640];
         snprintf(buf, sizeof buf,
                  "    {\"name\": \"%s\", \"ref\": %.0f, "
                  "\"netlist\": %.0f, \"dirty\": %.0f, "
                  "\"threads\": {\"2\": %.0f, \"4\": %.0f}, "
+                 "\"compiled\": %.0f, "
                  "\"speedup\": %.2f, \"dirty_vs_full\": %.2f, "
+                 "\"compiled_vs_dirty\": %.2f, "
                  "\"activity_pct\": %.1f}%s\n",
                  rows[i].name.c_str(), rows[i].ref, rows[i].full,
                  rows[i].dirty, rows[i].t2, rows[i].t4,
+                 rows[i].compiled,
                  rows[i].full / rows[i].ref,
-                 rows[i].dirty / rows[i].full, rows[i].activity_pct,
+                 rows[i].dirty / rows[i].full,
+                 rows[i].dirty > 0
+                     ? rows[i].compiled / rows[i].dirty : 0.0,
+                 rows[i].activity_pct,
                  i + 1 < rows.size() ? "," : "");
         json += buf;
     }

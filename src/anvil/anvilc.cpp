@@ -16,6 +16,14 @@
  *     --seed <S>     testbench seed (default 1)
  *     --sweep <m>    sweep mode: full, dirty (default), or
  *                    threaded[:N] with N worker threads
+ *     --emit-cpp     dump the design's compiled-sim C++ kernel
+ *                    (kernel_abi.h translation unit) to stdout, or
+ *                    to -o <file> if given
+ *     --backend <b>  simulation backend for --sim/--replay: interp
+ *                    (default) or compiled — emit the kernel, build
+ *                    it with the system C++ compiler, dlopen it;
+ *                    falls back to the interpreter (with a note)
+ *                    when no compiler is available
  *     --vcd <file>   write a VCD waveform of the simulation
  *     --cov          print the coverage report after simulation
  *     --replay <f>   re-execute a recorded VCD dump as stimulus and
@@ -62,6 +70,8 @@
 #include <vector>
 
 #include "anvil/compiler.h"
+#include "codegen/cpp_emitter.h"
+#include "codegen/jit.h"
 #include "formal/contracts.h"
 #include "formal/kinduction.h"
 #include "formal/property.h"
@@ -99,6 +109,10 @@ usage()
             "  --seed <S>     testbench seed (default 1)\n"
             "  --sweep <m>    sweep mode: full, dirty (default),\n"
             "                 or threaded[:N]\n"
+            "  --emit-cpp     dump the compiled-sim C++ kernel\n"
+            "  --backend <b>  sim backend: interp (default) or\n"
+            "                 compiled (JIT via the system compiler;\n"
+            "                 interpreter fallback if none)\n"
             "  --vcd <file>   write a VCD waveform of the simulation\n"
             "  --cov          print the coverage report\n"
             "  --replay <f>   replay a recorded VCD dump as stimulus\n"
@@ -189,6 +203,27 @@ parseSweepMode(const std::string &text, rtl::SweepMode *mode,
     return false;
 }
 
+/**
+ * --backend compiled: JIT the netlist and attach the kernel to the
+ * bench's simulator.  Failures (no compiler, compile error, hash
+ * mismatch) degrade to the interpreter with a note on stderr; the
+ * run's results and exit code are identical either way.
+ */
+void
+attachCompiledBackend(tb::Testbench &bench)
+{
+    codegen::JitResult jr =
+        codegen::jitCompileKernel(bench.sim().netlist());
+    if (jr.kernel &&
+        bench.sim().attachKernel(codegen::kernelRef(jr.kernel)))
+        return;
+    fprintf(stderr,
+            "anvilc: note: compiled backend unavailable (%s); "
+            "using the interpreter\n",
+            jr.error.empty() ? "kernel attach failed"
+                             : jr.error.c_str());
+}
+
 /** Shared tail of --sim and --replay runs: run, report, exit code. */
 int
 finishRun(tb::Testbench &bench, uint64_t cycles,
@@ -210,11 +245,14 @@ finishRun(tb::Testbench &bench, uint64_t cycles,
             ? 100.0 * ss.avgNodes() /
                 static_cast<double>(ss.strict_nodes)
             : 0.0;
-        printf("sweep: mode=%s threads=%d strict-nodes=%zu "
+        printf("sweep: mode=%s%s threads=%d strict-nodes=%zu "
                "evaluated/cycle avg=%.1f peak=%llu "
                "changed-nets/cycle avg=%.1f peak=%llu "
                "activity=%.1f%%\n",
-               rtl::sweepModeName(ss.mode), ss.threads,
+               rtl::sweepModeName(ss.mode),
+               bench.sim().kernelAttached() ? " backend=compiled"
+                                            : "",
+               ss.threads,
                ss.strict_nodes, ss.avgNodes(),
                (unsigned long long)ss.peak_nodes, ss.avgChanged(),
                (unsigned long long)ss.peak_changed, act);
@@ -246,10 +284,13 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
          bool contracts,
          const std::vector<std::string> &contract_specs,
          const formal::ContractSet *typed,
-         rtl::SweepMode sweep_mode, int sweep_threads)
+         rtl::SweepMode sweep_mode, int sweep_threads,
+         bool compiled_backend)
 {
     tb::Testbench bench(mod, seed);
     bench.sim().setSweepMode(sweep_mode, sweep_threads);
+    if (compiled_backend)
+        attachCompiledBackend(bench);
     for (const auto &in : bench.sim().inputNames())
         bench.driveRandom(in);
 
@@ -296,7 +337,8 @@ replay(const rtl::ModulePtr &mod, const std::string &dump_path,
        bool stats, bool contracts,
        const std::vector<std::string> &contract_specs,
        const formal::ContractSet *typed,
-       rtl::SweepMode sweep_mode, int sweep_threads)
+       rtl::SweepMode sweep_mode, int sweep_threads,
+       bool compiled_backend)
 {
     trace::Trace t;
     try {
@@ -309,6 +351,8 @@ replay(const rtl::ModulePtr &mod, const std::string &dump_path,
 
     tb::Testbench bench(mod);
     bench.sim().setSweepMode(sweep_mode, sweep_threads);
+    if (compiled_backend)
+        attachCompiledBackend(bench);
     auto driver =
         std::make_unique<trace::ReplayDriver>(t, bench.sim());
     uint64_t cycles = driver->cyclesAvailable();
@@ -536,6 +580,9 @@ main(int argc, char **argv)
     rtl::SweepMode sweep_mode = rtl::SweepMode::Dirty;
     int sweep_threads = 0;
     bool sweep_set = false;
+    bool emit_cpp = false;
+    bool compiled_backend = false;
+    bool backend_set = false;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -568,6 +615,19 @@ main(int argc, char **argv)
                 return kExitUsage;
             }
             sweep_set = true;
+        } else if (arg == "--emit-cpp") {
+            emit_cpp = true;
+        } else if (arg == "--backend" && i + 1 < argc) {
+            std::string b = argv[++i];
+            if (b == "compiled") {
+                compiled_backend = true;
+            } else if (b != "interp") {
+                fprintf(stderr,
+                        "anvilc: bad --backend '%s' (expected "
+                        "interp or compiled)\n", b.c_str());
+                return kExitUsage;
+            }
+            backend_set = true;
         } else if (arg == "--vcd" && i + 1 < argc) {
             vcd_path = argv[++i];
         } else if (arg == "--cov") {
@@ -644,6 +704,19 @@ main(int argc, char **argv)
                         "--sim <N>, --replay, or --prove\n");
         return kExitUsage;
     }
+    if (backend_set && !runs_sim) {
+        fprintf(stderr, "anvilc: --backend requires --sim <N> or "
+                        "--replay\n");
+        return kExitUsage;
+    }
+    if (emit_cpp &&
+        (runs_sim || !check_trace_path.empty() || prove ||
+         check_only)) {
+        fprintf(stderr, "anvilc: --emit-cpp is a codegen action; it "
+                        "conflicts with --sim/--replay/--check-trace/"
+                        "--prove/--check-only\n");
+        return kExitUsage;
+    }
     if (!runs_sim && check_trace_path.empty() && cov) {
         fprintf(stderr, "anvilc: --cov requires --sim <N>, "
                         "--replay, or --check-trace\n");
@@ -651,7 +724,7 @@ main(int argc, char **argv)
     }
     bool needs_module = runs_sim || !check_trace_path.empty() ||
                         contracts || !contract_specs.empty() ||
-                        prove;
+                        prove || emit_cpp;
     if ((needs_module || infer_contracts) && check_only) {
         fprintf(stderr, "anvilc: --sim/--replay/--check-trace/"
                         "--contracts/--prove/--infer-contracts "
@@ -701,7 +774,7 @@ main(int argc, char **argv)
         return kExitCheckFailure;
     }
 
-    if (!check_only) {
+    if (!check_only && !emit_cpp) {
         if (output.empty()) {
             if (!needs_module && !infer_contracts)
                 fputs(out.systemverilog.c_str(), stdout);
@@ -742,6 +815,24 @@ main(int argc, char **argv)
                     out.top.c_str());
             return kExitCheckFailure;
         }
+        if (emit_cpp) {
+            rtl::Netlist nl(*mod);
+            std::string kernel = codegen::emitCppKernel(nl, out.top);
+            if (output.empty()) {
+                fputs(kernel.c_str(), stdout);
+            } else {
+                std::ofstream os(output);
+                if (!os) {
+                    fprintf(stderr, "anvilc: cannot write '%s'\n",
+                            output.c_str());
+                    return kExitIo;
+                }
+                os << kernel;
+                fprintf(stderr, "anvilc: wrote %s\n",
+                        output.c_str());
+            }
+            return kExitOk;
+        }
         if (prove)
             return proveDesign(mod, contract_specs, &typed,
                                contracts, prove_k, prove_report,
@@ -752,11 +843,13 @@ main(int argc, char **argv)
         if (!replay_path.empty())
             return replay(mod, replay_path, sim_cycles, vcd_path,
                           cov, stats, contracts, contract_specs,
-                          &typed, sweep_mode, sweep_threads);
+                          &typed, sweep_mode, sweep_threads,
+                          compiled_backend);
         if (sim_cycles > 0)
             return simulate(mod, sim_cycles, seed, vcd_path, cov,
                             stats, contracts, contract_specs,
-                            &typed, sweep_mode, sweep_threads);
+                            &typed, sweep_mode, sweep_threads,
+                            compiled_backend);
         // --contracts / --contract alone: print the contract set.
         rtl::Sim sim(mod);
         std::vector<trace::ContractSpec> specs;

@@ -1,0 +1,1009 @@
+#include "codegen/cpp_emitter.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "codegen/emit_util.h"
+#include "rtl/kernel_abi.h"
+#include "support/strings.h"
+
+namespace anvil {
+namespace codegen {
+
+namespace {
+
+using rtl::kNoNet;
+using rtl::Net;
+using rtl::NetId;
+using rtl::Netlist;
+using rtl::Op;
+
+/** Nodes per dirty block: small enough that a marked block touches
+ *  little beyond the changing cone, large enough that the bitmap and
+ *  the consumer-block CSR stay compact. */
+constexpr size_t kBlockSize = 16;
+
+uint64_t
+maskOf(int width)
+{
+    if (width <= 0)
+        return 0;
+    return width >= 64 ? ~0ull : (1ull << width) - 1;
+}
+
+std::string
+hexU64(uint64_t v)
+{
+    return strfmt("0x%llxull", static_cast<unsigned long long>(v));
+}
+
+/** Packed-word helpers embedded in every generated unit.  They
+ *  replicate anvil::BitVec semantics exactly (see support/bitvec.cpp):
+ *  values are little-endian word arrays, normalized so bits at or
+ *  above the width are zero; reads beyond a value's words are zero. */
+const char *kWidePrelude = R"(
+static inline uint64_t wmask(uint32_t bits)
+{
+    uint32_t r = bits & 63u;
+    return r ? (~0ull >> (64u - r)) : ~0ull;
+}
+static inline uint64_t wat(const uint64_t *p, uint32_t n, uint32_t i)
+{
+    return i < n ? p[i] : 0;
+}
+/* Word i of the value resized (zero-extend / truncate) to dbits. */
+static inline uint64_t w_rword(const uint64_t *p, uint32_t n,
+                               uint32_t dw, uint32_t dbits, uint32_t i)
+{
+    if (i >= dw)
+        return 0;
+    uint64_t v = wat(p, n, i);
+    return i == dw - 1 ? v & wmask(dbits) : v;
+}
+static inline void w_zero(uint64_t *d, uint32_t dw)
+{
+    for (uint32_t i = 0; i < dw; i++)
+        d[i] = 0;
+}
+static inline void w_copy(uint64_t *d, uint32_t dw, uint32_t dbits,
+                          const uint64_t *a, uint32_t aw)
+{
+    for (uint32_t i = 0; i < dw; i++)
+        d[i] = wat(a, aw, i);
+    d[dw - 1] &= wmask(dbits);
+}
+static inline void w_not(uint64_t *d, uint32_t dw, uint32_t dbits,
+                         const uint64_t *a, uint32_t aw)
+{
+    for (uint32_t i = 0; i < dw; i++)
+        d[i] = ~wat(a, aw, i);
+    d[dw - 1] &= wmask(dbits);
+}
+static inline void w_and(uint64_t *d, uint32_t dw, uint32_t dbits,
+                         const uint64_t *a, uint32_t aw,
+                         const uint64_t *b, uint32_t bw)
+{
+    for (uint32_t i = 0; i < dw; i++)
+        d[i] = wat(a, aw, i) & wat(b, bw, i);
+    d[dw - 1] &= wmask(dbits);
+}
+static inline void w_or(uint64_t *d, uint32_t dw, uint32_t dbits,
+                        const uint64_t *a, uint32_t aw,
+                        const uint64_t *b, uint32_t bw)
+{
+    for (uint32_t i = 0; i < dw; i++)
+        d[i] = wat(a, aw, i) | wat(b, bw, i);
+    d[dw - 1] &= wmask(dbits);
+}
+static inline void w_xor(uint64_t *d, uint32_t dw, uint32_t dbits,
+                         const uint64_t *a, uint32_t aw,
+                         const uint64_t *b, uint32_t bw)
+{
+    for (uint32_t i = 0; i < dw; i++)
+        d[i] = wat(a, aw, i) ^ wat(b, bw, i);
+    d[dw - 1] &= wmask(dbits);
+}
+static inline void w_add(uint64_t *d, uint32_t dw, uint32_t dbits,
+                         const uint64_t *a, uint32_t aw,
+                         const uint64_t *b, uint32_t bw)
+{
+    unsigned __int128 carry = 0;
+    for (uint32_t i = 0; i < dw; i++) {
+        unsigned __int128 sum = carry;
+        sum += wat(a, aw, i);
+        sum += wat(b, bw, i);
+        d[i] = (uint64_t)sum;
+        carry = sum >> 64;
+    }
+    d[dw - 1] &= wmask(dbits);
+}
+static inline void w_sub(uint64_t *d, uint32_t dw, uint32_t dbits,
+                         const uint64_t *a, uint32_t aw,
+                         const uint64_t *b, uint32_t bw)
+{
+    unsigned __int128 carry = 1;
+    for (uint32_t i = 0; i < dw; i++) {
+        unsigned __int128 sum = carry;
+        sum += wat(a, aw, i);
+        sum += ~wat(b, bw, i);
+        d[i] = (uint64_t)sum;
+        carry = sum >> 64;
+    }
+    d[dw - 1] &= wmask(dbits);
+}
+static inline void w_mul(uint64_t *d, uint32_t dw, uint32_t dbits,
+                         const uint64_t *a, uint32_t aw,
+                         const uint64_t *b, uint32_t bw)
+{
+    w_zero(d, dw);
+    for (uint32_t i = 0; i < dw; i++) {
+        unsigned __int128 carry = 0;
+        for (uint32_t j = 0; i + j < dw; j++) {
+            unsigned __int128 p =
+                (unsigned __int128)wat(a, aw, i) * wat(b, bw, j);
+            p += d[i + j];
+            p += carry;
+            d[i + j] = (uint64_t)p;
+            carry = p >> 64;
+        }
+    }
+    d[dw - 1] &= wmask(dbits);
+}
+/* Comparisons are over the original (unresized) operands. */
+static inline uint64_t w_eq(const uint64_t *a, uint32_t aw,
+                            const uint64_t *b, uint32_t bw)
+{
+    uint32_t n = aw > bw ? aw : bw;
+    for (uint32_t i = 0; i < n; i++)
+        if (wat(a, aw, i) != wat(b, bw, i))
+            return 0;
+    return 1;
+}
+static inline uint64_t w_ult(const uint64_t *a, uint32_t aw,
+                             const uint64_t *b, uint32_t bw)
+{
+    uint32_t n = aw > bw ? aw : bw;
+    for (uint32_t i = n; i-- > 0;) {
+        uint64_t x = wat(a, aw, i), y = wat(b, bw, i);
+        if (x != y)
+            return x < y;
+    }
+    return 0;
+}
+static inline uint64_t w_ule(const uint64_t *a, uint32_t aw,
+                             const uint64_t *b, uint32_t bw)
+{
+    return w_ult(a, aw, b, bw) | w_eq(a, aw, b, bw);
+}
+static inline uint64_t w_any(const uint64_t *a, uint32_t aw)
+{
+    for (uint32_t i = 0; i < aw; i++)
+        if (a[i])
+            return 1;
+    return 0;
+}
+static inline uint64_t w_red_and(const uint64_t *a, uint32_t aw,
+                                 uint32_t abits)
+{
+    for (uint32_t i = 0; i < aw; i++) {
+        uint64_t want = i == aw - 1 ? wmask(abits) : ~0ull;
+        if (a[i] != want)
+            return 0;
+    }
+    return 1;
+}
+static inline void w_shl(uint64_t *d, uint32_t dw, uint32_t dbits,
+                         const uint64_t *a, uint32_t aw, uint64_t sh)
+{
+    if (sh >= dbits) {
+        w_zero(d, dw);
+        return;
+    }
+    uint32_t ws = (uint32_t)(sh / 64), bs = (uint32_t)(sh % 64);
+    for (uint32_t j = dw; j-- > ws;) {
+        uint64_t w = w_rword(a, aw, dw, dbits, j - ws) << bs;
+        if (bs != 0 && j - ws > 0)
+            w |= w_rword(a, aw, dw, dbits, j - ws - 1) >> (64 - bs);
+        d[j] = w;
+    }
+    for (uint32_t j = 0; j < ws && j < dw; j++)
+        d[j] = 0;
+    d[dw - 1] &= wmask(dbits);
+}
+static inline void w_shr(uint64_t *d, uint32_t dw, uint32_t dbits,
+                         const uint64_t *a, uint32_t aw, uint64_t sh)
+{
+    if (sh >= dbits) {
+        w_zero(d, dw);
+        return;
+    }
+    uint32_t ws = (uint32_t)(sh / 64), bs = (uint32_t)(sh % 64);
+    for (uint32_t j = 0; j < dw; j++) {
+        uint64_t w = w_rword(a, aw, dw, dbits, ws + j) >> bs;
+        if (bs != 0)
+            w |= w_rword(a, aw, dw, dbits, ws + j + 1) << (64 - bs);
+        d[j] = w;
+    }
+    d[dw - 1] &= wmask(dbits);
+}
+/* Bits [lo, lo+dbits) of the unresized source; out-of-range bits
+ * (including negative indices) read as zero. */
+static inline void w_slice(uint64_t *d, uint32_t dw, uint32_t dbits,
+                           const uint64_t *a, uint32_t aw, int32_t lo)
+{
+    if (lo < 0) {
+        /* Zeros below index 0: a left shift of the source. */
+        uint64_t sh = (uint64_t)(-(int64_t)lo);
+        if (sh >= dbits) {
+            w_zero(d, dw);
+            return;
+        }
+        uint32_t ws = (uint32_t)(sh / 64), bs = (uint32_t)(sh % 64);
+        for (uint32_t j = dw; j-- > ws;) {
+            uint64_t w = wat(a, aw, j - ws) << bs;
+            if (bs != 0 && j - ws > 0)
+                w |= wat(a, aw, j - ws - 1) >> (64 - bs);
+            d[j] = w;
+        }
+        for (uint32_t j = 0; j < ws && j < dw; j++)
+            d[j] = 0;
+        d[dw - 1] &= wmask(dbits);
+        return;
+    }
+    uint32_t ws = (uint32_t)lo / 64, bs = (uint32_t)lo % 64;
+    for (uint32_t j = 0; j < dw; j++) {
+        uint64_t w = wat(a, aw, ws + j) >> bs;
+        if (bs != 0)
+            w |= wat(a, aw, ws + j + 1) << (64 - bs);
+        d[j] = w;
+    }
+    d[dw - 1] &= wmask(dbits);
+}
+/* OR the low abits bits of a into d at bit offset off (concat part;
+ * destination must be pre-zeroed, final mask applied by the caller). */
+static inline void w_inject(uint64_t *d, uint32_t dw,
+                            const uint64_t *a, uint32_t aw,
+                            uint32_t abits, uint32_t off)
+{
+    uint32_t ws = off / 64, bs = off % 64;
+    uint32_t awords = (abits + 63) / 64;
+    for (uint32_t j = 0; j < awords; j++) {
+        if (ws + j < dw)
+            d[ws + j] |= wat(a, aw, j) << bs;
+        if (bs != 0 && ws + j + 1 < dw)
+            d[ws + j + 1] |= wat(a, aw, j) >> (64 - bs);
+    }
+}
+)";
+
+struct Block
+{
+    int level = 0;
+    uint32_t id = 0;              // bit position in the dirty bitmap
+    std::vector<NetId> nodes;
+};
+
+class CppEmitter
+{
+  public:
+    CppEmitter(const Netlist &nl, const std::string &design_name)
+        : _nl(nl), _name(design_name)
+    {
+    }
+
+    std::string run();
+
+  private:
+    void layoutState();
+    void layoutBlocks();
+    std::string romTable(const Net &n);
+    void emitTables(std::ostringstream &os);
+    void emitNode(std::ostringstream &os, NetId id);
+    void emitFastNode(std::ostringstream &os, NetId id,
+                      const std::string &guard);
+    void emitWideNode(std::ostringstream &os, NetId id,
+                      const std::string &guard);
+    void emitLevelFns(std::ostringstream &os);
+    std::string guardExpr(const Net &n) const;
+    std::string fastVal(NetId o) const;   // u64 value of an operand
+    std::string ptrOf(NetId o) const;     // &c->s[off]
+    uint32_t wordsOf(NetId o) const
+    {
+        int w = _nl.net(o).width;
+        return w <= 0 ? 1u : static_cast<uint32_t>((w + 63) / 64);
+    }
+
+    const Netlist &_nl;
+    std::string _name;
+    std::vector<uint32_t> _off;           // per-net word offset
+    uint64_t _state_words = 0;
+    std::vector<Block> _blocks;
+    std::vector<int32_t> _block_of;       // per-net block id or -1
+    uint32_t _block_bits = 0;             // bitmap bit positions
+    std::vector<std::pair<uint32_t, uint32_t>> _level_words;
+    std::map<std::pair<const void *, int>, std::string> _roms;
+    std::ostringstream _rom_defs;
+};
+
+void
+CppEmitter::layoutState()
+{
+    const auto &nets = _nl.nets();
+    _off.resize(nets.size());
+    uint64_t off = 0;
+    for (size_t i = 0; i < nets.size(); i++) {
+        _off[i] = static_cast<uint32_t>(off);
+        int w = nets[i].width;
+        off += w <= 0 ? 1 : static_cast<uint64_t>((w + 63) / 64);
+    }
+    _state_words = off ? off : 1;
+}
+
+void
+CppEmitter::layoutBlocks()
+{
+    _block_of.assign(_nl.nets().size(), -1);
+    const auto &order = _nl.order();
+    const auto &lb = _nl.levelBegin();
+    uint32_t bit = 0;
+    for (size_t l = 0; l + 1 < lb.size(); l++) {
+        size_t b = static_cast<size_t>(lb[l]);
+        size_t e = static_cast<size_t>(lb[l + 1]);
+        // Each level starts on a fresh bitmap word so a level
+        // function owns whole words of the dirty bitmap.
+        uint32_t w0 = (bit + 63) / 64;
+        bit = w0 * 64;
+        for (size_t i = b; i < e; i += kBlockSize) {
+            Block blk;
+            blk.level = static_cast<int>(l);
+            blk.id = bit++;
+            for (size_t k = i; k < e && k < i + kBlockSize; k++) {
+                blk.nodes.push_back(order[k]);
+                _block_of[static_cast<size_t>(order[k])] =
+                    static_cast<int32_t>(blk.id);
+            }
+            _blocks.push_back(std::move(blk));
+        }
+        _level_words.emplace_back(w0, (bit + 63) / 64);
+    }
+    _block_bits = bit;
+}
+
+std::string
+CppEmitter::romTable(const Net &n)
+{
+    auto key = std::make_pair(
+        static_cast<const void *>(n.rom.get()), n.width);
+    auto it = _roms.find(key);
+    if (it != _roms.end())
+        return it->second;
+    std::string name = strfmt("kRom%d", static_cast<int>(_roms.size()));
+    _roms.emplace(key, name);
+    uint32_t stride =
+        n.width <= 0 ? 1u : static_cast<uint32_t>((n.width + 63) / 64);
+    _rom_defs << "static const uint64_t " << name << "["
+              << n.rom->size() * stride << "] = {";
+    size_t col = 0;
+    for (const BitVec &e : *n.rom) {
+        BitVec r = e.resize(n.width <= 0 ? 1 : n.width);
+        for (uint32_t w = 0; w < stride; w++) {
+            if (col++ % 8 == 0)
+                _rom_defs << "\n    ";
+            _rom_defs << hexU64(r.word(static_cast<int>(w))) << ",";
+        }
+    }
+    _rom_defs << "\n};\n";
+    return name;
+}
+
+void
+CppEmitter::emitTables(std::ostringstream &os)
+{
+    size_t nets = _nl.nets().size();
+    size_t levels =
+        _nl.levelBegin().empty() ? 0 : _nl.levelBegin().size() - 1;
+    os << "enum : uint32_t { kNets = " << nets << "u, kBlockBits = "
+       << _block_bits << "u, kBlockWords = " << (_block_bits + 63) / 64
+       << "u, kLevelWords = " << (levels + 63) / 64 << "u };\n";
+    os << "enum : uint64_t { kStateWords = " << _state_words
+       << "ull };\n\n";
+
+    os << "static const uint32_t kOff[kNets] = {";
+    for (size_t i = 0; i < nets; i++)
+        os << (i % 16 == 0 ? "\n    " : "") << _off[i] << ",";
+    os << "\n};\n\n";
+
+    os << "static const uint64_t kInit[kStateWords] = {";
+    size_t col = 0;
+    for (size_t i = 0; i < nets; i++) {
+        const BitVec &v = _nl.initValues()[i];
+        uint32_t w = wordsOf(static_cast<NetId>(i));
+        for (uint32_t j = 0; j < w; j++) {
+            os << (col++ % 8 == 0 ? "\n    " : "")
+               << hexU64(v.word(static_cast<int>(j))) << ",";
+        }
+    }
+    os << "\n};\n\n";
+
+    // Consumer-block CSR: the blocks containing a strict consumer of
+    // each net, ascending — what poke()/onChange() mark dirty.
+    std::vector<std::vector<uint32_t>> fan(nets);
+    for (const Block &b : _blocks)
+        for (NetId id : b.nodes)
+            Netlist::forEachOperand(_nl.net(id), [&](NetId o) {
+                if (_nl.net(o).kind == Net::Kind::Const)
+                    return;
+                auto &lst = fan[static_cast<size_t>(o)];
+                if (lst.empty() || lst.back() != b.id)
+                    lst.push_back(b.id);
+            });
+    size_t edges = 0;
+    for (auto &lst : fan)
+        edges += lst.size();
+    os << "static const uint32_t kFanBegin[kNets + 1] = {";
+    uint32_t acc = 0;
+    for (size_t i = 0; i <= nets; i++) {
+        os << (i % 16 == 0 ? "\n    " : "") << acc << ",";
+        if (i < nets)
+            acc += static_cast<uint32_t>(fan[i].size());
+    }
+    os << "\n};\n";
+    os << "static const uint32_t kFanBlock[" << (edges ? edges : 1)
+       << "] = {";
+    col = 0;
+    for (const auto &lst : fan)
+        for (uint32_t b : lst)
+            os << (col++ % 16 == 0 ? "\n    " : "") << b << ",";
+    if (edges == 0)
+        os << "0";
+    os << "\n};\n\n";
+
+    // Bits of every real (non-padding) block, for the dense sweep.
+    std::vector<uint64_t> mask((_block_bits + 63) / 64, 0);
+    for (const Block &b : _blocks)
+        mask[b.id / 64] |= 1ull << (b.id % 64);
+    if (mask.empty())
+        mask.push_back(0);   // keep the array legal for empty designs
+    os << "static const uint64_t kBlockMask[kBlockWords ? kBlockWords "
+          ": 1] = {";
+    for (size_t i = 0; i < mask.size(); i++)
+        os << (i % 8 == 0 ? "\n    " : "") << hexU64(mask[i]) << ",";
+    os << "\n};\n";
+
+    // Level of each block, for the per-level dirty summary (padding
+    // ids map to 0; they are never marked).
+    std::vector<uint32_t> blk_level(_block_bits ? _block_bits : 1, 0);
+    for (const Block &b : _blocks)
+        blk_level[b.id] = static_cast<uint32_t>(b.level);
+    os << "static const uint32_t kBlockLevel[kBlockBits ? kBlockBits "
+          ": 1] = {";
+    for (size_t i = 0; i < blk_level.size(); i++)
+        os << (i % 16 == 0 ? "\n    " : "") << blk_level[i] << ",";
+    os << "\n};\n";
+}
+
+std::string
+CppEmitter::guardExpr(const Net &n) const
+{
+    std::set<NetId> ops;
+    Netlist::forEachOperand(n, [&](NetId o) {
+        if (_nl.net(o).kind != Net::Kind::Const)
+            ops.insert(o);
+    });
+    std::string g = "full";
+    for (NetId o : ops)
+        g += strfmt(" | (c->chg[%d] == ep)", o);
+    return g;
+}
+
+std::string
+CppEmitter::fastVal(NetId o) const
+{
+    const Net &n = _nl.net(o);
+    if (n.kind == Net::Kind::Const)
+        return hexU64(
+            _nl.initValues()[static_cast<size_t>(o)].toUint64());
+    return strfmt("c->s[%u]", _off[static_cast<size_t>(o)]);
+}
+
+std::string
+CppEmitter::ptrOf(NetId o) const
+{
+    return strfmt("&c->s[%u]", _off[static_cast<size_t>(o)]);
+}
+
+void
+CppEmitter::emitNode(std::ostringstream &os, NetId id)
+{
+    const Net &n = _nl.net(id);
+    std::string guard = guardExpr(n);
+    const std::string &nm = _nl.nameOf(id);
+    os << "        // n" << id << " w" << n.width;
+    if (!nm.empty())
+        os << " " << nm;
+    os << "\n";
+    if (n.width <= 0) {
+        // Zero-width values are the empty bit string: permanently
+        // zero, evaluated for the activity count only.
+        os << "        { if (" << guard << ") ev++; }\n";
+        return;
+    }
+    if (n.fast)
+        emitFastNode(os, id, guard);
+    else
+        emitWideNode(os, id, guard);
+}
+
+void
+CppEmitter::emitFastNode(std::ostringstream &os, NetId id,
+                         const std::string &guard)
+{
+    const Net &n = _nl.net(id);
+    uint64_t m = maskOf(n.width);
+    std::string M = hexU64(m);
+    std::string body;
+    switch (n.kind) {
+      case Net::Kind::Copy:
+        body = strfmt("uint64_t r = %s;", fastVal(n.a).c_str());
+        break;
+      case Net::Kind::Unop:
+        switch (n.op) {
+          case Op::Not:
+            body = strfmt("uint64_t r = ~%s;", fastVal(n.a).c_str());
+            break;
+          case Op::RedOr:
+            body =
+                strfmt("uint64_t r = %s != 0;", fastVal(n.a).c_str());
+            break;
+          case Op::RedAnd:
+            body = strfmt("uint64_t r = %s == %s;",
+                          fastVal(n.a).c_str(),
+                          hexU64(maskOf(_nl.net(n.a).width)).c_str());
+            break;
+          default:
+            assert(!"bad unary op");
+        }
+        break;
+      case Net::Kind::Binop: {
+        std::string a = fastVal(n.a), b = fastVal(n.b);
+        const char *tok = opToken(n.op);
+        switch (n.op) {
+          case Op::And:
+          case Op::Or:
+          case Op::Xor:
+            body = strfmt("uint64_t r = %s %s %s;", a.c_str(), tok,
+                          b.c_str());
+            break;
+          case Op::Add:
+          case Op::Sub:
+          case Op::Mul:
+            body = strfmt("uint64_t r = (%s & %s) %s (%s & %s);",
+                          a.c_str(), M.c_str(), tok, b.c_str(),
+                          M.c_str());
+            break;
+          case Op::Eq:
+          case Op::Ne:
+          case Op::Lt:
+          case Op::Le:
+          case Op::Gt:
+          case Op::Ge:
+            body = strfmt("uint64_t r = %s %s %s;", a.c_str(), tok,
+                          b.c_str());
+            break;
+          case Op::Shl:
+          case Op::Shr:
+            body = strfmt("uint64_t sh = %s & %s; "
+                          "uint64_t r = sh >= %dull ? 0 "
+                          ": (%s & %s) %s sh;",
+                          b.c_str(), M.c_str(), n.width, a.c_str(),
+                          M.c_str(), tok);
+            break;
+          default:
+            assert(!"bad binary op");
+        }
+        break;
+      }
+      case Net::Kind::Mux:
+        body = strfmt("uint64_t r = %s ? %s : %s;",
+                      fastVal(n.a).c_str(), fastVal(n.b).c_str(),
+                      fastVal(n.c).c_str());
+        break;
+      case Net::Kind::Slice: {
+        std::string a = fastVal(n.a);
+        if (n.lo >= 0)
+            body = n.lo >= 64
+                ? "uint64_t r = 0;"
+                : strfmt("uint64_t r = %s >> %d;", a.c_str(), n.lo);
+        else
+            body = -n.lo >= 64
+                ? "uint64_t r = 0;"
+                : strfmt("uint64_t r = %s << %d;", a.c_str(), -n.lo);
+        break;
+      }
+      case Net::Kind::Concat: {
+        // cargs are hi-first; assemble from the low end.
+        body = "uint64_t r = ";
+        int sh = 0;
+        bool first = true;
+        for (auto it = n.cargs.rbegin(); it != n.cargs.rend(); ++it) {
+            if (!first)
+                body += " | ";
+            first = false;
+            if (sh == 0)
+                body += fastVal(*it);
+            else
+                body += strfmt("(%s << %d)", fastVal(*it).c_str(), sh);
+            sh += _nl.net(*it).width;
+            if (sh >= 64)
+                break;
+        }
+        if (first)
+            body += "0";
+        body += ";";
+        break;
+      }
+      case Net::Kind::Rom: {
+        std::string tbl = romTable(n);
+        body = strfmt("uint64_t a0 = %s; "
+                      "uint64_t r = a0 < %zuull ? %s[a0] : 0;",
+                      fastVal(n.a).c_str(), n.rom->size(),
+                      tbl.c_str());
+        break;
+      }
+      default:
+        assert(!"source in strict order");
+    }
+    std::string store = n.width >= 64
+        ? std::string()
+        : strfmt(" r &= %s;", M.c_str());
+    os << "        { if (" << guard << ") { ev++; " << body << store
+       << " uint64_t *p = &c->s[" << _off[static_cast<size_t>(id)]
+       << "]; if (*p != r) { *p = r; onChange(c, " << id
+       << "); } } }\n";
+}
+
+void
+CppEmitter::emitWideNode(std::ostringstream &os, NetId id,
+                         const std::string &guard)
+{
+    const Net &n = _nl.net(id);
+    uint32_t dw = wordsOf(id);
+    int dbits = n.width;
+    std::string dsig = strfmt("t, %uu, %du", dw, dbits);
+    std::string body;
+    auto opnd = [&](NetId o) {
+        return strfmt("%s, %uu", ptrOf(o).c_str(), wordsOf(o));
+    };
+    switch (n.kind) {
+      case Net::Kind::Copy:
+        body = strfmt("w_copy(%s, %s);", dsig.c_str(),
+                      opnd(n.a).c_str());
+        break;
+      case Net::Kind::Unop:
+        switch (n.op) {
+          case Op::Not:
+            body = strfmt("w_not(%s, %s);", dsig.c_str(),
+                          opnd(n.a).c_str());
+            break;
+          case Op::RedOr:
+            body = strfmt("t[0] = w_any(%s);", opnd(n.a).c_str());
+            break;
+          case Op::RedAnd:
+            body = strfmt("t[0] = w_red_and(%s, %du);",
+                          opnd(n.a).c_str(), _nl.net(n.a).width);
+            break;
+          default:
+            assert(!"bad unary op");
+        }
+        break;
+      case Net::Kind::Binop: {
+        const char *fn = nullptr;
+        switch (n.op) {
+          case Op::And: fn = "w_and"; break;
+          case Op::Or: fn = "w_or"; break;
+          case Op::Xor: fn = "w_xor"; break;
+          case Op::Add: fn = "w_add"; break;
+          case Op::Sub: fn = "w_sub"; break;
+          case Op::Mul: fn = "w_mul"; break;
+          default: break;
+        }
+        if (fn) {
+            body = strfmt("%s(%s, %s, %s);", fn, dsig.c_str(),
+                          opnd(n.a).c_str(), opnd(n.b).c_str());
+            break;
+        }
+        switch (n.op) {
+          case Op::Eq:
+            body = strfmt("t[0] = w_eq(%s, %s);", opnd(n.a).c_str(),
+                          opnd(n.b).c_str());
+            break;
+          case Op::Ne:
+            body = strfmt("t[0] = !w_eq(%s, %s);", opnd(n.a).c_str(),
+                          opnd(n.b).c_str());
+            break;
+          case Op::Lt:
+            body = strfmt("t[0] = w_ult(%s, %s);", opnd(n.a).c_str(),
+                          opnd(n.b).c_str());
+            break;
+          case Op::Le:
+            body = strfmt("t[0] = w_ule(%s, %s);", opnd(n.a).c_str(),
+                          opnd(n.b).c_str());
+            break;
+          case Op::Gt:
+            body = strfmt("t[0] = w_ult(%s, %s);", opnd(n.b).c_str(),
+                          opnd(n.a).c_str());
+            break;
+          case Op::Ge:
+            body = strfmt("t[0] = w_ule(%s, %s);", opnd(n.b).c_str(),
+                          opnd(n.a).c_str());
+            break;
+          case Op::Shl:
+          case Op::Shr:
+            // Shift amount: low word of the operand resized to the
+            // node width (BitVec applyBinop semantics).
+            body = strfmt(
+                "%s(%s, %s, w_rword(%s, %uu, %du, 0));",
+                n.op == Op::Shl ? "w_shl" : "w_shr", dsig.c_str(),
+                opnd(n.a).c_str(), opnd(n.b).c_str(), dw, dbits);
+            break;
+          default:
+            assert(!"bad binary op");
+        }
+        break;
+      }
+      case Net::Kind::Mux: {
+        const Net &cn = _nl.net(n.a);
+        std::string cond = cn.width <= 64
+            ? strfmt("%s != 0", fastVal(n.a).c_str())
+            : strfmt("w_any(%s)", opnd(n.a).c_str());
+        body = strfmt("if (%s) w_copy(%s, %s); else w_copy(%s, %s);",
+                      cond.c_str(), dsig.c_str(), opnd(n.b).c_str(),
+                      dsig.c_str(), opnd(n.c).c_str());
+        break;
+      }
+      case Net::Kind::Slice:
+        body = strfmt("w_slice(%s, %s, %d);", dsig.c_str(),
+                      opnd(n.a).c_str(), n.lo);
+        break;
+      case Net::Kind::Concat: {
+        body = strfmt("w_zero(t, %uu);", dw);
+        uint32_t off = 0;
+        for (auto it = n.cargs.rbegin(); it != n.cargs.rend(); ++it) {
+            int pw = _nl.net(*it).width;
+            if (pw <= 0)
+                continue;
+            if (off < dw * 64)
+                body += strfmt(" w_inject(t, %uu, %s, %du, %uu);", dw,
+                               opnd(*it).c_str(), pw, off);
+            off += static_cast<uint32_t>(pw);
+        }
+        body += strfmt(" t[%uu] &= wmask(%du);", dw - 1, dbits);
+        break;
+      }
+      case Net::Kind::Rom: {
+        std::string tbl = romTable(n);
+        body = strfmt("uint64_t a0 = wat(%s, 0); "
+                      "if (a0 < %zuull) memcpy(t, &%s[a0 * %uu], "
+                      "%uu * 8); else w_zero(t, %uu);",
+                      opnd(n.a).c_str(), n.rom->size(), tbl.c_str(),
+                      dw, dw, dw);
+        break;
+      }
+      default:
+        assert(!"source in strict order");
+    }
+    os << "        { if (" << guard << ") { ev++; uint64_t t[" << dw
+       << "]; " << body << " w_store(c, " << id << ", "
+       << ptrOf(id) << ", t, " << dw << "u); } }\n";
+}
+
+void
+CppEmitter::emitLevelFns(std::ostringstream &os)
+{
+    // Group blocks per level (levels can be empty after appends).
+    std::map<int, std::vector<const Block *>> by_level;
+    for (const Block &b : _blocks)
+        by_level[b.level].push_back(&b);
+
+    for (const auto &[level, blocks] : by_level) {
+        auto [w0, w1] = _level_words[static_cast<size_t>(level)];
+        os << "\n/* level " << level << ": " << blocks.size()
+           << " blocks, bitmap words [" << w0 << ", " << w1
+           << ") */\n";
+        os << "static uint64_t lvl_" << level
+           << "(Ctx *c, int full)\n{\n"
+           << "    uint64_t ev = 0;\n"
+           << "    const uint64_t ep = c->ep;\n"
+           << "    (void)ep;\n";
+        os << "    for (uint32_t w = " << w0 << "u; w < " << w1
+           << "u; w++) {\n"
+           << "        uint64_t bits = full ? kBlockMask[w] "
+              ": c->blk[w];\n"
+           << "        c->blk[w] = 0;\n"
+           << "        while (bits) {\n"
+           << "            uint32_t b = w * 64u + "
+              "(uint32_t)__builtin_ctzll(bits);\n"
+           << "            bits &= bits - 1;\n"
+           << "            switch (b) {\n";
+        for (const Block *b : blocks) {
+            os << "            case " << b->id << "u: {\n";
+            std::ostringstream body;
+            for (NetId id : b->nodes)
+                emitNode(body, id);
+            os << body.str();
+            os << "            } break;\n";
+        }
+        os << "            default: break;\n"
+           << "            }\n"
+           << "        }\n"
+           << "    }\n"
+           << "    return ev;\n"
+           << "}\n";
+    }
+}
+
+std::string
+CppEmitter::run()
+{
+    layoutState();
+    layoutBlocks();
+
+    std::ostringstream body;
+    emitLevelFns(body);
+
+    // Tables are rendered after the level functions so every ROM the
+    // node bodies reference has been registered.
+    std::ostringstream tables;
+    emitTables(tables);
+
+    std::ostringstream os;
+    os << "// Generated by anvilc --emit-cpp; design '" << _name
+       << "'.\n"
+       << "// Implements AnvilKernelV1 (see src/rtl/kernel_abi.h and "
+          "docs/compile.md);\n"
+       << "// compile with: c++ -O2 -fPIC -shared -o kernel.so "
+          "<this file>\n"
+       << "#include <stdint.h>\n"
+       << "#include <stdlib.h>\n"
+       << "#include <string.h>\n\n"
+       << "extern \"C\" {\n"
+       << "typedef struct AnvilKernelV1 {\n"
+       << "    uint32_t abi_version;\n"
+       << "    uint32_t net_count;\n"
+       << "    uint64_t design_hash;\n"
+       << "    uint64_t state_words;\n"
+       << "    void *(*create)(void);\n"
+       << "    void (*destroy)(void *ctx);\n"
+       << "    uint64_t *(*net_ptr)(void *ctx, int32_t net);\n"
+       << "    void (*poke)(void *ctx, int32_t net);\n"
+       << "    uint64_t (*eval)(void *ctx, int32_t *changed, "
+          "uint64_t *n_changed);\n"
+       << "    uint64_t (*eval_full)(void *ctx, int32_t *changed, "
+          "uint64_t *n_changed);\n"
+       << "} AnvilKernelV1;\n"
+       << "const AnvilKernelV1 *anvil_kernel_v1(void);\n"
+       << "}\n\n"
+       << "namespace {\n\n";
+
+    os << tables.str() << "\n";
+    os << _rom_defs.str();
+    os << kWidePrelude << "\n";
+
+    os << R"(struct Ctx
+{
+    uint64_t s[kStateWords];
+    uint64_t chg[kNets];      // epoch mark: changed in sweep chg[i]
+    uint64_t blk[kBlockWords ? kBlockWords : 1];
+    uint64_t lvl[kLevelWords ? kLevelWords : 1]; // levels w/ dirty blocks
+    int32_t *out;             // changed-net list of the current eval
+    uint64_t nout;
+    uint64_t ep;              // current sweep epoch
+};
+
+static inline void markFan(Ctx *c, int32_t id)
+{
+    for (uint32_t k = kFanBegin[id]; k < kFanBegin[id + 1]; k++) {
+        uint32_t b = kFanBlock[k];
+        c->blk[b >> 6] |= 1ull << (b & 63u);
+        uint32_t l = kBlockLevel[b];
+        c->lvl[l >> 6] |= 1ull << (l & 63u);
+    }
+}
+
+static inline void onChange(Ctx *c, int32_t id)
+{
+    c->chg[id] = c->ep;
+    c->out[c->nout++] = id;
+    markFan(c, id);
+}
+
+static inline void w_store(Ctx *c, int32_t id, uint64_t *dst,
+                           const uint64_t *t, uint32_t words)
+{
+    if (memcmp(dst, t, words * 8) != 0) {
+        memcpy(dst, t, words * 8);
+        onChange(c, id);
+    }
+}
+)";
+
+    os << body.str();
+
+    os << "\nstatic uint64_t do_eval(Ctx *c, int32_t *out, "
+          "uint64_t *nout, int full)\n{\n"
+       << "    c->out = out;\n"
+       << "    c->nout = 0;\n"
+       << "    c->ep++;\n"
+       << "    uint64_t ev = 0;\n";
+    {
+        // Call a level only when it has a marked block (or densely);
+        // operands live in strictly earlier levels, so marks made
+        // while running one level always target a later, unread bit.
+        std::set<int> levels;
+        for (const Block &b : _blocks)
+            levels.insert(b.level);
+        for (int l : levels)
+            os << "    if (full | ((c->lvl[" << l / 64 << "] >> "
+               << l % 64 << ") & 1)) { c->lvl[" << l / 64
+               << "] &= ~(1ull << " << l % 64 << "); ev += lvl_" << l
+               << "(c, full); }\n";
+    }
+    os << "    *nout = c->nout;\n"
+       << "    return ev;\n"
+       << "}\n\n";
+
+    os << R"(static void *k_create(void)
+{
+    Ctx *c = (Ctx *)calloc(1, sizeof(Ctx));
+    if (!c)
+        return 0;
+    memcpy(c->s, kInit, sizeof(c->s));
+    return c;
+}
+static void k_destroy(void *ctx) { free(ctx); }
+static uint64_t *k_net_ptr(void *ctx, int32_t net)
+{
+    return ((Ctx *)ctx)->s + kOff[net];
+}
+static void k_poke(void *ctx, int32_t net)
+{
+    Ctx *c = (Ctx *)ctx;
+    c->chg[net] = c->ep + 1;
+    markFan(c, net);
+}
+static uint64_t k_eval(void *ctx, int32_t *changed, uint64_t *n)
+{
+    return do_eval((Ctx *)ctx, changed, n, 0);
+}
+static uint64_t k_eval_full(void *ctx, int32_t *changed, uint64_t *n)
+{
+    return do_eval((Ctx *)ctx, changed, n, 1);
+}
+)";
+
+    os << "\nstatic const AnvilKernelV1 kKernel = {\n"
+       << "    1u, kNets, "
+       << hexU64(rtl::designHash(_nl)) << ", kStateWords,\n"
+       << "    k_create, k_destroy, k_net_ptr, k_poke, k_eval, "
+          "k_eval_full,\n"
+       << "};\n\n"
+       << "} // namespace\n\n"
+       << "extern \"C\" const AnvilKernelV1 *\nanvil_kernel_v1(void)\n"
+       << "{\n    return &kKernel;\n}\n";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+emitCppKernel(const Netlist &nl, const std::string &design_name)
+{
+    CppEmitter e(nl, design_name);
+    return e.run();
+}
+
+} // namespace codegen
+} // namespace anvil

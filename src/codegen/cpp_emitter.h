@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Compile-to-C++ netlist backend: lowers the strict combinational
+ * portion of a levelized rtl::Netlist to a self-contained C++
+ * translation unit implementing the AnvilKernelV1 ABI
+ * (rtl/kernel_abi.h).
+ *
+ * Layout of the emitted unit (see docs/compile.md):
+ *  - one function per logic level, in levelized order;
+ *  - the u64 fast lane lowered to native integer arithmetic, wide
+ *    values to packed-word helper calls;
+ *  - dirty-set guards lowered to basic-block skips: nodes are grouped
+ *    into small per-level blocks, a changed net marks its consumer
+ *    blocks in a bitmap, and a level function only enters marked
+ *    blocks (plus per-node operand-changed guards inside a block);
+ *  - registers, inputs, and constants as a flat packed-word state
+ *    array indexed by per-net offsets.
+ *
+ * The dump compiles standalone (`c++ -O2 -fPIC -shared`); the JIT
+ * (codegen/jit.h) automates compile + dlopen + hash validation.
+ */
+
+#ifndef ANVIL_CODEGEN_CPP_EMITTER_H
+#define ANVIL_CODEGEN_CPP_EMITTER_H
+
+#include <string>
+
+#include "rtl/netlist.h"
+
+namespace anvil {
+namespace codegen {
+
+/**
+ * Emit `nl` as a C++ kernel translation unit.  `design_name` only
+ * appears in the banner comment; behavioural identity is pinned by
+ * the embedded rtl::designHash.
+ */
+std::string emitCppKernel(const rtl::Netlist &nl,
+                          const std::string &design_name);
+
+} // namespace codegen
+} // namespace anvil
+
+#endif // ANVIL_CODEGEN_CPP_EMITTER_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Helpers shared by every backend that prints or parses RTL operators
+ * and identifiers: the SystemVerilog printer (sv_printer.cpp), the
+ * Anvil-to-RTL generator (rtl_gen.cpp), and the C++ kernel emitter
+ * (cpp_emitter.cpp).  Hoisted here so each backend reuses one table
+ * instead of keeping a drifting private copy; the operand walk they
+ * share lives on rtl::Netlist::forEachOperand.
+ */
+
+#ifndef ANVIL_CODEGEN_EMIT_UTIL_H
+#define ANVIL_CODEGEN_EMIT_UTIL_H
+
+#include <cctype>
+#include <string>
+
+#include "rtl/rtl.h"
+
+namespace anvil {
+namespace codegen {
+
+/**
+ * Infix (or reduction-prefix) token of an operator.  Valid in both
+ * SystemVerilog and C++ expression contexts for every operator except
+ * the reductions, which each backend wraps in its own idiom.
+ */
+inline const char *
+opToken(rtl::Op op)
+{
+    switch (op) {
+      case rtl::Op::Not: return "~";
+      case rtl::Op::RedOr: return "|";
+      case rtl::Op::RedAnd: return "&";
+      case rtl::Op::And: return "&";
+      case rtl::Op::Or: return "|";
+      case rtl::Op::Xor: return "^";
+      case rtl::Op::Add: return "+";
+      case rtl::Op::Sub: return "-";
+      case rtl::Op::Mul: return "*";
+      case rtl::Op::Eq: return "==";
+      case rtl::Op::Ne: return "!=";
+      case rtl::Op::Lt: return "<";
+      case rtl::Op::Le: return "<=";
+      case rtl::Op::Gt: return ">";
+      case rtl::Op::Ge: return ">=";
+      case rtl::Op::Shl: return "<<";
+      case rtl::Op::Shr: return ">>";
+    }
+    return "?";
+}
+
+/**
+ * Inverse of opToken for the binary operators: map a surface token to
+ * its rtl::Op.  Returns `fallback` for unknown tokens (the RTL
+ * generator's historical behaviour for unrecognised operators).
+ */
+inline rtl::Op
+binopFromToken(const std::string &tok,
+               rtl::Op fallback = rtl::Op::Add)
+{
+    static const rtl::Op kBinops[] = {
+        rtl::Op::And, rtl::Op::Or,  rtl::Op::Xor, rtl::Op::Add,
+        rtl::Op::Sub, rtl::Op::Mul, rtl::Op::Eq,  rtl::Op::Ne,
+        rtl::Op::Lt,  rtl::Op::Le,  rtl::Op::Gt,  rtl::Op::Ge,
+        rtl::Op::Shl, rtl::Op::Shr,
+    };
+    for (rtl::Op op : kBinops)
+        if (tok == opToken(op))
+            return op;
+    return fallback;
+}
+
+/** Legalize a flattened signal name into a C/SV identifier. */
+inline std::string
+sanitizeIdent(const std::string &n)
+{
+    std::string out;
+    for (char c : n)
+        out += (isalnum(static_cast<unsigned char>(c)) || c == '_')
+            ? c : '_';
+    return out;
+}
+
+} // namespace codegen
+} // namespace anvil
+
+#endif // ANVIL_CODEGEN_EMIT_UTIL_H

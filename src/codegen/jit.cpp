@@ -1,0 +1,180 @@
+#include "codegen/jit.h"
+
+#include <dlfcn.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "codegen/cpp_emitter.h"
+#include "support/strings.h"
+
+namespace anvil {
+namespace codegen {
+
+namespace {
+
+bool
+runs(const std::string &cmd)
+{
+    std::string probe = cmd + " --version > /dev/null 2>&1";
+    return std::system(probe.c_str()) == 0;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+removeTree(const std::string &dir)
+{
+    // The dir only ever holds the three files we created.
+    for (const char *f : {"kernel.cpp", "kernel.so", "cc.err"})
+        ::unlink((dir + "/" + f).c_str());
+    ::rmdir(dir.c_str());
+}
+
+std::mutex g_cache_mu;
+std::map<std::pair<uint64_t, int>, std::shared_ptr<CompiledKernel>>
+    g_cache;
+
+} // namespace
+
+CompiledKernel::~CompiledKernel()
+{
+    if (_dl)
+        ::dlclose(_dl);
+}
+
+std::string
+jitCompilerPath()
+{
+    if (const char *env = ::getenv("ANVIL_CXX"))
+        return env;   // verbatim, even if broken: the fallback hook
+    for (const char *c : {"c++", "g++", "clang++"})
+        if (runs(c))
+            return c;
+    return "";
+}
+
+JitResult
+jitCompileKernel(const rtl::Netlist &nl, const JitOptions &opts)
+{
+    JitResult res;
+    uint64_t hash = rtl::designHash(nl);
+    auto key = std::make_pair(hash, opts.opt_level);
+    {
+        std::lock_guard<std::mutex> lock(g_cache_mu);
+        auto it = g_cache.find(key);
+        if (it != g_cache.end()) {
+            res.kernel = it->second;
+            return res;
+        }
+    }
+
+    std::string cxx = jitCompilerPath();
+    if (cxx.empty()) {
+        res.error = "no C++ compiler found (tried c++, g++, clang++; "
+                    "set ANVIL_CXX to override)";
+        return res;
+    }
+
+    char tmpl[] = "/tmp/anvil-jit-XXXXXX";
+    if (!::mkdtemp(tmpl)) {
+        res.error = "mkdtemp failed";
+        return res;
+    }
+    std::string dir = tmpl;
+    std::string src = dir + "/kernel.cpp";
+    std::string so = dir + "/kernel.so";
+    std::string err = dir + "/cc.err";
+    {
+        std::ofstream out(src);
+        out << emitCppKernel(nl, "jit");
+        if (!out) {
+            res.error = "failed to write " + src;
+            removeTree(dir);
+            return res;
+        }
+    }
+
+    std::string cmd = strfmt(
+        "%s -std=c++17 -O%d -fPIC -shared -fno-exceptions -fno-rtti "
+        "-g0 -o %s %s 2> %s",
+        cxx.c_str(), opts.opt_level, so.c_str(), src.c_str(),
+        err.c_str());
+    if (std::system(cmd.c_str()) != 0) {
+        std::string diag = readFile(err);
+        if (diag.size() > 2000)
+            diag.resize(2000);
+        while (!diag.empty() &&
+               (diag.back() == '\n' || diag.back() == '\r'))
+            diag.pop_back();
+        res.error = "kernel compile failed (" + cxx + "): " + diag;
+        if (!opts.keep_files)
+            removeTree(dir);
+        return res;
+    }
+
+    void *dl = ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!dl) {
+        const char *why = ::dlerror();
+        res.error = std::string("dlopen failed: ") +
+                    (why ? why : "unknown");
+        if (!opts.keep_files)
+            removeTree(dir);
+        return res;
+    }
+    // The mapping survives the unlink; clean up eagerly so nothing
+    // litters /tmp even if the process dies later.
+    if (!opts.keep_files)
+        removeTree(dir);
+
+    auto entry = reinterpret_cast<AnvilKernelEntryFn>(
+        ::dlsym(dl, ANVIL_KERNEL_ENTRY_SYMBOL));
+    if (!entry) {
+        res.error = "kernel entry symbol missing";
+        ::dlclose(dl);
+        return res;
+    }
+    const AnvilKernelV1 *abi = entry();
+    if (!abi || abi->abi_version != ANVIL_KERNEL_ABI_VERSION) {
+        res.error = "kernel ABI version mismatch";
+        ::dlclose(dl);
+        return res;
+    }
+    if (abi->design_hash != hash ||
+        abi->net_count != nl.nets().size()) {
+        res.error = "kernel design hash mismatch";
+        ::dlclose(dl);
+        return res;
+    }
+
+    res.kernel = std::make_shared<CompiledKernel>(dl, abi);
+    std::lock_guard<std::mutex> lock(g_cache_mu);
+    g_cache.emplace(key, res.kernel);
+    return res;
+}
+
+rtl::KernelRef
+kernelRef(const std::shared_ptr<CompiledKernel> &k)
+{
+    rtl::KernelRef ref;
+    if (k) {
+        ref.abi = k->abi();
+        ref.hold = k;
+    }
+    return ref;
+}
+
+} // namespace codegen
+} // namespace anvil

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * In-process JIT for the compile-to-C++ backend: emit the netlist as
+ * a kernel translation unit (codegen/cpp_emitter.h), invoke the
+ * system C++ compiler to build a shared object, dlopen it, and hand
+ * back a validated AnvilKernelV1 ready for rtl::Sim::attachKernel.
+ *
+ * Lifecycle (see docs/compile.md): the source and shared object live
+ * in a mkdtemp directory that is deleted as soon as the object is
+ * mapped — the mapping survives the unlink, and nothing litters /tmp
+ * even on crash.  Kernels are cached per (design hash, opt level) for
+ * the life of the process, so attaching the same design to many Sims
+ * (the differential test matrix, BMC reruns) compiles once.
+ *
+ * Everything degrades gracefully: no compiler on PATH, a failed
+ * compile, or a hash mismatch yields a JitResult with a null kernel
+ * and a diagnostic string, and callers keep the interpreter.
+ */
+
+#ifndef ANVIL_CODEGEN_JIT_H
+#define ANVIL_CODEGEN_JIT_H
+
+#include <memory>
+#include <string>
+
+#include "rtl/interp.h"
+#include "rtl/kernel_abi.h"
+#include "rtl/netlist.h"
+
+namespace anvil {
+namespace codegen {
+
+struct JitOptions
+{
+    int opt_level = 2;        // -O<n> passed to the system compiler
+    bool keep_files = false;  // keep the temp dir (debugging)
+};
+
+/** A dlopen'd kernel; closes the library when the last ref drops. */
+class CompiledKernel
+{
+  public:
+    CompiledKernel(void *dl, const AnvilKernelV1 *abi)
+        : _dl(dl), _abi(abi)
+    {
+    }
+    ~CompiledKernel();
+    CompiledKernel(const CompiledKernel &) = delete;
+    CompiledKernel &operator=(const CompiledKernel &) = delete;
+
+    const AnvilKernelV1 *abi() const { return _abi; }
+
+  private:
+    void *_dl = nullptr;
+    const AnvilKernelV1 *_abi = nullptr;
+};
+
+struct JitResult
+{
+    std::shared_ptr<CompiledKernel> kernel;  // null on failure
+    std::string error;                       // why, when null
+};
+
+/**
+ * The compiler the JIT would invoke: $ANVIL_CXX verbatim if set (even
+ * if broken — that is the no-compiler-present test hook), else the
+ * first of c++/g++/clang++ that answers --version.  Empty string when
+ * nothing is available.
+ */
+std::string jitCompilerPath();
+
+/** Emit, compile, and load `nl`.  Never throws; see JitResult. */
+JitResult jitCompileKernel(const rtl::Netlist &nl,
+                           const JitOptions &opts = {});
+
+/** Package a compiled kernel as the KernelRef Sim/BMC options take. */
+rtl::KernelRef kernelRef(const std::shared_ptr<CompiledKernel> &k);
+
+} // namespace codegen
+} // namespace anvil
+
+#endif // ANVIL_CODEGEN_JIT_H

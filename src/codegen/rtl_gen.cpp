@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "codegen/emit_util.h"
 #include "designs/designs.h"
 #include "support/strings.h"
 
@@ -316,22 +317,8 @@ RtlGenerator::compileExpr(const ThreadIR &tir, const Term &t, int thread)
       case TermKind::Binop: {
         ExprPtr a = compileExpr(tir, *t.kids[0], thread);
         ExprPtr b = compileExpr(tir, *t.kids[1], thread);
-        Op op;
-        if (t.op == "+") op = Op::Add;
-        else if (t.op == "-") op = Op::Sub;
-        else if (t.op == "^") op = Op::Xor;
-        else if (t.op == "&") op = Op::And;
-        else if (t.op == "|") op = Op::Or;
-        else if (t.op == "==") op = Op::Eq;
-        else if (t.op == "!=") op = Op::Ne;
-        else if (t.op == "<") op = Op::Lt;
-        else if (t.op == "<=") op = Op::Le;
-        else if (t.op == ">") op = Op::Gt;
-        else if (t.op == ">=") op = Op::Ge;
-        else if (t.op == "<<") op = Op::Shl;
-        else if (t.op == "*") op = Op::Mul;
-        else op = Op::Add;
-        return rtl::binop(op, std::move(a), std::move(b));
+        return rtl::binop(codegen::binopFromToken(t.op),
+                          std::move(a), std::move(b));
       }
       case TermKind::Unop: {
         ExprPtr a = compileExpr(tir, *t.kids[0], thread);

@@ -4,40 +4,17 @@
 #include <set>
 #include <sstream>
 
+#include "codegen/emit_util.h"
 #include "support/strings.h"
 
 namespace anvil {
 
 namespace {
 
+using codegen::opToken;
 using rtl::Expr;
 using rtl::ExprPtr;
 using rtl::Op;
-
-const char *
-opStr(Op op)
-{
-    switch (op) {
-      case Op::Not: return "~";
-      case Op::RedOr: return "|";
-      case Op::RedAnd: return "&";
-      case Op::And: return "&";
-      case Op::Or: return "|";
-      case Op::Xor: return "^";
-      case Op::Add: return "+";
-      case Op::Sub: return "-";
-      case Op::Mul: return "*";
-      case Op::Eq: return "==";
-      case Op::Ne: return "!=";
-      case Op::Lt: return "<";
-      case Op::Le: return "<=";
-      case Op::Gt: return ">";
-      case Op::Ge: return ">=";
-      case Op::Shl: return "<<";
-      case Op::Shr: return ">>";
-    }
-    return "?";
-}
 
 /** Legalizes slices/roms into temporaries as it prints expressions. */
 class SvPrinter
@@ -52,7 +29,10 @@ class SvPrinter
 
   private:
     std::string expr(const ExprPtr &e);
-    std::string sanitize(const std::string &n) const;
+    std::string sanitize(const std::string &n) const
+    {
+        return codegen::sanitizeIdent(n);
+    }
 
     const rtl::Module &_mod;
     std::ostringstream _extra;   // temp wires for slice legalization
@@ -60,16 +40,6 @@ class SvPrinter
     std::map<const std::vector<BitVec> *, std::string> _rom_names;
     std::ostringstream _roms;
 };
-
-std::string
-SvPrinter::sanitize(const std::string &n) const
-{
-    std::string out;
-    for (char c : n)
-        out += (isalnum(static_cast<unsigned char>(c)) || c == '_')
-            ? c : '_';
-    return out;
-}
 
 std::string
 SvPrinter::expr(const ExprPtr &e)
@@ -83,12 +53,12 @@ SvPrinter::expr(const ExprPtr &e)
         return sanitize(e->name);
       case Expr::Kind::Unop:
         if (e->op == Op::RedOr || e->op == Op::RedAnd)
-            return strfmt("(%s(%s))", opStr(e->op),
+            return strfmt("(%s(%s))", opToken(e->op),
                           expr(e->args[0]).c_str());
         return strfmt("(~%s)", expr(e->args[0]).c_str());
       case Expr::Kind::Binop:
         return strfmt("(%s %s %s)", expr(e->args[0]).c_str(),
-                      opStr(e->op), expr(e->args[1]).c_str());
+                      opToken(e->op), expr(e->args[1]).c_str());
       case Expr::Kind::Mux:
         return strfmt("((%s) ? %s : %s)", expr(e->args[0]).c_str(),
                       expr(e->args[1]).c_str(), expr(e->args[2]).c_str());

@@ -193,9 +193,34 @@ Sim::Sim(std::shared_ptr<const Module> top)
         _level_of.push_back(n.level);
     _stats.strict_nodes = _nl.order().size();
     _stats.mode = _mode;
+
+    // Enable-net -> update-indices CSR for the clock edge (counting
+    // sort, so each enable's updates stay in declaration order and
+    // last-wins semantics are preserved).
+    const auto &updates = _nl.updates();
+    _upd_begin.assign(_val.size() + 1, 0);
+    for (const auto &u : updates)
+        _upd_begin[static_cast<size_t>(u.enable) + 1]++;
+    for (size_t i = 1; i < _upd_begin.size(); i++)
+        _upd_begin[i] += _upd_begin[i - 1];
+    _upd_list.resize(updates.size());
+    {
+        std::vector<int32_t> fill(_upd_begin.begin(),
+                                  _upd_begin.end() - 1);
+        for (size_t u = 0; u < updates.size(); u++)
+            _upd_list[static_cast<size_t>(
+                fill[static_cast<size_t>(updates[u].enable)]++)] =
+                static_cast<int32_t>(u);
+    }
+    _armed.assign(updates.size(), 0);
+    _reg_touched.assign(_nl.regs().size(), 0);
 }
 
-Sim::~Sim() = default;
+Sim::~Sim()
+{
+    if (_kctx)
+        _kernel.abi->destroy(_kctx);
+}
 
 void
 Sim::setSweepMode(SweepMode mode, int threads, size_t shard_min)
@@ -242,6 +267,96 @@ Sim::seedSource(NetId id)
 {
     _seeds.push_back(id);
     _poke_tick++;
+    if (_kctx) {
+        // Sources are Sim-owned: mirror the new value into the
+        // kernel's state array and mark its consumer blocks dirty.
+        size_t i = static_cast<size_t>(id);
+        const BitVec &v = _val[i];
+        uint64_t *p = _kernel.abi->net_ptr(_kctx,
+                                           static_cast<int32_t>(id));
+        int w = _nl.net(id).width;
+        int words = w <= 0 ? 1 : (w + 63) / 64;
+        for (int k = 0; k < words; k++)
+            p[k] = v.word(k);
+        _kernel.abi->poke(_kctx, static_cast<int32_t>(id));
+    }
+}
+
+bool
+Sim::attachKernel(const KernelRef &kernel)
+{
+    if (!kernel.abi ||
+        kernel.abi->abi_version != ANVIL_KERNEL_ABI_VERSION ||
+        kernel.abi->design_hash != designHash(_nl) ||
+        kernel.abi->net_count != _nl.nets().size())
+        return false;
+    void *ctx = kernel.abi->create();
+    if (!ctx)
+        return false;
+    if (_kctx)
+        _kernel.abi->destroy(_kctx);
+    _kernel = kernel;
+    _kctx = ctx;
+    _kchanged.assign(_nl.nets().size(), 0);
+    _kstale.assign(_val.size(), 0);
+    // The kernel starts from the netlist's init values; push the
+    // current source state (which may already differ) and force one
+    // dense eval so every strict value is consistent with it.
+    for (size_t i = 0; i < _nl.nets().size(); i++) {
+        const Net &n = _nl.net(static_cast<NetId>(i));
+        if (n.kind != Net::Kind::Input && n.kind != Net::Kind::Reg)
+            continue;
+        const BitVec &v = _val[i];
+        uint64_t *p = _kernel.abi->net_ptr(_kctx,
+                                           static_cast<int32_t>(i));
+        int words = n.width <= 0 ? 1 : (n.width + 63) / 64;
+        for (int k = 0; k < words; k++)
+            p[k] = v.word(k);
+        _kernel.abi->poke(_kctx, static_cast<int32_t>(i));
+    }
+    _need_full = true;
+    _dirty = true;
+    return true;
+}
+
+/** Copy one net's value out of the kernel's packed-word state. */
+void
+Sim::refreshFromKernel(NetId id)
+{
+    size_t i = static_cast<size_t>(id);
+    _kstale[i] = 0;
+    const uint64_t *p =
+        _kernel.abi->net_ptr(_kctx, static_cast<int32_t>(id));
+    BitVec &v = _val[i];
+    if (v.width() <= 64)
+        v.setUint64(p[0]);
+    else
+        v.setWords(p, (v.width() + 63) / 64);
+}
+
+/**
+ * Sweep by calling into the attached kernel.  The kernel runs the
+ * same levelized strict schedule with per-block dirty skipping; its
+ * changed-net list feeds the interpreter's frame bookkeeping, and the
+ * values themselves are copied back lazily (valOf) only when an
+ * observer or the clock edge actually reads them.
+ */
+void
+Sim::sweepKernel()
+{
+    bool full = _need_full || _mode == SweepMode::Full;
+    uint64_t n = 0;
+    uint64_t ev = full
+        ? _kernel.abi->eval_full(_kctx, _kchanged.data(), &n)
+        : _kernel.abi->eval(_kctx, _kchanged.data(), &n);
+    _frame_evals += ev;
+    _seeds.clear();
+    _need_full = false;
+    for (uint64_t k = 0; k < n; k++) {
+        NetId id = _kchanged[static_cast<size_t>(k)];
+        _kstale[static_cast<size_t>(id)] = 1;
+        recordChange(id);
+    }
 }
 
 /** Mark the strict consumers of a changed net for re-evaluation. */
@@ -472,7 +587,9 @@ Sim::evalLazy(NetId id)
 {
     size_t i = static_cast<size_t>(id);
     const Net &n = _nl.net(id);
-    if (!n.lazy || _lazy_gen[i] == _gen)
+    if (!n.lazy)
+        return valOf(id);   // strict values may live in the kernel
+    if (_lazy_gen[i] == _gen)
         return _val[i];
     switch (n.kind) {
       case Net::Kind::Const:
@@ -608,6 +725,11 @@ Sim::sweep()
     if (!_dirty)
         return;
     _gen++;
+    if (_kctx) {
+        sweepKernel();
+        _dirty = false;
+        return;
+    }
     if (_mode == SweepMode::Full || _need_full)
         sweepFull();
     else if (_mode == SweepMode::Dirty && _prefer_dense)
@@ -670,6 +792,7 @@ Sim::step(int n)
 {
     const auto &wires = _nl.wireNets();
     const auto &regs = _nl.regs();
+    const auto &updates = _nl.updates();
     for (int it = 0; it < n; it++) {
         sweep();
         // The edge evaluates every wire (like the reference
@@ -678,46 +801,89 @@ Sim::step(int n)
         for (NetId id : _nl.lazyRoots())
             evalLazy(id);
 
+        // Keep the armed-update set fresh from this frame's
+        // changed-net delta (a full enable scan only on the first
+        // cycle): an enable net that is not in the list kept its
+        // value, so its updates kept their armed state.
+        if (!_armed_primed) {
+            _armed_count = 0;
+            for (size_t u = 0; u < updates.size(); u++) {
+                _armed[u] = valOf(updates[u].enable).any() ? 1 : 0;
+                if (_armed[u])
+                    _armed_count++;
+            }
+            _armed_primed = true;
+        } else {
+            for (NetId id : _frame_changed) {
+                size_t i = static_cast<size_t>(id);
+                if (i + 1 >= _upd_begin.size())
+                    continue;
+                for (int32_t k = _upd_begin[i]; k < _upd_begin[i + 1];
+                     k++) {
+                    size_t u =
+                        static_cast<size_t>(_upd_list[static_cast<
+                            size_t>(k)]);
+                    uint8_t armed =
+                        valOf(updates[u].enable).any() ? 1 : 0;
+                    if (armed == _armed[u])
+                        continue;
+                    _armed[u] = armed;
+                    if (armed)
+                        _armed_count++;
+                    else
+                        _armed_count--;
+                }
+            }
+        }
+
         // Toggle accounting against the previous cycle's values,
         // driven by the changed-net list: a wire absent from the
-        // list is unchanged and contributes no toggles.
+        // list is unchanged and contributes no toggles.  The xor
+        // popcount works straight off the two values' words, so the
+        // delta never materializes.
         if (_toggles_primed) {
             for (NetId id : _frame_changed) {
                 int32_t slot = _wire_slot[static_cast<size_t>(id)];
                 if (slot < 0)
                     continue;
                 size_t s = static_cast<size_t>(slot);
-                _total_toggles +=
-                    (_val[static_cast<size_t>(id)] ^ _wire_last[s])
-                        .popcount();
-                _wire_last[s] = _val[static_cast<size_t>(id)];
+                const BitVec &cur = valOf(id);
+                _total_toggles += static_cast<uint64_t>(
+                    cur.xorPopcount(_wire_last[s]));
+                _wire_last[s] = cur;
             }
         } else {
             for (size_t i = 0; i < wires.size(); i++)
-                _wire_last[i] = _val[static_cast<size_t>(wires[i])];
+                _wire_last[i] = valOf(wires[i]);
             _toggles_primed = true;
         }
 
-        // Compute next-state for all registers.
-        for (size_t i = 0; i < regs.size(); i++)
-            _reg_next[i] = _val[static_cast<size_t>(regs[i])];
-        for (const auto &u : _nl.updates()) {
-            if (_val[static_cast<size_t>(u.enable)].any()) {
-                if (u.reg_index < 0)
+        // Next-state only where an armed update fires; untouched
+        // registers hold their value by construction, so the edge
+        // costs O(armed updates), not O(registers).
+        if (_armed_count != 0) {
+            for (size_t u = 0; u < updates.size(); u++) {
+                if (!_armed[u])
+                    continue;
+                const auto &up = updates[u];
+                if (up.reg_index < 0)
                     throw std::invalid_argument(
-                        "update of unknown reg: " + u.reg_name);
-                size_t ri = static_cast<size_t>(u.reg_index);
-                _reg_next[ri] =
-                    _val[static_cast<size_t>(u.value)].resize(
-                        _nl.net(regs[ri]).width);
+                        "update of unknown reg: " + up.reg_name);
+                size_t ri = static_cast<size_t>(up.reg_index);
+                if (!_reg_touched[ri]) {
+                    _reg_touched[ri] = 1;
+                    _touched_regs.push_back(
+                        static_cast<int32_t>(ri));
+                }
+                _reg_next[ri] = valOf(up.value).resize(
+                    _nl.net(regs[ri]).width);
             }
         }
         for (const auto &p : _nl.prints()) {
-            if (_val[static_cast<size_t>(p.enable)].any()) {
+            if (valOf(p.enable).any()) {
                 std::string line = p.text;
                 if (p.value != kNoNet)
-                    line += " " +
-                        _val[static_cast<size_t>(p.value)].toHex();
+                    line += " " + valOf(p.value).toHex();
                 _log.push_back(line);
             }
         }
@@ -727,17 +893,24 @@ Sim::step(int n)
         // the new frame's changed list.
         rollFrame();
 
-        // Clock edge: commit, count register toggles, and seed the
-        // next sweep with the registers that actually changed.
-        for (size_t i = 0; i < regs.size(); i++) {
-            BitVec &cur = _val[static_cast<size_t>(regs[i])];
-            int flips = (_reg_next[i] ^ cur).popcount();
-            if (flips == 0)
-                continue;
-            _total_toggles += static_cast<uint64_t>(flips);
-            cur = _reg_next[i];
-            recordChange(regs[i]);
-            seedSource(regs[i]);
+        // Clock edge: commit the touched registers (ascending, the
+        // same order the dense scan visited them), count register
+        // toggles, and seed the next sweep with those that changed.
+        if (!_touched_regs.empty()) {
+            std::sort(_touched_regs.begin(), _touched_regs.end());
+            for (int32_t r : _touched_regs) {
+                size_t i = static_cast<size_t>(r);
+                _reg_touched[i] = 0;
+                BitVec &cur = _val[static_cast<size_t>(regs[i])];
+                int flips = _reg_next[i].xorPopcount(cur);
+                if (flips == 0)
+                    continue;
+                _total_toggles += static_cast<uint64_t>(flips);
+                cur = _reg_next[i];
+                recordChange(regs[i]);
+                seedSource(regs[i]);
+            }
+            _touched_regs.clear();
         }
         _cycle++;
         _dirty = true;
@@ -877,6 +1050,11 @@ Sim::growRuntimeArrays(size_t n)
     _dirty_mark.resize(n, 0);
     _change_mark.resize(n, 0);
     _wire_slot.resize(n, -1);
+    if (!_kstale.empty())
+        _kstale.resize(n, 0);   // appended nets are never in the kernel
+    // Appended nets are lazy and never drive updates; keep the CSR
+    // indexable for changed-net consumers.
+    _upd_begin.resize(n + 1, _upd_begin.back());
 }
 
 BitVec

@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "rtl/kernel_abi.h"
 #include "rtl/netlist.h"
 #include "rtl/rtl.h"
 
@@ -55,6 +56,18 @@ namespace anvil {
 namespace rtl {
 
 class SweepPool;
+
+/**
+ * A compiled kernel (kernel_abi.h) plus whatever owns its lifetime —
+ * typically the dlopen'd library held by codegen::CompiledKernel.
+ * Default-constructed means "no kernel": Sim and the BMC take this by
+ * value and simply stay on the interpreter when abi is null.
+ */
+struct KernelRef
+{
+    const AnvilKernelV1 *abi = nullptr;
+    std::shared_ptr<void> hold;   // keeps the mapped library alive
+};
 
 /** Strategy used to recompute combinational values each cycle. */
 enum class SweepMode : uint8_t
@@ -132,6 +145,21 @@ class Sim
 
     /** Activity counters (see SweepStats). */
     const SweepStats &sweepStats() const { return _stats; }
+
+    /**
+     * Swap the strict combinational sweep for a compiled kernel
+     * (anvilc --emit-cpp + codegen/jit.h).  Validates the ABI
+     * version, design hash, and net count; on any mismatch nothing
+     * changes and the interpreter keeps running — the compiled
+     * backend is an accelerator, never a correctness dependency.
+     * On success the kernel owns every strict net value (Sim copies
+     * them back lazily as observers ask); sources stay Sim-owned and
+     * are pushed through on every poke and clock edge.  Lazy cones,
+     * the clock edge, prints, toggles, and the changed-net feed are
+     * unchanged, so all observers see bit-identical behaviour.
+     */
+    bool attachKernel(const KernelRef &kernel);
+    bool kernelAttached() const { return _kctx != nullptr; }
 
     /**
      * Nets whose value may have changed since the previous clock
@@ -233,6 +261,7 @@ class Sim
     void sweep();
     void sweepFull();
     void sweepDirty();
+    void sweepKernel();
     bool computeNet(NetId id);
     const BitVec &evalLazy(NetId id);
     const NetSignal *findSignal(const std::string &flat) const;
@@ -241,6 +270,20 @@ class Sim
     void seedSource(NetId id);
     void pushConsumers(NetId id);
     void rollFrame();
+    void refreshFromKernel(NetId id);
+
+    /**
+     * Current value of a net, pulling it out of the attached kernel
+     * first if the interpreter's copy is stale.  Sources and lazy
+     * nodes are always Sim-owned and never stale.
+     */
+    const BitVec &valOf(NetId id)
+    {
+        size_t i = static_cast<size_t>(id);
+        if (_kctx && i < _kstale.size() && _kstale[i])
+            refreshFromKernel(id);
+        return _val[i];
+    }
 
     std::shared_ptr<const Module> _top;
     Netlist _nl;
@@ -272,6 +315,24 @@ class Sim
     std::vector<int32_t> _wire_slot;   // net -> wireNets index or -1
     uint64_t _frame_evals = 0;
     SweepStats _stats;
+
+    // Compiled-kernel backend (attachKernel).
+    KernelRef _kernel;
+    void *_kctx = nullptr;             // kernel instance
+    std::vector<int32_t> _kchanged;    // per-sweep changed-net buffer
+    std::vector<uint8_t> _kstale;      // _val[i] behind the kernel
+
+    // Clock-edge bookkeeping: which updates are armed (enable != 0),
+    // kept fresh from the changed-net delta, and which registers the
+    // armed updates wrote this cycle — the edge costs O(activity),
+    // not O(registers + updates).
+    std::vector<int32_t> _upd_begin;   // enable net -> updates CSR
+    std::vector<int32_t> _upd_list;
+    std::vector<uint8_t> _armed;
+    size_t _armed_count = 0;
+    bool _armed_primed = false;
+    std::vector<int32_t> _touched_regs;
+    std::vector<uint8_t> _reg_touched;
 
     bool _dirty = true;
     bool _toggles_primed = false;

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * C ABI between the simulator and a compiled netlist kernel.
+ *
+ * `anvilc --emit-cpp` (src/codegen/cpp_emitter.cpp) lowers the strict
+ * combinational portion of a levelized rtl::Netlist to straight-line
+ * C++ and wraps it in the struct below; the JIT (src/codegen/jit.cpp)
+ * compiles that source with the system compiler and dlopens the
+ * resulting shared object.  The generated file embeds its own copy of
+ * this struct definition so an --emit-cpp dump compiles standalone —
+ * the two copies are tied together by `abi_version`, and an attach is
+ * additionally gated on `design_hash` (rtl::designHash) and
+ * `net_count` so a stale object can never be bound to the wrong
+ * netlist.
+ *
+ * Division of labour: the kernel owns only the levelized strict sweep
+ * (sources in, changed strict nets out).  Sources (inputs, registers)
+ * are pushed in by the host via net_ptr()+poke(); lazy cones, the
+ * clock edge, prints, toggles, and every observer stay in rtl::Sim,
+ * which remains the single semantic authority.  Values are packed
+ * little-endian 64-bit words, ceil(width/64) (min 1) words per net,
+ * normalized (bits at or above the width are zero) exactly like
+ * anvil::BitVec.
+ */
+
+#ifndef ANVIL_RTL_KERNEL_ABI_H
+#define ANVIL_RTL_KERNEL_ABI_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define ANVIL_KERNEL_ABI_VERSION 1u
+
+/** Version 1 kernel vtable.  All functions are thread-compatible:
+ *  distinct contexts may be driven from distinct threads, one context
+ *  must not be entered concurrently. */
+typedef struct AnvilKernelV1
+{
+    uint32_t abi_version;   /* == ANVIL_KERNEL_ABI_VERSION */
+    uint32_t net_count;     /* nets at emission time */
+    uint64_t design_hash;   /* rtl::designHash of the netlist */
+    uint64_t state_words;   /* packed value words per context */
+
+    /** Allocate a context holding the design's initial values.
+     *  Returns NULL on allocation failure. */
+    void *(*create)(void);
+    void (*destroy)(void *ctx);
+
+    /** Pointer to the value words of `net` (valid for the context's
+     *  lifetime; ceil(width/64), min 1, words). */
+    uint64_t *(*net_ptr)(void *ctx, int32_t net);
+
+    /** Mark a source net changed after the host wrote its words via
+     *  net_ptr(); the next eval() re-evaluates its fan-out cone. */
+    void (*poke)(void *ctx, int32_t net);
+
+    /**
+     * Event-driven sweep: evaluate the marked cones in levelized
+     * order.  Strict nets whose value changed are appended to
+     * `changed` (caller-provided, net_count capacity) and counted in
+     * *n_changed.  Returns the number of node evaluations.
+     */
+    uint64_t (*eval)(void *ctx, int32_t *changed, uint64_t *n_changed);
+
+    /** Dense sweep: evaluate every strict node, reporting changes by
+     *  value comparison (the resync path after attach/mode switch). */
+    uint64_t (*eval_full)(void *ctx, int32_t *changed,
+                          uint64_t *n_changed);
+} AnvilKernelV1;
+
+/** Entry point exported by every compiled kernel object. */
+typedef const AnvilKernelV1 *(*AnvilKernelEntryFn)(void);
+
+#define ANVIL_KERNEL_ENTRY_SYMBOL "anvil_kernel_v1"
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* ANVIL_RTL_KERNEL_ABI_H */

@@ -331,20 +331,6 @@ Netlist::compile(const ExprPtr &e, const std::string &scope)
     return id;
 }
 
-template <typename F>
-void
-Netlist::forEachOperand(const Net &n, F f) const
-{
-    if (n.a != kNoNet)
-        f(n.a);
-    if (n.b != kNoNet)
-        f(n.b);
-    if (n.c != kNoNet)
-        f(n.c);
-    for (NetId id : n.cargs)
-        f(id);
-}
-
 void
 Netlist::levelize()
 {
@@ -441,6 +427,47 @@ Netlist::nameOf(NetId id) const
     static const std::string empty;
     auto it = _names.find(id);
     return it == _names.end() ? empty : it->second;
+}
+
+uint64_t
+designHash(const Netlist &nl)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t w) {
+        h ^= w;
+        h *= 1099511628211ull;
+    };
+    mix(nl.nets().size());
+    for (const Net &n : nl.nets()) {
+        mix(static_cast<uint64_t>(n.kind) |
+            (static_cast<uint64_t>(n.op) << 8) |
+            (static_cast<uint64_t>(n.fast) << 16) |
+            (static_cast<uint64_t>(n.lazy) << 17));
+        mix((static_cast<uint64_t>(static_cast<uint32_t>(n.width))
+             << 32) |
+            static_cast<uint32_t>(n.lo));
+        mix((static_cast<uint64_t>(static_cast<uint32_t>(n.a))
+             << 32) |
+            static_cast<uint32_t>(n.b));
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(n.c)));
+        mix(n.cargs.size());
+        for (NetId c : n.cargs)
+            mix(static_cast<uint64_t>(c));
+        if (n.rom) {
+            mix(n.rom->size());
+            for (const BitVec &e : *n.rom) {
+                mix(static_cast<uint64_t>(e.width()));
+                for (int w = 0; w < e.words(); w++)
+                    mix(e.word(w));
+            }
+        }
+    }
+    for (const BitVec &v : nl.initValues()) {
+        mix(static_cast<uint64_t>(v.width()));
+        for (int w = 0; w < v.words(); w++)
+            mix(v.word(w));
+    }
+    return h;
 }
 
 } // namespace rtl

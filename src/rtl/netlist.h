@@ -181,6 +181,25 @@ class Netlist
     /** Debug name of a node ("" for anonymous expression nodes). */
     const std::string &nameOf(NetId id) const;
 
+    /**
+     * Visit every operand NetId of a node, in evaluation order
+     * (a, b, c, then cargs).  The one operand walk shared by
+     * levelization, the fan-out CSR, the design hash, and the C++
+     * emitter's guard/liveness analyses.
+     */
+    template <typename F>
+    static void forEachOperand(const Net &n, F f)
+    {
+        if (n.a != kNoNet)
+            f(n.a);
+        if (n.b != kNoNet)
+            f(n.b);
+        if (n.c != kNoNet)
+            f(n.c);
+        for (NetId id : n.cargs)
+            f(id);
+    }
+
   private:
     NetId newNet(Net n);
     NetId internSource(NetSignal::Kind kind, const std::string &flat,
@@ -188,7 +207,6 @@ class Netlist
     void flatten(const Module &m, const std::string &prefix);
     void levelize();
     void finalizeNode(Net &n);
-    template <typename F> void forEachOperand(const Net &n, F f) const;
 
     struct PendingWire
     {
@@ -229,6 +247,16 @@ class Netlist
     std::vector<PendingPrint> _pending_prints;
     bool _constructed = false;
 };
+
+/**
+ * Structural fingerprint of a netlist: FNV-1a over every node's kind,
+ * operator, width, operands, ROM contents, and the initial values.
+ * A compiled kernel records this at emission time and the simulator
+ * refuses to attach an object whose hash disagrees (see
+ * rtl/kernel_abi.h), so a stale shared object degrades to the
+ * interpreter instead of silently simulating the wrong design.
+ */
+uint64_t designHash(const Netlist &nl);
 
 } // namespace rtl
 } // namespace anvil

@@ -33,6 +33,16 @@ BitVec::setUint64(uint64_t v)
     _wide[0] = v;
 }
 
+void
+BitVec::setWords(const uint64_t *w, int n)
+{
+    uint64_t *d = data();
+    int have = words();
+    for (int i = 0; i < have; i++)
+        d[i] = i < n ? w[i] : 0;
+    normalize();
+}
+
 BitVec
 BitVec::fromBinary(const std::string &bits)
 {
@@ -327,6 +337,16 @@ bool
 BitVec::ule(const BitVec &o) const
 {
     return ult(o) || *this == o;
+}
+
+int
+BitVec::xorPopcount(const BitVec &o) const
+{
+    int w = std::max(words(), o.words());
+    int n = 0;
+    for (int i = 0; i < w; i++)
+        n += __builtin_popcountll(word(i) ^ o.word(i));
+    return n;
 }
 
 int

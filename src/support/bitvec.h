@@ -72,6 +72,14 @@ class BitVec
      */
     void setUint64(uint64_t v);
 
+    /**
+     * Overwrite the value in place from packed little-endian words
+     * (missing words read as zero; excess words are ignored), keeping
+     * the width.  The wide-value twin of setUint64: how the simulator
+     * mirrors multi-word nets out of a compiled kernel's state.
+     */
+    void setWords(const uint64_t *w, int n);
+
     bool bit(int i) const
     {
         if (i < 0 || i >= _width)
@@ -125,6 +133,13 @@ class BitVec
 
     /** Population count. */
     int popcount() const;
+
+    /**
+     * popcount(*this ^ o) with zero-extension, without materializing
+     * the XOR — the toggle-accounting delta of the simulator's
+     * changed-net sweep.
+     */
+    int xorPopcount(const BitVec &o) const;
 
     /** Render as 0x-prefixed hex (width-padded). */
     std::string toHex() const;

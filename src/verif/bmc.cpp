@@ -58,6 +58,8 @@ boundedModelCheck(const std::shared_ptr<const rtl::Module> &top,
     if (opts.sweep_mode != rtl::SweepMode::Dirty)
         sim.setSweepMode(opts.sweep_mode, opts.sweep_threads,
                          /*shard_min=*/64);
+    if (opts.kernel.abi)
+        sim.attachKernel(opts.kernel);
     auto inputs = sim.inputNames();
 
     // Enumerate input vectors: each input contributes its low

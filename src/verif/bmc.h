@@ -68,6 +68,10 @@ struct BmcOptions
      *  tests); Dirty is fastest for the restore-poke-step pattern. */
     rtl::SweepMode sweep_mode = rtl::SweepMode::Dirty;
     int sweep_threads = 0;
+    /** Optional compiled kernel (codegen/jit.h) for the simulator.
+     *  Attach failures fall back to the interpreter silently; the
+     *  explored state space is identical either way. */
+    rtl::KernelRef kernel;
 };
 
 /**

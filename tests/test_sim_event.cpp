@@ -1,11 +1,12 @@
 /**
  * @file
  * Sweep-mode differential matrix: the full, dirty, and threaded
- * sweeps must be bit-identical on every observable surface — final
- * registers, total toggles, dprint logs, VCD bytes, coverage JSON,
- * and BMC states_explored — across every evaluation design plus the
- * seeded low-activity AXI-crossbar and set-associative-TLB
- * workloads.  Also pins the structural properties the event-driven
+ * sweeps — and, when a system compiler is available, the compiled
+ * (JIT kernel) backend — must be bit-identical on every observable
+ * surface — final registers, total toggles, dprint logs, VCD bytes,
+ * coverage JSON, and BMC states_explored — across every evaluation
+ * design plus the seeded low-activity AXI-crossbar and
+ * set-associative-TLB workloads.  Also pins the structural properties the event-driven
  * sweep relies on (fan-out CSR shape, changed-net completeness) and
  * sanity-checks that dirty sweeping actually evaluates fewer nodes
  * than the dense sweep on sparse stimulus.
@@ -17,6 +18,7 @@
 #include <random>
 #include <sstream>
 
+#include "codegen/jit.h"
 #include "designs/designs.h"
 #include "harness.h"
 #include "rtl/interp.h"
@@ -43,12 +45,40 @@ struct ModeRun
     SweepStats stats;
 };
 
+/** True when the JIT can find a working system compiler. */
+bool
+haveJitCompiler()
+{
+    static const bool have = !codegen::jitCompilerPath().empty();
+    return have;
+}
+
+/**
+ * JIT the design's kernel (shared process-wide cache, so each design
+ * compiles once per test binary) and attach it to the simulator.
+ */
+void
+attachJitKernel(Sim &sim)
+{
+    codegen::JitOptions jo;
+    jo.opt_level = 1;   // fast compiles; optimization is benched
+    codegen::JitResult jr = codegen::jitCompileKernel(sim.netlist(), jo);
+    ASSERT_NE(jr.kernel, nullptr) << jr.error;
+    ASSERT_TRUE(sim.attachKernel(codegen::kernelRef(jr.kernel)));
+}
+
 ModeRun
 runMode(const ModulePtr &mod, SweepMode mode, int threads,
-        size_t shard_min, int cycles, const DriveFn &drive)
+        size_t shard_min, int cycles, const DriveFn &drive,
+        bool compiled = false)
 {
     Sim sim(mod);
     sim.setSweepMode(mode, threads, shard_min);
+    if (compiled) {
+        attachJitKernel(sim);
+        if (!sim.kernelAttached())
+            return {};
+    }
     std::ostringstream vcd_os;
     VcdWriter vcd(sim, vcd_os);
     tb::Coverage cov;
@@ -73,7 +103,10 @@ runMode(const ModulePtr &mod, SweepMode mode, int threads,
  * Run all three sweep modes on identical stimulus and require
  * bit-identical observables.  The threaded run forces sharding
  * (shard_min = 1) so the pool is exercised even on small designs.
- * Returns the per-mode runs for additional activity assertions.
+ * When a system compiler is available a fourth run goes through the
+ * JIT-compiled kernel backend and must match too.  Returns the
+ * per-mode runs for additional activity assertions (indices 0..2 are
+ * always Full/Dirty/Threaded).
  */
 std::vector<ModeRun>
 expectModesAgree(const ModulePtr &mod, int cycles,
@@ -86,6 +119,9 @@ expectModesAgree(const ModulePtr &mod, int cycles,
                            make_drive()));
     runs.push_back(runMode(mod, SweepMode::Threaded, 2, 1, cycles,
                            make_drive()));
+    if (haveJitCompiler())
+        runs.push_back(runMode(mod, SweepMode::Dirty, 0, 256, cycles,
+                               make_drive(), /*compiled=*/true));
     const ModeRun &full = runs[0];
     for (size_t i = 1; i < runs.size(); i++) {
         SCOPED_TRACE(mod->name + " mode#" + std::to_string(i));
@@ -422,6 +458,19 @@ TEST(SweepModes, BmcStatesIdenticalAcrossModes)
         verif::BmcOptions opts = base;
         opts.sweep_mode = mode;
         opts.sweep_threads = 2;
+        results.push_back(verif::boundedModelCheck(m, {a}, opts));
+    }
+    if (haveJitCompiler()) {
+        // Same exploration through the compiled kernel backend.  The
+        // netlist build is deterministic, so a kernel compiled from a
+        // probe Sim hash-matches the one inside boundedModelCheck.
+        Sim probe(m);
+        codegen::JitOptions jo;
+        jo.opt_level = 1;
+        auto jr = codegen::jitCompileKernel(probe.netlist(), jo);
+        ASSERT_NE(jr.kernel, nullptr) << jr.error;
+        verif::BmcOptions opts = base;
+        opts.kernel = codegen::kernelRef(jr.kernel);
         results.push_back(verif::boundedModelCheck(m, {a}, opts));
     }
     for (size_t i = 1; i < results.size(); i++) {
