@@ -18,8 +18,10 @@
  *
  * Prints a table and emits a JSON record matching BENCH_sim.json
  * (fields: ref, netlist = full sweep, dirty, threads.{2,4}, compiled
- * — 0 when no system compiler is present — speedup = netlist/ref,
- * dirty_vs_full, compiled_vs_dirty, activity_pct).  With a file argument
+ * — 0 when no system compiler is present — observers = dirty sweep
+ * with the VCD + coverage + contract feed attached, speedup =
+ * netlist/ref, dirty_vs_full, compiled_vs_dirty, observers_vs_dirty,
+ * activity_pct).  With a file argument
  * the JSON is written there; `--cycles N` caps every measurement at
  * N cycles (the CI smoke configuration, which exercises all sweep
  * modes).  See docs/benchmarks.md.
@@ -37,9 +39,13 @@
 #include "anvil/compiler.h"
 #include "codegen/jit.h"
 #include "designs/designs.h"
+#include "obs/observer.h"
 #include "rtl/interp.h"
 #include "rtl/ref_interp.h"
+#include "rtl/vcd.h"
 #include "sim_workloads.h"
+#include "tb/coverage.h"
+#include "trace/contracts.h"
 
 using namespace anvil;
 
@@ -159,6 +165,60 @@ timedRun(SimT &sim, int cycles, const StimFactory &make_stim,
     return best;
 }
 
+/** Discards every byte written (the VCD sink for the observer row). */
+class NullBuf : public std::streambuf
+{
+  protected:
+    int overflow(int c) override { return c; }
+    std::streamsize xsputn(const char *, std::streamsize n) override
+    {
+        return n;
+    }
+};
+
+/**
+ * Dirty sweep with the full observer stack riding the change feed —
+ * VCD writer (into a null sink), coverage, and inferred contract
+ * monitoring — sampled once per cycle like Testbench::run does.
+ * The column prices what "observability on" costs over a bare sweep.
+ */
+template <typename SimT>
+double
+timedRunObserved(SimT &sim, int cycles, const StimFactory &make_stim,
+                 int reps = 3)
+{
+    NullBuf null_buf;
+    std::ostream null_os(&null_buf);
+    obs::ChangeFeed feed(sim);
+    rtl::VcdWriter vcd(sim, null_os, {});
+    tb::Coverage cov;
+    trace::ContractMonitor contracts(
+        trace::inferContracts(sim.netlist()), sim);
+    feed.attach(vcd);
+    feed.attach(cov);
+    feed.attach(contracts);
+
+    auto stim = make_stim();
+    for (const auto &[n, v] : stim())
+        sim.setInput(n, v);
+    feed.sample();
+    sim.step(1);
+    double best = 0;
+    for (int rep = 0; rep < reps; rep++) {
+        auto t0 = std::chrono::steady_clock::now();
+        for (int c = 0; c < cycles; c++) {
+            for (const auto &[n, v] : stim())
+                sim.setInput(n, v);
+            feed.sample();
+            sim.step(1);
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        double s = std::chrono::duration<double>(t1 - t0).count();
+        best = std::max(best, static_cast<double>(cycles) / s);
+    }
+    return best;
+}
+
 struct Row
 {
     std::string name;
@@ -167,6 +227,7 @@ struct Row
     double dirty = 0;        // event-driven sweep
     double t2 = 0, t4 = 0;   // threaded sweep, 2 / 4 workers
     double compiled = 0;     // JIT C++ kernel (0 = no compiler)
+    double observers = 0;    // dirty + VCD/coverage/contract feed
     double activity_pct = 0; // strict nodes evaluated / total, dirty
 };
 
@@ -190,6 +251,11 @@ runDesign(const std::string &name, const rtl::ModulePtr &mod,
             ? 100.0 * st.avgNodes() /
                 static_cast<double>(st.strict_nodes)
             : 0.0;
+    }
+    {
+        rtl::Sim sim(mod);
+        sim.setSweepMode(rtl::SweepMode::Dirty);
+        r.observers = timedRunObserved(sim, sim_cycles, stim);
     }
     for (int threads : {2, 4}) {
         rtl::Sim sim(mod);
@@ -277,36 +343,40 @@ main(int argc, char **argv)
                              cycles(40000), cycles(2000),
                              tlbStim(4242)));
 
-    printf("%-14s %11s %11s %11s %10s %10s %11s %7s %7s %6s\n",
+    printf("%-14s %11s %11s %11s %10s %10s %11s %10s %7s %7s %6s\n",
            "design", "ref cyc/s", "full cyc/s", "dirty", "thr2",
-           "thr4", "compiled", "dirty/f", "cmp/d", "act%");
+           "thr4", "compiled", "observers", "dirty/f", "cmp/d",
+           "act%");
     for (const auto &r : rows)
         printf("%-14s %11.0f %11.0f %11.0f %10.0f %10.0f %11.0f "
-               "%6.2fx %6.2fx %5.1f%%\n",
+               "%10.0f %6.2fx %6.2fx %5.1f%%\n",
                r.name.c_str(), r.ref, r.full, r.dirty, r.t2, r.t4,
-               r.compiled, r.dirty / r.full,
+               r.compiled, r.observers, r.dirty / r.full,
                r.dirty > 0 ? r.compiled / r.dirty : 0.0,
                r.activity_pct);
 
     std::string json = "{\n  \"bench\": \"sim_perf\",\n"
         "  \"unit\": \"cycles_per_second\",\n  \"designs\": [\n";
     for (size_t i = 0; i < rows.size(); i++) {
-        char buf[640];
+        char buf[768];
         snprintf(buf, sizeof buf,
                  "    {\"name\": \"%s\", \"ref\": %.0f, "
                  "\"netlist\": %.0f, \"dirty\": %.0f, "
                  "\"threads\": {\"2\": %.0f, \"4\": %.0f}, "
-                 "\"compiled\": %.0f, "
+                 "\"compiled\": %.0f, \"observers\": %.0f, "
                  "\"speedup\": %.2f, \"dirty_vs_full\": %.2f, "
                  "\"compiled_vs_dirty\": %.2f, "
+                 "\"observers_vs_dirty\": %.2f, "
                  "\"activity_pct\": %.1f}%s\n",
                  rows[i].name.c_str(), rows[i].ref, rows[i].full,
                  rows[i].dirty, rows[i].t2, rows[i].t4,
-                 rows[i].compiled,
+                 rows[i].compiled, rows[i].observers,
                  rows[i].full / rows[i].ref,
                  rows[i].dirty / rows[i].full,
                  rows[i].dirty > 0
                      ? rows[i].compiled / rows[i].dirty : 0.0,
+                 rows[i].dirty > 0
+                     ? rows[i].observers / rows[i].dirty : 0.0,
                  rows[i].activity_pct,
                  i + 1 < rows.size() ? "," : "");
         json += buf;

@@ -50,6 +50,15 @@
  *                    state counts, timings); implies --prove
  *     --diff-trace <A> <B>  diff two VCD dumps: report the first
  *                    divergent cycle and signal (no design needed)
+ *     --metrics <f>  write run metrics (counters/gauges/histograms/
+ *                    timers) as JSON ("anvil-metrics-v1")
+ *     --profile <f>  write a Chrome-trace / Perfetto profile of the
+ *                    run ("anvil-profile-v1"): one track per sim
+ *                    phase (sweep, kernel, commit) and per observer
+ *     --stats-json   print a one-line machine-readable run summary
+ *                    ("anvil-stats-v1") on stdout
+ *     --slice <ch>   with --vcd: dump only channel <ch>'s signals
+ *                    (a standalone sliced VCD window)
  *
  * Contract resolution order: explicit --contract specs; otherwise
  * the typed inference from the compiled program (formal::
@@ -72,6 +81,9 @@
 #include "anvil/compiler.h"
 #include "codegen/cpp_emitter.h"
 #include "codegen/jit.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/slice.h"
 #include "formal/contracts.h"
 #include "formal/kinduction.h"
 #include "formal/property.h"
@@ -127,6 +139,11 @@ usage()
             "                 (--vcd dumps a counterexample)\n"
             "  --prove-report detailed prover report\n"
             "  --diff-trace <A> <B>  first divergence of two dumps\n"
+            "  --metrics <f>  write run metrics JSON\n"
+            "  --profile <f>  write a Chrome-trace profile of the "
+            "run\n"
+            "  --stats-json   one-line machine-readable run summary\n"
+            "  --slice <ch>   with --vcd: dump only channel <ch>\n"
             "exit codes: 0 ok, 1 check failure, 2 usage, 3 I/O "
             "error,\n            4 proof inconclusive\n");
 }
@@ -203,34 +220,148 @@ parseSweepMode(const std::string &text, rtl::SweepMode *mode,
     return false;
 }
 
+/** Observability options threaded through --sim / --replay runs. */
+struct ObsOptions
+{
+    std::string metrics_path;    // --metrics
+    std::string profile_path;    // --profile
+    std::string slice_channel;   // --slice
+    bool stats_json = false;     // --stats-json
+
+    /** True when any telemetry sink is requested. */
+    bool telemetry() const
+    {
+        return !metrics_path.empty() || !profile_path.empty() ||
+               stats_json;
+    }
+};
+
 /**
  * --backend compiled: JIT the netlist and attach the kernel to the
  * bench's simulator.  Failures (no compiler, compile error, hash
  * mismatch) degrade to the interpreter with a note on stderr; the
  * run's results and exit code are identical either way.
  */
-void
+codegen::JitResult
 attachCompiledBackend(tb::Testbench &bench)
 {
     codegen::JitResult jr =
         codegen::jitCompileKernel(bench.sim().netlist());
     if (jr.kernel &&
         bench.sim().attachKernel(codegen::kernelRef(jr.kernel)))
-        return;
+        return jr;
     fprintf(stderr,
             "anvilc: note: compiled backend unavailable (%s); "
             "using the interpreter\n",
             jr.error.empty() ? "kernel attach failed"
                              : jr.error.c_str());
+    return jr;
+}
+
+/**
+ * Hook the telemetry spine up before a run: one TraceProfiler feeds
+ * both the simulator's phase timing (Sim::setTelemetry) and the
+ * change feed's per-observer tracks.  Event buffering is only paid
+ * for when --profile will write them out.
+ */
+std::unique_ptr<obs::TraceProfiler>
+attachTelemetry(tb::Testbench &bench, const ObsOptions &oo)
+{
+    if (!oo.telemetry())
+        return nullptr;
+    auto profiler = std::make_unique<obs::TraceProfiler>(
+        !oo.profile_path.empty());
+    bench.sim().setTelemetry(profiler.get());
+    bench.feed().setProfiler(profiler.get());
+    return profiler;
+}
+
+/** Attach the --slice / --vcd observer to the bench. */
+int
+attachWaves(tb::Testbench &bench, std::ofstream &vcd_os,
+            const ObsOptions &oo)
+{
+    if (oo.slice_channel.empty()) {
+        bench.attachVcd(vcd_os);
+        return kExitOk;
+    }
+    try {
+        bench.attachObserver(std::make_unique<obs::ChannelSlicer>(
+            bench.sim(), vcd_os, oo.slice_channel));
+    } catch (const std::invalid_argument &e) {
+        fprintf(stderr, "anvilc: %s\n", e.what());
+        return kExitUsage;
+    }
+    return kExitOk;
+}
+
+/** Assemble the metrics registry from every spine the run exposes. */
+void
+collectMetrics(obs::MetricsRegistry &reg, tb::Testbench &bench,
+               const tb::TbResult &result, tb::Coverage *coverage,
+               const obs::TraceProfiler *profiler,
+               const codegen::JitResult *jit, uint64_t wall_ns)
+{
+    const rtl::SweepStats &ss = bench.sim().sweepStats();
+    reg.counter("sim.cycles") = result.cycles;
+    reg.counter("sim.toggles") = bench.sim().totalToggles();
+    reg.counter("sim.dprint_lines") = bench.sim().log().size();
+    reg.counter("tb.failures") = result.failures.size();
+    reg.counter("sweep.strict_nodes") = ss.strict_nodes;
+    reg.counter("sweep.frames") = ss.cycles;
+    reg.counter("sweep.nodes_evaluated") = ss.nodes_evaluated;
+    reg.counter("sweep.peak_nodes") = ss.peak_nodes;
+    reg.counter("sweep.nets_changed") = ss.nets_changed;
+    reg.counter("sweep.peak_changed") = ss.peak_changed;
+    reg.counter("sweep.sharded_levels") = ss.sharded_levels;
+    reg.counter("sweep.kernel_frames") = ss.kernel_frames;
+    reg.counter("sweep.dense_fallback_switches") =
+        ss.dense_fallback_switches;
+    reg.counter("backend.compiled") =
+        bench.sim().kernelAttached() ? 1 : 0;
+    double act = ss.strict_nodes
+        ? 100.0 * ss.avgNodes() / static_cast<double>(ss.strict_nodes)
+        : 0.0;
+    reg.gauge("sweep.activity_pct") = act;
+    if (jit) {
+        reg.counter("jit.cache_hit") = jit->cache_hit ? 1 : 0;
+        reg.timerNs("jit.compile") = jit->compile_ns;
+    }
+    if (coverage) {
+        reg.gauge("cov.toggle_pct") = coverage->togglePct();
+        reg.gauge("cov.reg_bin_pct") = coverage->regBinPct();
+        reg.counter("cov.samples") = coverage->samples();
+    }
+    for (const obs::ObserverCost &c : bench.feed().costs()) {
+        reg.counter("obs." + c.name + ".visits") = c.visits;
+        reg.counter("obs." + c.name + ".primes") = c.primes;
+        reg.counter("obs." + c.name + ".nets") = c.nets;
+        reg.timerNs("obs." + c.name) = c.ns;
+    }
+    obs::MetricsRegistry::Histogram &lvl =
+        reg.histogram("sweep.level_activity");
+    const std::vector<uint64_t> &activity =
+        bench.feed().levelActivity();
+    for (size_t i = 0; i < activity.size(); i++)
+        lvl.bump(i, activity[i]);
+    if (profiler)
+        for (const auto &t : profiler->totals())
+            reg.timerNs("phase." + t.name) = t.ns;
+    reg.timerNs("run.wall") = wall_ns;
 }
 
 /** Shared tail of --sim and --replay runs: run, report, exit code. */
 int
 finishRun(tb::Testbench &bench, uint64_t cycles,
           tb::Coverage *coverage, std::ofstream *vcd_os,
-          const std::string &vcd_path, bool cov, bool stats)
+          const std::string &vcd_path, bool cov, bool stats,
+          const ObsOptions &oo, obs::TraceProfiler *profiler,
+          const codegen::JitResult *jit)
 {
+    uint64_t wall0 = rtl::monotonicNanos();
     tb::TbResult result = bench.run(cycles);
+    uint64_t wall_ns = rtl::monotonicNanos() - wall0;
+    bench.feed().finish();
 
     printf("sim: %llu cycles, %llu toggles, %zu dprint line(s)\n",
            (unsigned long long)result.cycles,
@@ -270,6 +401,66 @@ finishRun(tb::Testbench &bench, uint64_t cycles,
         }
         fprintf(stderr, "anvilc: wrote %s\n", vcd_path.c_str());
     }
+
+    if (oo.telemetry()) {
+        obs::MetricsRegistry reg;
+        collectMetrics(reg, bench, result, coverage, profiler, jit,
+                       wall_ns);
+        if (!oo.metrics_path.empty()) {
+            std::ofstream os(oo.metrics_path);
+            os << reg.json() << "\n";
+            os.flush();
+            if (!os.good()) {
+                fprintf(stderr, "anvilc: cannot write '%s'\n",
+                        oo.metrics_path.c_str());
+                return kExitIo;
+            }
+            fprintf(stderr, "anvilc: wrote %s\n",
+                    oo.metrics_path.c_str());
+        }
+        if (!oo.profile_path.empty() && profiler) {
+            profiler->setLevelActivity(bench.feed().levelActivity());
+            std::ofstream os(oo.profile_path);
+            profiler->writeJson(os);
+            os.flush();
+            if (!os.good()) {
+                fprintf(stderr, "anvilc: cannot write '%s'\n",
+                        oo.profile_path.c_str());
+                return kExitIo;
+            }
+            fprintf(stderr, "anvilc: wrote %s\n",
+                    oo.profile_path.c_str());
+        }
+        if (oo.stats_json) {
+            const rtl::SweepStats &ss = bench.sim().sweepStats();
+            double act = ss.strict_nodes
+                ? 100.0 * ss.avgNodes() /
+                    static_cast<double>(ss.strict_nodes)
+                : 0.0;
+            double cps = wall_ns
+                ? static_cast<double>(result.cycles) * 1e9 /
+                    static_cast<double>(wall_ns)
+                : 0.0;
+            printf("stats-json {\"schema\":\"anvil-stats-v1\","
+                   "\"design\":\"%s\",\"cycles\":%llu,"
+                   "\"backend\":\"%s\",\"sweep\":\"%s\","
+                   "\"threads\":%d,\"activity_pct\":%.2f,"
+                   "\"toggles\":%llu,\"failures\":%zu,"
+                   "\"wall_ns\":%llu,\"cycles_per_sec\":%.0f,"
+                   "\"coverage\":%s}\n",
+                   bench.sim().topName().c_str(),
+                   (unsigned long long)result.cycles,
+                   bench.sim().kernelAttached() ? "compiled"
+                                                : "interp",
+                   rtl::sweepModeName(ss.mode), ss.threads, act,
+                   (unsigned long long)bench.sim().totalToggles(),
+                   result.failures.size(),
+                   (unsigned long long)wall_ns, cps,
+                   coverage ? coverage->summaryJson().c_str()
+                            : "null");
+        }
+    }
+
     if (!result.ok()) {
         fprintf(stderr, "anvilc: %s\n", result.summary().c_str());
         return kExitCheckFailure;
@@ -285,12 +476,15 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
          const std::vector<std::string> &contract_specs,
          const formal::ContractSet *typed,
          rtl::SweepMode sweep_mode, int sweep_threads,
-         bool compiled_backend)
+         bool compiled_backend, const ObsOptions &oo)
 {
     tb::Testbench bench(mod, seed);
     bench.sim().setSweepMode(sweep_mode, sweep_threads);
+    codegen::JitResult jit;
     if (compiled_backend)
-        attachCompiledBackend(bench);
+        jit = attachCompiledBackend(bench);
+    std::unique_ptr<obs::TraceProfiler> profiler =
+        attachTelemetry(bench, oo);
     for (const auto &in : bench.sim().inputNames())
         bench.driveRandom(in);
 
@@ -322,12 +516,14 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
                     vcd_path.c_str());
             return kExitIo;
         }
-        bench.attachVcd(vcd_os);
+        if (int rc = attachWaves(bench, vcd_os, oo))
+            return rc;
     }
 
     return finishRun(bench, static_cast<uint64_t>(cycles), coverage,
                      vcd_path.empty() ? nullptr : &vcd_os, vcd_path,
-                     cov, stats);
+                     cov, stats, oo, profiler.get(),
+                     compiled_backend ? &jit : nullptr);
 }
 
 /** Replay a recorded dump as stimulus and diff the re-simulation. */
@@ -338,7 +534,7 @@ replay(const rtl::ModulePtr &mod, const std::string &dump_path,
        const std::vector<std::string> &contract_specs,
        const formal::ContractSet *typed,
        rtl::SweepMode sweep_mode, int sweep_threads,
-       bool compiled_backend)
+       bool compiled_backend, const ObsOptions &oo)
 {
     trace::Trace t;
     try {
@@ -351,8 +547,11 @@ replay(const rtl::ModulePtr &mod, const std::string &dump_path,
 
     tb::Testbench bench(mod);
     bench.sim().setSweepMode(sweep_mode, sweep_threads);
+    codegen::JitResult jit;
     if (compiled_backend)
-        attachCompiledBackend(bench);
+        jit = attachCompiledBackend(bench);
+    std::unique_ptr<obs::TraceProfiler> profiler =
+        attachTelemetry(bench, oo);
     auto driver =
         std::make_unique<trace::ReplayDriver>(t, bench.sim());
     uint64_t cycles = driver->cyclesAvailable();
@@ -403,12 +602,14 @@ replay(const rtl::ModulePtr &mod, const std::string &dump_path,
                     vcd_path.c_str());
             return kExitIo;
         }
-        bench.attachVcd(vcd_os);
+        if (int rc = attachWaves(bench, vcd_os, oo))
+            return rc;
     }
 
     return finishRun(bench, cycles, coverage,
                      vcd_path.empty() ? nullptr : &vcd_os, vcd_path,
-                     cov, stats);
+                     cov, stats, oo, profiler.get(),
+                     compiled_backend ? &jit : nullptr);
 }
 
 /** Offline contract check (and coverage grading) of a recorded dump. */
@@ -583,6 +784,7 @@ main(int argc, char **argv)
     bool emit_cpp = false;
     bool compiled_backend = false;
     bool backend_set = false;
+    ObsOptions oo;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -655,6 +857,14 @@ main(int argc, char **argv)
         } else if (arg == "--diff-trace" && i + 2 < argc) {
             diff_a = argv[++i];
             diff_b = argv[++i];
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            oo.metrics_path = argv[++i];
+        } else if (arg == "--profile" && i + 1 < argc) {
+            oo.profile_path = argv[++i];
+        } else if (arg == "--stats-json") {
+            oo.stats_json = true;
+        } else if (arg == "--slice" && i + 1 < argc) {
+            oo.slice_channel = argv[++i];
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return kExitOk;
@@ -707,6 +917,16 @@ main(int argc, char **argv)
     if (backend_set && !runs_sim) {
         fprintf(stderr, "anvilc: --backend requires --sim <N> or "
                         "--replay\n");
+        return kExitUsage;
+    }
+    if ((oo.telemetry() || !oo.slice_channel.empty()) && !runs_sim) {
+        fprintf(stderr,
+                "anvilc: --metrics/--profile/--stats-json/--slice "
+                "require --sim <N> or --replay\n");
+        return kExitUsage;
+    }
+    if (!oo.slice_channel.empty() && vcd_path.empty()) {
+        fprintf(stderr, "anvilc: --slice requires --vcd <file>\n");
         return kExitUsage;
     }
     if (emit_cpp &&
@@ -844,12 +1064,12 @@ main(int argc, char **argv)
             return replay(mod, replay_path, sim_cycles, vcd_path,
                           cov, stats, contracts, contract_specs,
                           &typed, sweep_mode, sweep_threads,
-                          compiled_backend);
+                          compiled_backend, oo);
         if (sim_cycles > 0)
             return simulate(mod, sim_cycles, seed, vcd_path, cov,
                             stats, contracts, contract_specs,
                             &typed, sweep_mode, sweep_threads,
-                            compiled_backend);
+                            compiled_backend, oo);
         // --contracts / --contract alone: print the contract set.
         rtl::Sim sim(mod);
         std::vector<trace::ContractSpec> specs;

@@ -70,6 +70,7 @@ JitResult
 jitCompileKernel(const rtl::Netlist &nl, const JitOptions &opts)
 {
     JitResult res;
+    uint64_t t0 = rtl::monotonicNanos();
     uint64_t hash = rtl::designHash(nl);
     auto key = std::make_pair(hash, opts.opt_level);
     {
@@ -77,6 +78,7 @@ jitCompileKernel(const rtl::Netlist &nl, const JitOptions &opts)
         auto it = g_cache.find(key);
         if (it != g_cache.end()) {
             res.kernel = it->second;
+            res.cache_hit = true;
             return res;
         }
     }
@@ -160,6 +162,7 @@ jitCompileKernel(const rtl::Netlist &nl, const JitOptions &opts)
     }
 
     res.kernel = std::make_shared<CompiledKernel>(dl, abi);
+    res.compile_ns = rtl::monotonicNanos() - t0;
     std::lock_guard<std::mutex> lock(g_cache_mu);
     g_cache.emplace(key, res.kernel);
     return res;

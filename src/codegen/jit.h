@@ -59,6 +59,8 @@ struct JitResult
 {
     std::shared_ptr<CompiledKernel> kernel;  // null on failure
     std::string error;                       // why, when null
+    uint64_t compile_ns = 0;   // emit + compile + load wall time
+    bool cache_hit = false;    // served from the per-process cache
 };
 
 /**

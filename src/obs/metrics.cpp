@@ -1,0 +1,81 @@
+#include "obs/metrics.h"
+
+#include "support/strings.h"
+
+namespace anvil {
+namespace obs {
+
+namespace {
+
+void
+appendKey(std::string &out, const std::string &name)
+{
+    out += "\"";
+    for (char c : name) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += "\":";
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::json(bool include_timers) const
+{
+    std::string out = "{\"schema\":\"anvil-metrics-v1\",\"counters\":{";
+    bool first = true;
+    for (const auto &kv : _counters) {
+        if (!first)
+            out += ",";
+        first = false;
+        appendKey(out, kv.first);
+        out += strfmt("%llu",
+                      static_cast<unsigned long long>(kv.second));
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &kv : _gauges) {
+        if (!first)
+            out += ",";
+        first = false;
+        appendKey(out, kv.first);
+        out += strfmt("%.17g", kv.second);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto &kv : _histograms) {
+        if (!first)
+            out += ",";
+        first = false;
+        appendKey(out, kv.first);
+        out += "{\"counts\":[";
+        for (size_t i = 0; i < kv.second.counts.size(); i++)
+            out += strfmt("%s%llu", i ? "," : "",
+                          static_cast<unsigned long long>(
+                              kv.second.counts[i]));
+        out += strfmt("],\"total\":%llu}",
+                      static_cast<unsigned long long>(
+                          kv.second.total()));
+    }
+    out += "}";
+    if (include_timers) {
+        out += ",\"timers_ns\":{";
+        first = true;
+        for (const auto &kv : _timers_ns) {
+            if (!first)
+                out += ",";
+            first = false;
+            appendKey(out, kv.first);
+            out += strfmt("%llu",
+                          static_cast<unsigned long long>(kv.second));
+        }
+        out += "}";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace obs
+} // namespace anvil

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Named metrics registry for simulation runs.
+ *
+ * MetricsRegistry holds the machine-readable counters, gauges,
+ * histograms, and timer accumulators an `anvilc --metrics` run emits.
+ * Slots are created on first use and live in sorted maps, so json()
+ * output is deterministic for a deterministic run.  Timers carry wall
+ * time and are never deterministic — they serialize under a separate
+ * "timers_ns" key that json(false) omits, which is what the
+ * byte-stability tests and the CI determinism check compare.
+ *
+ * ScopedTimer is the RAII hook: it accumulates elapsed nanoseconds
+ * into a registry timer slot (or any uint64_t, or nothing when
+ * constructed with a null slot — cheap to leave in place when
+ * metrics are off).
+ */
+
+#ifndef ANVIL_OBS_METRICS_H
+#define ANVIL_OBS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rtl/interp.h"
+
+namespace anvil {
+namespace obs {
+
+class MetricsRegistry
+{
+  public:
+    struct Histogram
+    {
+        std::vector<uint64_t> counts;
+
+        void bump(size_t bucket, uint64_t by = 1)
+        {
+            if (bucket >= counts.size())
+                counts.resize(bucket + 1, 0);
+            counts[bucket] += by;
+        }
+        uint64_t total() const
+        {
+            uint64_t sum = 0;
+            for (uint64_t c : counts)
+                sum += c;
+            return sum;
+        }
+    };
+
+    uint64_t &counter(const std::string &name)
+    {
+        return _counters[name];
+    }
+    double &gauge(const std::string &name) { return _gauges[name]; }
+    Histogram &histogram(const std::string &name)
+    {
+        return _histograms[name];
+    }
+    uint64_t &timerNs(const std::string &name)
+    {
+        return _timers_ns[name];
+    }
+
+    /**
+     * Single-line JSON document (schema "anvil-metrics-v1").  With
+     * include_timers=false the non-deterministic "timers_ns" section
+     * is omitted; everything that remains is byte-stable across runs
+     * at a fixed seed.
+     */
+    std::string json(bool include_timers = true) const;
+
+  private:
+    std::map<std::string, uint64_t> _counters;
+    std::map<std::string, double> _gauges;
+    std::map<std::string, Histogram> _histograms;
+    std::map<std::string, uint64_t> _timers_ns;
+};
+
+/** Accumulates elapsed wall nanoseconds into *slot (null: disabled). */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(uint64_t *slot)
+        : _slot(slot), _begin(slot ? rtl::monotonicNanos() : 0)
+    {
+    }
+    ~ScopedTimer()
+    {
+        if (_slot)
+            *_slot += rtl::monotonicNanos() - _begin;
+    }
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    uint64_t *_slot;
+    uint64_t _begin;
+};
+
+} // namespace obs
+} // namespace anvil
+
+#endif // ANVIL_OBS_METRICS_H

@@ -1,0 +1,189 @@
+#include "obs/observer.h"
+
+#include <stdexcept>
+
+#include "obs/profiler.h"
+
+namespace anvil {
+namespace obs {
+
+Observer::~Observer()
+{
+    if (_feed)
+        _feed->detach(*this);
+}
+
+ChangeFeed::ChangeFeed(rtl::Sim &sim) : _sim(sim)
+{
+    _sub_head.assign(_sim.netlist().nets().size(), -1);
+}
+
+ChangeFeed::~ChangeFeed()
+{
+    for (Slot &s : _slots)
+        if (s.obs) {
+            s.obs->_feed = nullptr;
+            s.obs->_index = -1;
+        }
+}
+
+void
+ChangeFeed::attach(Observer &obs)
+{
+    if (obs._feed == this)
+        return;
+    if (obs._feed)
+        throw std::logic_error(
+            "observer is already attached to another ChangeFeed");
+    obs._feed = this;
+    obs._index = static_cast<int32_t>(_slots.size());
+    Slot s;
+    s.obs = &obs;
+    s.cost.name = obs.observerName();
+    if (_profiler)
+        s.track = _profiler->track("obs:" + s.cost.name);
+    _slots.push_back(std::move(s));
+    obs.onAttach(*this);
+}
+
+void
+ChangeFeed::detach(Observer &obs)
+{
+    if (obs._feed != this)
+        return;
+    // The index is retired, never reused: per-net subscriber chains
+    // keep their entries and sample() skips the empty slot.
+    _slots[static_cast<size_t>(obs._index)].obs = nullptr;
+    obs._feed = nullptr;
+    obs._index = -1;
+}
+
+bool
+ChangeFeed::subscribe(Observer &obs, rtl::NetId net)
+{
+    if (obs._feed != this)
+        throw std::logic_error(
+            "subscribe() from an observer not attached to this feed");
+    if (net == rtl::kNoNet ||
+        static_cast<size_t>(net) >= _sub_head.size() ||
+        _sim.netlist().net(net).lazy)
+        return false;
+    size_t ni = static_cast<size_t>(net);
+    for (int32_t k = _sub_head[ni]; k >= 0; k = _subs[k].next)
+        if (_subs[static_cast<size_t>(k)].obs == obs._index)
+            return true;   // already subscribed
+    _subs.push_back({obs._index, _sub_head[ni]});
+    _sub_head[ni] = static_cast<int32_t>(_subs.size() - 1);
+    return true;
+}
+
+bool
+ChangeFeed::empty() const
+{
+    if (_profiler)
+        return false;
+    for (const Slot &s : _slots)
+        if (s.obs)
+            return false;
+    return true;
+}
+
+void
+ChangeFeed::sample()
+{
+    uint64_t cyc = _sim.cycle();
+    bool fresh = _cursor.fresh(_sim);
+    bool timing = _profiler != nullptr;
+
+    if (fresh) {
+        // One pass over the simulator's changed-net list distributes
+        // each net to every subscriber's per-cycle subset (and, with
+        // a profiler attached, into the per-level histogram) — the
+        // dedupe that lets any number of observers trace one net
+        // without forcing anyone onto the slow path.
+        bool distribute = _profiler != nullptr;
+        for (Slot &s : _slots)
+            if (s.obs && s.primed) {
+                s.scratch.clear();
+                distribute = true;
+            }
+        if (distribute) {
+            const rtl::Netlist &nl = _sim.netlist();
+            for (rtl::NetId id : _sim.changedNets()) {
+                size_t ni = static_cast<size_t>(id);
+                if (_profiler && ni < nl.nets().size() &&
+                    !nl.net(id).lazy) {
+                    size_t lvl =
+                        static_cast<size_t>(nl.net(id).level);
+                    if (lvl < _level_activity.size())
+                        _level_activity[lvl]++;
+                }
+                if (ni >= _sub_head.size())
+                    continue;
+                for (int32_t k = _sub_head[ni]; k >= 0;
+                     k = _subs[static_cast<size_t>(k)].next) {
+                    Slot &s = _slots[static_cast<size_t>(
+                        _subs[static_cast<size_t>(k)].obs)];
+                    if (s.obs && s.primed)
+                        s.scratch.push_back(id);
+                }
+            }
+        }
+    }
+
+    for (Slot &s : _slots) {
+        if (!s.obs)
+            continue;
+        uint64_t t0 = timing ? rtl::monotonicNanos() : 0;
+        if (fresh && s.primed) {
+            s.obs->onCycle(_sim, cyc, s.scratch);
+            s.cost.nets += s.scratch.size();
+        } else {
+            s.obs->onPrime(_sim, cyc);
+            s.primed = true;
+            s.cost.primes++;
+        }
+        s.cost.visits++;
+        if (timing) {
+            uint64_t t1 = rtl::monotonicNanos();
+            s.cost.ns += t1 - t0;
+            if (s.track >= 0)
+                _profiler->event(s.track, s.cost.name, t0, t1, cyc);
+        }
+    }
+    // Sync after all reads: any poke recorded from here to the clock
+    // edge invalidates next cycle's fast path for everyone at once.
+    _cursor.sync(_sim);
+}
+
+void
+ChangeFeed::finish()
+{
+    for (Slot &s : _slots)
+        if (s.obs)
+            s.obs->onFinish(_sim);
+}
+
+void
+ChangeFeed::setProfiler(TraceProfiler *profiler)
+{
+    _profiler = profiler;
+    if (!_profiler)
+        return;
+    _level_activity.assign(_sim.netlist().levelCount(), 0);
+    for (Slot &s : _slots)
+        if (s.obs && s.track < 0)
+            s.track = _profiler->track("obs:" + s.cost.name);
+}
+
+std::vector<ObserverCost>
+ChangeFeed::costs() const
+{
+    std::vector<ObserverCost> out;
+    for (const Slot &s : _slots)
+        out.push_back(s.cost);
+    return out;
+}
+
+} // namespace obs
+} // namespace anvil

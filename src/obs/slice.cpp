@@ -1,0 +1,26 @@
+#include "obs/slice.h"
+
+#include <stdexcept>
+
+namespace anvil {
+namespace obs {
+
+std::vector<std::string>
+channelSignals(const rtl::Netlist &nl, const std::string &channel)
+{
+    std::vector<std::string> out;
+    const std::string prefix = channel + "_";
+    for (const auto &[name, sig] : nl.signals()) {
+        (void)sig;
+        if (name == channel ||
+            name.compare(0, prefix.size(), prefix) == 0)
+            out.push_back(name);
+    }
+    if (out.empty())
+        throw std::invalid_argument(
+            "no signals for channel '" + channel + "'");
+    return out;
+}
+
+} // namespace obs
+} // namespace anvil

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Trace-slicing observer: extract one channel's signals into a
+ * standalone VCD window (`anvilc --slice CHANNEL --vcd F`).
+ *
+ * The first plugin written against the unified obs::ChangeFeed API —
+ * and deliberately a thin one: channelSignals() picks the channel's
+ * named signals (`<ch>`, `<ch>_valid`, `<ch>_ack`, `<ch>_data`, any
+ * other `<ch>_*` sibling) out of the netlist table, and ChannelSlicer
+ * is rtl::VcdWriter scoped to that list.  Everything hard — priming,
+ * change fan-out, rescan fallback, lazy exclusion — comes from the
+ * feed, which is the point.
+ */
+
+#ifndef ANVIL_OBS_SLICE_H
+#define ANVIL_OBS_SLICE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rtl/vcd.h"
+
+namespace anvil {
+namespace obs {
+
+/**
+ * All named signals belonging to a channel: the name itself plus
+ * every `<channel>_*` sibling.  Throws std::invalid_argument when
+ * the design has no such channel.
+ */
+std::vector<std::string> channelSignals(const rtl::Netlist &nl,
+                                        const std::string &channel);
+
+/** A VcdWriter restricted to one channel's signals. */
+class ChannelSlicer : public rtl::VcdWriter
+{
+  public:
+    ChannelSlicer(rtl::Sim &sim, std::ostream &os,
+                  const std::string &channel)
+        : rtl::VcdWriter(sim, os,
+                         channelSignals(sim.netlist(), channel))
+    {
+    }
+
+    const char *observerName() const override { return "slice"; }
+};
+
+} // namespace obs
+} // namespace anvil
+
+#endif // ANVIL_OBS_SLICE_H

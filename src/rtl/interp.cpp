@@ -1,6 +1,7 @@
 #include "rtl/interp.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -17,6 +18,26 @@ sweepModeName(SweepMode mode)
       case SweepMode::Full: return "full";
       case SweepMode::Dirty: return "dirty";
       case SweepMode::Threaded: return "threaded";
+    }
+    return "?";
+}
+
+uint64_t
+monotonicNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+const char *
+simPhaseName(SimPhase phase)
+{
+    switch (phase) {
+      case SimPhase::Sweep: return "sweep";
+      case SimPhase::KernelEval: return "kernel";
+      case SimPhase::Commit: return "commit";
     }
     return "?";
 }
@@ -725,9 +746,14 @@ Sim::sweep()
     if (!_dirty)
         return;
     _gen++;
+    uint64_t t0 = _telemetry ? monotonicNanos() : 0;
     if (_kctx) {
         sweepKernel();
+        _stats.kernel_frames++;
         _dirty = false;
+        if (_telemetry)
+            _telemetry->simPhase(SimPhase::KernelEval, _cycle, t0,
+                                 monotonicNanos());
         return;
     }
     if (_mode == SweepMode::Full || _need_full)
@@ -741,6 +767,9 @@ Sim::sweep()
     else
         sweepDirty();
     _dirty = false;
+    if (_telemetry)
+        _telemetry->simPhase(SimPhase::Sweep, _cycle, t0,
+                             monotonicNanos());
 }
 
 const std::vector<NetId> &
@@ -765,10 +794,13 @@ Sim::rollFrame()
     // fraction drops below 40%.
     uint64_t strict = _stats.strict_nodes;
     if (strict > 0) {
-        if (changed * 2 > strict)
+        if (changed * 2 > strict) {
+            if (!_prefer_dense)
+                _stats.dense_fallback_switches++;
             _prefer_dense = true;
-        else if (changed * 5 < strict * 2)
+        } else if (changed * 5 < strict * 2) {
             _prefer_dense = false;
+        }
     }
     _frame_evals = 0;
     _frame_changed.clear();
@@ -800,6 +832,8 @@ Sim::step(int n)
         // fault here even when unpeeked.
         for (NetId id : _nl.lazyRoots())
             evalLazy(id);
+
+        uint64_t commit_t0 = _telemetry ? monotonicNanos() : 0;
 
         // Keep the armed-update set fresh from this frame's
         // changed-net delta (a full enable scan only on the first
@@ -914,6 +948,9 @@ Sim::step(int n)
         }
         _cycle++;
         _dirty = true;
+        if (_telemetry)
+            _telemetry->simPhase(SimPhase::Commit, _cycle - 1,
+                                 commit_t0, monotonicNanos());
     }
 }
 

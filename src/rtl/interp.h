@@ -58,6 +58,39 @@ namespace rtl {
 class SweepPool;
 
 /**
+ * Monotonic wall clock in nanoseconds — the one time source every
+ * telemetry consumer shares (Sim phase timing, observer visit
+ * timing, the JIT compile path), so Chrome-trace tracks line up.
+ */
+uint64_t monotonicNanos();
+
+/** Timed phases of one simulation step, reported to a telemetry sink. */
+enum class SimPhase : uint8_t
+{
+    Sweep,       // interpreter combinational sweep (dense or dirty)
+    KernelEval,  // compiled-kernel combinational sweep
+    Commit,      // clock edge: toggles, next-state, prints, commit
+};
+
+constexpr int kSimPhaseCount = 3;
+
+/** Phase name ("sweep", "kernel", "commit"). */
+const char *simPhaseName(SimPhase phase);
+
+/**
+ * Per-phase timing sink (see obs::TraceProfiler).  Installed with
+ * Sim::setTelemetry; when none is installed the hot path takes no
+ * clock reads at all.  Timestamps come from monotonicNanos().
+ */
+class SimTelemetry
+{
+  public:
+    virtual ~SimTelemetry() = default;
+    virtual void simPhase(SimPhase phase, uint64_t cycle,
+                          uint64_t begin_ns, uint64_t end_ns) = 0;
+};
+
+/**
  * A compiled kernel (kernel_abi.h) plus whatever owns its lifetime —
  * typically the dlopen'd library held by codegen::CompiledKernel.
  * Default-constructed means "no kernel": Sim and the BMC take this by
@@ -96,6 +129,10 @@ struct SweepStats
     uint64_t nets_changed = 0;    // changed-net records, total
     uint64_t peak_changed = 0;    // most changed nets in one cycle
     uint64_t sharded_levels = 0;  // level worklists run on the pool
+    uint64_t kernel_frames = 0;   // sweeps run by a compiled kernel
+    /** Times the adaptive fallback switched the dirty sweep onto the
+     *  dense path (rollFrame hysteresis entries). */
+    uint64_t dense_fallback_switches = 0;
 
     double avgNodes() const
     {
@@ -145,6 +182,13 @@ class Sim
 
     /** Activity counters (see SweepStats). */
     const SweepStats &sweepStats() const { return _stats; }
+
+    /**
+     * Install (or remove, with nullptr) a per-phase timing sink.
+     * The sink must outlive the simulation or be detached first.
+     * With no sink installed the step loop reads no clocks.
+     */
+    void setTelemetry(SimTelemetry *sink) { _telemetry = sink; }
 
     /**
      * Swap the strict combinational sweep for a compiled kernel
@@ -315,6 +359,7 @@ class Sim
     std::vector<int32_t> _wire_slot;   // net -> wireNets index or -1
     uint64_t _frame_evals = 0;
     SweepStats _stats;
+    SimTelemetry *_telemetry = nullptr;
 
     // Compiled-kernel backend (attachKernel).
     KernelRef _kernel;
@@ -349,10 +394,11 @@ class Sim
  * observer sampled the immediately preceding cycle and (b) no source
  * was poked between that sample and its clock edge (a late poke's
  * change records are flushed with the edge and never re-listed).
- * This cursor owns that invariant so every observer checks it the
- * same way: call fresh() before taking the fast path, sync() at the
- * end of every sample (after all reads — reads of lazy cones are
- * fine, they never poke).
+ * This cursor owns that invariant.  Its one live consumer is the
+ * obs::ChangeFeed fan-out hub, which checks and syncs it on behalf
+ * of every attached observer: call fresh() before taking the fast
+ * path, sync() at the end of every sample (after all reads — reads
+ * of lazy cones are fine, they never poke).
  */
 class ChangeFeedCursor
 {

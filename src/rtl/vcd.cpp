@@ -66,17 +66,30 @@ VcdWriter::VcdWriter(Sim &sim, std::ostream &os,
         t.net = it->second.net;
         t.width = it->second.width;
         t.is_reg = it->second.kind == NetSignal::Kind::Reg;
-        // One feed slot per net: a second trace of the same net (an
-        // alias next to its flat name) is re-read every sample.
-        t.fed = !nl.net(t.net).lazy &&
-            _net_slot[static_cast<size_t>(t.net)] < 0;
+        t.fed = !nl.net(t.net).lazy;
         t.last = BitVec(t.width);
-        if (t.fed)
-            _net_slot[static_cast<size_t>(t.net)] =
-                static_cast<int32_t>(_traced.size());
+        if (t.fed) {
+            // Duplicate traces of one net (an alias next to its flat
+            // name) chain off the net's single slot entry; the feed
+            // subscription is deduplicated and onCycle fans the one
+            // change out to the whole chain.
+            size_t ni = static_cast<size_t>(t.net);
+            t.dup_next = _net_slot[ni];
+            _net_slot[ni] = static_cast<int32_t>(_traced.size());
+        }
         _traced.push_back(std::move(t));
     }
     writeHeader();
+}
+
+VcdWriter::~VcdWriter() = default;
+
+void
+VcdWriter::onAttach(obs::ChangeFeed &feed)
+{
+    for (const Traced &t : _traced)
+        if (t.fed)
+            feed.subscribe(*this, t.net);
 }
 
 void
@@ -148,10 +161,11 @@ VcdWriter::sampleTraced(Traced &t, bool &stamped)
 }
 
 void
-VcdWriter::sample()
+VcdWriter::onPrime(Sim &sim, uint64_t cycle)
 {
+    (void)sim;
     if (!_primed) {
-        _os << "#" << _sim.cycle() << "\n$dumpvars\n";
+        _os << "#" << cycle << "\n$dumpvars\n";
         for (auto &t : _traced) {
             const BitVec &v = _sim.value(t.net);
             emitValue(t, v);
@@ -159,48 +173,61 @@ VcdWriter::sample()
         }
         _os << "$end\n";
         _primed = true;
-        _cursor.sync(_sim);
         return;
     }
-
-    // Only nets that changed since the previous sample are dumped;
-    // a cycle with no changes emits nothing at all.  When sampling
-    // every cycle (the documented usage) the simulator's changed-net
-    // list bounds the candidates, so the scan is proportional to
-    // activity; nets outside the feed (lazy cones, duplicate traces
-    // of one net) are re-read every sample.  The fast path also
-    // requires the feed to cover the window since the previous
-    // sample (ChangeFeedCursor) — a sample after skipped cycles or
-    // late pokes rescans every traced net instead.
+    // Rescan fallback (skipped cycles, late pokes): every traced net
+    // is re-read; the emitted bytes match the fast path exactly.
     bool stamped = false;
-    if (_cursor.fresh(_sim)) {
-        _scratch.clear();
-        for (NetId id : _sim.changedNets()) {
-            if (static_cast<size_t>(id) >= _net_slot.size())
-                continue;
-            int32_t slot = _net_slot[static_cast<size_t>(id)];
-            if (slot >= 0)
-                _scratch.push_back(static_cast<size_t>(slot));
-        }
-        // Emit in declaration order, exactly as the full scan would.
-        std::sort(_scratch.begin(), _scratch.end());
-        size_t next_unfed = 0;
-        for (size_t slot : _scratch) {
-            // Interleave un-fed nets to keep the order global.
-            for (; next_unfed < slot; next_unfed++)
-                if (!_traced[next_unfed].fed)
-                    sampleTraced(_traced[next_unfed], stamped);
-            next_unfed = std::max(next_unfed, slot + 1);
-            sampleTraced(_traced[slot], stamped);
-        }
-        for (; next_unfed < _traced.size(); next_unfed++)
+    for (auto &t : _traced)
+        sampleTraced(t, stamped);
+}
+
+void
+VcdWriter::onCycle(Sim &sim, uint64_t cycle,
+                   const std::vector<NetId> &changed)
+{
+    (void)sim;
+    (void)cycle;
+    // Only nets that changed since the previous sample are dumped; a
+    // cycle with no changes emits nothing at all.  `changed` holds
+    // exactly this writer's subscribed nets, so the scan is
+    // proportional to activity; nets outside the feed (lazy cones)
+    // are re-read every visit.
+    bool stamped = false;
+    _scratch.clear();
+    for (NetId id : changed)
+        for (int32_t slot = _net_slot[static_cast<size_t>(id)];
+             slot >= 0;
+             slot = _traced[static_cast<size_t>(slot)].dup_next)
+            _scratch.push_back(static_cast<size_t>(slot));
+    // Emit in declaration order, exactly as the full scan would.
+    std::sort(_scratch.begin(), _scratch.end());
+    size_t next_unfed = 0;
+    for (size_t slot : _scratch) {
+        // Interleave un-fed nets to keep the order global.
+        for (; next_unfed < slot; next_unfed++)
             if (!_traced[next_unfed].fed)
                 sampleTraced(_traced[next_unfed], stamped);
-    } else {
-        for (auto &t : _traced)
-            sampleTraced(t, stamped);
+        next_unfed = std::max(next_unfed, slot + 1);
+        sampleTraced(_traced[slot], stamped);
     }
-    _cursor.sync(_sim);
+    for (; next_unfed < _traced.size(); next_unfed++)
+        if (!_traced[next_unfed].fed)
+            sampleTraced(_traced[next_unfed], stamped);
+}
+
+void
+VcdWriter::sample()
+{
+    if (!_own_feed) {
+        if (feed())
+            throw std::logic_error(
+                "VcdWriter::sample(): attached to an external "
+                "ChangeFeed; drive that feed instead");
+        _own_feed = std::make_unique<obs::ChangeFeed>(_sim);
+        _own_feed->attach(*this);
+    }
+    _own_feed->sample();
 }
 
 } // namespace rtl

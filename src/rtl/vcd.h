@@ -12,23 +12,27 @@
  * date stamp), so emitted files can be compared against checked-in
  * goldens.
  *
- * Sampling is change-fed: after the first full checkpoint, a sample
- * visits only the simulator's per-cycle changed-net list
- * (Sim::changedNets) instead of rescanning every traced net, so the
- * cost per cycle is proportional to activity.  Lazy nets (cyclic or
- * ad-hoc cones) are re-read every sample, preserving their on-demand
- * fault semantics, and a sample that does not line up with the
- * change feed (first sample, skipped cycles) falls back to the full
- * scan — the emitted bytes are identical either way.
+ * Sampling rides the unified obs::ChangeFeed: after the first full
+ * checkpoint, a visit receives only this writer's changed subscribed
+ * nets instead of rescanning every traced net, so the cost per cycle
+ * is proportional to activity.  Lazy nets (cyclic or ad-hoc cones)
+ * are re-read every visit, preserving their on-demand fault
+ * semantics; priming and the rescan fallback for skipped cycles or
+ * late pokes are the feed's job — the emitted bytes are identical on
+ * either path.  Duplicate traces of one net (an alias next to its
+ * flat name) are chained off a single subscription, so they ride the
+ * fast path too.
  */
 
 #ifndef ANVIL_RTL_VCD_H
 #define ANVIL_RTL_VCD_H
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "obs/observer.h"
 #include "rtl/interp.h"
 
 namespace anvil {
@@ -38,11 +42,12 @@ namespace rtl {
  * Streams a VCD dump of a simulation.
  *
  * The header (scopes and $var declarations) is written at
- * construction; call sample() once per cycle *before* step() so the
- * timestamp matches Sim::cycle().  The first sample emits a full
- * $dumpvars checkpoint; later samples emit only changed nets.
+ * construction.  Attach to a shared obs::ChangeFeed (the Testbench
+ * does this), or call sample() once per cycle *before* step() for
+ * standalone use — the first visit emits a full $dumpvars
+ * checkpoint; later visits emit only changed nets.
  */
-class VcdWriter
+class VcdWriter : public obs::Observer
 {
   public:
     /**
@@ -52,8 +57,13 @@ class VcdWriter
      */
     VcdWriter(Sim &sim, std::ostream &os,
               std::vector<std::string> signals = {});
+    ~VcdWriter() override;
 
-    /** Dump changes at timestamp Sim::cycle(). */
+    /**
+     * Standalone sampling: dump changes at timestamp Sim::cycle()
+     * through a private single-observer feed.  Not available once
+     * attached to an external ChangeFeed — drive that feed instead.
+     */
     void sample();
 
     /** Number of value-change lines written so far. */
@@ -61,6 +71,13 @@ class VcdWriter
 
     /** Printable VCD id-code for the i-th traced signal. */
     static std::string idCode(size_t index);
+
+    // obs::Observer
+    void onAttach(obs::ChangeFeed &feed) override;
+    void onPrime(Sim &sim, uint64_t cycle) override;
+    void onCycle(Sim &sim, uint64_t cycle,
+                 const std::vector<NetId> &changed) override;
+    const char *observerName() const override { return "vcd"; }
 
   private:
     struct Traced
@@ -70,10 +87,12 @@ class VcdWriter
         NetId net;
         int width;
         bool is_reg;
-        /** Covered by the change feed; false for lazy nets and for
-         *  duplicate traces of an already-fed net (both re-read
-         *  every sample). */
+        /** Rides the change feed; false for lazy nets, which are
+         *  re-read every visit. */
         bool fed;
+        /** Next traced slot sharing this net, or -1: duplicate
+         *  traces chain off the net's single subscription. */
+        int32_t dup_next = -1;
         BitVec last{1};
     };
 
@@ -84,11 +103,11 @@ class VcdWriter
     Sim &_sim;
     std::ostream &_os;
     std::vector<Traced> _traced;
-    std::vector<int32_t> _net_slot;   // net -> traced index or -1
+    std::vector<int32_t> _net_slot;   // net -> first traced slot or -1
     std::vector<size_t> _scratch;     // changed traced indices
     bool _primed = false;
-    ChangeFeedCursor _cursor;         // feed-freshness tracking
     uint64_t _changes = 0;
+    std::unique_ptr<obs::ChangeFeed> _own_feed;   // standalone mode
 };
 
 } // namespace rtl

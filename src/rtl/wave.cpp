@@ -18,10 +18,12 @@ WaveRecorder::WaveRecorder(Sim &sim, std::vector<std::string> signals)
         auto it = nl.signals().find(flat);
         if (it != nl.signals().end()) {
             r.net = it->second.net;
-            // One feed slot per net; lazy nets are re-read directly
-            // every sample so their on-demand faults still fire.
-            size_t ni = static_cast<size_t>(r.net);
-            if (!nl.net(r.net).lazy && _net_slot[ni] < 0) {
+            // Lazy nets are re-read directly every visit so their
+            // on-demand faults still fire; duplicate traces of one
+            // net chain off its single slot entry.
+            if (!nl.net(r.net).lazy) {
+                size_t ni = static_cast<size_t>(r.net);
+                r.dup_next = _net_slot[ni];
                 _net_slot[ni] = static_cast<int32_t>(_recs.size());
                 r.fed = true;
             }
@@ -30,37 +32,70 @@ WaveRecorder::WaveRecorder(Sim &sim, std::vector<std::string> signals)
     }
 }
 
+WaveRecorder::~WaveRecorder() = default;
+
+void
+WaveRecorder::onAttach(obs::ChangeFeed &feed)
+{
+    for (const Rec &r : _recs)
+        if (r.fed)
+            feed.subscribe(*this, r.net);
+}
+
+void
+WaveRecorder::directRead(Rec &r)
+{
+    // Unresolved names keep peek()'s error; resolved ones read the
+    // interned value (identical result, no name lookup).
+    r.last = r.net == kNoNet ? _sim.peek(r.name) : _sim.value(r.net);
+}
+
+void
+WaveRecorder::commitRow()
+{
+    for (size_t i = 0; i < _recs.size(); i++)
+        _samples[i].push_back(_recs[i].last);
+}
+
+void
+WaveRecorder::onPrime(Sim &sim, uint64_t cycle)
+{
+    (void)sim;
+    (void)cycle;
+    for (auto &r : _recs)
+        directRead(r);
+    commitRow();
+}
+
+void
+WaveRecorder::onCycle(Sim &sim, uint64_t cycle,
+                      const std::vector<NetId> &changed)
+{
+    (void)sim;
+    (void)cycle;
+    for (NetId id : changed)
+        for (int32_t slot = _net_slot[static_cast<size_t>(id)];
+             slot >= 0;
+             slot = _recs[static_cast<size_t>(slot)].dup_next)
+            _recs[static_cast<size_t>(slot)].last = _sim.value(id);
+    for (auto &r : _recs)
+        if (!r.fed)
+            directRead(r);
+    commitRow();
+}
+
 void
 WaveRecorder::sample()
 {
-    auto direct = [&](Rec &r) {
-        // Unresolved names keep peek()'s error; resolved ones read
-        // the interned value (identical result, no name lookup).
-        r.last = r.net == kNoNet ? _sim.peek(r.name)
-                                 : _sim.value(r.net);
-    };
-
-    if (_primed && _cursor.fresh(_sim)) {
-        for (NetId id : _sim.changedNets()) {
-            if (static_cast<size_t>(id) >= _net_slot.size())
-                continue;
-            int32_t slot = _net_slot[static_cast<size_t>(id)];
-            if (slot >= 0)
-                _recs[static_cast<size_t>(slot)].last =
-                    _sim.value(id);
-        }
-        for (auto &r : _recs)
-            if (!r.fed)
-                direct(r);
-    } else {
-        for (auto &r : _recs)
-            direct(r);
-        _primed = true;
+    if (!_own_feed) {
+        if (feed())
+            throw std::logic_error(
+                "WaveRecorder::sample(): attached to an external "
+                "ChangeFeed; drive that feed instead");
+        _own_feed = std::make_unique<obs::ChangeFeed>(_sim);
+        _own_feed->attach(*this);
     }
-    _cursor.sync(_sim);
-
-    for (size_t i = 0; i < _recs.size(); i++)
-        _samples[i].push_back(_recs[i].last);
+    _own_feed->sample();
 }
 
 const std::vector<BitVec> &

@@ -4,21 +4,24 @@
  * the paper (Fig. 1 and Fig. 4).
  *
  * Like the other per-cycle observers (VcdWriter, Coverage,
- * ContractMonitor), sampling is change-fed: recorded signals resolve
- * to interned NetIds at construction, and after the priming sample
- * only signals on the simulator's per-cycle changed-net list
- * (Sim::changedNets) are re-read — the rest repeat their cached
- * value.  Samples that skip cycles, follow late pokes, or touch lazy
- * / unresolved names fall back to direct reads, preserving peek()'s
- * fault semantics exactly.
+ * ContractMonitor), sampling rides the unified obs::ChangeFeed:
+ * recorded signals resolve to interned NetIds at construction, and
+ * after the priming visit only signals on this recorder's changed
+ * subset are re-read — the rest repeat their cached value.  Visits
+ * that skip cycles or follow late pokes fall back to the feed's
+ * rescan, and lazy / unresolved names are read directly every visit,
+ * preserving peek()'s fault semantics exactly.  Duplicate traces of
+ * one net chain off a single subscription.
  */
 
 #ifndef ANVIL_RTL_WAVE_H
 #define ANVIL_RTL_WAVE_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/observer.h"
 #include "rtl/interp.h"
 
 namespace anvil {
@@ -28,12 +31,17 @@ namespace rtl {
  * Records a set of signals every cycle and renders them as rows of
  * per-cycle values, in the style of the paper's waveforms.
  */
-class WaveRecorder
+class WaveRecorder : public obs::Observer
 {
   public:
     WaveRecorder(Sim &sim, std::vector<std::string> signals);
+    ~WaveRecorder() override;
 
-    /** Sample all recorded signals at the current cycle. */
+    /**
+     * Standalone sampling through a private single-observer feed.
+     * Not available once attached to an external ChangeFeed — drive
+     * that feed instead.
+     */
     void sample();
 
     /** Render the waveform table. */
@@ -42,22 +50,32 @@ class WaveRecorder
     /** All sampled values for one signal. */
     const std::vector<BitVec> &samplesOf(const std::string &sig) const;
 
+    // obs::Observer
+    void onAttach(obs::ChangeFeed &feed) override;
+    void onPrime(Sim &sim, uint64_t cycle) override;
+    void onCycle(Sim &sim, uint64_t cycle,
+                 const std::vector<NetId> &changed) override;
+    const char *observerName() const override { return "wave"; }
+
   private:
     struct Rec
     {
         std::string name;
-        NetId net = kNoNet;   // kNoNet: unresolved, peek every sample
+        NetId net = kNoNet;   // kNoNet: unresolved, peek every visit
         bool fed = false;     // covered by the change feed
+        int32_t dup_next = -1;   // next rec sharing this net, or -1
         BitVec last{1};
     };
 
+    void directRead(Rec &r);
+    void commitRow();
+
     Sim &_sim;
     std::vector<Rec> _recs;
-    /** net -> _recs index (first trace of that net), or -1. */
+    /** net -> first _recs index tracing that net, or -1. */
     std::vector<int32_t> _net_slot;
     std::vector<std::vector<BitVec>> _samples;
-    bool _primed = false;
-    ChangeFeedCursor _cursor;
+    std::unique_ptr<obs::ChangeFeed> _own_feed;   // standalone mode
 };
 
 } // namespace rtl

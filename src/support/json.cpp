@@ -1,0 +1,357 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/strings.h"
+
+namespace anvil {
+namespace json {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _t(text) {}
+
+    ParseResult run()
+    {
+        ParseResult res;
+        skipWs();
+        if (!value(res.value)) {
+            res.error = _error;
+            return res;
+        }
+        skipWs();
+        if (_p != _t.size())
+            fail("trailing characters after document");
+        res.error = _error;
+        return res;
+    }
+
+  private:
+    bool fail(const std::string &why)
+    {
+        if (_error.empty())
+            _error = strfmt("offset %zu: ", _p) + why;
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (_p < _t.size() &&
+               (_t[_p] == ' ' || _t[_p] == '\t' || _t[_p] == '\n' ||
+                _t[_p] == '\r'))
+            _p++;
+    }
+
+    bool lit(const char *word, size_t n)
+    {
+        if (_t.compare(_p, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        _p += n;
+        return true;
+    }
+
+    bool value(Value &out)
+    {
+        if (_p >= _t.size())
+            return fail("unexpected end of input");
+        switch (_t[_p]) {
+        case 'n':
+            out.kind = Value::Kind::Null;
+            return lit("null", 4);
+        case 't':
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return lit("true", 4);
+        case 'f':
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return lit("false", 5);
+        case '"':
+            out.kind = Value::Kind::String;
+            return string(out.str);
+        case '[':
+            return array(out);
+        case '{':
+            return object(out);
+        default:
+            return number(out);
+        }
+    }
+
+    bool string(std::string &out)
+    {
+        _p++;   // opening quote
+        while (_p < _t.size() && _t[_p] != '"') {
+            char c = _t[_p];
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                _p++;
+                continue;
+            }
+            if (_p + 1 >= _t.size())
+                return fail("dangling escape");
+            char e = _t[_p + 1];
+            _p += 2;
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (_p + 4 > _t.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; i++) {
+                    char h = _t[_p + static_cast<size_t>(i)];
+                    if (!isxdigit(static_cast<unsigned char>(h)))
+                        return fail("bad \\u escape");
+                    cp = cp * 16 +
+                         static_cast<unsigned>(
+                             h <= '9' ? h - '0'
+                                      : (h | 0x20) - 'a' + 10);
+                }
+                _p += 4;
+                // Encode as UTF-8 (surrogates passed through raw —
+                // our emitters never produce them).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+            }
+            default:
+                return fail("unknown escape");
+            }
+        }
+        if (_p >= _t.size())
+            return fail("unterminated string");
+        _p++;   // closing quote
+        return true;
+    }
+
+    bool number(Value &out)
+    {
+        size_t start = _p;
+        if (_p < _t.size() && _t[_p] == '-')
+            _p++;
+        if (_p >= _t.size() ||
+            !isdigit(static_cast<unsigned char>(_t[_p])))
+            return fail("invalid value");
+        while (_p < _t.size() &&
+               isdigit(static_cast<unsigned char>(_t[_p])))
+            _p++;
+        if (_p < _t.size() && _t[_p] == '.') {
+            _p++;
+            if (_p >= _t.size() ||
+                !isdigit(static_cast<unsigned char>(_t[_p])))
+                return fail("digit required after '.'");
+            while (_p < _t.size() &&
+                   isdigit(static_cast<unsigned char>(_t[_p])))
+                _p++;
+        }
+        if (_p < _t.size() && (_t[_p] == 'e' || _t[_p] == 'E')) {
+            _p++;
+            if (_p < _t.size() &&
+                (_t[_p] == '+' || _t[_p] == '-'))
+                _p++;
+            if (_p >= _t.size() ||
+                !isdigit(static_cast<unsigned char>(_t[_p])))
+                return fail("digit required in exponent");
+            while (_p < _t.size() &&
+                   isdigit(static_cast<unsigned char>(_t[_p])))
+                _p++;
+        }
+        out.kind = Value::Kind::Number;
+        out.num = _t.substr(start, _p - start);
+        return true;
+    }
+
+    bool array(Value &out)
+    {
+        out.kind = Value::Kind::Array;
+        _p++;   // '['
+        skipWs();
+        if (_p < _t.size() && _t[_p] == ']') {
+            _p++;
+            return true;
+        }
+        for (;;) {
+            out.arr.emplace_back();
+            if (!value(out.arr.back()))
+                return false;
+            skipWs();
+            if (_p < _t.size() && _t[_p] == ',') {
+                _p++;
+                skipWs();
+                continue;
+            }
+            if (_p < _t.size() && _t[_p] == ']') {
+                _p++;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool object(Value &out)
+    {
+        out.kind = Value::Kind::Object;
+        _p++;   // '{'
+        skipWs();
+        if (_p < _t.size() && _t[_p] == '}') {
+            _p++;
+            return true;
+        }
+        for (;;) {
+            if (_p >= _t.size() || _t[_p] != '"')
+                return fail("expected member name");
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (_p >= _t.size() || _t[_p] != ':')
+                return fail("expected ':'");
+            _p++;
+            skipWs();
+            out.obj.emplace_back(std::move(key), Value());
+            if (!value(out.obj.back().second))
+                return false;
+            skipWs();
+            if (_p < _t.size() && _t[_p] == ',') {
+                _p++;
+                skipWs();
+                continue;
+            }
+            if (_p < _t.size() && _t[_p] == '}') {
+                _p++;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &_t;
+    size_t _p = 0;
+    std::string _error;
+};
+
+void
+dumpString(const std::string &s, std::string &out)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+}
+
+void
+dumpValue(const Value &v, std::string &out)
+{
+    switch (v.kind) {
+    case Value::Kind::Null:
+        out += "null";
+        break;
+    case Value::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        break;
+    case Value::Kind::Number:
+        out += v.num;
+        break;
+    case Value::Kind::String:
+        dumpString(v.str, out);
+        break;
+    case Value::Kind::Array:
+        out += '[';
+        for (size_t i = 0; i < v.arr.size(); i++) {
+            if (i)
+                out += ',';
+            dumpValue(v.arr[i], out);
+        }
+        out += ']';
+        break;
+    case Value::Kind::Object:
+        out += '{';
+        for (size_t i = 0; i < v.obj.size(); i++) {
+            if (i)
+                out += ',';
+            dumpString(v.obj[i].first, out);
+            out += ':';
+            dumpValue(v.obj[i].second, out);
+        }
+        out += '}';
+        break;
+    }
+}
+
+} // namespace
+
+bool
+Value::isInteger() const
+{
+    if (kind != Kind::Number)
+        return false;
+    return num.find_first_of(".eE") == std::string::npos;
+}
+
+double
+Value::asDouble() const
+{
+    if (kind != Kind::Number)
+        return 0.0;
+    return strtod(num.c_str(), nullptr);
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    for (const auto &kv : obj)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+std::string
+Value::dump() const
+{
+    std::string out;
+    dumpValue(*this, out);
+    return out;
+}
+
+ParseResult
+parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+} // namespace json
+} // namespace anvil

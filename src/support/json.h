@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal JSON reader for the observability toolchain: the schema
+ * validator (tools/json_validate.cpp) and the tests that parse the
+ * telemetry artifacts back (metrics, Chrome-trace profile, stats
+ * lines) to prove they are well-formed.
+ *
+ * Deliberately small: parse into an ordered DOM, look values up, and
+ * dump them back in a canonical compact form.  Numbers keep their
+ * source lexeme, so a parse/dump round trip never reformats a value
+ * — that is what makes `--canon` comparisons byte-stable.
+ */
+
+#ifndef ANVIL_SUPPORT_JSON_H
+#define ANVIL_SUPPORT_JSON_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anvil {
+namespace json {
+
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    /** Number lexeme exactly as parsed (e.g. "1.5e3"). */
+    std::string num;
+    std::string str;
+    std::vector<Value> arr;
+    /** Members in source order (duplicates kept as-is). */
+    std::vector<std::pair<std::string, Value>> obj;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Integer-valued number: no fraction and no exponent. */
+    bool isInteger() const;
+
+    double asDouble() const;
+
+    /** First member with this key, or nullptr. */
+    const Value *find(const std::string &key) const;
+
+    /** Compact canonical dump (member order preserved). */
+    std::string dump() const;
+};
+
+struct ParseResult
+{
+    Value value;
+    std::string error;   // empty on success, else "offset N: why"
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Parse one JSON document; trailing non-space input is an error. */
+ParseResult parse(const std::string &text);
+
+} // namespace json
+} // namespace anvil
+
+#endif // ANVIL_SUPPORT_JSON_H

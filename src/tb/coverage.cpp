@@ -94,6 +94,8 @@ Coverage::Coverage(int reg_bins)
 {
 }
 
+Coverage::~Coverage() = default;
+
 void
 Coverage::addCover(const std::string &name, rtl::ExprPtr expr)
 {
@@ -187,32 +189,78 @@ Coverage::sampleSignal(rtl::Sim &sim, SignalCoverage &sc)
 }
 
 void
-Coverage::sample(rtl::Sim &sim)
+Coverage::onAttach(obs::ChangeFeed &feed)
 {
     if (!_bound)
-        bind(sim);
-
-    // Toggle sampling: a signal absent from the changed-net list has
-    // the same value as at the previous sample and cannot contribute
-    // a new edge, so after the priming pass only changed signals are
-    // visited.  Samples that skip cycles, or follow pokes made after
-    // the previous sample (rtl::ChangeFeedCursor), cannot rely on
-    // the per-cycle feed and fall back to the full scan.
-    if (_samples > 0 && _cursor.fresh(sim)) {
-        for (rtl::NetId id : sim.changedNets()) {
-            if (static_cast<size_t>(id) >= _net_slot.size())
-                continue;
-            int32_t slot = _net_slot[static_cast<size_t>(id)];
-            if (slot >= 0)
-                sampleSignal(sim, _signals[static_cast<size_t>(slot)]);
+        bind(feed.sim());
+    // Rebuild the slot tables on the feed: subscriptions are
+    // deduplicated per net, so signals sharing a net chain off one
+    // subscription instead of dropping to the every-visit list.
+    _net_slot.assign(feed.sim().netlist().nets().size(), -1);
+    _dup_next.assign(_signals.size(), -1);
+    _unfed_slots.clear();
+    for (size_t i = 0; i < _signals.size(); i++) {
+        SignalCoverage &sc = _signals[i];
+        if (feed.subscribe(*this, sc.net)) {
+            size_t ni = static_cast<size_t>(sc.net);
+            _dup_next[i] = _net_slot[ni];
+            _net_slot[ni] = static_cast<int32_t>(i);
+        } else {
+            // Lazy nets: re-read every visit, keeping value()'s
+            // on-demand fault semantics.
+            _unfed_slots.push_back(i);
         }
-        for (size_t slot : _unfed_slots)
-            sampleSignal(sim, _signals[slot]);
-    } else {
-        for (auto &sc : _signals)
-            sampleSignal(sim, sc);
     }
+}
 
+void
+Coverage::onPrime(rtl::Sim &sim, uint64_t cycle)
+{
+    (void)cycle;
+    // Priming pass and rescan fallback: every signal is visited;
+    // sampleSignal's `_samples > 0` guard makes the first visit a
+    // pure baseline capture with no edges recorded.
+    for (auto &sc : _signals)
+        sampleSignal(sim, sc);
+    sampleTail(sim);
+}
+
+void
+Coverage::onCycle(rtl::Sim &sim, uint64_t cycle,
+                  const std::vector<rtl::NetId> &changed)
+{
+    (void)cycle;
+    // A signal absent from the changed subset has the same value as
+    // at the previous visit and cannot contribute a new edge.
+    for (rtl::NetId id : changed)
+        for (int32_t slot = _net_slot[static_cast<size_t>(id)];
+             slot >= 0; slot = _dup_next[static_cast<size_t>(slot)])
+            sampleSignal(sim, _signals[static_cast<size_t>(slot)]);
+    for (size_t slot : _unfed_slots)
+        sampleSignal(sim, _signals[slot]);
+    sampleTail(sim);
+}
+
+void
+Coverage::sample(rtl::Sim &sim)
+{
+    if (!_own_feed) {
+        if (feed())
+            throw std::logic_error(
+                "Coverage::sample(): attached to an external "
+                "ChangeFeed; drive that feed instead");
+        _own_feed = std::make_unique<obs::ChangeFeed>(sim);
+        _own_feed->attach(*this);
+    } else if (&_own_feed->sim() != &sim) {
+        throw std::logic_error(
+            "Coverage::sample(): called with a different Sim");
+    }
+    _own_feed->sample();
+}
+
+void
+Coverage::sampleTail(rtl::Sim &sim)
+{
     for (size_t i = 0; i < _reg_bins.size(); i++) {
         RegBins &rb = _reg_bins[i];
         uint64_t v = foldWords(sim.value(_reg_nets[i]));
@@ -239,9 +287,6 @@ Coverage::sample(rtl::Sim &sim)
                 a.fail_cycles.push_back(sim.cycle());
         }
     }
-    // Any source poke recorded after this point and before the clock
-    // edge invalidates next cycle's fast path (cursor check above).
-    _cursor.sync(sim);
     _samples++;
 }
 

@@ -8,10 +8,10 @@
  *
  *  - toggle coverage: per named signal, a rose/fell bitmask pair; a
  *    bit is covered once it has been observed going 0->1 AND 1->0.
- *    After the first (priming) sample, toggle sampling is change-fed:
- *    only signals on the simulator's per-cycle changed-net list are
- *    revisited — an unchanged signal cannot toggle — so the per-cycle
- *    cost tracks activity, not design size;
+ *    After the first (priming) visit, toggle sampling rides the
+ *    unified obs::ChangeFeed: only this engine's changed subscribed
+ *    signals are revisited — an unchanged signal cannot toggle — so
+ *    the per-cycle cost tracks activity, not design size;
  *  - register-value bins: each register's sampled values are hashed
  *    into a small fixed number of bins (exact values for narrow
  *    registers); bin occupancy distinguishes stimuli that park a
@@ -29,9 +29,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/observer.h"
 #include "rtl/interp.h"
 
 namespace anvil {
@@ -95,12 +97,13 @@ struct RegBins
     int binsHit() const;
 };
 
-class Coverage
+class Coverage : public obs::Observer
 {
   public:
     /** reg_bins: bin count for wide registers (narrow ones use
      *  2^width exact-value bins). */
     explicit Coverage(int reg_bins = 16);
+    ~Coverage() override;
 
     void addCover(const std::string &name, rtl::ExprPtr expr);
     void addAssert(const std::string &name, rtl::ExprPtr enable,
@@ -115,11 +118,21 @@ class Coverage
                const std::string &pointB);
 
     /**
-     * Sample the design once, on the combinational frame (call
+     * Standalone sampling through a private single-observer feed:
+     * sample the design once, on the combinational frame (call
      * before Sim::step so values line up with the current cycle).
-     * The first call binds this engine to the sim's netlist.
+     * The first call binds this engine to the sim's netlist.  Not
+     * available once attached to an external ChangeFeed — drive
+     * that feed instead.
      */
     void sample(rtl::Sim &sim);
+
+    // obs::Observer
+    void onAttach(obs::ChangeFeed &feed) override;
+    void onPrime(rtl::Sim &sim, uint64_t cycle) override;
+    void onCycle(rtl::Sim &sim, uint64_t cycle,
+                 const std::vector<rtl::NetId> &changed) override;
+    const char *observerName() const override { return "coverage"; }
 
     /**
      * Offline grading: bind the toggle/reg-bin models to a netlist
@@ -174,12 +187,13 @@ class Coverage
   private:
     void bind(rtl::Sim &sim);
     void sampleSignal(rtl::Sim &sim, SignalCoverage &sc);
+    void sampleTail(rtl::Sim &sim);
 
     int _req_bins;
     bool _bound = false;
     uint64_t _samples = 0;
-    rtl::ChangeFeedCursor _cursor;       // feed-freshness tracking
-    std::vector<int32_t> _net_slot;      // net -> _signals index
+    std::vector<int32_t> _net_slot;      // net -> first _signals slot
+    std::vector<int32_t> _dup_next;      // parallel to _signals
     std::vector<size_t> _unfed_slots;    // signals outside the feed
     std::vector<SignalCoverage> _signals;
     std::vector<RegBins> _reg_bins;
@@ -187,6 +201,7 @@ class Coverage
     std::vector<CoverPoint> _covers;
     std::vector<CrossPoint> _crosses;
     std::vector<AssertPoint> _asserts;
+    std::unique_ptr<obs::ChangeFeed> _own_feed;   // standalone mode
 };
 
 } // namespace tb

@@ -227,6 +227,10 @@ Testbench::addDriver(std::unique_ptr<Driver> d)
 Monitor &
 Testbench::addMonitor(std::unique_ptr<Monitor> m)
 {
+    // Change-fed monitors (ContractMonitor) join the shared feed;
+    // their observe() then defers to the feed visit.
+    if (auto *o = dynamic_cast<obs::Observer *>(m.get()))
+        _feed.attach(*o);
     _monitors.push_back(std::move(m));
     return *_monitors.back();
 }
@@ -257,6 +261,7 @@ Coverage &
 Testbench::coverage()
 {
     _coverage_enabled = true;
+    _feed.attach(_coverage);   // idempotent
     return _coverage;
 }
 
@@ -266,6 +271,15 @@ Testbench::attachVcd(std::ostream &os,
 {
     _vcd = std::make_unique<rtl::VcdWriter>(_sim, os,
                                             std::move(signals));
+    _feed.attach(*_vcd);
+}
+
+obs::Observer &
+Testbench::attachObserver(std::unique_ptr<obs::Observer> o)
+{
+    _feed.attach(*o);
+    _observers.push_back(std::move(o));
+    return *_observers.back();
 }
 
 size_t
@@ -295,10 +309,8 @@ Testbench::run(uint64_t cycles)
             fn(*this);
         for (auto &m : _monitors)
             m->observe(_sim, cyc);
-        if (_coverage_enabled)
-            _coverage.sample(_sim);
-        if (_vcd)
-            _vcd->sample();
+        if (!_feed.empty())
+            _feed.sample();
         _sim.step();
         result.cycles++;
         if (totalFailures() - fail_base >= max_failures)

@@ -16,8 +16,11 @@
  *
  * The same seed always reproduces the same run bit-for-bit: drivers
  * consume randomness from a single SplitMix64 stream in registration
- * order.  A Coverage engine (tb/coverage.h) and a VcdWriter
- * (rtl/vcd.h) can be attached and are sampled automatically.
+ * order.  Every per-cycle observer — the Coverage engine
+ * (tb/coverage.h), a VcdWriter (rtl/vcd.h), monitors that implement
+ * obs::Observer, and free plugins via attachObserver() — rides the
+ * testbench's shared obs::ChangeFeed, which is driven once per cycle
+ * before the clock edge.
  */
 
 #ifndef ANVIL_TB_TESTBENCH_H
@@ -29,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observer.h"
 #include "rtl/interp.h"
 #include "rtl/vcd.h"
 #include "tb/coverage.h"
@@ -185,7 +189,9 @@ class Testbench
 
     // --- Monitors and checks ------------------------------------------
 
-    /** Register a monitor; the testbench keeps ownership. */
+    /** Register a monitor; the testbench keeps ownership.  A monitor
+     *  that also implements obs::Observer (trace::ContractMonitor)
+     *  is attached to the shared change feed automatically. */
     Monitor &addMonitor(std::unique_ptr<Monitor> m);
 
     /** Create and register an in-order scoreboard. */
@@ -207,6 +213,13 @@ class Testbench
     void attachVcd(std::ostream &os,
                    std::vector<std::string> signals = {});
 
+    /** Attach any observer plugin to the shared change feed; the
+     *  testbench keeps ownership. */
+    obs::Observer &attachObserver(std::unique_ptr<obs::Observer> o);
+
+    /** The shared per-cycle change feed (telemetry hookup point). */
+    obs::ChangeFeed &feed() { return _feed; }
+
     // --- Running -------------------------------------------------------
 
     /** Stop a run early once this many failures accumulate. */
@@ -214,8 +227,9 @@ class Testbench
 
     /**
      * Run `cycles` clock cycles.  Per cycle: drivers poke inputs,
-     * check hooks and monitors observe the combinational frame,
-     * coverage and VCD sample, then the clock edge commits.
+     * check hooks and monitors observe the combinational frame, the
+     * change feed visits every attached observer (contracts,
+     * coverage, VCD, plugins), then the clock edge commits.
      * Failures from hooks and monitors are merged into the result.
      */
     TbResult run(uint64_t cycles);
@@ -225,6 +239,10 @@ class Testbench
 
     rtl::Sim _sim;
     SplitMix64 _rng;
+    /** Declared before every observer-owning member: observers
+     *  detach themselves from the feed on destruction, so the feed
+     *  must be destroyed last. */
+    obs::ChangeFeed _feed{_sim};
     std::vector<std::unique_ptr<Driver>> _drivers;
     std::vector<std::unique_ptr<Monitor>> _monitors;
     std::vector<std::pair<std::string,
@@ -233,6 +251,7 @@ class Testbench
     Coverage _coverage;
     bool _coverage_enabled = false;
     std::unique_ptr<rtl::VcdWriter> _vcd;
+    std::vector<std::unique_ptr<obs::Observer>> _observers;
 };
 
 } // namespace tb

@@ -274,11 +274,14 @@ ContractMonitor::ContractMonitor(std::vector<ContractSpec> specs,
         const rtl::Netlist &nl = sim.netlist();
         if (_feed_slot.empty())
             _feed_slot.assign(nl.nets().size(), -1);
+        bool has_lazy = false;
         for (rtl::NetId id : {b.valid, b.ack, b.data}) {
             if (id == rtl::kNoNet)
                 continue;
             if (nl.net(id).lazy) {
-                _all_change_fed = false;
+                // The whole channel drops to the every-visit list:
+                // value() keeps the lazy net's on-demand faults.
+                has_lazy = true;
                 continue;
             }
             int32_t &slot = _feed_slot[static_cast<size_t>(id)];
@@ -288,6 +291,8 @@ ContractMonitor::ContractMonitor(std::vector<ContractSpec> specs,
             }
             _feed_lists[static_cast<size_t>(slot)].push_back(index);
         }
+        if (has_lazy)
+            _unfed_bounds.push_back(index);
         _bound.push_back(std::move(b));
     }
 }
@@ -303,29 +308,8 @@ ContractMonitor::refresh(rtl::Sim &sim, Bound &b)
 }
 
 void
-ContractMonitor::observe(rtl::Sim &sim, uint64_t cycle)
+ContractMonitor::tick(uint64_t cycle)
 {
-    if (_primed && _all_change_fed && _cursor.fresh(sim)) {
-        // Only channels whose nets actually changed are re-read;
-        // every checker still ticks below.  Observations that skip
-        // cycles or follow late pokes re-read everything instead.
-        for (rtl::NetId id : sim.changedNets()) {
-            if (static_cast<size_t>(id) >= _feed_slot.size())
-                continue;
-            int32_t slot = _feed_slot[static_cast<size_t>(id)];
-            if (slot < 0)
-                continue;
-            for (size_t index :
-                 _feed_lists[static_cast<size_t>(slot)])
-                refresh(sim, _bound[index]);
-        }
-    } else {
-        for (auto &b : _bound)
-            refresh(sim, b);
-        _primed = true;
-    }
-    _cursor.sync(sim);
-
     for (auto &b : _bound) {
         size_t before = _violations.size();
         b.checker.cycle(cycle, b.valid_v, b.ack_v, b.data_v,
@@ -335,6 +319,54 @@ ContractMonitor::observe(rtl::Sim &sim, uint64_t cycle)
                             _violations[i].rule + "] " +
                             _violations[i].message);
     }
+}
+
+void
+ContractMonitor::onAttach(obs::ChangeFeed &feed)
+{
+    for (size_t ni = 0; ni < _feed_slot.size(); ni++)
+        if (_feed_slot[ni] >= 0)
+            feed.subscribe(*this, static_cast<rtl::NetId>(ni));
+}
+
+void
+ContractMonitor::onPrime(rtl::Sim &sim, uint64_t cycle)
+{
+    for (auto &b : _bound)
+        refresh(sim, b);
+    tick(cycle);
+}
+
+void
+ContractMonitor::onCycle(rtl::Sim &sim, uint64_t cycle,
+                         const std::vector<rtl::NetId> &changed)
+{
+    // Only channels whose nets actually changed are re-read; every
+    // checker still ticks — ack-within deadlines advance even when
+    // nothing changes.
+    for (rtl::NetId id : changed) {
+        int32_t slot = _feed_slot[static_cast<size_t>(id)];
+        if (slot < 0)
+            continue;
+        for (size_t index : _feed_lists[static_cast<size_t>(slot)])
+            refresh(sim, _bound[index]);
+    }
+    for (size_t index : _unfed_bounds)
+        refresh(sim, _bound[index]);
+    tick(cycle);
+}
+
+void
+ContractMonitor::observe(rtl::Sim &sim, uint64_t cycle)
+{
+    // Attached to a shared feed (the Testbench path): the feed visit
+    // does the work once per cycle; the run loop's observe() call is
+    // then a no-op so checkers do not double-tick.
+    if (feed())
+        return;
+    for (auto &b : _bound)
+        refresh(sim, b);
+    tick(cycle);
 }
 
 } // namespace trace

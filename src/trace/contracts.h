@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observer.h"
 #include "tb/testbench.h"
 #include "trace/trace.h"
 
@@ -126,19 +127,29 @@ std::vector<ContractViolation> checkTrace(
  * the simulation each cycle and reports violations as testbench
  * failures ("contract:<channel>").
  *
- * The monitor is change-fed: channel signal values are cached, and
- * after the first observation only nets on the simulator's per-cycle
- * changed-net list are re-read (the checkers themselves still tick
- * every cycle — ack-within deadlines advance even when nothing
- * changes).  Lazy nets and observations that skip cycles fall back
- * to direct reads.
+ * The monitor rides the unified obs::ChangeFeed: channel signal
+ * values are cached, and after the priming visit only channels whose
+ * nets actually changed are re-read (the checkers themselves still
+ * tick every cycle — ack-within deadlines advance even when nothing
+ * changes).  Channels touching a lazy net are re-read every visit;
+ * skipped cycles and late pokes fall back to the feed's rescan.
+ * When attached to a feed (tb::Testbench::addMonitor does this)
+ * observe() is a no-op — the feed visit does the work; standalone
+ * observe() re-reads everything directly.
  */
-class ContractMonitor : public tb::Monitor
+class ContractMonitor : public tb::Monitor, public obs::Observer
 {
   public:
     ContractMonitor(std::vector<ContractSpec> specs, rtl::Sim &sim);
 
     void observe(rtl::Sim &sim, uint64_t cycle) override;
+
+    // obs::Observer
+    void onAttach(obs::ChangeFeed &feed) override;
+    void onPrime(rtl::Sim &sim, uint64_t cycle) override;
+    void onCycle(rtl::Sim &sim, uint64_t cycle,
+                 const std::vector<rtl::NetId> &changed) override;
+    const char *observerName() const override { return "contracts"; }
 
     const std::vector<ContractViolation> &violations() const
     {
@@ -154,6 +165,7 @@ class ContractMonitor : public tb::Monitor
         BitVec data_v{1};
     };
     void refresh(rtl::Sim &sim, Bound &b);
+    void tick(uint64_t cycle);
 
     std::vector<Bound> _bound;
     /** net -> slot into _feed_lists, flat (or -1): O(1) per changed
@@ -161,9 +173,8 @@ class ContractMonitor : public tb::Monitor
     std::vector<int32_t> _feed_slot;
     /** Per fed net, the _bound indices whose channel reads it. */
     std::vector<std::vector<size_t>> _feed_lists;
-    bool _all_change_fed = true;   // no lazy nets among the channels
-    bool _primed = false;
-    rtl::ChangeFeedCursor _cursor; // feed-freshness tracking
+    /** Bounds touching a lazy net: re-read every visit. */
+    std::vector<size_t> _unfed_bounds;
     std::vector<ContractViolation> _violations;
 };
 

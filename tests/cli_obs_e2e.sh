@@ -1,0 +1,77 @@
+#!/bin/sh
+# Observability end-to-end, run by ctest (cli_obs_e2e) and CI:
+#
+#  1. run a seeded sim of each eval design with every telemetry sink
+#     on (--metrics, --profile, --stats-json) and validate all three
+#     JSON artifacts against the schemas under docs/schemas/ with the
+#     in-tree json_validate tool,
+#  2. rerun at the same seed: the metrics document minus its
+#     "timers_ns" section, and the stats line minus its wall-clock
+#     fields, must be byte-identical (canonical-form compare),
+#  3. --slice extracts exactly one channel's signals into a
+#     standalone VCD, and an unknown channel is a usage error.
+#
+# Usage: cli_obs_e2e.sh <path-to-anvilc> <repo-root> <json_validate>
+set -e
+ANVILC="$1"
+SRC="$2"
+VALIDATE="$3"
+SCHEMAS="$SRC/docs/schemas"
+
+for design in quickstart listing2; do
+    "$ANVILC" "$SRC/examples/$design.anvil" --sim 400 --seed 7 \
+        --cov \
+        --metrics "obs_$design.metrics.json" \
+        --profile "obs_$design.trace.json" \
+        --stats-json > "obs_$design.log"
+    grep '^stats-json ' "obs_$design.log" | sed 's/^stats-json //' \
+        > "obs_$design.stats.json"
+    "$VALIDATE" "$SCHEMAS/metrics.schema.json" \
+        "obs_$design.metrics.json"
+    "$VALIDATE" "$SCHEMAS/profile.schema.json" \
+        "obs_$design.trace.json"
+    "$VALIDATE" "$SCHEMAS/stats.schema.json" \
+        "obs_$design.stats.json"
+done
+echo "telemetry artifacts validate against the checked-in schemas"
+
+# --- Determinism at a fixed seed -----------------------------------------
+
+"$ANVILC" "$SRC/examples/quickstart.anvil" --sim 400 --seed 7 \
+    --cov --metrics obs_rerun.metrics.json --stats-json \
+    > obs_rerun.log
+grep '^stats-json ' obs_rerun.log | sed 's/^stats-json //' \
+    > obs_rerun.stats.json
+
+"$VALIDATE" --canon obs_quickstart.metrics.json --drop timers_ns \
+    > obs_metrics_a.canon
+"$VALIDATE" --canon obs_rerun.metrics.json --drop timers_ns \
+    > obs_metrics_b.canon
+cmp obs_metrics_a.canon obs_metrics_b.canon
+
+"$VALIDATE" --canon obs_quickstart.stats.json \
+    --drop wall_ns,cycles_per_sec > obs_stats_a.canon
+"$VALIDATE" --canon obs_rerun.stats.json \
+    --drop wall_ns,cycles_per_sec > obs_stats_b.canon
+cmp obs_stats_a.canon obs_stats_b.canon
+echo "metrics and stats are byte-stable at a fixed seed"
+
+# --- Channel slicing -----------------------------------------------------
+
+"$ANVILC" "$SRC/examples/quickstart.anvil" --sim 200 --seed 7 \
+    --slice io_pong --vcd obs_slice.vcd > /dev/null
+test "$(grep -c '\$var' obs_slice.vcd)" -eq 3
+if grep '\$var' obs_slice.vcd | grep -qv io_pong; then
+    echo "slice leaked a foreign signal" >&2
+    exit 1
+fi
+grep -q '\$dumpvars' obs_slice.vcd
+
+set +e
+"$ANVILC" "$SRC/examples/quickstart.anvil" --sim 50 \
+    --slice no_such_channel --vcd obs_bogus.vcd 2> obs_bogus.log
+status=$?
+set -e
+test "$status" -eq 2
+grep -q 'no signals for channel' obs_bogus.log
+echo "slice dumps exactly one channel; unknown channels are rejected"
