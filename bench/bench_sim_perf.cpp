@@ -15,6 +15,7 @@
  * differential tests (tests/sim_workloads.h).
  *
  * Build & run:  ./build/bench_sim_perf [--cycles N] [out.json]
+ *                   [--farm-json farm.json]
  *
  * Prints a table and emits a JSON record matching BENCH_sim.json
  * (fields: ref, netlist = full sweep, dirty, threads.{2,4}, compiled
@@ -25,6 +26,13 @@
  * the JSON is written there; `--cycles N` caps every measurement at
  * N cycles (the CI smoke configuration, which exercises all sweep
  * modes).  See docs/benchmarks.md.
+ *
+ * A second section measures the in-process farm fan-out
+ * (run::runFarm, the engine behind `anvilc --farm N`): aggregate
+ * cycles/second across N = 1, 2, 4 workers sharing one immutable
+ * netlist, full regression stack on (coverage + activity envelope +
+ * event streams into the merger).  `--farm-json <f>` records it as
+ * BENCH_farm.json.
  */
 
 #include <algorithm>
@@ -37,8 +45,10 @@
 #include <vector>
 
 #include "anvil/compiler.h"
+#include "anvil/sim_runner.h"
 #include "codegen/jit.h"
 #include "designs/designs.h"
+#include "obs/merge.h"
 #include "obs/observer.h"
 #include "rtl/interp.h"
 #include "rtl/ref_interp.h"
@@ -283,12 +293,61 @@ runDesign(const std::string &name, const rtl::ModulePtr &mod,
     return r;
 }
 
+/** One design's farm fan-out scaling: aggregate cycles/second. */
+struct FarmRow
+{
+    std::string name;
+    int cycles_per_worker = 0;
+    double cps1 = 0, cps2 = 0, cps4 = 0;   // N = 1, 2, 4 workers
+};
+
+/**
+ * Best-of-`reps` aggregate throughput of run::runFarm at N workers:
+ * the whole regression stack (random testbench, coverage, rolling
+ * activity, event streams folded by the merger), one shared netlist.
+ */
+double
+timedFarm(const rtl::ModulePtr &mod, int workers, int cycles,
+          int reps = 2)
+{
+    double best = 0;
+    for (int rep = 0; rep < reps; rep++) {
+        run::FarmConfig fc;
+        fc.top = mod;
+        fc.workers = workers;
+        fc.seed_base = 1;
+        fc.cycles = static_cast<uint64_t>(cycles);
+        fc.coverage = true;
+        obs::Merger merger;
+        run::FarmResult fr = run::runFarm(fc, merger);
+        obs::Merger::Totals t = merger.totals();
+        if (fr.wall_ns)
+            best = std::max(best,
+                            static_cast<double>(t.cycles) * 1e9 /
+                                static_cast<double>(fr.wall_ns));
+    }
+    return best;
+}
+
+FarmRow
+runFarmDesign(const std::string &name, const rtl::ModulePtr &mod,
+              int cycles)
+{
+    FarmRow fr;
+    fr.name = name;
+    fr.cycles_per_worker = cycles;
+    fr.cps1 = timedFarm(mod, 1, cycles);
+    fr.cps2 = timedFarm(mod, 2, cycles);
+    fr.cps4 = timedFarm(mod, 4, cycles);
+    return fr;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string out_path;
+    std::string out_path, farm_path;
     long cap = 0;
     for (int i = 1; i < argc; i++) {
         if (!strcmp(argv[i], "--cycles") && i + 1 < argc) {
@@ -297,6 +356,8 @@ main(int argc, char **argv)
                 fprintf(stderr, "bad --cycles\n");
                 return 2;
             }
+        } else if (!strcmp(argv[i], "--farm-json") && i + 1 < argc) {
+            farm_path = argv[++i];
         } else {
             out_path = argv[i];
         }
@@ -394,6 +455,68 @@ main(int argc, char **argv)
         printf("\nwrote %s\n", out_path.c_str());
     } else {
         printf("\n%s", json.c_str());
+    }
+
+    // --- Farm fan-out scaling (anvilc --farm N) ----------------------
+
+    printf("\n=== Farm fan-out "
+           "(aggregate cycles/s, full regression stack) ===\n\n");
+    std::vector<FarmRow> farm_rows;
+    farm_rows.push_back(runFarmDesign("encrypt_anvil",
+                                      enc.module("encrypt"),
+                                      cycles(50000)));
+    farm_rows.push_back(
+        runFarmDesign("axi_xbar_4x4",
+                      designs::buildAxiXbarBaseline(4, 4),
+                      cycles(20000)));
+    farm_rows.push_back(
+        runFarmDesign("tlb_4w64s",
+                      designs::buildSetAssocTlbBaseline(4, 64),
+                      cycles(20000)));
+
+    printf("%-14s %9s %12s %12s %12s %7s %7s\n", "design",
+           "cyc/wkr", "N=1 agg/s", "N=2 agg/s", "N=4 agg/s",
+           "x2", "x4");
+    for (const auto &fr : farm_rows)
+        printf("%-14s %9d %12.0f %12.0f %12.0f %6.2fx %6.2fx\n",
+               fr.name.c_str(), fr.cycles_per_worker, fr.cps1,
+               fr.cps2, fr.cps4,
+               fr.cps1 > 0 ? fr.cps2 / fr.cps1 : 0.0,
+               fr.cps1 > 0 ? fr.cps4 / fr.cps1 : 0.0);
+
+    std::string farm_json =
+        "{\n  \"bench\": \"farm_scale\",\n"
+        "  \"unit\": \"aggregate_cycles_per_second\",\n"
+        "  \"designs\": [\n";
+    for (size_t i = 0; i < farm_rows.size(); i++) {
+        const FarmRow &fr = farm_rows[i];
+        char buf[512];
+        snprintf(buf, sizeof buf,
+                 "    {\"name\": \"%s\", "
+                 "\"cycles_per_worker\": %d, "
+                 "\"workers\": {\"1\": %.0f, \"2\": %.0f, "
+                 "\"4\": %.0f}, "
+                 "\"scale_2\": %.2f, \"scale_4\": %.2f}%s\n",
+                 fr.name.c_str(), fr.cycles_per_worker, fr.cps1,
+                 fr.cps2, fr.cps4,
+                 fr.cps1 > 0 ? fr.cps2 / fr.cps1 : 0.0,
+                 fr.cps1 > 0 ? fr.cps4 / fr.cps1 : 0.0,
+                 i + 1 < farm_rows.size() ? "," : "");
+        farm_json += buf;
+    }
+    farm_json += "  ]\n}\n";
+
+    if (!farm_path.empty()) {
+        FILE *f = fopen(farm_path.c_str(), "w");
+        if (!f) {
+            fprintf(stderr, "cannot write %s\n", farm_path.c_str());
+            return 1;
+        }
+        fputs(farm_json.c_str(), f);
+        fclose(f);
+        printf("\nwrote %s\n", farm_path.c_str());
+    } else {
+        printf("\n%s", farm_json.c_str());
     }
     return 0;
 }

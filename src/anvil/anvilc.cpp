@@ -14,6 +14,15 @@
  *     --sim <N>      simulate N cycles under a seeded random
  *                    testbench after compiling
  *     --seed <S>     testbench seed (default 1)
+ *     --farm <N>     run N parallel workers over one shared
+ *                    immutable netlist (seeds seed-base .. +N-1),
+ *                    stream per-worker telemetry events, and print
+ *                    the merged closure report (byte-compatible
+ *                    with single-run --cov/--metrics/--stats-json)
+ *     --seed-base <S> first farm worker seed (default: --seed)
+ *     --events <f>   write the run's live telemetry event stream
+ *                    ("anvil-events-v1" JSONL); with --farm, one
+ *                    stream per worker at <f>.<worker>
  *     --sweep <m>    sweep mode: full, dirty (default), or
  *                    threaded[:N] with N worker threads
  *     --emit-cpp     dump the design's compiled-sim C++ kernel
@@ -79,11 +88,16 @@
 #include <vector>
 
 #include "anvil/compiler.h"
+#include "anvil/sim_runner.h"
 #include "codegen/cpp_emitter.h"
 #include "codegen/jit.h"
+#include "obs/activity.h"
+#include "obs/merge.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/slice.h"
+#include "obs/stream.h"
+#include "obs/triage.h"
 #include "formal/contracts.h"
 #include "formal/kinduction.h"
 #include "formal/property.h"
@@ -119,6 +133,11 @@ usage()
             "  --sim <N>      simulate N cycles under a random\n"
             "                 testbench\n"
             "  --seed <S>     testbench seed (default 1)\n"
+            "  --farm <N>     N parallel workers over one shared\n"
+            "                 netlist; merged closure report\n"
+            "  --seed-base <S> first farm worker seed\n"
+            "  --events <f>   write the live telemetry event stream\n"
+            "                 (JSONL; --farm: <f>.<worker>)\n"
             "  --sweep <m>    sweep mode: full, dirty (default),\n"
             "                 or threaded[:N]\n"
             "  --emit-cpp     dump the compiled-sim C++ kernel\n"
@@ -226,14 +245,29 @@ struct ObsOptions
     std::string metrics_path;    // --metrics
     std::string profile_path;    // --profile
     std::string slice_channel;   // --slice
+    std::string events_path;     // --events
     bool stats_json = false;     // --stats-json
 
     /** True when any telemetry sink is requested. */
     bool telemetry() const
     {
         return !metrics_path.empty() || !profile_path.empty() ||
-               stats_json;
+               stats_json || !events_path.empty();
     }
+};
+
+/**
+ * Live event-stream tap for a single run (--events): the sink plus
+ * the two stream-side observer plugins, so finishRun can emit the
+ * end-of-run tail and export their metrics.
+ */
+struct EventTap
+{
+    obs::EventSink *sink = nullptr;
+    std::ofstream *os = nullptr;
+    std::string path;
+    obs::RollingActivity *activity = nullptr;
+    obs::AssertionTriage *triage = nullptr;
 };
 
 /**
@@ -295,68 +329,14 @@ attachWaves(tb::Testbench &bench, std::ofstream &vcd_os,
     return kExitOk;
 }
 
-/** Assemble the metrics registry from every spine the run exposes. */
-void
-collectMetrics(obs::MetricsRegistry &reg, tb::Testbench &bench,
-               const tb::TbResult &result, tb::Coverage *coverage,
-               const obs::TraceProfiler *profiler,
-               const codegen::JitResult *jit, uint64_t wall_ns)
-{
-    const rtl::SweepStats &ss = bench.sim().sweepStats();
-    reg.counter("sim.cycles") = result.cycles;
-    reg.counter("sim.toggles") = bench.sim().totalToggles();
-    reg.counter("sim.dprint_lines") = bench.sim().log().size();
-    reg.counter("tb.failures") = result.failures.size();
-    reg.counter("sweep.strict_nodes") = ss.strict_nodes;
-    reg.counter("sweep.frames") = ss.cycles;
-    reg.counter("sweep.nodes_evaluated") = ss.nodes_evaluated;
-    reg.counter("sweep.peak_nodes") = ss.peak_nodes;
-    reg.counter("sweep.nets_changed") = ss.nets_changed;
-    reg.counter("sweep.peak_changed") = ss.peak_changed;
-    reg.counter("sweep.sharded_levels") = ss.sharded_levels;
-    reg.counter("sweep.kernel_frames") = ss.kernel_frames;
-    reg.counter("sweep.dense_fallback_switches") =
-        ss.dense_fallback_switches;
-    reg.counter("backend.compiled") =
-        bench.sim().kernelAttached() ? 1 : 0;
-    double act = ss.strict_nodes
-        ? 100.0 * ss.avgNodes() / static_cast<double>(ss.strict_nodes)
-        : 0.0;
-    reg.gauge("sweep.activity_pct") = act;
-    if (jit) {
-        reg.counter("jit.cache_hit") = jit->cache_hit ? 1 : 0;
-        reg.timerNs("jit.compile") = jit->compile_ns;
-    }
-    if (coverage) {
-        reg.gauge("cov.toggle_pct") = coverage->togglePct();
-        reg.gauge("cov.reg_bin_pct") = coverage->regBinPct();
-        reg.counter("cov.samples") = coverage->samples();
-    }
-    for (const obs::ObserverCost &c : bench.feed().costs()) {
-        reg.counter("obs." + c.name + ".visits") = c.visits;
-        reg.counter("obs." + c.name + ".primes") = c.primes;
-        reg.counter("obs." + c.name + ".nets") = c.nets;
-        reg.timerNs("obs." + c.name) = c.ns;
-    }
-    obs::MetricsRegistry::Histogram &lvl =
-        reg.histogram("sweep.level_activity");
-    const std::vector<uint64_t> &activity =
-        bench.feed().levelActivity();
-    for (size_t i = 0; i < activity.size(); i++)
-        lvl.bump(i, activity[i]);
-    if (profiler)
-        for (const auto &t : profiler->totals())
-            reg.timerNs("phase." + t.name) = t.ns;
-    reg.timerNs("run.wall") = wall_ns;
-}
-
 /** Shared tail of --sim and --replay runs: run, report, exit code. */
 int
 finishRun(tb::Testbench &bench, uint64_t cycles,
           tb::Coverage *coverage, std::ofstream *vcd_os,
           const std::string &vcd_path, bool cov, bool stats,
           const ObsOptions &oo, obs::TraceProfiler *profiler,
-          const codegen::JitResult *jit)
+          const codegen::JitResult *jit,
+          const EventTap *tap = nullptr)
 {
     uint64_t wall0 = rtl::monotonicNanos();
     tb::TbResult result = bench.run(cycles);
@@ -376,13 +356,14 @@ finishRun(tb::Testbench &bench, uint64_t cycles,
             ? 100.0 * ss.avgNodes() /
                 static_cast<double>(ss.strict_nodes)
             : 0.0;
-        printf("sweep: mode=%s%s threads=%d strict-nodes=%zu "
+        // Always name the backend actually used: a silent JIT
+        // fallback must be visible here, not just in stats-json.
+        printf("sweep: mode=%s backend=%s threads=%d strict-nodes=%zu "
                "evaluated/cycle avg=%.1f peak=%llu "
                "changed-nets/cycle avg=%.1f peak=%llu "
                "activity=%.1f%%\n",
                rtl::sweepModeName(ss.mode),
-               bench.sim().kernelAttached() ? " backend=compiled"
-                                            : "",
+               bench.sim().kernelAttached() ? "compiled" : "interp",
                ss.threads,
                ss.strict_nodes, ss.avgNodes(),
                (unsigned long long)ss.peak_nodes, ss.avgChanged(),
@@ -404,8 +385,21 @@ finishRun(tb::Testbench &bench, uint64_t cycles,
 
     if (oo.telemetry()) {
         obs::MetricsRegistry reg;
-        collectMetrics(reg, bench, result, coverage, profiler, jit,
-                       wall_ns);
+        run::collectRunMetrics(reg, bench, result, coverage,
+                               profiler, jit, wall_ns,
+                               tap ? tap->activity : nullptr,
+                               tap ? tap->triage : nullptr);
+        if (tap && tap->sink) {
+            run::emitRunTail(*tap->sink, bench, result, coverage,
+                             reg, wall_ns);
+            tap->os->flush();
+            if (!tap->os->good()) {
+                fprintf(stderr, "anvilc: cannot write '%s'\n",
+                        tap->path.c_str());
+                return kExitIo;
+            }
+            fprintf(stderr, "anvilc: wrote %s\n", tap->path.c_str());
+        }
         if (!oo.metrics_path.empty()) {
             std::ofstream os(oo.metrics_path);
             os << reg.json() << "\n";
@@ -488,6 +482,23 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
     for (const auto &in : bench.sim().inputNames())
         bench.driveRandom(in);
 
+    std::ofstream events_os;
+    std::unique_ptr<obs::EventSink> sink;
+    EventTap tap;
+    if (!oo.events_path.empty()) {
+        events_os.open(oo.events_path);
+        if (!events_os) {
+            fprintf(stderr, "anvilc: cannot write '%s'\n",
+                    oo.events_path.c_str());
+            return kExitIo;
+        }
+        sink = std::make_unique<obs::EventSink>(events_os);
+        tap.sink = sink.get();
+        tap.os = &events_os;
+        tap.path = oo.events_path;
+    }
+
+    trace::ContractMonitor *monitor = nullptr;
     if (contracts || !contract_specs.empty()) {
         std::vector<trace::ContractSpec> specs;
         if (!resolveContracts(contract_specs,
@@ -495,9 +506,10 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
                               contracts, &specs))
             return kExitUsage;
         try {
-            bench.addMonitor(
-                std::make_unique<trace::ContractMonitor>(
-                    std::move(specs), bench.sim()));
+            monitor = static_cast<trace::ContractMonitor *>(
+                &bench.addMonitor(
+                    std::make_unique<trace::ContractMonitor>(
+                        std::move(specs), bench.sim())));
         } catch (const std::invalid_argument &e) {
             fprintf(stderr, "anvilc: %s\n", e.what());
             return kExitUsage;
@@ -507,6 +519,25 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
     tb::Coverage *coverage = nullptr;
     if (cov || stats)
         coverage = &bench.coverage();
+
+    // The stream-side plugins ride along whenever the run streams
+    // events — the same stack a farm worker runs, so a single-run
+    // stream merges (and compares) cleanly against farm output.
+    if (sink) {
+        if (monitor)
+            tap.triage = static_cast<obs::AssertionTriage *>(
+                &bench.attachObserver(
+                    std::make_unique<obs::AssertionTriage>(
+                        *monitor, sink.get())));
+        tap.activity = static_cast<obs::RollingActivity *>(
+            &bench.attachObserver(
+                std::make_unique<obs::RollingActivity>(
+                    /*window=*/64, sink.get())));
+        sink->runBegin(bench.sim().topName(), /*worker=*/0, seed,
+                       static_cast<uint64_t>(cycles),
+                       bench.sim().sweepMode(),
+                       bench.sim().sweepStats().threads);
+    }
 
     std::ofstream vcd_os;
     if (!vcd_path.empty()) {
@@ -523,7 +554,121 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
     return finishRun(bench, static_cast<uint64_t>(cycles), coverage,
                      vcd_path.empty() ? nullptr : &vcd_os, vcd_path,
                      cov, stats, oo, profiler.get(),
-                     compiled_backend ? &jit : nullptr);
+                     compiled_backend ? &jit : nullptr,
+                     sink ? &tap : nullptr);
+}
+
+/**
+ * In-process farm fan-out (--farm N): N workers over one shared
+ * immutable netlist (and one JIT kernel), each running the standard
+ * random testbench at seed_base + worker, streaming telemetry
+ * events into an in-memory obs::Merger.  The merged report is
+ * byte-compatible with single-run output.
+ */
+int
+farm(const rtl::ModulePtr &mod, long cycles, int workers,
+     uint64_t seed_base, bool cov, bool stats, bool contracts,
+     const std::vector<std::string> &contract_specs,
+     const formal::ContractSet *typed, rtl::SweepMode sweep_mode,
+     int sweep_threads, bool compiled_backend, const ObsOptions &oo)
+{
+    run::FarmConfig fc;
+    fc.top = mod;
+    fc.netlist = std::make_shared<const rtl::Netlist>(*mod);
+    fc.workers = workers;
+    fc.seed_base = seed_base;
+    fc.cycles = static_cast<uint64_t>(cycles);
+    fc.sweep_mode = sweep_mode;
+    fc.sweep_threads = sweep_threads;
+    fc.compiled_backend = compiled_backend;
+    fc.coverage = cov || stats;
+
+    bool monitored = contracts || !contract_specs.empty();
+    if (monitored &&
+        !resolveContracts(contract_specs, *fc.netlist, typed,
+                          contracts, &fc.contracts))
+        return kExitUsage;
+
+    obs::Merger merger;
+    run::FarmResult fr;
+    try {
+        fr = run::runFarm(fc, merger);
+    } catch (const std::exception &e) {
+        fprintf(stderr, "anvilc: farm: %s\n", e.what());
+        return kExitCheckFailure;
+    }
+    if (!fr.jit_note.empty())
+        fprintf(stderr,
+                "anvilc: note: compiled backend unavailable (%s); "
+                "using the interpreter\n", fr.jit_note.c_str());
+
+    printf("farm: %d worker(s), %llu cycle(s) each, "
+           "seeds %llu..%llu\n",
+           workers, (unsigned long long)cycles,
+           (unsigned long long)seed_base,
+           (unsigned long long)(seed_base +
+                                static_cast<uint64_t>(workers) - 1));
+    for (const run::JobResult &j : fr.jobs)
+        printf("worker %d: seed %llu: %s\n", j.worker,
+               (unsigned long long)j.seed, j.summary.c_str());
+
+    obs::Merger::Totals t = merger.totals();
+    printf("sim: %llu cycles, %llu toggles across %zu worker(s)\n",
+           (unsigned long long)t.cycles,
+           (unsigned long long)t.toggles, t.workers);
+    if (merger.hasCoverage() && (stats || cov))
+        printf("sim-summary %s\n",
+               merger.coverage().summaryJson().c_str());
+    if (cov && merger.hasCoverage())
+        fputs(merger.coverage().report().c_str(), stdout);
+    if (monitored)
+        fputs(merger.triageReport().c_str(), stdout);
+
+    if (!oo.events_path.empty()) {
+        // One on-disk stream per worker: <path>.<worker> — the same
+        // files tools/anvil_merge consumes.
+        for (const run::JobResult &j : fr.jobs) {
+            std::string path =
+                oo.events_path + "." + std::to_string(j.worker);
+            std::ofstream os(path);
+            if (os)
+                os << j.events;
+            os.flush();
+            if (!os.good()) {
+                fprintf(stderr, "anvilc: cannot write '%s'\n",
+                        path.c_str());
+                return kExitIo;
+            }
+            fprintf(stderr, "anvilc: wrote %s\n", path.c_str());
+        }
+    }
+    if (!oo.metrics_path.empty()) {
+        std::ofstream os(oo.metrics_path);
+        if (os)
+            os << merger.metricsJson() << "\n";
+        os.flush();
+        if (!os.good()) {
+            fprintf(stderr, "anvilc: cannot write '%s'\n",
+                    oo.metrics_path.c_str());
+            return kExitIo;
+        }
+        fprintf(stderr, "anvilc: wrote %s\n",
+                oo.metrics_path.c_str());
+    }
+    if (oo.stats_json)
+        printf("stats-json %s\n",
+               merger.statsJson(fr.wall_ns).c_str());
+
+    if (fr.anyFailed()) {
+        for (const run::JobResult &j : fr.jobs)
+            if (!j.ok)
+                fprintf(stderr,
+                        "anvilc: worker %d (seed %llu): %s\n",
+                        j.worker, (unsigned long long)j.seed,
+                        j.summary.c_str());
+        return kExitCheckFailure;
+    }
+    return kExitOk;
 }
 
 /** Replay a recorded dump as stimulus and diff the re-simulation. */
@@ -778,6 +923,9 @@ main(int argc, char **argv)
     std::vector<std::string> contract_specs;
     long sim_cycles = 0;
     uint64_t seed = 1;
+    int farm_workers = 0;
+    uint64_t seed_base = 0;
+    bool seed_base_set = false;
     rtl::SweepMode sweep_mode = rtl::SweepMode::Dirty;
     int sweep_threads = 0;
     bool sweep_set = false;
@@ -808,6 +956,18 @@ main(int argc, char **argv)
             }
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--farm" && i + 1 < argc) {
+            farm_workers = atoi(argv[++i]);
+            if (farm_workers < 1) {
+                fprintf(stderr,
+                        "anvilc: bad --farm worker count\n");
+                return kExitUsage;
+            }
+        } else if (arg == "--seed-base" && i + 1 < argc) {
+            seed_base = strtoull(argv[++i], nullptr, 0);
+            seed_base_set = true;
+        } else if (arg == "--events" && i + 1 < argc) {
+            oo.events_path = argv[++i];
         } else if (arg == "--sweep" && i + 1 < argc) {
             if (!parseSweepMode(argv[++i], &sweep_mode,
                                 &sweep_threads)) {
@@ -917,6 +1077,29 @@ main(int argc, char **argv)
     if (backend_set && !runs_sim) {
         fprintf(stderr, "anvilc: --backend requires --sim <N> or "
                         "--replay\n");
+        return kExitUsage;
+    }
+    if (farm_workers > 0 && sim_cycles <= 0) {
+        fprintf(stderr, "anvilc: --farm requires --sim <N>\n");
+        return kExitUsage;
+    }
+    if (seed_base_set && farm_workers <= 0) {
+        fprintf(stderr, "anvilc: --seed-base requires --farm <N>\n");
+        return kExitUsage;
+    }
+    if (farm_workers > 0 &&
+        (!replay_path.empty() || !vcd_path.empty() ||
+         !oo.slice_channel.empty() || !oo.profile_path.empty())) {
+        fprintf(stderr,
+                "anvilc: --farm conflicts with --replay/--vcd/"
+                "--slice/--profile\n");
+        return kExitUsage;
+    }
+    if (!oo.events_path.empty() &&
+        (sim_cycles <= 0 || !replay_path.empty())) {
+        fprintf(stderr,
+                "anvilc: --events requires --sim <N> (not "
+                "--replay)\n");
         return kExitUsage;
     }
     if ((oo.telemetry() || !oo.slice_channel.empty()) && !runs_sim) {
@@ -1060,6 +1243,12 @@ main(int argc, char **argv)
         if (!check_trace_path.empty())
             return checkTraceFile(mod, check_trace_path, contracts,
                                   contract_specs, &typed, cov);
+        if (farm_workers > 0)
+            return farm(mod, sim_cycles, farm_workers,
+                        seed_base_set ? seed_base : seed, cov,
+                        stats, contracts, contract_specs, &typed,
+                        sweep_mode, sweep_threads, compiled_backend,
+                        oo);
         if (!replay_path.empty())
             return replay(mod, replay_path, sim_cycles, vcd_path,
                           cov, stats, contracts, contract_specs,

@@ -1,0 +1,242 @@
+#include "anvil/sim_runner.h"
+
+#include <sstream>
+#include <thread>
+
+#include "obs/merge.h"
+#include "obs/profiler.h"
+#include "obs/stream.h"
+#include "support/strings.h"
+
+namespace anvil {
+namespace run {
+
+namespace {
+
+/** The event-driven sweep's activity factor, as the stats line
+ *  reports it: nodes evaluated vs. the whole strict table. */
+double
+activityPct(const rtl::SweepStats &ss)
+{
+    return ss.strict_nodes
+        ? 100.0 * ss.avgNodes() / static_cast<double>(ss.strict_nodes)
+        : 0.0;
+}
+
+} // namespace
+
+void
+collectRunMetrics(obs::MetricsRegistry &reg, tb::Testbench &bench,
+                  const tb::TbResult &result,
+                  const tb::Coverage *coverage,
+                  const obs::TraceProfiler *profiler,
+                  const codegen::JitResult *jit, uint64_t wall_ns,
+                  const obs::RollingActivity *activity,
+                  const obs::AssertionTriage *triage)
+{
+    const rtl::SweepStats &ss = bench.sim().sweepStats();
+    reg.counter("sim.cycles") = result.cycles;
+    reg.counter("sim.toggles") = bench.sim().totalToggles();
+    reg.counter("sim.dprint_lines") = bench.sim().log().size();
+    reg.counter("tb.failures") = result.failures.size();
+    reg.counter("sweep.strict_nodes") = ss.strict_nodes;
+    reg.counter("sweep.frames") = ss.cycles;
+    reg.counter("sweep.nodes_evaluated") = ss.nodes_evaluated;
+    reg.counter("sweep.peak_nodes") = ss.peak_nodes;
+    reg.counter("sweep.nets_changed") = ss.nets_changed;
+    reg.counter("sweep.peak_changed") = ss.peak_changed;
+    reg.counter("sweep.sharded_levels") = ss.sharded_levels;
+    reg.counter("sweep.kernel_frames") = ss.kernel_frames;
+    reg.counter("sweep.dense_fallback_switches") =
+        ss.dense_fallback_switches;
+    reg.counter("backend.compiled") =
+        bench.sim().kernelAttached() ? 1 : 0;
+    reg.gauge("sweep.activity_pct") = activityPct(ss);
+    if (jit) {
+        reg.counter("jit.cache_hit") = jit->cache_hit ? 1 : 0;
+        reg.timerNs("jit.compile") = jit->compile_ns;
+    }
+    if (coverage) {
+        reg.gauge("cov.toggle_pct") = coverage->togglePct();
+        reg.gauge("cov.reg_bin_pct") = coverage->regBinPct();
+        reg.counter("cov.samples") = coverage->samples();
+    }
+    for (const obs::ObserverCost &c : bench.feed().costs()) {
+        reg.counter("obs." + c.name + ".visits") = c.visits;
+        reg.counter("obs." + c.name + ".primes") = c.primes;
+        reg.counter("obs." + c.name + ".nets") = c.nets;
+        reg.timerNs("obs." + c.name) = c.ns;
+    }
+    obs::MetricsRegistry::Histogram &lvl =
+        reg.histogram("sweep.level_activity");
+    const std::vector<uint64_t> &levels =
+        bench.feed().levelActivity();
+    for (size_t i = 0; i < levels.size(); i++)
+        lvl.bump(i, levels[i]);
+    if (profiler)
+        for (const auto &t : profiler->totals())
+            reg.timerNs("phase." + t.name) = t.ns;
+    if (activity)
+        activity->exportMetrics(reg);
+    if (triage)
+        triage->exportMetrics(reg);
+    reg.timerNs("run.wall") = wall_ns;
+}
+
+void
+emitRunTail(obs::EventSink &sink, tb::Testbench &bench,
+            const tb::TbResult &result, const tb::Coverage *coverage,
+            const obs::MetricsRegistry &reg, uint64_t wall_ns)
+{
+    if (coverage)
+        sink.coverage(*coverage);
+    sink.metrics(reg);
+    if (!bench.feed().levelActivity().empty())
+        sink.activity(bench.feed().levelActivity());
+    sink.runEnd(result.cycles, bench.sim().totalToggles(),
+                result.failures.size(), wall_ns,
+                bench.sim().kernelAttached(),
+                activityPct(bench.sim().sweepStats()));
+}
+
+JobResult
+runJob(const JobConfig &cfg)
+{
+    std::ostringstream es;
+    obs::EventSink sink(es);
+
+    // Non-movable spine: heap-construct so nothing relocates under
+    // the feed's observer pointers.
+    auto bench = std::make_unique<tb::Testbench>(cfg.top, cfg.netlist,
+                                                cfg.seed);
+    bench->sim().setSweepMode(cfg.sweep_mode, cfg.sweep_threads);
+    if (cfg.kernel.abi)
+        bench->sim().attachKernel(cfg.kernel);   // false: interpreter
+
+    // Mirror the single-run telemetry spine (anvilc --metrics): a
+    // profiler feeds phase timers and the level-activity histogram,
+    // keeping worker metrics byte-comparable with single-run ones.
+    obs::TraceProfiler profiler(/*record_events=*/false);
+    bench->sim().setTelemetry(&profiler);
+    bench->feed().setProfiler(&profiler);
+
+    for (const auto &in : bench->sim().inputNames())
+        bench->driveRandom(in);
+
+    trace::ContractMonitor *monitor = nullptr;
+    if (!cfg.contracts.empty())
+        monitor = static_cast<trace::ContractMonitor *>(
+            &bench->addMonitor(
+                std::make_unique<trace::ContractMonitor>(
+                    cfg.contracts, bench->sim())));
+
+    tb::Coverage *cov = cfg.coverage ? &bench->coverage() : nullptr;
+
+    obs::AssertionTriage *triage = nullptr;
+    if (monitor)
+        triage = static_cast<obs::AssertionTriage *>(
+            &bench->attachObserver(
+                std::make_unique<obs::AssertionTriage>(*monitor,
+                                                       &sink)));
+    obs::RollingActivity *activity = nullptr;
+    if (cfg.activity_window)
+        activity = static_cast<obs::RollingActivity *>(
+            &bench->attachObserver(
+                std::make_unique<obs::RollingActivity>(
+                    cfg.activity_window, &sink)));
+
+    sink.runBegin(bench->sim().topName(), cfg.worker, cfg.seed,
+                  cfg.cycles, bench->sim().sweepMode(),
+                  bench->sim().sweepStats().threads);
+
+    uint64_t wall0 = rtl::monotonicNanos();
+    tb::TbResult result = bench->run(cfg.cycles);
+    uint64_t wall_ns = rtl::monotonicNanos() - wall0;
+    bench->feed().finish();
+
+    obs::MetricsRegistry reg;
+    collectRunMetrics(reg, *bench, result, cov, &profiler, cfg.jit,
+                      wall_ns, activity, triage);
+    emitRunTail(sink, *bench, result, cov, reg, wall_ns);
+
+    JobResult jr;
+    jr.worker = cfg.worker;
+    jr.seed = cfg.seed;
+    jr.ok = result.ok();
+    jr.cycles = result.cycles;
+    jr.toggles = bench->sim().totalToggles();
+    jr.failures = result.failures.size();
+    jr.wall_ns = wall_ns;
+    jr.summary = result.summary();
+    jr.events = es.str();
+    return jr;
+}
+
+FarmResult
+runFarm(const FarmConfig &cfg, obs::Merger &merger)
+{
+    FarmResult fr;
+    uint64_t wall0 = rtl::monotonicNanos();
+
+    // Elaborate once: every worker rides this immutable netlist.
+    std::shared_ptr<const rtl::Netlist> netlist = cfg.netlist;
+    if (!netlist)
+        netlist = std::make_shared<const rtl::Netlist>(*cfg.top);
+
+    // JIT once; the kernel object is shared, each Sim gets its own
+    // kernel context on attach.
+    codegen::JitResult jit;
+    rtl::KernelRef kernel;
+    if (cfg.compiled_backend) {
+        jit = codegen::jitCompileKernel(*netlist);
+        if (jit.kernel)
+            kernel = codegen::kernelRef(jit.kernel);
+        else
+            fr.jit_note = jit.error.empty() ? "jit unavailable"
+                                            : jit.error;
+    }
+
+    std::vector<JobConfig> jobs(static_cast<size_t>(cfg.workers));
+    for (int w = 0; w < cfg.workers; w++) {
+        JobConfig &jc = jobs[static_cast<size_t>(w)];
+        jc.top = cfg.top;
+        jc.netlist = netlist;
+        jc.seed = cfg.seed_base + static_cast<uint64_t>(w);
+        jc.worker = w;
+        jc.cycles = cfg.cycles;
+        jc.sweep_mode = cfg.sweep_mode;
+        jc.sweep_threads = cfg.sweep_threads;
+        jc.kernel = kernel;
+        jc.jit = cfg.compiled_backend ? &jit : nullptr;
+        jc.contracts = cfg.contracts;
+        jc.coverage = cfg.coverage;
+        jc.activity_window = cfg.activity_window;
+    }
+
+    fr.jobs.resize(jobs.size());
+    std::vector<std::thread> threads;
+    threads.reserve(jobs.size());
+    for (size_t w = 0; w < jobs.size(); w++)
+        threads.emplace_back([&fr, &jobs, w]() {
+            try {
+                fr.jobs[w] = runJob(jobs[w]);
+            } catch (const std::exception &e) {
+                fr.jobs[w].worker = static_cast<int>(w);
+                fr.jobs[w].seed = jobs[w].seed;
+                fr.jobs[w].summary =
+                    strfmt("worker exception: %s", e.what());
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    fr.wall_ns = rtl::monotonicNanos() - wall0;
+
+    for (const JobResult &j : fr.jobs)
+        if (!j.events.empty())
+            merger.addStreamText(j.events,
+                                 strfmt("worker-%d", j.worker));
+    return fr;
+}
+
+} // namespace run
+} // namespace anvil

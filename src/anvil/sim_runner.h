@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Shared run machinery for anvilc simulation commands and the
+ * in-process farm fan-out (`anvilc --farm N`).
+ *
+ * A farm shares one immutable rtl::Netlist (and, with the compiled
+ * backend, one JIT kernel) across N per-worker rtl::Sim instances —
+ * elaboration and compilation are paid once, the per-worker state is
+ * just the runtime value tables.  Each worker runs the standard
+ * random testbench at its own seed (seed_base + worker) with the
+ * full observer stack attached — contract monitor, coverage,
+ * assertion triage, rolling activity — and serializes everything it
+ * observed into an "anvil-events-v1" stream (obs::EventSink).  The
+ * streams feed an obs::Merger, whose merged artifacts are
+ * byte-compatible with single-run output; `anvilc --farm 1` and a
+ * plain `anvilc --sim` at the same seed produce identical coverage,
+ * metrics, and summary bytes.
+ *
+ * collectRunMetrics / emitRunTail are the single-run tail too, so
+ * the per-worker stream and the `--metrics`/`--stats-json` artifacts
+ * can never drift apart.
+ */
+
+#ifndef ANVIL_ANVIL_SIM_RUNNER_H
+#define ANVIL_ANVIL_SIM_RUNNER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/jit.h"
+#include "obs/activity.h"
+#include "obs/metrics.h"
+#include "obs/triage.h"
+#include "rtl/interp.h"
+#include "tb/testbench.h"
+#include "trace/contracts.h"
+
+namespace anvil {
+namespace obs {
+class EventSink;
+class Merger;
+class TraceProfiler;
+} // namespace obs
+
+namespace run {
+
+/**
+ * Assemble the metrics registry from every spine a run exposes.
+ * Null spines (no coverage, no profiler, no plugins) skip their
+ * sections; what remains matches the single-run layout exactly.
+ */
+void collectRunMetrics(obs::MetricsRegistry &reg, tb::Testbench &bench,
+                       const tb::TbResult &result,
+                       const tb::Coverage *coverage,
+                       const obs::TraceProfiler *profiler,
+                       const codegen::JitResult *jit, uint64_t wall_ns,
+                       const obs::RollingActivity *activity,
+                       const obs::AssertionTriage *triage);
+
+/**
+ * Emit the end-of-run event tail: coverage snapshot, metrics
+ * snapshot, per-level activity, run_end.  Call after
+ * bench.feed().finish().
+ */
+void emitRunTail(obs::EventSink &sink, tb::Testbench &bench,
+                 const tb::TbResult &result,
+                 const tb::Coverage *coverage,
+                 const obs::MetricsRegistry &reg, uint64_t wall_ns);
+
+/** One worker's run configuration. */
+struct JobConfig
+{
+    rtl::ModulePtr top;
+    /** Prebuilt immutable netlist; null builds a private one. */
+    std::shared_ptr<const rtl::Netlist> netlist;
+    uint64_t seed = 1;
+    int worker = 0;
+    uint64_t cycles = 0;
+    rtl::SweepMode sweep_mode = rtl::SweepMode::Dirty;
+    int sweep_threads = 0;
+    /** Shared compiled kernel (abi null: interpreter). */
+    rtl::KernelRef kernel;
+    /** Per-worker jit provenance for the metrics (may be null). */
+    const codegen::JitResult *jit = nullptr;
+    std::vector<trace::ContractSpec> contracts;
+    bool coverage = false;
+    /** Rolling-activity window length K; 0 disables the plugin. */
+    uint64_t activity_window = 64;
+};
+
+/** One worker's outcome plus its serialized event stream. */
+struct JobResult
+{
+    int worker = 0;
+    uint64_t seed = 0;
+    bool ok = false;
+    uint64_t cycles = 0;
+    uint64_t toggles = 0;
+    size_t failures = 0;
+    uint64_t wall_ns = 0;
+    std::string summary;   // tb::TbResult::summary()
+    std::string events;    // the full "anvil-events-v1" stream
+};
+
+/** Run one job to completion (thread-safe per job: every spine is
+ *  per-instance, the shared netlist and kernel are read-only). */
+JobResult runJob(const JobConfig &cfg);
+
+/** Farm fan-out configuration. */
+struct FarmConfig
+{
+    rtl::ModulePtr top;
+    /** Prebuilt shared netlist; null elaborates one from `top`
+     *  (callers that already elaborated — contract resolution —
+     *  pass theirs to avoid doing it twice). */
+    std::shared_ptr<const rtl::Netlist> netlist;
+    int workers = 1;
+    uint64_t seed_base = 1;
+    uint64_t cycles = 0;
+    rtl::SweepMode sweep_mode = rtl::SweepMode::Dirty;
+    int sweep_threads = 0;
+    bool compiled_backend = false;
+    std::vector<trace::ContractSpec> contracts;
+    bool coverage = false;
+    uint64_t activity_window = 64;
+};
+
+/** Farm outcome: per-worker results in worker order. */
+struct FarmResult
+{
+    std::vector<JobResult> jobs;
+    uint64_t wall_ns = 0;     // whole-farm elapsed wall time
+    std::string jit_note;     // non-empty: degraded to interpreter
+    bool anyFailed() const
+    {
+        for (const JobResult &j : jobs)
+            if (!j.ok)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Elaborate once, JIT once (when asked — failures degrade to the
+ * interpreter with a note), run cfg.workers jobs on their own
+ * threads, and feed every event stream into `merger` (worker order,
+ * though the merger re-sorts anyway).
+ */
+FarmResult runFarm(const FarmConfig &cfg, obs::Merger &merger);
+
+} // namespace run
+} // namespace anvil
+
+#endif // ANVIL_ANVIL_SIM_RUNNER_H

@@ -65,6 +65,25 @@ class MetricsRegistry
         return _timers_ns[name];
     }
 
+    // Read-only views for serializers and mergers (obs/stream.h,
+    // obs/merge.h): every slot, in sorted (= json()) order.
+    const std::map<std::string, uint64_t> &counters() const
+    {
+        return _counters;
+    }
+    const std::map<std::string, double> &gauges() const
+    {
+        return _gauges;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return _histograms;
+    }
+    const std::map<std::string, uint64_t> &timersNs() const
+    {
+        return _timers_ns;
+    }
+
     /**
      * Single-line JSON document (schema "anvil-metrics-v1").  With
      * include_timers=false the non-deterministic "timers_ns" section

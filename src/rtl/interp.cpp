@@ -190,7 +190,17 @@ applyBinop(Op op, const BitVec &a, const BitVec &b, int width)
 }
 
 Sim::Sim(std::shared_ptr<const Module> top)
-    : _top(std::move(top)), _nl(*_top)
+    : Sim(std::move(top), nullptr)
+{
+}
+
+Sim::Sim(std::shared_ptr<const Module> top,
+         std::shared_ptr<const Netlist> netlist)
+    : _top(std::move(top)),
+      _nl_own(netlist ? nullptr : std::make_shared<Netlist>(*_top)),
+      _nl_hold(netlist ? std::move(netlist)
+                       : std::shared_ptr<const Netlist>(_nl_own)),
+      _nl(*_nl_hold)
 {
     _val = _nl.initValues();
     _lazy_gen.assign(_val.size(), 0);
@@ -1102,7 +1112,14 @@ Sim::evalTop(const ExprPtr &e)
     if (it != _top_cache.end()) {
         id = it->second;
     } else {
-        id = _nl.compile(e, "");
+        // Ad-hoc expressions append lazy nodes to the netlist —
+        // impossible when the netlist is shared immutably across
+        // Sim instances (the farm fan-out).
+        if (!_nl_own)
+            throw std::logic_error(
+                "Sim::evalTop: cannot compile ad-hoc expressions "
+                "on a shared immutable netlist");
+        id = _nl_own->compile(e, "");
         // Appended nodes are lazy; grow the runtime arrays.
         growRuntimeArrays(_nl.initValues().size());
         _top_cache.emplace(e.get(), id);

@@ -160,6 +160,20 @@ class Sim
 {
   public:
     explicit Sim(std::shared_ptr<const Module> top);
+
+    /**
+     * Share one prebuilt immutable netlist across many Sim
+     * instances (the farm fan-out: compile once, simulate N seeds).
+     * All runtime state (values, worklists, register frames) is
+     * per-instance, so sharing is thread-safe as long as the
+     * netlist itself is never mutated — which is why evalTop's
+     * ad-hoc compile path throws std::logic_error on a shared-
+     * netlist Sim instead of appending nodes.  `netlist` must have
+     * been built from `top`.
+     */
+    Sim(std::shared_ptr<const Module> top,
+        std::shared_ptr<const Netlist> netlist);
+
     ~Sim();
     Sim(Sim &&) = delete;
     Sim &operator=(Sim &&) = delete;
@@ -298,6 +312,16 @@ class Sim
     /** The compiled netlist (inspection / cost analyses). */
     const Netlist &netlist() const { return _nl; }
 
+    /**
+     * The netlist as a shareable handle — hand it to further Sim
+     * instances to skip their compile (always non-null; owned
+     * privately unless this Sim was itself built on a shared one).
+     */
+    std::shared_ptr<const Netlist> sharedNetlist() const
+    {
+        return _nl_hold;
+    }
+
     /** Name of the top module (VCD scope root). */
     const std::string &topName() const { return _top->name; }
 
@@ -330,7 +354,11 @@ class Sim
     }
 
     std::shared_ptr<const Module> _top;
-    Netlist _nl;
+    /** Owned mutable netlist; null when riding a shared one. */
+    std::shared_ptr<Netlist> _nl_own;
+    /** Keeps the netlist alive (owned or shared); never null. */
+    std::shared_ptr<const Netlist> _nl_hold;
+    const Netlist &_nl;
     std::vector<BitVec> _val;          // current value per node
     std::vector<BitVec> _reg_next;     // pending next value per reg
     std::vector<BitVec> _wire_last;    // previous-cycle wire values

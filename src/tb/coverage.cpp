@@ -318,6 +318,127 @@ Coverage::sampleNamed(
     _samples++;
 }
 
+void
+Coverage::mergeSignal(const std::string &name, int width,
+                      bool is_reg,
+                      const std::vector<uint64_t> &rose,
+                      const std::vector<uint64_t> &fell)
+{
+    SignalCoverage *sc = nullptr;
+    for (auto &s : _signals)
+        if (s.name == name) {
+            sc = &s;
+            break;
+        }
+    if (!sc) {
+        SignalCoverage fresh;
+        fresh.name = name;
+        fresh.width = width;
+        fresh.is_reg = is_reg;
+        fresh.rose.assign(wordsFor(width), 0);
+        fresh.fell.assign(wordsFor(width), 0);
+        fresh.last.assign(wordsFor(width), 0);
+        _signals.push_back(std::move(fresh));
+        sc = &_signals.back();
+    } else if (sc->width != width) {
+        throw std::invalid_argument(
+            "coverage merge: signal '" + name + "' width " +
+            std::to_string(width) + " vs " +
+            std::to_string(sc->width));
+    }
+    for (size_t w = 0; w < sc->rose.size() && w < rose.size(); w++)
+        sc->rose[w] |= rose[w];
+    for (size_t w = 0; w < sc->fell.size() && w < fell.size(); w++)
+        sc->fell[w] |= fell[w];
+}
+
+void
+Coverage::mergeRegBins(const std::string &name, int width,
+                       const std::vector<uint64_t> &hits)
+{
+    RegBins *rb = nullptr;
+    for (auto &b : _reg_bins)
+        if (b.name == name) {
+            rb = &b;
+            break;
+        }
+    if (!rb) {
+        RegBins fresh;
+        fresh.name = name;
+        fresh.width = width;
+        _reg_bins.push_back(std::move(fresh));
+        _reg_nets.push_back(rtl::kNoNet);
+        rb = &_reg_bins.back();
+    }
+    if (rb->hits.size() < hits.size())
+        rb->hits.resize(hits.size(), 0);
+    for (size_t i = 0; i < hits.size(); i++)
+        rb->hits[i] += hits[i];
+}
+
+void
+Coverage::mergeCover(const std::string &name, uint64_t hits)
+{
+    for (auto &c : _covers)
+        if (c.name == name) {
+            c.hits += hits;
+            return;
+        }
+    _covers.push_back({name, nullptr, hits, false});
+}
+
+void
+Coverage::mergeCross(const std::string &name, const std::string &a,
+                     const std::string &b, const uint64_t bins[4])
+{
+    for (auto &x : _crosses)
+        if (x.name == name) {
+            for (int i = 0; i < 4; i++)
+                x.bins[i] += bins[i];
+            return;
+        }
+    auto indexOf = [this](const std::string &point) -> size_t {
+        for (size_t i = 0; i < _covers.size(); i++)
+            if (_covers[i].name == point)
+                return i;
+        _covers.push_back({point, nullptr, 0, false});
+        return _covers.size() - 1;
+    };
+    CrossPoint cp;
+    cp.name = name;
+    cp.a = indexOf(a);
+    cp.b = indexOf(b);
+    for (int i = 0; i < 4; i++)
+        cp.bins[i] = bins[i];
+    _crosses.push_back(std::move(cp));
+}
+
+void
+Coverage::mergeAssert(const std::string &name, uint64_t checked,
+                      uint64_t failures,
+                      const std::vector<uint64_t> &fail_cycles)
+{
+    AssertPoint *ap = nullptr;
+    for (auto &p : _asserts)
+        if (p.name == name) {
+            ap = &p;
+            break;
+        }
+    if (!ap) {
+        _asserts.push_back({name, nullptr, nullptr, 0, 0, {}});
+        ap = &_asserts.back();
+    }
+    ap->checked += checked;
+    ap->failures += failures;
+    ap->fail_cycles.insert(ap->fail_cycles.end(),
+                           fail_cycles.begin(), fail_cycles.end());
+    // Keep the earliest failing cycles, matching the live cap: the
+    // sorted-then-truncated union is independent of merge order.
+    std::sort(ap->fail_cycles.begin(), ap->fail_cycles.end());
+    if (ap->fail_cycles.size() > kMaxFailCyclesKept)
+        ap->fail_cycles.resize(kMaxFailCyclesKept);
+}
+
 double
 Coverage::togglePct() const
 {

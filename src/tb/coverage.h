@@ -178,6 +178,44 @@ class Coverage : public obs::Observer
         return _asserts;
     }
 
+    // --- Stream merging (obs::Merger) ---------------------------------
+    //
+    // Rebuild / accumulate coverage state from serialized snapshots
+    // (obs::EventSink streams).  Slots are keyed by name and created
+    // on first sight, in call order — a merger that feeds signals in
+    // the original signals() order reconstructs a table whose
+    // report() and summaryJson() are byte-identical to the source
+    // run's.  All merge operations are commutative, so multi-stream
+    // unions are independent of stream order.
+
+    /** OR a foreign signal's toggle masks into this engine.  Width
+     *  mismatches throw std::invalid_argument — streams from
+     *  different designs do not merge. */
+    void mergeSignal(const std::string &name, int width, bool is_reg,
+                     const std::vector<uint64_t> &rose,
+                     const std::vector<uint64_t> &fell);
+
+    /** Sum one register's value-bin hit counts, element-wise. */
+    void mergeRegBins(const std::string &name, int width,
+                      const std::vector<uint64_t> &hits);
+
+    /** Sum a cover point's hit count (point created expressionless). */
+    void mergeCover(const std::string &name, uint64_t hits);
+
+    /** Sum a cross point's four bins (end points looked up, or
+     *  created, by name). */
+    void mergeCross(const std::string &name, const std::string &a,
+                    const std::string &b, const uint64_t bins[4]);
+
+    /** Sum an assert point's counts; failing cycles are merged,
+     *  sorted, and truncated to the per-run retention cap. */
+    void mergeAssert(const std::string &name, uint64_t checked,
+                     uint64_t failures,
+                     const std::vector<uint64_t> &fail_cycles);
+
+    /** Add externally observed sample count (streams sum). */
+    void mergeSamples(uint64_t n) { _samples += n; }
+
     /** Human-readable coverage report. */
     std::string report() const;
 

@@ -194,6 +194,13 @@ Testbench::Testbench(rtl::ModulePtr top, uint64_t seed)
 {
 }
 
+Testbench::Testbench(rtl::ModulePtr top,
+                     std::shared_ptr<const rtl::Netlist> netlist,
+                     uint64_t seed)
+    : _sim(std::move(top), std::move(netlist)), _rng(seed)
+{
+}
+
 void
 Testbench::driveSequence(const std::string &input,
                          std::vector<BitVec> values, bool hold_last)

@@ -167,6 +167,15 @@ class Testbench
   public:
     explicit Testbench(rtl::ModulePtr top, uint64_t seed = 1);
 
+    /**
+     * Farm workers: build the bench's Sim on a shared immutable
+     * netlist (compile once, simulate many seeds — see
+     * rtl::Sim's shared-netlist constructor).
+     */
+    Testbench(rtl::ModulePtr top,
+              std::shared_ptr<const rtl::Netlist> netlist,
+              uint64_t seed);
+
     rtl::Sim &sim() { return _sim; }
     SplitMix64 &rng() { return _rng; }
 

@@ -23,6 +23,7 @@ for design in quickstart listing2; do
         --cov \
         --metrics "obs_$design.metrics.json" \
         --profile "obs_$design.trace.json" \
+        --events "obs_$design.events" \
         --stats-json > "obs_$design.log"
     grep '^stats-json ' "obs_$design.log" | sed 's/^stats-json //' \
         > "obs_$design.stats.json"
@@ -32,13 +33,18 @@ for design in quickstart listing2; do
         "obs_$design.trace.json"
     "$VALIDATE" "$SCHEMAS/stats.schema.json" \
         "obs_$design.stats.json"
+    "$VALIDATE" --lines "$SCHEMAS/events.schema.json" \
+        "obs_$design.events"
 done
 echo "telemetry artifacts validate against the checked-in schemas"
 
 # --- Determinism at a fixed seed -----------------------------------------
 
+# --events rides along on both runs: the stream-side plugins add
+# their own metrics keys, so the pair must run the same stack.
 "$ANVILC" "$SRC/examples/quickstart.anvil" --sim 400 --seed 7 \
-    --cov --metrics obs_rerun.metrics.json --stats-json \
+    --cov --metrics obs_rerun.metrics.json \
+    --events obs_rerun.events --stats-json \
     > obs_rerun.log
 grep '^stats-json ' obs_rerun.log | sed 's/^stats-json //' \
     > obs_rerun.stats.json

@@ -17,6 +17,11 @@
  *       the canonical compact dump — two runs are deterministic iff
  *       their canonical forms compare equal.
  *
+ *   json_validate --lines <schema.json> <doc.jsonl>
+ *       Validate a JSONL stream (the "anvil-events-v1" telemetry
+ *       event streams): every non-empty line must parse and satisfy
+ *       the schema.  Failures are prefixed with the line number.
+ *
  * The supported schema subset is exactly what the checked-in schemas
  * need: type (string or list, with "integer"), required, properties,
  * additionalProperties (bool or schema), items, minItems, and enum.
@@ -225,6 +230,69 @@ canonMode(int argc, char **argv)
     return 0;
 }
 
+int
+linesMode(int argc, char **argv)
+{
+    if (argc != 4) {
+        fprintf(stderr, "usage: json_validate --lines "
+                        "<schema.json> <doc.jsonl>\n");
+        return 2;
+    }
+    std::string schema_text, doc_text;
+    if (!readFile(argv[2], &schema_text)) {
+        fprintf(stderr, "json_validate: cannot read '%s'\n",
+                argv[2]);
+        return 3;
+    }
+    if (!readFile(argv[3], &doc_text)) {
+        fprintf(stderr, "json_validate: cannot read '%s'\n",
+                argv[3]);
+        return 3;
+    }
+    anvil::json::ParseResult schema =
+        anvil::json::parse(schema_text);
+    if (!schema.ok()) {
+        fprintf(stderr, "json_validate: %s: %s\n", argv[2],
+                schema.error.c_str());
+        return 3;
+    }
+
+    std::istringstream is(doc_text);
+    std::string line;
+    size_t lineno = 0, events = 0, errors = 0;
+    while (std::getline(is, line)) {
+        lineno++;
+        if (line.empty())
+            continue;
+        anvil::json::ParseResult doc = anvil::json::parse(line);
+        if (!doc.ok()) {
+            fprintf(stderr, "%s:%zu: %s\n", argv[3], lineno,
+                    doc.error.c_str());
+            errors++;
+            continue;
+        }
+        events++;
+        Validator v;
+        v.check(schema.value, doc.value, "");
+        for (const std::string &e : v.errors())
+            fprintf(stderr, "%s:%zu: %s\n", argv[3], lineno,
+                    e.c_str());
+        errors += v.errors().size();
+    }
+    if (events == 0) {
+        fprintf(stderr, "json_validate: %s: no events\n", argv[3]);
+        return 1;
+    }
+    if (errors) {
+        fprintf(stderr,
+                "json_validate: %s: %zu error(s) over %zu event(s) "
+                "against %s\n",
+                argv[3], errors, events, argv[2]);
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -232,11 +300,15 @@ main(int argc, char **argv)
 {
     if (argc >= 2 && strcmp(argv[1], "--canon") == 0)
         return canonMode(argc, argv);
+    if (argc >= 2 && strcmp(argv[1], "--lines") == 0)
+        return linesMode(argc, argv);
     if (argc != 3) {
         fprintf(stderr,
                 "usage: json_validate <schema.json> <doc.json>\n"
                 "       json_validate --canon <doc.json> "
-                "[--drop k1,k2]\n");
+                "[--drop k1,k2]\n"
+                "       json_validate --lines <schema.json> "
+                "<doc.jsonl>\n");
         return 2;
     }
     std::string schema_text, doc_text;
