@@ -15,17 +15,19 @@
  * differential tests (tests/sim_workloads.h).
  *
  * Build & run:  ./build/bench_sim_perf [--cycles N] [out.json]
- *                   [--farm-json farm.json]
+ *                   [--farm-json farm.json] [--compiled-floor R]
  *
  * Prints a table and emits a JSON record matching BENCH_sim.json
  * (fields: ref, netlist = full sweep, dirty, threads.{2,4}, compiled
  * — 0 when no system compiler is present — observers = dirty sweep
  * with the VCD + coverage + contract feed attached, speedup =
  * netlist/ref, dirty_vs_full, compiled_vs_dirty, observers_vs_dirty,
- * activity_pct).  With a file argument
+ * activity_pct, jit_compile_ms + jit_source_bytes = the kernel's
+ * cold compile cost).  With a file argument
  * the JSON is written there; `--cycles N` caps every measurement at
  * N cycles (the CI smoke configuration, which exercises all sweep
- * modes).  See docs/benchmarks.md.
+ * modes); `--compiled-floor R` exits nonzero when compiled_vs_dirty
+ * drops below R on any crossbar workload.  See docs/benchmarks.md.
  *
  * A second section measures the in-process farm fan-out
  * (run::runFarm, the engine behind `anvilc --farm N`): aggregate
@@ -148,12 +150,15 @@ tlbStim(uint64_t seed)
 /**
  * Best-of-`reps` throughput: repeated timing windows over one live
  * simulation, keeping the fastest (least noisy) window.  The
- * stimulus stream runs continuously across windows.
+ * stimulus stream runs continuously across windows.  Nine windows by
+ * default: the reference container's steal bursts are long enough to
+ * poison whole windows, and three proved too few to reliably get a
+ * clean one for every cell of a full run.
  */
 template <typename SimT>
 double
 timedRun(SimT &sim, int cycles, const StimFactory &make_stim,
-         int reps = 3)
+         int reps = 9)
 {
     auto stim = make_stim();
     // Warm up one cycle: first-sweep (dense) cost, toggle priming.
@@ -195,7 +200,7 @@ class NullBuf : public std::streambuf
 template <typename SimT>
 double
 timedRunObserved(SimT &sim, int cycles, const StimFactory &make_stim,
-                 int reps = 3)
+                 int reps = 9)
 {
     NullBuf null_buf;
     std::ostream null_os(&null_buf);
@@ -239,6 +244,8 @@ struct Row
     double compiled = 0;     // JIT C++ kernel (0 = no compiler)
     double observers = 0;    // dirty + VCD/coverage/contract feed
     double activity_pct = 0; // strict nodes evaluated / total, dirty
+    double jit_ms = 0;       // kernel compile wall time (cold)
+    uint64_t jit_src_bytes = 0;   // emitted translation-unit size
 };
 
 Row
@@ -281,6 +288,8 @@ runDesign(const std::string &name, const rtl::ModulePtr &mod,
         if (jr.kernel &&
             sim.attachKernel(codegen::kernelRef(jr.kernel))) {
             r.compiled = timedRun(sim, sim_cycles, stim);
+            r.jit_ms = static_cast<double>(jr.compile_ns) / 1e6;
+            r.jit_src_bytes = jr.source_bytes;
         } else {
             fprintf(stderr, "%s: compiled backend unavailable (%s)\n",
                     name.c_str(), jr.error.c_str());
@@ -349,6 +358,7 @@ main(int argc, char **argv)
 {
     std::string out_path, farm_path;
     long cap = 0;
+    double compiled_floor = 0;
     for (int i = 1; i < argc; i++) {
         if (!strcmp(argv[i], "--cycles") && i + 1 < argc) {
             cap = atol(argv[++i]);
@@ -358,6 +368,15 @@ main(int argc, char **argv)
             }
         } else if (!strcmp(argv[i], "--farm-json") && i + 1 < argc) {
             farm_path = argv[++i];
+        } else if (!strcmp(argv[i], "--compiled-floor") &&
+                   i + 1 < argc) {
+            // Regression gate: fail when compiled/dirty drops below
+            // this ratio on any crossbar workload (CI smoke).
+            compiled_floor = atof(argv[++i]);
+            if (compiled_floor <= 0) {
+                fprintf(stderr, "bad --compiled-floor\n");
+                return 2;
+            }
         } else {
             out_path = argv[i];
         }
@@ -419,7 +438,7 @@ main(int argc, char **argv)
     std::string json = "{\n  \"bench\": \"sim_perf\",\n"
         "  \"unit\": \"cycles_per_second\",\n  \"designs\": [\n";
     for (size_t i = 0; i < rows.size(); i++) {
-        char buf[768];
+        char buf[1024];
         snprintf(buf, sizeof buf,
                  "    {\"name\": \"%s\", \"ref\": %.0f, "
                  "\"netlist\": %.0f, \"dirty\": %.0f, "
@@ -428,7 +447,9 @@ main(int argc, char **argv)
                  "\"speedup\": %.2f, \"dirty_vs_full\": %.2f, "
                  "\"compiled_vs_dirty\": %.2f, "
                  "\"observers_vs_dirty\": %.2f, "
-                 "\"activity_pct\": %.1f}%s\n",
+                 "\"activity_pct\": %.1f, "
+                 "\"jit_compile_ms\": %.1f, "
+                 "\"jit_source_bytes\": %llu}%s\n",
                  rows[i].name.c_str(), rows[i].ref, rows[i].full,
                  rows[i].dirty, rows[i].t2, rows[i].t4,
                  rows[i].compiled, rows[i].observers,
@@ -439,6 +460,8 @@ main(int argc, char **argv)
                  rows[i].dirty > 0
                      ? rows[i].observers / rows[i].dirty : 0.0,
                  rows[i].activity_pct,
+                 rows[i].jit_ms,
+                 (unsigned long long)rows[i].jit_src_bytes,
                  i + 1 < rows.size() ? "," : "");
         json += buf;
     }
@@ -456,6 +479,26 @@ main(int argc, char **argv)
     } else {
         printf("\n%s", json.c_str());
     }
+
+    // The worklist kernel exists to win exactly these rows; a silent
+    // slide back under the interpreter's dirty sweep is a regression
+    // CI must catch even when correctness still holds.
+    bool floor_failed = false;
+    if (compiled_floor > 0)
+        for (const auto &r : rows) {
+            if (r.name.find("xbar") == std::string::npos)
+                continue;
+            if (r.compiled <= 0 || r.dirty <= 0)
+                continue;   // no compiler: nothing to gate
+            double ratio = r.compiled / r.dirty;
+            if (ratio < compiled_floor) {
+                fprintf(stderr,
+                        "FAIL %s: compiled_vs_dirty %.2f < floor "
+                        "%.2f\n",
+                        r.name.c_str(), ratio, compiled_floor);
+                floor_failed = true;
+            }
+        }
 
     // --- Farm fan-out scaling (anvilc --farm N) ----------------------
 
@@ -518,5 +561,5 @@ main(int argc, char **argv)
     } else {
         printf("\n%s", farm_json.c_str());
     }
-    return 0;
+    return floor_failed ? 1 : 0;
 }

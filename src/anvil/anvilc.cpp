@@ -368,6 +368,12 @@ finishRun(tb::Testbench &bench, uint64_t cycles,
                ss.strict_nodes, ss.avgNodes(),
                (unsigned long long)ss.peak_nodes, ss.avgChanged(),
                (unsigned long long)ss.peak_changed, act);
+        if (bench.sim().kernelAttached())
+            printf("sweep-kernel: frames=%llu dense-frames=%llu "
+                   "fallback-switches=%llu\n",
+                   (unsigned long long)ss.kernel_frames,
+                   (unsigned long long)ss.kernel_dense_frames,
+                   (unsigned long long)ss.kernel_fallback_switches);
     }
     if (coverage && (stats || cov))
         printf("sim-summary %s\n", coverage->summaryJson().c_str());

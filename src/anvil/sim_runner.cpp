@@ -49,6 +49,9 @@ collectRunMetrics(obs::MetricsRegistry &reg, tb::Testbench &bench,
     reg.counter("sweep.kernel_frames") = ss.kernel_frames;
     reg.counter("sweep.dense_fallback_switches") =
         ss.dense_fallback_switches;
+    reg.counter("sweep.kernel_dense_frames") = ss.kernel_dense_frames;
+    reg.counter("sweep.kernel_fallback_switches") =
+        ss.kernel_fallback_switches;
     reg.counter("backend.compiled") =
         bench.sim().kernelAttached() ? 1 : 0;
     reg.gauge("sweep.activity_pct") = activityPct(ss);

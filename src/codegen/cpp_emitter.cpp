@@ -2,7 +2,6 @@
 
 #include <cassert>
 #include <map>
-#include <set>
 #include <sstream>
 #include <vector>
 
@@ -20,11 +19,6 @@ using rtl::Net;
 using rtl::NetId;
 using rtl::Netlist;
 using rtl::Op;
-
-/** Nodes per dirty block: small enough that a marked block touches
- *  little beyond the changing cone, large enough that the bitmap and
- *  the consumer-block CSR stay compact. */
-constexpr size_t kBlockSize = 16;
 
 uint64_t
 maskOf(int width)
@@ -279,13 +273,6 @@ static inline void w_inject(uint64_t *d, uint32_t dw,
 }
 )";
 
-struct Block
-{
-    int level = 0;
-    uint32_t id = 0;              // bit position in the dirty bitmap
-    std::vector<NetId> nodes;
-};
-
 class CppEmitter
 {
   public:
@@ -298,16 +285,13 @@ class CppEmitter
 
   private:
     void layoutState();
-    void layoutBlocks();
+    void layoutLevels();
     std::string romTable(const Net &n);
     void emitTables(std::ostringstream &os);
-    void emitNode(std::ostringstream &os, NetId id);
-    void emitFastNode(std::ostringstream &os, NetId id,
-                      const std::string &guard);
-    void emitWideNode(std::ostringstream &os, NetId id,
-                      const std::string &guard);
+    void emitNode(std::ostringstream &os, NetId id, bool dense);
+    void emitFastNode(std::ostringstream &os, NetId id, bool dense);
+    void emitWideNode(std::ostringstream &os, NetId id, bool dense);
     void emitLevelFns(std::ostringstream &os);
-    std::string guardExpr(const Net &n) const;
     std::string fastVal(NetId o) const;   // u64 value of an operand
     std::string ptrOf(NetId o) const;     // &c->s[off]
     uint32_t wordsOf(NetId o) const
@@ -320,10 +304,12 @@ class CppEmitter
     std::string _name;
     std::vector<uint32_t> _off;           // per-net word offset
     uint64_t _state_words = 0;
-    std::vector<Block> _blocks;
-    std::vector<int32_t> _block_of;       // per-net block id or -1
-    uint32_t _block_bits = 0;             // bitmap bit positions
-    std::vector<std::pair<uint32_t, uint32_t>> _level_words;
+    size_t _levels = 0;                   // level count (incl. empty)
+    std::vector<std::vector<NetId>> _level_nodes;   // per level
+    std::vector<uint32_t> _bm_off;        // per-level bitmap word off
+    std::vector<uint32_t> _level_of;      // strict node -> level
+    std::vector<uint32_t> _slot_of;       // strict node -> level slot
+    std::string _ind;                     // current body indent
     std::map<std::pair<const void *, int>, std::string> _roms;
     std::ostringstream _rom_defs;
 };
@@ -342,34 +328,36 @@ CppEmitter::layoutState()
     _state_words = off ? off : 1;
 }
 
+/** Group the strict order by level and assign every strict node a
+ *  dense within-level slot: the occupancy bitmaps carry slots, so a
+ *  level's dispatch switch is a contiguous 0..n-1 jump table
+ *  regardless of how net ids are scattered across the design. */
 void
-CppEmitter::layoutBlocks()
+CppEmitter::layoutLevels()
 {
-    _block_of.assign(_nl.nets().size(), -1);
     const auto &order = _nl.order();
     const auto &lb = _nl.levelBegin();
-    uint32_t bit = 0;
-    for (size_t l = 0; l + 1 < lb.size(); l++) {
+    _levels = lb.empty() ? 0 : lb.size() - 1;
+    _level_nodes.assign(_levels, {});
+    _level_of.assign(_nl.nets().size(), 0);
+    _slot_of.assign(_nl.nets().size(), 0);
+    _bm_off.assign(_levels + 1, 0);
+    uint32_t bm = 0;
+    for (size_t l = 0; l < _levels; l++) {
         size_t b = static_cast<size_t>(lb[l]);
         size_t e = static_cast<size_t>(lb[l + 1]);
-        // Each level starts on a fresh bitmap word so a level
-        // function owns whole words of the dirty bitmap.
-        uint32_t w0 = (bit + 63) / 64;
-        bit = w0 * 64;
-        for (size_t i = b; i < e; i += kBlockSize) {
-            Block blk;
-            blk.level = static_cast<int>(l);
-            blk.id = bit++;
-            for (size_t k = i; k < e && k < i + kBlockSize; k++) {
-                blk.nodes.push_back(order[k]);
-                _block_of[static_cast<size_t>(order[k])] =
-                    static_cast<int32_t>(blk.id);
-            }
-            _blocks.push_back(std::move(blk));
+        _bm_off[l] = bm;
+        bm += static_cast<uint32_t>((e - b + 63) / 64);
+        for (size_t i = b; i < e; i++) {
+            NetId id = order[i];
+            _level_nodes[l].push_back(id);
+            _level_of[static_cast<size_t>(id)] =
+                static_cast<uint32_t>(l);
+            _slot_of[static_cast<size_t>(id)] =
+                static_cast<uint32_t>(i - b);
         }
-        _level_words.emplace_back(w0, (bit + 63) / 64);
     }
-    _block_bits = bit;
+    _bm_off[_levels] = bm;
 }
 
 std::string
@@ -403,11 +391,9 @@ void
 CppEmitter::emitTables(std::ostringstream &os)
 {
     size_t nets = _nl.nets().size();
-    size_t levels =
-        _nl.levelBegin().empty() ? 0 : _nl.levelBegin().size() - 1;
-    os << "enum : uint32_t { kNets = " << nets << "u, kBlockBits = "
-       << _block_bits << "u, kBlockWords = " << (_block_bits + 63) / 64
-       << "u, kLevelWords = " << (levels + 63) / 64 << "u };\n";
+    size_t strict = _nl.order().size();
+    os << "enum : uint32_t { kNets = " << nets << "u, kLevels = "
+       << _levels << "u, kStrictNodes = " << strict << "u };\n";
     os << "enum : uint64_t { kStateWords = " << _state_words
        << "ull };\n\n";
 
@@ -428,22 +414,23 @@ CppEmitter::emitTables(std::ostringstream &os)
     }
     os << "\n};\n\n";
 
-    // Consumer-block CSR: the blocks containing a strict consumer of
-    // each net, ascending — what poke()/onChange() mark dirty.
-    std::vector<std::vector<uint32_t>> fan(nets);
-    for (const Block &b : _blocks)
-        for (NetId id : b.nodes)
+    // Consumer CSR: the strict nodes reading each net, ascending —
+    // exactly the interpreter's fan-out CSR.  poke()/onChange() walk
+    // it to queue consumers on their levels' worklists.
+    std::vector<std::vector<NetId>> fan(nets);
+    for (size_t l = 0; l < _levels; l++)
+        for (NetId id : _level_nodes[l])
             Netlist::forEachOperand(_nl.net(id), [&](NetId o) {
                 if (_nl.net(o).kind == Net::Kind::Const)
                     return;
                 auto &lst = fan[static_cast<size_t>(o)];
-                if (lst.empty() || lst.back() != b.id)
-                    lst.push_back(b.id);
+                if (lst.empty() || lst.back() != id)
+                    lst.push_back(id);
             });
     size_t edges = 0;
     for (auto &lst : fan)
         edges += lst.size();
-    os << "static const uint32_t kFanBegin[kNets + 1] = {";
+    os << "static const uint32_t kConsBegin[kNets + 1] = {";
     uint32_t acc = 0;
     for (size_t i = 0; i <= nets; i++) {
         os << (i % 16 == 0 ? "\n    " : "") << acc << ",";
@@ -451,52 +438,38 @@ CppEmitter::emitTables(std::ostringstream &os)
             acc += static_cast<uint32_t>(fan[i].size());
     }
     os << "\n};\n";
-    os << "static const uint32_t kFanBlock[" << (edges ? edges : 1)
+    os << "static const int32_t kConsNet[" << (edges ? edges : 1)
        << "] = {";
     col = 0;
     for (const auto &lst : fan)
-        for (uint32_t b : lst)
-            os << (col++ % 16 == 0 ? "\n    " : "") << b << ",";
+        for (NetId id : lst)
+            os << (col++ % 16 == 0 ? "\n    " : "") << id << ",";
     if (edges == 0)
         os << "0";
     os << "\n};\n\n";
 
-    // Bits of every real (non-padding) block, for the dense sweep.
-    std::vector<uint64_t> mask((_block_bits + 63) / 64, 0);
-    for (const Block &b : _blocks)
-        mask[b.id / 64] |= 1ull << (b.id % 64);
-    if (mask.empty())
-        mask.push_back(0);   // keep the array legal for empty designs
-    os << "static const uint64_t kBlockMask[kBlockWords ? kBlockWords "
-          ": 1] = {";
-    for (size_t i = 0; i < mask.size(); i++)
-        os << (i % 8 == 0 ? "\n    " : "") << hexU64(mask[i]) << ",";
+    // Level and within-level slot of every strict node (0 for
+    // sources, which are never queued).
+    os << "static const uint32_t kLevelOf[kNets] = {";
+    for (size_t i = 0; i < nets; i++)
+        os << (i % 16 == 0 ? "\n    " : "") << _level_of[i] << ",";
+    os << "\n};\n";
+    os << "static const uint32_t kSlotOf[kNets] = {";
+    for (size_t i = 0; i < nets; i++)
+        os << (i % 16 == 0 ? "\n    " : "") << _slot_of[i] << ",";
     os << "\n};\n";
 
-    // Level of each block, for the per-level dirty summary (padding
-    // ids map to 0; they are never marked).
-    std::vector<uint32_t> blk_level(_block_bits ? _block_bits : 1, 0);
-    for (const Block &b : _blocks)
-        blk_level[b.id] = static_cast<uint32_t>(b.level);
-    os << "static const uint32_t kBlockLevel[kBlockBits ? kBlockBits "
-          ": 1] = {";
-    for (size_t i = 0; i < blk_level.size(); i++)
-        os << (i % 16 == 0 ? "\n    " : "") << blk_level[i] << ",";
+    // Occupancy-bitmap layout: level l owns the words
+    // wbm[kBmOff[l], kBmOff[l+1]); bit s marks within-level slot s
+    // queued.  Bitmaps dedupe by construction and drain in ascending
+    // slot order, which keeps the dispatch jumps monotonic through
+    // the level's code.
+    os << "static const uint32_t kBmOff[kLevels + 1] = {";
+    for (size_t l = 0; l <= _levels; l++)
+        os << (l % 16 == 0 ? "\n    " : "") << _bm_off[l] << ",";
     os << "\n};\n";
-}
-
-std::string
-CppEmitter::guardExpr(const Net &n) const
-{
-    std::set<NetId> ops;
-    Netlist::forEachOperand(n, [&](NetId o) {
-        if (_nl.net(o).kind != Net::Kind::Const)
-            ops.insert(o);
-    });
-    std::string g = "full";
-    for (NetId o : ops)
-        g += strfmt(" | (c->chg[%d] == ep)", o);
-    return g;
+    os << "enum : uint32_t { kBmWords = " << _bm_off[_levels]
+       << "u };\n";
 }
 
 std::string
@@ -516,30 +489,28 @@ CppEmitter::ptrOf(NetId o) const
 }
 
 void
-CppEmitter::emitNode(std::ostringstream &os, NetId id)
+CppEmitter::emitNode(std::ostringstream &os, NetId id, bool dense)
 {
     const Net &n = _nl.net(id);
-    std::string guard = guardExpr(n);
     const std::string &nm = _nl.nameOf(id);
-    os << "        // n" << id << " w" << n.width;
+    os << _ind << "// n" << id << " w" << n.width;
     if (!nm.empty())
         os << " " << nm;
     os << "\n";
     if (n.width <= 0) {
         // Zero-width values are the empty bit string: permanently
         // zero, evaluated for the activity count only.
-        os << "        { if (" << guard << ") ev++; }\n";
+        os << _ind << "{ ev++; }\n";
         return;
     }
     if (n.fast)
-        emitFastNode(os, id, guard);
+        emitFastNode(os, id, dense);
     else
-        emitWideNode(os, id, guard);
+        emitWideNode(os, id, dense);
 }
 
 void
-CppEmitter::emitFastNode(std::ostringstream &os, NetId id,
-                         const std::string &guard)
+CppEmitter::emitFastNode(std::ostringstream &os, NetId id, bool dense)
 {
     const Net &n = _nl.net(id);
     uint64_t m = maskOf(n.width);
@@ -659,15 +630,15 @@ CppEmitter::emitFastNode(std::ostringstream &os, NetId id,
     std::string store = n.width >= 64
         ? std::string()
         : strfmt(" r &= %s;", M.c_str());
-    os << "        { if (" << guard << ") { ev++; " << body << store
+    os << _ind << "{ ev++; " << body << store
        << " uint64_t *p = &c->s[" << _off[static_cast<size_t>(id)]
-       << "]; if (*p != r) { *p = r; onChange(c, " << id
-       << "); } } }\n";
+       << "]; if (*p != r) { *p = r; "
+       << (dense ? "onChangeD" : "onChange") << "(c, " << id
+       << "); } }\n";
 }
 
 void
-CppEmitter::emitWideNode(std::ostringstream &os, NetId id,
-                         const std::string &guard)
+CppEmitter::emitWideNode(std::ostringstream &os, NetId id, bool dense)
 {
     const Net &n = _nl.net(id);
     uint32_t dw = wordsOf(id);
@@ -795,61 +766,84 @@ CppEmitter::emitWideNode(std::ostringstream &os, NetId id,
       default:
         assert(!"source in strict order");
     }
-    os << "        { if (" << guard << ") { ev++; uint64_t t[" << dw
-       << "]; " << body << " w_store(c, " << id << ", "
-       << ptrOf(id) << ", t, " << dw << "u); } }\n";
+    os << _ind << "{ ev++; uint64_t t[" << dw << "]; " << body << " "
+       << (dense ? "w_stored" : "w_store") << "(c, " << id << ", "
+       << ptrOf(id) << ", t, " << dw << "u); }\n";
 }
 
 void
 CppEmitter::emitLevelFns(std::ostringstream &os)
 {
-    // Group blocks per level (levels can be empty after appends).
-    std::map<int, std::vector<const Block *>> by_level;
-    for (const Block &b : _blocks)
-        by_level[b.level].push_back(&b);
+    // All sparse drains first, all dense bodies after: a sparse
+    // frame's control flow then stays inside one contiguous stretch
+    // of text instead of hopping over the (usually idle) dense
+    // variants between levels.
+    for (size_t l = 0; l < _levels; l++) {
+        const auto &nodes = _level_nodes[l];
+        if (nodes.empty())
+            continue;
+        os << "\n/* level " << l << ": " << nodes.size()
+           << " nodes, bitmap words [" << _bm_off[l] << ", "
+           << _bm_off[l + 1] << ") */\n";
 
-    for (const auto &[level, blocks] : by_level) {
-        auto [w0, w1] = _level_words[static_cast<size_t>(level)];
-        os << "\n/* level " << level << ": " << blocks.size()
-           << " blocks, bitmap words [" << w0 << ", " << w1
-           << ") */\n";
-        os << "static uint64_t lvl_" << level
-           << "(Ctx *c, int full)\n{\n"
+        // Sparse path: drain the level's exact occupancy bitmap in
+        // ascending slot order (ctz per word).  Slots are dense
+        // within the level, so the dispatch switch is a contiguous
+        // jump table and the jumps walk forward through the level's
+        // code — the i-cache-friendly order on large designs.
+        os << "static uint64_t lvl_s_" << l << "(Ctx *c)\n{\n"
            << "    uint64_t ev = 0;\n"
-           << "    const uint64_t ep = c->ep;\n"
-           << "    (void)ep;\n";
-        os << "    for (uint32_t w = " << w0 << "u; w < " << w1
-           << "u; w++) {\n"
-           << "        uint64_t bits = full ? kBlockMask[w] "
-              ": c->blk[w];\n"
-           << "        c->blk[w] = 0;\n"
-           << "        while (bits) {\n"
-           << "            uint32_t b = w * 64u + "
-              "(uint32_t)__builtin_ctzll(bits);\n"
-           << "            bits &= bits - 1;\n"
-           << "            switch (b) {\n";
-        for (const Block *b : blocks) {
-            os << "            case " << b->id << "u: {\n";
-            std::ostringstream body;
-            for (NetId id : b->nodes)
-                emitNode(body, id);
-            os << body.str();
-            os << "            } break;\n";
+           << "    c->wn[" << l << "] = 0;\n"
+           << "    for (uint32_t wi = " << _bm_off[l]
+           << "u; wi < " << _bm_off[l + 1] << "u; wi++) {\n"
+           << "        uint64_t w = c->wbm[wi];\n"
+           << "        if (!w)\n"
+           << "            continue;\n"
+           << "        c->wbm[wi] = 0;\n"
+           << "        uint32_t base = (wi - " << _bm_off[l]
+           << "u) << 6;\n"
+           << "        do {\n"
+           << "        switch (base + "
+              "(uint32_t)__builtin_ctzll(w)) {\n";
+        _ind = "            ";
+        for (size_t s = 0; s < nodes.size(); s++) {
+            os << "        case " << s << "u: {\n";
+            emitNode(os, nodes[s], false);
+            os << "        } break;\n";
         }
-        os << "            default: break;\n"
-           << "            }\n"
+        os << "        default: break;\n"
            << "        }\n"
+           << "        w &= w - 1;\n"
+           << "        } while (w);\n"
            << "    }\n"
            << "    return ev;\n"
            << "}\n";
     }
+
+    for (size_t l = 0; l < _levels; l++) {
+        const auto &nodes = _level_nodes[l];
+        if (nodes.empty())
+            continue;
+        // Dense path: straight-line over every node, no queue reads —
+        // value comparison alone decides the changed list.  Used for
+        // whole dense frames and for single-level escalation inside
+        // sparse frames (onChangeD then still feeds later levels).
+        os << "\nstatic uint64_t lvl_d_" << l << "(Ctx *c)\n{\n"
+           << "    uint64_t ev = 0;\n";
+        _ind = "    ";
+        for (NetId id : nodes)
+            emitNode(os, id, true);
+        os << "    return ev;\n"
+           << "}\n";
+    }
+    _ind.clear();
 }
 
 std::string
 CppEmitter::run()
 {
     layoutState();
-    layoutBlocks();
+    layoutLevels();
 
     std::ostringstream body;
     emitLevelFns(body);
@@ -862,7 +856,7 @@ CppEmitter::run()
     std::ostringstream os;
     os << "// Generated by anvilc --emit-cpp; design '" << _name
        << "'.\n"
-       << "// Implements AnvilKernelV1 (see src/rtl/kernel_abi.h and "
+       << "// Implements AnvilKernelV2 (see src/rtl/kernel_abi.h and "
           "docs/compile.md);\n"
        << "// compile with: c++ -O2 -fPIC -shared -o kernel.so "
           "<this file>\n"
@@ -870,7 +864,14 @@ CppEmitter::run()
        << "#include <stdlib.h>\n"
        << "#include <string.h>\n\n"
        << "extern \"C\" {\n"
-       << "typedef struct AnvilKernelV1 {\n"
+       << "typedef struct AnvilKernelStats {\n"
+       << "    uint64_t frames;\n"
+       << "    uint64_t dense_frames;\n"
+       << "    uint64_t fallback_switches;\n"
+       << "    uint64_t nodes_evaluated;\n"
+       << "    uint64_t nets_changed;\n"
+       << "} AnvilKernelStats;\n"
+       << "typedef struct AnvilKernelV2 {\n"
        << "    uint32_t abi_version;\n"
        << "    uint32_t net_count;\n"
        << "    uint64_t design_hash;\n"
@@ -883,8 +884,9 @@ CppEmitter::run()
           "uint64_t *n_changed);\n"
        << "    uint64_t (*eval_full)(void *ctx, int32_t *changed, "
           "uint64_t *n_changed);\n"
-       << "} AnvilKernelV1;\n"
-       << "const AnvilKernelV1 *anvil_kernel_v1(void);\n"
+       << "    void (*stats)(void *ctx, AnvilKernelStats *out);\n"
+       << "} AnvilKernelV2;\n"
+       << "const AnvilKernelV2 *anvil_kernel_v2(void);\n"
        << "}\n\n"
        << "namespace {\n\n";
 
@@ -895,29 +897,52 @@ CppEmitter::run()
     os << R"(struct Ctx
 {
     uint64_t s[kStateWords];
-    uint64_t chg[kNets];      // epoch mark: changed in sweep chg[i]
-    uint64_t blk[kBlockWords ? kBlockWords : 1];
-    uint64_t lvl[kLevelWords ? kLevelWords : 1]; // levels w/ dirty blocks
+    uint64_t wbm[kBmWords ? kBmWords : 1];   // per-level occupancy
+    uint32_t wn[kLevels ? kLevels : 1];      // queued-bit upper bound
     int32_t *out;             // changed-net list of the current eval
     uint64_t nout;
-    uint64_t ep;              // current sweep epoch
+    uint64_t dense;           // adaptive: prefer the dense path
+    uint64_t fdense;          // current frame runs fully dense
+    AnvilKernelStats st;
 };
 
-static inline void markFan(Ctx *c, int32_t id)
+/* Queue the strict consumers of a changed net: set their slot bits.
+ * The bitmap dedupes by construction (setting a set bit is a no-op),
+ * so no epoch bookkeeping is needed; wn[] only over-counts repeat
+ * enqueues, and is read as "level non-empty" plus an escalation
+ * heuristic, where an over-count is harmless. */
+static inline void enq(Ctx *c, int32_t id)
 {
-    for (uint32_t k = kFanBegin[id]; k < kFanBegin[id + 1]; k++) {
-        uint32_t b = kFanBlock[k];
-        c->blk[b >> 6] |= 1ull << (b & 63u);
-        uint32_t l = kBlockLevel[b];
-        c->lvl[l >> 6] |= 1ull << (l & 63u);
+    for (uint32_t k = kConsBegin[id]; k < kConsBegin[id + 1]; k++) {
+        int32_t t = kConsNet[k];
+        uint32_t s = kSlotOf[t];
+        c->wbm[kBmOff[kLevelOf[t]] + (s >> 6)] |= 1ull << (s & 63);
+        c->wn[kLevelOf[t]]++;
     }
 }
 
-static inline void onChange(Ctx *c, int32_t id)
+/* Sparse-path change: record it and propagate (change-cutting — an
+ * unchanged recompute never reaches here, so consumers stay idle).
+ * Deliberately NOT inlined: the hooks appear in every node body, and
+ * keeping the bodies at compare + store + call is what keeps the
+ * level functions resident in the i-cache on multi-MB designs — the
+ * call costs a couple of ns and only on an actual change. */
+static __attribute__((noinline)) void onChange(Ctx *c, int32_t id)
 {
-    c->chg[id] = c->ep;
     c->out[c->nout++] = id;
-    markFan(c, id);
+    enq(c, id);
+}
+
+/* Dense-evaluated change: record it, and feed downstream worklists
+ * unless the whole frame is dense (then every node runs anyway).  A
+ * single level can escalate to its straight-line body inside an
+ * otherwise sparse frame when its queue is a large fraction of the
+ * level, so later levels still rely on exact queues. */
+static __attribute__((noinline)) void onChangeD(Ctx *c, int32_t id)
+{
+    c->out[c->nout++] = id;
+    if (!c->fdense)
+        enq(c, id);
 }
 
 static inline void w_store(Ctx *c, int32_t id, uint64_t *dst,
@@ -928,6 +953,15 @@ static inline void w_store(Ctx *c, int32_t id, uint64_t *dst,
         onChange(c, id);
     }
 }
+
+static inline void w_stored(Ctx *c, int32_t id, uint64_t *dst,
+                            const uint64_t *t, uint32_t words)
+{
+    if (memcmp(dst, t, words * 8) != 0) {
+        memcpy(dst, t, words * 8);
+        onChangeD(c, id);
+    }
+}
 )";
 
     os << body.str();
@@ -936,22 +970,58 @@ static inline void w_store(Ctx *c, int32_t id, uint64_t *dst,
           "uint64_t *nout, int full)\n{\n"
        << "    c->out = out;\n"
        << "    c->nout = 0;\n"
-       << "    c->ep++;\n"
-       << "    uint64_t ev = 0;\n";
-    {
-        // Call a level only when it has a marked block (or densely);
-        // operands live in strictly earlier levels, so marks made
-        // while running one level always target a later, unread bit.
-        std::set<int> levels;
-        for (const Block &b : _blocks)
-            levels.insert(b.level);
-        for (int l : levels)
-            os << "    if (full | ((c->lvl[" << l / 64 << "] >> "
-               << l % 64 << ") & 1)) { c->lvl[" << l / 64
-               << "] &= ~(1ull << " << l % 64 << "); ev += lvl_" << l
-               << "(c, full); }\n";
+       << "    uint64_t ev = 0;\n"
+       << "    int dense = full | (int)c->dense;\n"
+       << "    c->fdense = (uint64_t)dense;\n"
+       << "    if (dense) {\n";
+    for (size_t l = 0; l < _levels; l++)
+        if (!_level_nodes[l].empty())
+            os << "        ev += lvl_d_" << l << "(c);\n";
+    os << "        memset(c->wbm, 0, sizeof(c->wbm));\n"
+       << "        for (uint32_t l = 0; l < kLevels; l++)\n"
+       << "            c->wn[l] = 0;\n"
+       << "        c->st.dense_frames++;\n"
+       << "    } else {\n";
+    // A level's queue is only fed from strictly earlier levels (and
+    // pokes), so testing each depth just before its turn is exact.
+    // A level escalates to its straight-line body when its queue
+    // covers >= 25% of the level: at that density the per-node
+    // dispatch costs more than recomputing the stragglers, and
+    // compare-stores keep the changed list exact either way.
+    for (size_t l = 0; l < _levels; l++) {
+        if (_level_nodes[l].empty())
+            continue;
+        size_t sz = _level_nodes[l].size();
+        os << "        if (c->wn[" << l << "]) {\n"
+           << "            if (c->wn[" << l << "] * 4u >= " << sz
+           << "u) {\n"
+           << "                c->wn[" << l << "] = 0;\n"
+           << "                memset(c->wbm + " << _bm_off[l]
+           << "u, 0, " << (_bm_off[l + 1] - _bm_off[l])
+           << "u * 8u);\n"
+           << "                ev += lvl_d_" << l << "(c);\n"
+           << "            } else {\n"
+           << "                ev += lvl_s_" << l << "(c);\n"
+           << "            }\n"
+           << "        }\n";
     }
-    os << "    *nout = c->nout;\n"
+    os << "    }\n"
+       << "    if (kStrictNodes) {\n"
+       << "        // Adaptive fallback hysteresis, mirroring the\n"
+       << "        // interpreter: enter dense above ~50% changed,\n"
+       << "        // leave below 40%.\n"
+       << "        if (c->nout * 2 > kStrictNodes) {\n"
+       << "            if (!c->dense)\n"
+       << "                c->st.fallback_switches++;\n"
+       << "            c->dense = 1;\n"
+       << "        } else if (c->nout * 5 < kStrictNodes * 2) {\n"
+       << "            c->dense = 0;\n"
+       << "        }\n"
+       << "    }\n"
+       << "    c->st.frames++;\n"
+       << "    c->st.nodes_evaluated += ev;\n"
+       << "    c->st.nets_changed += c->nout;\n"
+       << "    *nout = c->nout;\n"
        << "    return ev;\n"
        << "}\n\n";
 
@@ -970,9 +1040,9 @@ static uint64_t *k_net_ptr(void *ctx, int32_t net)
 }
 static void k_poke(void *ctx, int32_t net)
 {
-    Ctx *c = (Ctx *)ctx;
-    c->chg[net] = c->ep + 1;
-    markFan(c, net);
+    // Bits persist until drained, so pokes between frames simply
+    // accumulate for the next eval.
+    enq((Ctx *)ctx, net);
 }
 static uint64_t k_eval(void *ctx, int32_t *changed, uint64_t *n)
 {
@@ -982,16 +1052,20 @@ static uint64_t k_eval_full(void *ctx, int32_t *changed, uint64_t *n)
 {
     return do_eval((Ctx *)ctx, changed, n, 1);
 }
+static void k_stats(void *ctx, AnvilKernelStats *out)
+{
+    *out = ((Ctx *)ctx)->st;
+}
 )";
 
-    os << "\nstatic const AnvilKernelV1 kKernel = {\n"
-       << "    1u, kNets, "
+    os << "\nstatic const AnvilKernelV2 kKernel = {\n"
+       << "    2u, kNets, "
        << hexU64(rtl::designHash(_nl)) << ", kStateWords,\n"
        << "    k_create, k_destroy, k_net_ptr, k_poke, k_eval, "
-          "k_eval_full,\n"
+          "k_eval_full, k_stats,\n"
        << "};\n\n"
        << "} // namespace\n\n"
-       << "extern \"C\" const AnvilKernelV1 *\nanvil_kernel_v1(void)\n"
+       << "extern \"C\" const AnvilKernelV2 *\nanvil_kernel_v2(void)\n"
        << "{\n    return &kKernel;\n}\n";
     return os.str();
 }

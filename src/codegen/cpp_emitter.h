@@ -2,17 +2,22 @@
  * @file
  * Compile-to-C++ netlist backend: lowers the strict combinational
  * portion of a levelized rtl::Netlist to a self-contained C++
- * translation unit implementing the AnvilKernelV1 ABI
+ * translation unit implementing the AnvilKernelV2 ABI
  * (rtl/kernel_abi.h).
  *
  * Layout of the emitted unit (see docs/compile.md):
- *  - one function per logic level, in levelized order;
+ *  - the interpreter's fan-out CSR compiled in as static tables
+ *    (consumer lists, per-node level/slot, bitmap word offsets);
+ *  - two functions per logic level: a sparse one draining the level's
+ *    exact occupancy bitmap in ascending slot order through a dense
+ *    jump table, and a straight-line dense one for high-activity
+ *    frames — whole frames flip with the same ~50%/40% hysteresis as
+ *    the interpreter, and a single crowded level (≥ 25% queued)
+ *    escalates to its dense body inside a sparse frame;
  *  - the u64 fast lane lowered to native integer arithmetic, wide
  *    values to packed-word helper calls;
- *  - dirty-set guards lowered to basic-block skips: nodes are grouped
- *    into small per-level blocks, a changed net marks its consumer
- *    blocks in a bitmap, and a level function only enters marked
- *    blocks (plus per-node operand-changed guards inside a block);
+ *  - change-cutting at every store: an unchanged value queues no
+ *    consumers, and eval()'s changed-net list is exact;
  *  - registers, inputs, and constants as a flat packed-word state
  *    array indexed by per-net offsets.
  *
@@ -29,6 +34,16 @@
 
 namespace anvil {
 namespace codegen {
+
+/**
+ * Codegen scheme revision.  Bumped whenever the emitted source for an
+ * unchanged netlist changes (new scheduler, table layout, ABI rev) so
+ * caches keyed on the design hash alone can never serve a kernel
+ * built by an older emitter.  v1: block-granular dirty bitmaps;
+ * v2: event-driven per-level exact occupancy bitmaps +
+ * AnvilKernelV2.
+ */
+constexpr int kCppEmitterVersion = 2;
 
 /**
  * Emit `nl` as a C++ kernel translation unit.  `design_name` only

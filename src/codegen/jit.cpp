@@ -43,9 +43,27 @@ removeTree(const std::string &dir)
     ::rmdir(dir.c_str());
 }
 
+/** Cache key: design hash + everything that changes the built object
+ *  for the same design — the compiler opt level and the emitter's
+ *  codegen revision. */
+struct CacheKey
+{
+    uint64_t hash;
+    int opt_level;
+    int emitter_tag;
+
+    bool operator<(const CacheKey &o) const
+    {
+        if (hash != o.hash)
+            return hash < o.hash;
+        if (opt_level != o.opt_level)
+            return opt_level < o.opt_level;
+        return emitter_tag < o.emitter_tag;
+    }
+};
+
 std::mutex g_cache_mu;
-std::map<std::pair<uint64_t, int>, std::shared_ptr<CompiledKernel>>
-    g_cache;
+std::map<CacheKey, std::shared_ptr<CompiledKernel>> g_cache;
 
 } // namespace
 
@@ -72,7 +90,7 @@ jitCompileKernel(const rtl::Netlist &nl, const JitOptions &opts)
     JitResult res;
     uint64_t t0 = rtl::monotonicNanos();
     uint64_t hash = rtl::designHash(nl);
-    auto key = std::make_pair(hash, opts.opt_level);
+    CacheKey key{hash, opts.opt_level, opts.emitter_tag};
     {
         std::lock_guard<std::mutex> lock(g_cache_mu);
         auto it = g_cache.find(key);
@@ -100,8 +118,10 @@ jitCompileKernel(const rtl::Netlist &nl, const JitOptions &opts)
     std::string so = dir + "/kernel.so";
     std::string err = dir + "/cc.err";
     {
+        std::string unit = emitCppKernel(nl, "jit");
+        res.source_bytes = unit.size();
         std::ofstream out(src);
-        out << emitCppKernel(nl, "jit");
+        out << unit;
         if (!out) {
             res.error = "failed to write " + src;
             removeTree(dir);
@@ -109,10 +129,17 @@ jitCompileKernel(const rtl::Netlist &nl, const JitOptions &opts)
         }
     }
 
+    // Very large generated units (multi-MB crossbars) gain nothing
+    // measurable from -O2's inliner here but pay minutes of compile
+    // wall-time for it; cap them at -O1.  The cache key keeps the
+    // *requested* level, so the policy is transparent to callers.
+    int opt = opts.opt_level;
+    if (opt > 1 && res.source_bytes > 2u << 20)
+        opt = 1;
     std::string cmd = strfmt(
         "%s -std=c++17 -O%d -fPIC -shared -fno-exceptions -fno-rtti "
         "-g0 -o %s %s 2> %s",
-        cxx.c_str(), opts.opt_level, so.c_str(), src.c_str(),
+        cxx.c_str(), opt, so.c_str(), src.c_str(),
         err.c_str());
     if (std::system(cmd.c_str()) != 0) {
         std::string diag = readFile(err);
@@ -148,7 +175,7 @@ jitCompileKernel(const rtl::Netlist &nl, const JitOptions &opts)
         ::dlclose(dl);
         return res;
     }
-    const AnvilKernelV1 *abi = entry();
+    const AnvilKernelV2 *abi = entry();
     if (!abi || abi->abi_version != ANVIL_KERNEL_ABI_VERSION) {
         res.error = "kernel ABI version mismatch";
         ::dlclose(dl);

@@ -3,14 +3,16 @@
  * In-process JIT for the compile-to-C++ backend: emit the netlist as
  * a kernel translation unit (codegen/cpp_emitter.h), invoke the
  * system C++ compiler to build a shared object, dlopen it, and hand
- * back a validated AnvilKernelV1 ready for rtl::Sim::attachKernel.
+ * back a validated AnvilKernelV2 ready for rtl::Sim::attachKernel.
  *
  * Lifecycle (see docs/compile.md): the source and shared object live
  * in a mkdtemp directory that is deleted as soon as the object is
  * mapped — the mapping survives the unlink, and nothing litters /tmp
- * even on crash.  Kernels are cached per (design hash, opt level) for
- * the life of the process, so attaching the same design to many Sims
- * (the differential test matrix, BMC reruns) compiles once.
+ * even on crash.  Kernels are cached per (design hash, opt level,
+ * emitter revision) for the life of the process, so attaching the
+ * same design to many Sims (the differential test matrix, BMC
+ * reruns) compiles once — while a codegen change (kCppEmitterVersion
+ * bump) can never be served a stale object.
  *
  * Everything degrades gracefully: no compiler on PATH, a failed
  * compile, or a hash mismatch yields a JitResult with a null kernel
@@ -23,6 +25,7 @@
 #include <memory>
 #include <string>
 
+#include "codegen/cpp_emitter.h"
 #include "rtl/interp.h"
 #include "rtl/kernel_abi.h"
 #include "rtl/netlist.h"
@@ -33,14 +36,20 @@ namespace codegen {
 struct JitOptions
 {
     int opt_level = 2;        // -O<n> passed to the system compiler
+                              // (capped to -O1 for multi-MB units,
+                              // where -O2 buys only compile time)
     bool keep_files = false;  // keep the temp dir (debugging)
+    /** Codegen revision folded into the cache key.  Defaults to the
+     *  linked emitter's revision; tests override it to prove a bump
+     *  forces a recompile. */
+    int emitter_tag = kCppEmitterVersion;
 };
 
 /** A dlopen'd kernel; closes the library when the last ref drops. */
 class CompiledKernel
 {
   public:
-    CompiledKernel(void *dl, const AnvilKernelV1 *abi)
+    CompiledKernel(void *dl, const AnvilKernelV2 *abi)
         : _dl(dl), _abi(abi)
     {
     }
@@ -48,11 +57,11 @@ class CompiledKernel
     CompiledKernel(const CompiledKernel &) = delete;
     CompiledKernel &operator=(const CompiledKernel &) = delete;
 
-    const AnvilKernelV1 *abi() const { return _abi; }
+    const AnvilKernelV2 *abi() const { return _abi; }
 
   private:
     void *_dl = nullptr;
-    const AnvilKernelV1 *_abi = nullptr;
+    const AnvilKernelV2 *_abi = nullptr;
 };
 
 struct JitResult
@@ -60,6 +69,7 @@ struct JitResult
     std::shared_ptr<CompiledKernel> kernel;  // null on failure
     std::string error;                       // why, when null
     uint64_t compile_ns = 0;   // emit + compile + load wall time
+    uint64_t source_bytes = 0; // emitted translation-unit size
     bool cache_hit = false;    // served from the per-process cache
 };
 

@@ -56,6 +56,7 @@ ChangeFeed::detach(Observer &obs)
     _slots[static_cast<size_t>(obs._index)].obs = nullptr;
     obs._feed = nullptr;
     obs._index = -1;
+    _csr_dirty = true;
 }
 
 bool
@@ -74,7 +75,35 @@ ChangeFeed::subscribe(Observer &obs, rtl::NetId net)
             return true;   // already subscribed
     _subs.push_back({obs._index, _sub_head[ni]});
     _sub_head[ni] = static_cast<int32_t>(_subs.size() - 1);
+    _csr_dirty = true;
     return true;
+}
+
+void
+ChangeFeed::rebuildCsr()
+{
+    size_t nets = _sub_head.size();
+    _csr_off.assign(nets + 1, 0);
+    for (size_t ni = 0; ni < nets; ni++)
+        for (int32_t k = _sub_head[ni]; k >= 0;
+             k = _subs[static_cast<size_t>(k)].next)
+            if (_slots[static_cast<size_t>(
+                          _subs[static_cast<size_t>(k)].obs)]
+                    .obs)
+                _csr_off[ni + 1]++;
+    for (size_t ni = 0; ni < nets; ni++)
+        _csr_off[ni + 1] += _csr_off[ni];
+    _csr_obs.resize(_csr_off[nets]);
+    std::vector<uint32_t> fill(_csr_off.begin(),
+                               _csr_off.end() - 1);
+    for (size_t ni = 0; ni < nets; ni++)
+        for (int32_t k = _sub_head[ni]; k >= 0;
+             k = _subs[static_cast<size_t>(k)].next) {
+            int32_t oi = _subs[static_cast<size_t>(k)].obs;
+            if (_slots[static_cast<size_t>(oi)].obs)
+                _csr_obs[fill[ni]++] = oi;
+        }
+    _csr_dirty = false;
 }
 
 bool
@@ -108,6 +137,8 @@ ChangeFeed::sample()
                 distribute = true;
             }
         if (distribute) {
+            if (_csr_dirty)
+                rebuildCsr();
             const rtl::Netlist &nl = _sim.netlist();
             for (rtl::NetId id : _sim.changedNets()) {
                 size_t ni = static_cast<size_t>(id);
@@ -120,10 +151,10 @@ ChangeFeed::sample()
                 }
                 if (ni >= _sub_head.size())
                     continue;
-                for (int32_t k = _sub_head[ni]; k >= 0;
-                     k = _subs[static_cast<size_t>(k)].next) {
+                for (uint32_t k = _csr_off[ni];
+                     k < _csr_off[ni + 1]; k++) {
                     Slot &s = _slots[static_cast<size_t>(
-                        _subs[static_cast<size_t>(k)].obs)];
+                        _csr_obs[k])];
                     if (s.obs && s.primed)
                         s.scratch.push_back(id);
                 }

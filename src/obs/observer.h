@@ -186,10 +186,22 @@ class ChangeFeed
         int track = -1;                    // profiler track id
     };
 
+    /** Flatten the subscriber chains into the CSR (below). */
+    void rebuildCsr();
+
     rtl::Sim &_sim;
     std::vector<Slot> _slots;
     std::vector<int32_t> _sub_head;   // net -> first SubNode, or -1
     std::vector<SubNode> _subs;
+    // The chains above are the authoritative subscription record
+    // (insertion-time dedupe); sample() walks this flattened CSR
+    // instead, so the per-changed-net fan-out is a contiguous slice
+    // rather than a pointer chase.  Rebuilt lazily — subscriptions
+    // change at attach time, not per cycle — and reusing the same
+    // buffers, so the steady-state sample() allocates nothing.
+    std::vector<uint32_t> _csr_off;   // net -> [off[n], off[n+1])
+    std::vector<int32_t> _csr_obs;    // observer indices, flat
+    bool _csr_dirty = true;
     rtl::ChangeFeedCursor _cursor;
     TraceProfiler *_profiler = nullptr;
     std::vector<uint64_t> _level_activity;

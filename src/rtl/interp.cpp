@@ -276,6 +276,20 @@ Sim::setSweepMode(SweepMode mode, int threads, size_t shard_min)
     _dirty = true;
 }
 
+const SweepStats &
+Sim::sweepStats() const
+{
+    if (_kctx) {
+        // The kernel schedules internally (worklists + its own dense
+        // fallback); surface its counters alongside the host's.
+        AnvilKernelStats ks;
+        _kernel.abi->stats(_kctx, &ks);
+        _stats.kernel_dense_frames = ks.dense_frames;
+        _stats.kernel_fallback_switches = ks.fallback_switches;
+    }
+    return _stats;
+}
+
 const NetSignal *
 Sim::findSignal(const std::string &flat) const
 {
@@ -303,8 +317,7 @@ Sim::seedSource(NetId id)
         // kernel's state array and mark its consumer blocks dirty.
         size_t i = static_cast<size_t>(id);
         const BitVec &v = _val[i];
-        uint64_t *p = _kernel.abi->net_ptr(_kctx,
-                                           static_cast<int32_t>(id));
+        uint64_t *p = _kptr[i];
         int w = _nl.net(id).width;
         int words = w <= 0 ? 1 : (w + 63) / 64;
         for (int k = 0; k < words; k++)
@@ -330,6 +343,10 @@ Sim::attachKernel(const KernelRef &kernel)
     _kctx = ctx;
     _kchanged.assign(_nl.nets().size(), 0);
     _kstale.assign(_val.size(), 0);
+    _kptr.resize(_nl.nets().size());
+    for (size_t i = 0; i < _kptr.size(); i++)
+        _kptr[i] =
+            kernel.abi->net_ptr(ctx, static_cast<int32_t>(i));
     // The kernel starts from the netlist's init values; push the
     // current source state (which may already differ) and force one
     // dense eval so every strict value is consistent with it.
@@ -338,8 +355,7 @@ Sim::attachKernel(const KernelRef &kernel)
         if (n.kind != Net::Kind::Input && n.kind != Net::Kind::Reg)
             continue;
         const BitVec &v = _val[i];
-        uint64_t *p = _kernel.abi->net_ptr(_kctx,
-                                           static_cast<int32_t>(i));
+        uint64_t *p = _kptr[i];
         int words = n.width <= 0 ? 1 : (n.width + 63) / 64;
         for (int k = 0; k < words; k++)
             p[k] = v.word(k);
@@ -356,8 +372,7 @@ Sim::refreshFromKernel(NetId id)
 {
     size_t i = static_cast<size_t>(id);
     _kstale[i] = 0;
-    const uint64_t *p =
-        _kernel.abi->net_ptr(_kctx, static_cast<int32_t>(id));
+    const uint64_t *p = _kptr[i];
     BitVec &v = _val[i];
     if (v.width() <= 64)
         v.setUint64(p[0]);
@@ -367,7 +382,8 @@ Sim::refreshFromKernel(NetId id)
 
 /**
  * Sweep by calling into the attached kernel.  The kernel runs the
- * same levelized strict schedule with per-block dirty skipping; its
+ * same levelized event-driven schedule (exact per-level worklists,
+ * change-cutting, its own dense-fallback hysteresis); its exact
  * changed-net list feeds the interpreter's frame bookkeeping, and the
  * values themselves are copied back lazily (valOf) only when an
  * observer or the clock edge actually reads them.
@@ -891,6 +907,25 @@ Sim::step(int n)
                 if (slot < 0)
                     continue;
                 size_t s = static_cast<size_t>(slot);
+                size_t i = static_cast<size_t>(id);
+                if (_kctx && _kstale[i]) {
+                    // Kernel-owned value: count toggles straight off
+                    // the kernel's words and refresh only the
+                    // last-seen copy.  The host mirror stays stale —
+                    // it is refreshed lazily if an observer actually
+                    // reads it — so the per-change tax of the
+                    // compiled backend is one popcount, not a BitVec
+                    // round trip.
+                    const uint64_t *p = _kptr[i];
+                    BitVec &last = _wire_last[s];
+                    _total_toggles += static_cast<uint64_t>(
+                        last.xorPopcountWords(p, last.words()));
+                    if (last.width() <= 64)
+                        last.setUint64(p[0]);
+                    else
+                        last.setWords(p, last.words());
+                    continue;
+                }
                 const BitVec &cur = valOf(id);
                 _total_toggles += static_cast<uint64_t>(
                     cur.xorPopcount(_wire_last[s]));
@@ -1099,6 +1134,8 @@ Sim::growRuntimeArrays(size_t n)
     _wire_slot.resize(n, -1);
     if (!_kstale.empty())
         _kstale.resize(n, 0);   // appended nets are never in the kernel
+    if (!_kptr.empty())
+        _kptr.resize(n, nullptr);
     // Appended nets are lazy and never drive updates; keep the CSR
     // indexable for changed-net consumers.
     _upd_begin.resize(n + 1, _upd_begin.back());

@@ -98,7 +98,7 @@ class SimTelemetry
  */
 struct KernelRef
 {
-    const AnvilKernelV1 *abi = nullptr;
+    const AnvilKernelV2 *abi = nullptr;
     std::shared_ptr<void> hold;   // keeps the mapped library alive
 };
 
@@ -133,6 +133,12 @@ struct SweepStats
     /** Times the adaptive fallback switched the dirty sweep onto the
      *  dense path (rollFrame hysteresis entries). */
     uint64_t dense_fallback_switches = 0;
+    /** Kernel-internal activity (AnvilKernelStats, refreshed on each
+     *  sweepStats() read while a kernel is attached): frames the
+     *  kernel ran densely, and its own sparse->dense hysteresis
+     *  entries.  Zero on the interpreter backends. */
+    uint64_t kernel_dense_frames = 0;
+    uint64_t kernel_fallback_switches = 0;
 
     double avgNodes() const
     {
@@ -194,8 +200,9 @@ class Sim
                       size_t shard_min = 256);
     SweepMode sweepMode() const { return _mode; }
 
-    /** Activity counters (see SweepStats). */
-    const SweepStats &sweepStats() const { return _stats; }
+    /** Activity counters (see SweepStats).  With a kernel attached,
+     *  folds the kernel's own activity export in first. */
+    const SweepStats &sweepStats() const;
 
     /**
      * Install (or remove, with nullptr) a per-phase timing sink.
@@ -386,7 +393,7 @@ class Sim
     std::vector<uint8_t> _shard_changed;        // pool join scratch
     std::vector<int32_t> _wire_slot;   // net -> wireNets index or -1
     uint64_t _frame_evals = 0;
-    SweepStats _stats;
+    mutable SweepStats _stats;   // kernel fields refreshed on read
     SimTelemetry *_telemetry = nullptr;
 
     // Compiled-kernel backend (attachKernel).
@@ -394,6 +401,10 @@ class Sim
     void *_kctx = nullptr;             // kernel instance
     std::vector<int32_t> _kchanged;    // per-sweep changed-net buffer
     std::vector<uint8_t> _kstale;      // _val[i] behind the kernel
+    std::vector<uint64_t *> _kptr;     // cached net_ptr per net: the
+                                       // kernel state block never
+                                       // moves, so the indirect call
+                                       // is paid once at attach
 
     // Clock-edge bookkeeping: which updates are armed (enable != 0),
     // kept fresh from the changed-net delta, and which registers the

@@ -21,6 +21,17 @@
  * little-endian 64-bit words, ceil(width/64) (min 1) words per net,
  * normalized (bits at or above the width are zero) exactly like
  * anvil::BitVec.
+ *
+ * Version 2 tightens the eval() contract and adds introspection:
+ *  - eval()'s changed list is EXACT — a strict net appears iff its
+ *    committed value differs from the previous eval (v1 only promised
+ *    value-accurate entries; scheduling was block-granular, and the
+ *    host had to treat the list as approximate for costing);
+ *  - the kernel is event-driven internally (per-level exact worklists
+ *    seeded by poke(), change-cutting, and an adaptive dense fallback
+ *    mirroring the interpreter's hysteresis);
+ *  - stats() exports the kernel's own activity counters so the host
+ *    can fold them into its sweep telemetry.
  */
 
 #ifndef ANVIL_RTL_KERNEL_ABI_H
@@ -32,12 +43,23 @@
 extern "C" {
 #endif
 
-#define ANVIL_KERNEL_ABI_VERSION 1u
+#define ANVIL_KERNEL_ABI_VERSION 2u
 
-/** Version 1 kernel vtable.  All functions are thread-compatible:
+/** Activity counters accumulated by a kernel context since create().
+ *  Mirrors the host-side SweepStats vocabulary. */
+typedef struct AnvilKernelStats
+{
+    uint64_t frames;            /* eval() + eval_full() calls */
+    uint64_t dense_frames;      /* frames run on the dense path */
+    uint64_t fallback_switches; /* sparse->dense hysteresis entries */
+    uint64_t nodes_evaluated;   /* strict node evaluations, total */
+    uint64_t nets_changed;      /* changed-net records, total */
+} AnvilKernelStats;
+
+/** Version 2 kernel vtable.  All functions are thread-compatible:
  *  distinct contexts may be driven from distinct threads, one context
  *  must not be entered concurrently. */
-typedef struct AnvilKernelV1
+typedef struct AnvilKernelV2
 {
     uint32_t abi_version;   /* == ANVIL_KERNEL_ABI_VERSION */
     uint32_t net_count;     /* nets at emission time */
@@ -54,27 +76,38 @@ typedef struct AnvilKernelV1
     uint64_t *(*net_ptr)(void *ctx, int32_t net);
 
     /** Mark a source net changed after the host wrote its words via
-     *  net_ptr(); the next eval() re-evaluates its fan-out cone. */
+     *  net_ptr(): its strict consumers are queued on their levels'
+     *  worklists for the next eval().  Idempotent per net between
+     *  evals. */
     void (*poke)(void *ctx, int32_t net);
 
     /**
-     * Event-driven sweep: evaluate the marked cones in levelized
-     * order.  Strict nets whose value changed are appended to
-     * `changed` (caller-provided, net_count capacity) and counted in
-     * *n_changed.  Returns the number of node evaluations.
+     * Event-driven sweep: drain the per-level worklists in levelized
+     * order, re-evaluating only queued nodes; a node whose value is
+     * unchanged does not queue its consumers (change-cutting).  When
+     * the previous frame's activity crossed the dense-fallback
+     * threshold the whole table is recomputed straight-line instead.
+     * Either way, strict nets whose committed value changed — exactly
+     * those — are appended to `changed` (caller-provided, net_count
+     * capacity) and counted in *n_changed.  Returns the number of
+     * node evaluations.
      */
     uint64_t (*eval)(void *ctx, int32_t *changed, uint64_t *n_changed);
 
     /** Dense sweep: evaluate every strict node, reporting changes by
-     *  value comparison (the resync path after attach/mode switch). */
+     *  value comparison (the resync path after attach/mode switch).
+     *  Pending worklist state is consumed and cleared. */
     uint64_t (*eval_full)(void *ctx, int32_t *changed,
                           uint64_t *n_changed);
-} AnvilKernelV1;
+
+    /** Copy the context's activity counters into *out. */
+    void (*stats)(void *ctx, AnvilKernelStats *out);
+} AnvilKernelV2;
 
 /** Entry point exported by every compiled kernel object. */
-typedef const AnvilKernelV1 *(*AnvilKernelEntryFn)(void);
+typedef const AnvilKernelV2 *(*AnvilKernelEntryFn)(void);
 
-#define ANVIL_KERNEL_ENTRY_SYMBOL "anvil_kernel_v1"
+#define ANVIL_KERNEL_ENTRY_SYMBOL "anvil_kernel_v2"
 
 #ifdef __cplusplus
 } /* extern "C" */

@@ -93,7 +93,7 @@ TEST(CppEmitter, KernelAbiMatchesNetlist)
     codegen::JitResult jr =
         codegen::jitCompileKernel(sim.netlist(), jo);
     ASSERT_NE(jr.kernel, nullptr) << jr.error;
-    const AnvilKernelV1 *abi = jr.kernel->abi();
+    const AnvilKernelV2 *abi = jr.kernel->abi();
     ASSERT_NE(abi, nullptr);
     EXPECT_EQ(abi->abi_version, ANVIL_KERNEL_ABI_VERSION);
     EXPECT_EQ(abi->net_count, sim.netlist().nets().size());
@@ -105,6 +105,37 @@ TEST(CppEmitter, KernelAbiMatchesNetlist)
     codegen::JitResult again =
         codegen::jitCompileKernel(sim.netlist(), jo);
     EXPECT_EQ(again.kernel.get(), jr.kernel.get());
+    EXPECT_TRUE(again.cache_hit);
+}
+
+TEST(CppEmitter, EmitterTagBumpForcesRecompile)
+{
+    if (codegen::jitCompilerPath().empty())
+        GTEST_SKIP() << "no system compiler available";
+    auto mod = quickstartModule();
+    ASSERT_NE(mod, nullptr);
+    Sim sim(mod);
+    codegen::JitOptions jo;
+    jo.opt_level = 1;
+    codegen::JitResult base =
+        codegen::jitCompileKernel(sim.netlist(), jo);
+    ASSERT_NE(base.kernel, nullptr) << base.error;
+
+    // Same design + opt level but a newer codegen revision: the
+    // cached object from the old emitter must never be served.
+    jo.emitter_tag = codegen::kCppEmitterVersion + 1;
+    codegen::JitResult bumped =
+        codegen::jitCompileKernel(sim.netlist(), jo);
+    ASSERT_NE(bumped.kernel, nullptr) << bumped.error;
+    EXPECT_FALSE(bumped.cache_hit);
+    EXPECT_NE(bumped.kernel.get(), base.kernel.get());
+    EXPECT_GT(bumped.source_bytes, 0u);
+
+    // The bumped tag is itself cached under its own key.
+    codegen::JitResult again =
+        codegen::jitCompileKernel(sim.netlist(), jo);
+    EXPECT_TRUE(again.cache_hit);
+    EXPECT_EQ(again.kernel.get(), bumped.kernel.get());
 }
 
 TEST(CppEmitter, JitRoundTripMatchesInterpreter)

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <random>
 #include <sstream>
@@ -119,9 +120,15 @@ expectModesAgree(const ModulePtr &mod, int cycles,
                            make_drive()));
     runs.push_back(runMode(mod, SweepMode::Threaded, 2, 1, cycles,
                            make_drive()));
-    if (haveJitCompiler())
+    if (haveJitCompiler()) {
         runs.push_back(runMode(mod, SweepMode::Dirty, 0, 256, cycles,
                                make_drive(), /*compiled=*/true));
+        // Forced dense fallback: Full mode drives the kernel's
+        // dense per-level functions on every frame, so both halves
+        // of the generated scheduler face the whole matrix.
+        runs.push_back(runMode(mod, SweepMode::Full, 0, 256, cycles,
+                               make_drive(), /*compiled=*/true));
+    }
     const ModeRun &full = runs[0];
     for (size_t i = 1; i < runs.size(); i++) {
         SCOPED_TRACE(mod->name + " mode#" + std::to_string(i));
@@ -268,6 +275,102 @@ TEST(SweepModes, SetAssocTlbWorkload)
     auto runs = expectModesAgree(mod, 600, make_drive);
     EXPECT_LT(runs[1].stats.nodes_evaluated * 2,
               runs[0].stats.nodes_evaluated);
+}
+
+/**
+ * The compiled kernel's changed-net list must be EXACT (the ABI v2
+ * contract): set-equal, every cycle, to what the interpreter's dirty
+ * sweep reports for identical stimulus.  Order may differ (the
+ * kernel emits in level/worklist order, the interpreter in bucket
+ * order), so both sides are sorted and deduplicated before compare.
+ */
+void
+expectChangedSetsEqual(const ModulePtr &mod, int cycles,
+                       const std::function<DriveFn()> &make_drive)
+{
+    SCOPED_TRACE(mod->name);
+    Sim interp(mod), compiled(mod);
+    interp.setSweepMode(SweepMode::Dirty);
+    compiled.setSweepMode(SweepMode::Dirty);
+    attachJitKernel(compiled);
+    ASSERT_TRUE(compiled.kernelAttached());
+    DriveFn da = make_drive(), db = make_drive();
+    for (int cyc = 0; cyc < cycles; cyc++) {
+        da(interp, cyc);
+        db(compiled, cyc);
+        std::vector<NetId> a(interp.changedNets().begin(),
+                             interp.changedNets().end());
+        std::vector<NetId> b(compiled.changedNets().begin(),
+                             compiled.changedNets().end());
+        std::sort(a.begin(), a.end());
+        a.erase(std::unique(a.begin(), a.end()), a.end());
+        std::sort(b.begin(), b.end());
+        b.erase(std::unique(b.begin(), b.end()), b.end());
+        ASSERT_EQ(a, b) << "cycle " << cyc;
+        interp.step();
+        compiled.step();
+    }
+}
+
+TEST(SweepModes, CompiledChangedListIsExactOnEvalDesigns)
+{
+    if (!haveJitCompiler())
+        GTEST_SKIP() << "no system compiler available";
+    expectChangedSetsEqual(designs::buildFifoBaseline(), 150,
+                           denseStimulus(31));
+    expectChangedSetsEqual(designs::buildSpillRegBaseline(), 150,
+                           denseStimulus(32));
+    expectChangedSetsEqual(designs::buildStreamFifoBaseline(), 150,
+                           denseStimulus(33));
+    expectChangedSetsEqual(designs::buildTlbBaseline(), 120,
+                           denseStimulus(34));
+    expectChangedSetsEqual(designs::buildPtwBaseline(), 120,
+                           denseStimulus(35));
+    expectChangedSetsEqual(designs::buildAxiDemuxBaseline(), 100,
+                           denseStimulus(36));
+    expectChangedSetsEqual(designs::buildAxiMuxBaseline(), 100,
+                           denseStimulus(37));
+    expectChangedSetsEqual(designs::buildAesBaseline(), 40,
+                           denseStimulus(38));
+    expectChangedSetsEqual(designs::buildPipelinedAluBaseline(), 120,
+                           denseStimulus(39));
+    expectChangedSetsEqual(designs::buildSystolicBaseline(), 120,
+                           denseStimulus(40));
+    expectChangedSetsEqual(designs::buildHazardDemoSystem(), 80,
+                           denseStimulus(41));
+    expectChangedSetsEqual(designs::buildCacheDemoBaseline(), 80,
+                           denseStimulus(42));
+    // Sparse stimulus keeps the kernel on the sparse worklist path
+    // for the whole run, so exactness is pinned there too, not just
+    // under dense traffic that trips the fallback.
+    expectChangedSetsEqual(designs::buildTlbBaseline(), 300,
+                           sparseStimulus(43, 8));
+}
+
+TEST(SweepModes, CompiledChangedListIsExactOnWorkloads)
+{
+    if (!haveJitCompiler())
+        GTEST_SKIP() << "no system compiler available";
+    auto xbar_drive = []() -> DriveFn {
+        auto stim =
+            std::make_shared<anvil::testing::XbarStimulus>(4, 4, 99);
+        return [stim](Sim &sim, int) {
+            for (const auto &[name, v] : stim->next())
+                sim.setInput(name, v);
+        };
+    };
+    expectChangedSetsEqual(designs::buildAxiXbarBaseline(4, 4), 300,
+                           xbar_drive);
+    auto tlb_drive = []() -> DriveFn {
+        auto stim =
+            std::make_shared<anvil::testing::TlbStimulus>(1234);
+        return [stim](Sim &sim, int) {
+            for (const auto &[name, v] : stim->next())
+                sim.setInput(name, v);
+        };
+    };
+    expectChangedSetsEqual(designs::buildSetAssocTlbBaseline(4, 32),
+                           300, tlb_drive);
 }
 
 TEST(SweepModes, XbarRoutesTraffic)
