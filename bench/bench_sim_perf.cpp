@@ -20,14 +20,21 @@
  * Prints a table and emits a JSON record matching BENCH_sim.json
  * (fields: ref, netlist = full sweep, dirty, threads.{2,4}, compiled
  * — 0 when no system compiler is present — observers = dirty sweep
- * with the VCD + coverage + contract feed attached, speedup =
+ * with the VCD + coverage + contract feed attached, flight = dirty
+ * sweep with only the armed flight recorder attached, speedup =
  * netlist/ref, dirty_vs_full, compiled_vs_dirty, observers_vs_dirty,
- * activity_pct, jit_compile_ms + jit_source_bytes = the kernel's
+ * flight_vs_dirty, observer_breakdown = per-observer retained
+ * throughput {vcd, coverage, contracts, flight} so the observer cost
+ * is attributable to a specific plugin, activity_pct,
+ * jit_compile_ms + jit_source_bytes = the kernel's
  * cold compile cost).  With a file argument
  * the JSON is written there; `--cycles N` caps every measurement at
  * N cycles (the CI smoke configuration, which exercises all sweep
  * modes); `--compiled-floor R` exits nonzero when compiled_vs_dirty
- * drops below R on any crossbar workload.  See docs/benchmarks.md.
+ * drops below R on any crossbar workload; `--flight-floor R` exits
+ * nonzero when flight_vs_dirty drops below R on any low-activity
+ * workload (the always-on recorder must stay cheap exactly where
+ * long farm runs live).  See docs/benchmarks.md.
  *
  * A second section measures the in-process farm fan-out
  * (run::runFarm, the engine behind `anvilc --farm N`): aggregate
@@ -43,6 +50,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,6 +58,7 @@
 #include "anvil/sim_runner.h"
 #include "codegen/jit.h"
 #include "designs/designs.h"
+#include "obs/flight.h"
 #include "obs/merge.h"
 #include "obs/observer.h"
 #include "rtl/interp.h"
@@ -191,27 +200,79 @@ class NullBuf : public std::streambuf
     }
 };
 
+/** One priced observer stack: attaches to the sim/null sink and
+ *  hands ownership back so the feed outlives the timing loop. */
+using ObserverList = std::vector<std::unique_ptr<obs::Observer>>;
+using ObserverSetup =
+    std::function<ObserverList(rtl::Sim &, std::ostream &)>;
+
+ObserverList
+vcdOnly(rtl::Sim &sim, std::ostream &null_os)
+{
+    ObserverList v;
+    v.push_back(std::make_unique<rtl::VcdWriter>(
+        sim, null_os, std::vector<std::string>{}));
+    return v;
+}
+
+ObserverList
+coverageOnly(rtl::Sim &, std::ostream &)
+{
+    ObserverList v;
+    v.push_back(std::make_unique<tb::Coverage>());
+    return v;
+}
+
+ObserverList
+contractsOnly(rtl::Sim &sim, std::ostream &)
+{
+    ObserverList v;
+    v.push_back(std::make_unique<trace::ContractMonitor>(
+        trace::inferContracts(sim.netlist()), sim));
+    return v;
+}
+
+/** An armed recorder that never dumps: the priced cost is the pure
+ *  per-cycle ring capture + trigger poll of `anvilc --flight`. */
+ObserverList
+flightOnly(rtl::Sim &sim, std::ostream &)
+{
+    ObserverList v;
+    auto rec = std::make_unique<obs::FlightRecorder>(sim);
+    rec->addTrigger("never", [] { return uint64_t(0); });
+    v.push_back(std::move(rec));
+    return v;
+}
+
+/** The pre-existing `observers` column: VCD + coverage + contracts. */
+ObserverList
+fullStack(rtl::Sim &sim, std::ostream &null_os)
+{
+    ObserverList v = vcdOnly(sim, null_os);
+    for (auto &o : coverageOnly(sim, null_os))
+        v.push_back(std::move(o));
+    for (auto &o : contractsOnly(sim, null_os))
+        v.push_back(std::move(o));
+    return v;
+}
+
 /**
- * Dirty sweep with the full observer stack riding the change feed —
- * VCD writer (into a null sink), coverage, and inferred contract
- * monitoring — sampled once per cycle like Testbench::run does.
- * The column prices what "observability on" costs over a bare sweep.
+ * Dirty sweep with an observer stack riding the change feed —
+ * sampled once per cycle like Testbench::run does.  The columns
+ * price what "observability on" costs over a bare sweep, one stack
+ * (or single observer) at a time.
  */
-template <typename SimT>
 double
-timedRunObserved(SimT &sim, int cycles, const StimFactory &make_stim,
-                 int reps = 9)
+timedRunObserved(rtl::Sim &sim, int cycles,
+                 const StimFactory &make_stim,
+                 const ObserverSetup &setup, int reps = 9)
 {
     NullBuf null_buf;
     std::ostream null_os(&null_buf);
     obs::ChangeFeed feed(sim);
-    rtl::VcdWriter vcd(sim, null_os, {});
-    tb::Coverage cov;
-    trace::ContractMonitor contracts(
-        trace::inferContracts(sim.netlist()), sim);
-    feed.attach(vcd);
-    feed.attach(cov);
-    feed.attach(contracts);
+    ObserverList owned = setup(sim, null_os);
+    for (auto &o : owned)
+        feed.attach(*o);
 
     auto stim = make_stim();
     for (const auto &[n, v] : stim())
@@ -243,6 +304,10 @@ struct Row
     double t2 = 0, t4 = 0;   // threaded sweep, 2 / 4 workers
     double compiled = 0;     // JIT C++ kernel (0 = no compiler)
     double observers = 0;    // dirty + VCD/coverage/contract feed
+    double obs_vcd = 0;      // dirty + VCD writer only
+    double obs_cov = 0;      // dirty + coverage only
+    double obs_con = 0;      // dirty + contract monitor only
+    double flight = 0;       // dirty + armed flight recorder only
     double activity_pct = 0; // strict nodes evaluated / total, dirty
     double jit_ms = 0;       // kernel compile wall time (cold)
     uint64_t jit_src_bytes = 0;   // emitted translation-unit size
@@ -269,11 +334,16 @@ runDesign(const std::string &name, const rtl::ModulePtr &mod,
                 static_cast<double>(st.strict_nodes)
             : 0.0;
     }
-    {
+    auto observed = [&](const ObserverSetup &setup) {
         rtl::Sim sim(mod);
         sim.setSweepMode(rtl::SweepMode::Dirty);
-        r.observers = timedRunObserved(sim, sim_cycles, stim);
-    }
+        return timedRunObserved(sim, sim_cycles, stim, setup);
+    };
+    r.observers = observed(fullStack);
+    r.obs_vcd = observed(vcdOnly);
+    r.obs_cov = observed(coverageOnly);
+    r.obs_con = observed(contractsOnly);
+    r.flight = observed(flightOnly);
     for (int threads : {2, 4}) {
         rtl::Sim sim(mod);
         sim.setSweepMode(rtl::SweepMode::Threaded, threads);
@@ -358,7 +428,7 @@ main(int argc, char **argv)
 {
     std::string out_path, farm_path;
     long cap = 0;
-    double compiled_floor = 0;
+    double compiled_floor = 0, flight_floor = 0;
     for (int i = 1; i < argc; i++) {
         if (!strcmp(argv[i], "--cycles") && i + 1 < argc) {
             cap = atol(argv[++i]);
@@ -375,6 +445,17 @@ main(int argc, char **argv)
             compiled_floor = atof(argv[++i]);
             if (compiled_floor <= 0) {
                 fprintf(stderr, "bad --compiled-floor\n");
+                return 2;
+            }
+        } else if (!strcmp(argv[i], "--flight-floor") &&
+                   i + 1 < argc) {
+            // Regression gate: fail when flight/dirty drops below
+            // this ratio on any low-activity workload — the armed
+            // recorder rides every long farm run, so its per-cycle
+            // capture must stay near-free there.
+            flight_floor = atof(argv[++i]);
+            if (flight_floor <= 0) {
+                fprintf(stderr, "bad --flight-floor\n");
                 return 2;
             }
         } else {
@@ -435,30 +516,62 @@ main(int argc, char **argv)
                r.dirty > 0 ? r.compiled / r.dirty : 0.0,
                r.activity_pct);
 
+    // Attribute the observer cost: retained throughput vs the bare
+    // dirty sweep, one plugin at a time (1.00 = free, 0.50 = 2x).
+    printf("\n=== Observer overhead breakdown "
+           "(retained throughput vs bare dirty sweep) ===\n\n");
+    printf("%-14s %7s %9s %10s %7s %7s\n", "design", "vcd",
+           "coverage", "contracts", "flight", "all");
+    auto ratio = [](double v, double dirty) {
+        return dirty > 0 ? v / dirty : 0.0;
+    };
+    for (const auto &r : rows)
+        printf("%-14s %6.2fx %8.2fx %9.2fx %6.2fx %6.2fx\n",
+               r.name.c_str(), ratio(r.obs_vcd, r.dirty),
+               ratio(r.obs_cov, r.dirty), ratio(r.obs_con, r.dirty),
+               ratio(r.flight, r.dirty),
+               ratio(r.observers, r.dirty));
+
     std::string json = "{\n  \"bench\": \"sim_perf\",\n"
         "  \"unit\": \"cycles_per_second\",\n  \"designs\": [\n";
     for (size_t i = 0; i < rows.size(); i++) {
-        char buf[1024];
+        char buf[1536];
         snprintf(buf, sizeof buf,
                  "    {\"name\": \"%s\", \"ref\": %.0f, "
                  "\"netlist\": %.0f, \"dirty\": %.0f, "
                  "\"threads\": {\"2\": %.0f, \"4\": %.0f}, "
                  "\"compiled\": %.0f, \"observers\": %.0f, "
+                 "\"flight\": %.0f, "
                  "\"speedup\": %.2f, \"dirty_vs_full\": %.2f, "
                  "\"compiled_vs_dirty\": %.2f, "
                  "\"observers_vs_dirty\": %.2f, "
+                 "\"flight_vs_dirty\": %.2f, "
+                 "\"observer_breakdown\": {\"vcd\": %.2f, "
+                 "\"coverage\": %.2f, \"contracts\": %.2f, "
+                 "\"flight\": %.2f}, "
                  "\"activity_pct\": %.1f, "
                  "\"jit_compile_ms\": %.1f, "
                  "\"jit_source_bytes\": %llu}%s\n",
                  rows[i].name.c_str(), rows[i].ref, rows[i].full,
                  rows[i].dirty, rows[i].t2, rows[i].t4,
                  rows[i].compiled, rows[i].observers,
+                 rows[i].flight,
                  rows[i].full / rows[i].ref,
                  rows[i].dirty / rows[i].full,
                  rows[i].dirty > 0
                      ? rows[i].compiled / rows[i].dirty : 0.0,
                  rows[i].dirty > 0
                      ? rows[i].observers / rows[i].dirty : 0.0,
+                 rows[i].dirty > 0
+                     ? rows[i].flight / rows[i].dirty : 0.0,
+                 rows[i].dirty > 0
+                     ? rows[i].obs_vcd / rows[i].dirty : 0.0,
+                 rows[i].dirty > 0
+                     ? rows[i].obs_cov / rows[i].dirty : 0.0,
+                 rows[i].dirty > 0
+                     ? rows[i].obs_con / rows[i].dirty : 0.0,
+                 rows[i].dirty > 0
+                     ? rows[i].flight / rows[i].dirty : 0.0,
                  rows[i].activity_pct,
                  rows[i].jit_ms,
                  (unsigned long long)rows[i].jit_src_bytes,
@@ -496,6 +609,25 @@ main(int argc, char **argv)
                         "FAIL %s: compiled_vs_dirty %.2f < floor "
                         "%.2f\n",
                         r.name.c_str(), ratio, compiled_floor);
+                floor_failed = true;
+            }
+        }
+
+    // The always-on recorder must stay near-free on the low-activity
+    // workloads where long farm runs (its reason to exist) live.
+    if (flight_floor > 0)
+        for (const auto &r : rows) {
+            bool low_activity =
+                r.name.find("xbar") != std::string::npos ||
+                r.name == "tlb_4w64s";
+            if (!low_activity || r.dirty <= 0 || r.flight <= 0)
+                continue;
+            double ratio = r.flight / r.dirty;
+            if (ratio < flight_floor) {
+                fprintf(stderr,
+                        "FAIL %s: flight_vs_dirty %.2f < floor "
+                        "%.2f\n",
+                        r.name.c_str(), ratio, flight_floor);
                 floor_failed = true;
             }
         }

@@ -59,11 +59,35 @@
  *                    state counts, timings); implies --prove
  *     --diff-trace <A> <B>  diff two VCD dumps: report the first
  *                    divergent cycle and signal (no design needed)
+ *     --flight <K>   attach the flight recorder: a ring of the last
+ *                    K cycles of changed-net deltas; on a trigger
+ *                    the [trigger-K, trigger+post] window is dumped
+ *                    as VCD (byte-compatible with --vcd, so
+ *                    --replay / --check-trace consume it directly)
+ *     --flight-pre <P>  override the pre-trigger context (default:
+ *                    the --flight argument)
+ *     --flight-post <Q> cycles captured after a trigger before the
+ *                    dump flushes (default 8)
+ *     --dump-on <t>  flight trigger (repeatable): VIOLATION (any
+ *                    testbench/contract failure; the default) or
+ *                    cover:NAME (a named cover point's hit count)
+ *     --flight-out <p>  window dump path prefix (default "flight");
+ *                    dumps land at <p>-<n>.vcd (farm workers:
+ *                    <p>.w<worker>-<n>.vcd)
+ *     --profile-hot <f> count every node evaluation during the run
+ *                    and write the hot-spot attribution report
+ *                    ("anvil-hot-v1": per-level totals, ranked hot
+ *                    nets, ranked register cones) to <f>; the ranked
+ *                    tables also print to stdout
  *     --metrics <f>  write run metrics (counters/gauges/histograms/
- *                    timers) as JSON ("anvil-metrics-v1")
+ *                    timers) as JSON ("anvil-metrics-v1"); with
+ *                    --prove, prover telemetry (prove.* counters,
+ *                    states/sec gauge)
  *     --profile <f>  write a Chrome-trace / Perfetto profile of the
  *                    run ("anvil-profile-v1"): one track per sim
- *                    phase (sweep, kernel, commit) and per observer
+ *                    phase (sweep, kernel, commit) and per observer;
+ *                    with --prove, one track per obligation (base
+ *                    and per-k induction windows)
  *     --stats-json   print a one-line machine-readable run summary
  *                    ("anvil-stats-v1") on stdout
  *     --slice <ch>   with --vcd: dump only channel <ch>'s signals
@@ -92,6 +116,8 @@
 #include "codegen/cpp_emitter.h"
 #include "codegen/jit.h"
 #include "obs/activity.h"
+#include "obs/flight.h"
+#include "obs/hot.h"
 #include "obs/merge.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -158,6 +184,15 @@ usage()
             "                 (--vcd dumps a counterexample)\n"
             "  --prove-report detailed prover report\n"
             "  --diff-trace <A> <B>  first divergence of two dumps\n"
+            "  --flight <K>   flight recorder: keep the last K\n"
+            "                 cycles; dump a VCD window on trigger\n"
+            "  --flight-pre <P>  pre-trigger context override\n"
+            "  --flight-post <Q> post-trigger capture (default 8)\n"
+            "  --dump-on <t>  flight trigger: VIOLATION (default)\n"
+            "                 or cover:NAME (repeatable)\n"
+            "  --flight-out <p>  dump prefix (default \"flight\")\n"
+            "  --profile-hot <f> write the hot-spot attribution\n"
+            "                 report (levels, nets, cones) to <f>\n"
             "  --metrics <f>  write run metrics JSON\n"
             "  --profile <f>  write a Chrome-trace profile of the "
             "run\n"
@@ -248,11 +283,33 @@ struct ObsOptions
     std::string events_path;     // --events
     bool stats_json = false;     // --stats-json
 
+    uint64_t flight = 0;         // --flight K (0: recorder off)
+    uint64_t flight_pre = 0;     // --flight-pre (0: use flight)
+    uint64_t flight_post = 8;    // --flight-post
+    std::vector<std::string> dump_on;   // --dump-on triggers
+    std::string flight_out = "flight";  // --flight-out prefix
+    std::string hot_path;        // --profile-hot
+
     /** True when any telemetry sink is requested. */
     bool telemetry() const
     {
         return !metrics_path.empty() || !profile_path.empty() ||
                stats_json || !events_path.empty();
+    }
+
+    /** Pre-trigger window actually used by the recorder. */
+    uint64_t flightPre() const
+    {
+        return flight_pre ? flight_pre : flight;
+    }
+
+    /** True when any --dump-on trigger names a cover point. */
+    bool coverTriggered() const
+    {
+        for (const std::string &t : dump_on)
+            if (t.rfind("cover:", 0) == 0)
+                return true;
+        return false;
     }
 };
 
@@ -336,7 +393,8 @@ finishRun(tb::Testbench &bench, uint64_t cycles,
           const std::string &vcd_path, bool cov, bool stats,
           const ObsOptions &oo, obs::TraceProfiler *profiler,
           const codegen::JitResult *jit,
-          const EventTap *tap = nullptr)
+          const EventTap *tap = nullptr,
+          const obs::FlightRecorder *flight = nullptr)
 {
     uint64_t wall0 = rtl::monotonicNanos();
     tb::TbResult result = bench.run(cycles);
@@ -388,6 +446,35 @@ finishRun(tb::Testbench &bench, uint64_t cycles,
         }
         fprintf(stderr, "anvilc: wrote %s\n", vcd_path.c_str());
     }
+    if (flight)
+        for (const obs::FlightRecorder::DumpInfo &d :
+             flight->dumps())
+            printf("flight: dump %d: %s @%llu window "
+                   "[%llu..%llu]%s%s\n",
+                   d.index, d.trigger.c_str(),
+                   (unsigned long long)d.trigger_cycle,
+                   (unsigned long long)d.from,
+                   (unsigned long long)d.to,
+                   d.path.empty() ? "" : " -> ",
+                   d.path.c_str());
+
+    // Hot-spot attribution (--profile-hot): ranked tables on stdout,
+    // the anvil-hot-v1 JSON report to the requested file.
+    std::unique_ptr<obs::HotReport> hot;
+    if (!oo.hot_path.empty()) {
+        hot = std::make_unique<obs::HotReport>(
+            obs::buildHotReport(bench.sim()));
+        fputs(hot->table().c_str(), stdout);
+        std::ofstream os(oo.hot_path);
+        os << hot->json() << "\n";
+        os.flush();
+        if (!os.good()) {
+            fprintf(stderr, "anvilc: cannot write '%s'\n",
+                    oo.hot_path.c_str());
+            return kExitIo;
+        }
+        fprintf(stderr, "anvilc: wrote %s\n", oo.hot_path.c_str());
+    }
 
     if (oo.telemetry()) {
         obs::MetricsRegistry reg;
@@ -395,6 +482,10 @@ finishRun(tb::Testbench &bench, uint64_t cycles,
                                profiler, jit, wall_ns,
                                tap ? tap->activity : nullptr,
                                tap ? tap->triage : nullptr);
+        if (flight)
+            flight->exportMetrics(reg);
+        if (hot)
+            hot->exportMetrics(reg);
         if (tap && tap->sink) {
             run::emitRunTail(*tap->sink, bench, result, coverage,
                              reg, wall_ns);
@@ -480,6 +571,8 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
 {
     tb::Testbench bench(mod, seed);
     bench.sim().setSweepMode(sweep_mode, sweep_threads);
+    if (!oo.hot_path.empty())
+        bench.sim().setEvalCounting(true);
     codegen::JitResult jit;
     if (compiled_backend)
         jit = attachCompiledBackend(bench);
@@ -523,7 +616,7 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
     }
 
     tb::Coverage *coverage = nullptr;
-    if (cov || stats)
+    if (cov || stats || (oo.flight && oo.coverTriggered()))
         coverage = &bench.coverage();
 
     // The stream-side plugins ride along whenever the run streams
@@ -545,6 +638,49 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
                        bench.sim().sweepStats().threads);
     }
 
+    // Flight recorder last: its trigger poll must see the cycle's
+    // monitor and coverage updates, and its window_dump events land
+    // in the stream the sink plugins already opened.
+    obs::FlightRecorder *flight = nullptr;
+    if (oo.flight) {
+        obs::FlightRecorder::Options fo;
+        fo.pre = oo.flightPre();
+        fo.post = oo.flight_post;
+        auto rec = std::make_unique<obs::FlightRecorder>(bench.sim(),
+                                                         fo);
+        std::string err;
+        if (!run::attachFlightTriggers(*rec, bench, coverage,
+                                       oo.dump_on, &err)) {
+            fprintf(stderr, "anvilc: %s\n", err.c_str());
+            return kExitUsage;
+        }
+        std::string prefix = oo.flight_out;
+        obs::EventSink *esink = sink.get();
+        rec->setDumpSink(
+            [prefix, esink](const obs::FlightRecorder::DumpInfo &d,
+                            const std::string &vcd) {
+                std::string path =
+                    prefix + "-" + std::to_string(d.index) + ".vcd";
+                std::ofstream os(path);
+                os << vcd;
+                os.flush();
+                if (!os.good()) {
+                    fprintf(stderr, "anvilc: cannot write '%s'\n",
+                            path.c_str());
+                    path.clear();
+                } else {
+                    fprintf(stderr, "anvilc: wrote %s\n",
+                            path.c_str());
+                }
+                if (esink)
+                    esink->windowDump(d.trigger_cycle, d.trigger,
+                                      path, d.from, d.to);
+                return path;
+            });
+        flight = static_cast<obs::FlightRecorder *>(
+            &bench.attachObserver(std::move(rec)));
+    }
+
     std::ofstream vcd_os;
     if (!vcd_path.empty()) {
         vcd_os.open(vcd_path);
@@ -561,7 +697,7 @@ simulate(const rtl::ModulePtr &mod, long cycles, uint64_t seed,
                      vcd_path.empty() ? nullptr : &vcd_os, vcd_path,
                      cov, stats, oo, profiler.get(),
                      compiled_backend ? &jit : nullptr,
-                     sink ? &tap : nullptr);
+                     sink ? &tap : nullptr, flight);
 }
 
 /**
@@ -587,7 +723,12 @@ farm(const rtl::ModulePtr &mod, long cycles, int workers,
     fc.sweep_mode = sweep_mode;
     fc.sweep_threads = sweep_threads;
     fc.compiled_backend = compiled_backend;
-    fc.coverage = cov || stats;
+    fc.coverage = cov || stats ||
+                  (oo.flight && oo.coverTriggered());
+    fc.flight_pre = oo.flight ? oo.flightPre() : 0;
+    fc.flight_post = oo.flight_post;
+    fc.flight_triggers = oo.dump_on;
+    fc.flight_out = oo.flight ? oo.flight_out : "";
 
     bool monitored = contracts || !contract_specs.empty();
     if (monitored &&
@@ -629,6 +770,13 @@ farm(const rtl::ModulePtr &mod, long cycles, int workers,
         fputs(merger.coverage().report().c_str(), stdout);
     if (monitored)
         fputs(merger.triageReport().c_str(), stdout);
+    for (const obs::Merger::WindowDump &wd : merger.windowDumps())
+        printf("flight: worker %d: %s @%llu window [%llu..%llu]%s%s\n",
+               wd.worker, wd.trigger.c_str(),
+               (unsigned long long)wd.trigger_cycle,
+               (unsigned long long)wd.from,
+               (unsigned long long)wd.to,
+               wd.path.empty() ? "" : " -> ", wd.path.c_str());
 
     if (!oo.events_path.empty()) {
         // One on-disk stream per worker: <path>.<worker> — the same
@@ -698,6 +846,8 @@ replay(const rtl::ModulePtr &mod, const std::string &dump_path,
 
     tb::Testbench bench(mod);
     bench.sim().setSweepMode(sweep_mode, sweep_threads);
+    if (!oo.hot_path.empty())
+        bench.sim().setEvalCounting(true);
     codegen::JitResult jit;
     if (compiled_backend)
         jit = attachCompiledBackend(bench);
@@ -840,7 +990,8 @@ proveDesign(const rtl::ModulePtr &mod,
             const std::vector<std::string> &contract_specs,
             const formal::ContractSet *typed, bool print_contracts,
             int prove_k, bool detailed, const std::string &vcd_path,
-            rtl::SweepMode sweep_mode, int sweep_threads)
+            rtl::SweepMode sweep_mode, int sweep_threads,
+            const ObsOptions &oo)
 {
     rtl::Sim sim(mod);
     std::vector<trace::ContractSpec> specs;
@@ -860,8 +1011,42 @@ proveDesign(const rtl::ModulePtr &mod,
         opts.k_max = prove_k;
     opts.sweep_mode = sweep_mode;
     opts.sweep_threads = sweep_threads;
+    // The prover reports into the same telemetry spine as a
+    // simulation run: per-obligation phase windows onto the profiler,
+    // prove.* counters and the states/sec gauge into the registry.
+    obs::TraceProfiler profiler(/*record_events=*/true);
+    obs::MetricsRegistry reg;
+    if (!oo.profile_path.empty())
+        opts.profiler = &profiler;
+    if (!oo.metrics_path.empty())
+        opts.metrics = &reg;
     formal::ProveResult res = formal::prove(inst, opts);
     fputs(res.report(detailed).c_str(), stdout);
+
+    if (!oo.metrics_path.empty()) {
+        std::ofstream os(oo.metrics_path);
+        os << reg.json() << "\n";
+        os.flush();
+        if (!os.good()) {
+            fprintf(stderr, "anvilc: cannot write '%s'\n",
+                    oo.metrics_path.c_str());
+            return kExitIo;
+        }
+        fprintf(stderr, "anvilc: wrote %s\n",
+                oo.metrics_path.c_str());
+    }
+    if (!oo.profile_path.empty()) {
+        std::ofstream os(oo.profile_path);
+        profiler.writeJson(os);
+        os.flush();
+        if (!os.good()) {
+            fprintf(stderr, "anvilc: cannot write '%s'\n",
+                    oo.profile_path.c_str());
+            return kExitIo;
+        }
+        fprintf(stderr, "anvilc: wrote %s\n",
+                oo.profile_path.c_str());
+    }
 
     int proved = 0, violated = 0, unknown = 0, conditional = 0;
     const formal::ObligationOutcome *cex = nullptr;
@@ -938,6 +1123,7 @@ main(int argc, char **argv)
     bool emit_cpp = false;
     bool compiled_backend = false;
     bool backend_set = false;
+    bool flight_aux = false;   // any --flight-* / --dump-on given
     ObsOptions oo;
 
     for (int i = 1; i < argc; i++) {
@@ -1023,6 +1209,46 @@ main(int argc, char **argv)
         } else if (arg == "--diff-trace" && i + 2 < argc) {
             diff_a = argv[++i];
             diff_b = argv[++i];
+        } else if (arg == "--flight" && i + 1 < argc) {
+            long k = atol(argv[++i]);
+            if (k < 1) {
+                fprintf(stderr,
+                        "anvilc: bad --flight window size\n");
+                return kExitUsage;
+            }
+            oo.flight = static_cast<uint64_t>(k);
+        } else if (arg == "--flight-pre" && i + 1 < argc) {
+            long p = atol(argv[++i]);
+            if (p < 1) {
+                fprintf(stderr, "anvilc: bad --flight-pre count\n");
+                return kExitUsage;
+            }
+            oo.flight_pre = static_cast<uint64_t>(p);
+            flight_aux = true;
+        } else if (arg == "--flight-post" && i + 1 < argc) {
+            long q = atol(argv[++i]);
+            if (q < 0) {
+                fprintf(stderr, "anvilc: bad --flight-post count\n");
+                return kExitUsage;
+            }
+            oo.flight_post = static_cast<uint64_t>(q);
+            flight_aux = true;
+        } else if (arg == "--dump-on" && i + 1 < argc) {
+            std::string t = argv[++i];
+            if (t != "VIOLATION" && t.rfind("cover:", 0) != 0) {
+                fprintf(stderr,
+                        "anvilc: bad --dump-on trigger '%s' "
+                        "(expected VIOLATION or cover:NAME)\n",
+                        t.c_str());
+                return kExitUsage;
+            }
+            oo.dump_on.push_back(std::move(t));
+            flight_aux = true;
+        } else if (arg == "--flight-out" && i + 1 < argc) {
+            oo.flight_out = argv[++i];
+            flight_aux = true;
+        } else if (arg == "--profile-hot" && i + 1 < argc) {
+            oo.hot_path = argv[++i];
         } else if (arg == "--metrics" && i + 1 < argc) {
             oo.metrics_path = argv[++i];
         } else if (arg == "--profile" && i + 1 < argc) {
@@ -1095,10 +1321,23 @@ main(int argc, char **argv)
     }
     if (farm_workers > 0 &&
         (!replay_path.empty() || !vcd_path.empty() ||
-         !oo.slice_channel.empty() || !oo.profile_path.empty())) {
+         !oo.slice_channel.empty() || !oo.profile_path.empty() ||
+         !oo.hot_path.empty())) {
         fprintf(stderr,
                 "anvilc: --farm conflicts with --replay/--vcd/"
-                "--slice/--profile\n");
+                "--slice/--profile/--profile-hot\n");
+        return kExitUsage;
+    }
+    if (oo.flight && (sim_cycles <= 0 || !replay_path.empty())) {
+        fprintf(stderr,
+                "anvilc: --flight requires --sim <N> (not "
+                "--replay)\n");
+        return kExitUsage;
+    }
+    if (flight_aux && !oo.flight) {
+        fprintf(stderr,
+                "anvilc: --flight-pre/--flight-post/--dump-on/"
+                "--flight-out require --flight <K>\n");
         return kExitUsage;
     }
     if (!oo.events_path.empty() &&
@@ -1108,9 +1347,20 @@ main(int argc, char **argv)
                 "--replay)\n");
         return kExitUsage;
     }
-    if ((oo.telemetry() || !oo.slice_channel.empty()) && !runs_sim) {
+    // --metrics/--profile also tap the prover's telemetry spine;
+    // --stats-json/--slice/--profile-hot remain simulation-only.
+    if ((!oo.metrics_path.empty() || !oo.profile_path.empty()) &&
+        !runs_sim && !prove) {
         fprintf(stderr,
-                "anvilc: --metrics/--profile/--stats-json/--slice "
+                "anvilc: --metrics/--profile require --sim <N>, "
+                "--replay, or --prove\n");
+        return kExitUsage;
+    }
+    if ((oo.stats_json || !oo.slice_channel.empty() ||
+         !oo.hot_path.empty()) &&
+        !runs_sim) {
+        fprintf(stderr,
+                "anvilc: --stats-json/--slice/--profile-hot "
                 "require --sim <N> or --replay\n");
         return kExitUsage;
     }
@@ -1245,7 +1495,8 @@ main(int argc, char **argv)
         if (prove)
             return proveDesign(mod, contract_specs, &typed,
                                contracts, prove_k, prove_report,
-                               vcd_path, sweep_mode, sweep_threads);
+                               vcd_path, sweep_mode, sweep_threads,
+                               oo);
         if (!check_trace_path.empty())
             return checkTraceFile(mod, check_trace_path, contracts,
                                   contract_specs, &typed, cov);

@@ -1,6 +1,8 @@
 #include "anvil/sim_runner.h"
 
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "obs/merge.h"
@@ -24,6 +26,60 @@ activityPct(const rtl::SweepStats &ss)
 }
 
 } // namespace
+
+bool
+attachFlightTriggers(obs::FlightRecorder &rec, tb::Testbench &bench,
+                     const tb::Coverage *coverage,
+                     const std::vector<std::string> &specs,
+                     std::string *err)
+{
+    std::vector<std::string> use = specs;
+    if (use.empty())
+        use.push_back("VIOLATION");
+    for (const std::string &spec : use) {
+        if (spec == "VIOLATION") {
+            tb::Testbench *b = &bench;
+            rec.addTrigger("VIOLATION", [b]() {
+                return static_cast<uint64_t>(b->totalFailures());
+            });
+            continue;
+        }
+        if (spec.rfind("cover:", 0) == 0) {
+            std::string name = spec.substr(6);
+            if (!coverage) {
+                if (err)
+                    *err = "--dump-on " + spec +
+                           " needs the coverage engine";
+                return false;
+            }
+            bool found = false;
+            for (const tb::CoverPoint &p : coverage->covers())
+                if (p.name == name) {
+                    found = true;
+                    break;
+                }
+            if (!found) {
+                if (err)
+                    *err = "--dump-on " + spec +
+                           ": no such cover point";
+                return false;
+            }
+            const tb::Coverage *cov = coverage;
+            rec.addTrigger(spec, [cov, name]() -> uint64_t {
+                for (const tb::CoverPoint &p : cov->covers())
+                    if (p.name == name)
+                        return p.hits;
+                return 0;
+            });
+            continue;
+        }
+        if (err)
+            *err = "bad --dump-on trigger '" + spec +
+                   "' (expected VIOLATION or cover:NAME)";
+        return false;
+    }
+    return true;
+}
 
 void
 collectRunMetrics(obs::MetricsRegistry &reg, tb::Testbench &bench,
@@ -148,6 +204,46 @@ runJob(const JobConfig &cfg)
                 std::make_unique<obs::RollingActivity>(
                     cfg.activity_window, &sink)));
 
+    // Flight recorder last, so its trigger poll sees the cycle's
+    // monitor and coverage updates.  Dumps go to
+    // <prefix>.w<worker>-<n>.vcd and are referenced from the event
+    // stream (window_dump), which the merger dedupes by path.
+    obs::FlightRecorder *flight = nullptr;
+    if (cfg.flight_pre) {
+        obs::FlightRecorder::Options fo;
+        fo.pre = cfg.flight_pre;
+        fo.post = cfg.flight_post;
+        auto rec = std::make_unique<obs::FlightRecorder>(
+            bench->sim(), fo);
+        std::string err;
+        if (!attachFlightTriggers(*rec, *bench, cov,
+                                  cfg.flight_triggers, &err))
+            throw std::runtime_error(err);
+        std::string prefix = cfg.flight_out;
+        int worker = cfg.worker;
+        obs::EventSink *esink = &sink;
+        rec->setDumpSink(
+            [prefix, worker,
+             esink](const obs::FlightRecorder::DumpInfo &d,
+                    const std::string &vcd) {
+                std::string path;
+                if (!prefix.empty()) {
+                    path = strfmt("%s.w%d-%d.vcd", prefix.c_str(),
+                                  worker, d.index);
+                    std::ofstream os(path);
+                    os << vcd;
+                    os.flush();
+                    if (!os.good())
+                        path.clear();
+                }
+                esink->windowDump(d.trigger_cycle, d.trigger, path,
+                                  d.from, d.to);
+                return path;
+            });
+        flight = static_cast<obs::FlightRecorder *>(
+            &bench->attachObserver(std::move(rec)));
+    }
+
     sink.runBegin(bench->sim().topName(), cfg.worker, cfg.seed,
                   cfg.cycles, bench->sim().sweepMode(),
                   bench->sim().sweepStats().threads);
@@ -160,6 +256,8 @@ runJob(const JobConfig &cfg)
     obs::MetricsRegistry reg;
     collectRunMetrics(reg, *bench, result, cov, &profiler, cfg.jit,
                       wall_ns, activity, triage);
+    if (flight)
+        flight->exportMetrics(reg);
     emitRunTail(sink, *bench, result, cov, reg, wall_ns);
 
     JobResult jr;
@@ -214,6 +312,10 @@ runFarm(const FarmConfig &cfg, obs::Merger &merger)
         jc.contracts = cfg.contracts;
         jc.coverage = cfg.coverage;
         jc.activity_window = cfg.activity_window;
+        jc.flight_pre = cfg.flight_pre;
+        jc.flight_post = cfg.flight_post;
+        jc.flight_triggers = cfg.flight_triggers;
+        jc.flight_out = cfg.flight_out;
     }
 
     fr.jobs.resize(jobs.size());

@@ -31,6 +31,7 @@
 
 #include "codegen/jit.h"
 #include "obs/activity.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/triage.h"
 #include "rtl/interp.h"
@@ -69,6 +70,20 @@ void emitRunTail(obs::EventSink &sink, tb::Testbench &bench,
                  const tb::Coverage *coverage,
                  const obs::MetricsRegistry &reg, uint64_t wall_ns);
 
+/**
+ * Resolve `--dump-on` trigger specs onto a flight recorder:
+ * "VIOLATION" polls the bench's total failure count (contract
+ * violations, scoreboard and assertion failures), "cover:NAME" polls
+ * the named cover point's hit count.  An empty spec list means
+ * VIOLATION.  Returns false (with *err set) on an unknown spec or a
+ * cover trigger whose point does not exist (or coverage is off).
+ */
+bool attachFlightTriggers(obs::FlightRecorder &rec,
+                          tb::Testbench &bench,
+                          const tb::Coverage *coverage,
+                          const std::vector<std::string> &specs,
+                          std::string *err);
+
 /** One worker's run configuration. */
 struct JobConfig
 {
@@ -88,6 +103,17 @@ struct JobConfig
     bool coverage = false;
     /** Rolling-activity window length K; 0 disables the plugin. */
     uint64_t activity_window = 64;
+    /** Flight-recorder pre-trigger window; 0 disables the recorder. */
+    uint64_t flight_pre = 0;
+    /** Cycles captured after a trigger before the window flushes. */
+    uint64_t flight_post = 8;
+    /** Trigger specs ("VIOLATION" / "cover:NAME"); empty means
+     *  VIOLATION. */
+    std::vector<std::string> flight_triggers;
+    /** Window dump path prefix; dumps land at
+     *  <prefix>.w<worker>-<n>.vcd.  Empty keeps the dumps
+     *  stream-only (window_dump events with no path). */
+    std::string flight_out;
 };
 
 /** One worker's outcome plus its serialized event stream. */
@@ -125,6 +151,12 @@ struct FarmConfig
     std::vector<trace::ContractSpec> contracts;
     bool coverage = false;
     uint64_t activity_window = 64;
+    /** Flight-recorder knobs, forwarded to every worker (JobConfig
+     *  has the field-by-field semantics). */
+    uint64_t flight_pre = 0;
+    uint64_t flight_post = 8;
+    std::vector<std::string> flight_triggers;
+    std::string flight_out;
 };
 
 /** Farm outcome: per-worker results in worker order. */

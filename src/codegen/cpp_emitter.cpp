@@ -885,6 +885,8 @@ CppEmitter::run()
        << "    uint64_t (*eval_full)(void *ctx, int32_t *changed, "
           "uint64_t *n_changed);\n"
        << "    void (*stats)(void *ctx, AnvilKernelStats *out);\n"
+       << "    uint32_t level_count;\n"
+       << "    void (*level_stats)(void *ctx, uint64_t *out);\n"
        << "} AnvilKernelV2;\n"
        << "const AnvilKernelV2 *anvil_kernel_v2(void);\n"
        << "}\n\n"
@@ -904,6 +906,7 @@ CppEmitter::run()
     uint64_t dense;           // adaptive: prefer the dense path
     uint64_t fdense;          // current frame runs fully dense
     AnvilKernelStats st;
+    uint64_t lvl_ev[kLevels ? kLevels : 1];  // evals per level
 };
 
 /* Queue the strict consumers of a changed net: set their slot bits.
@@ -976,7 +979,8 @@ static inline void w_stored(Ctx *c, int32_t id, uint64_t *dst,
        << "    if (dense) {\n";
     for (size_t l = 0; l < _levels; l++)
         if (!_level_nodes[l].empty())
-            os << "        ev += lvl_d_" << l << "(c);\n";
+            os << "        { uint64_t e = lvl_d_" << l
+               << "(c); ev += e; c->lvl_ev[" << l << "] += e; }\n";
     os << "        memset(c->wbm, 0, sizeof(c->wbm));\n"
        << "        for (uint32_t l = 0; l < kLevels; l++)\n"
        << "            c->wn[l] = 0;\n"
@@ -993,16 +997,19 @@ static inline void w_stored(Ctx *c, int32_t id, uint64_t *dst,
             continue;
         size_t sz = _level_nodes[l].size();
         os << "        if (c->wn[" << l << "]) {\n"
+           << "            uint64_t e;\n"
            << "            if (c->wn[" << l << "] * 4u >= " << sz
            << "u) {\n"
            << "                c->wn[" << l << "] = 0;\n"
            << "                memset(c->wbm + " << _bm_off[l]
            << "u, 0, " << (_bm_off[l + 1] - _bm_off[l])
            << "u * 8u);\n"
-           << "                ev += lvl_d_" << l << "(c);\n"
+           << "                e = lvl_d_" << l << "(c);\n"
            << "            } else {\n"
-           << "                ev += lvl_s_" << l << "(c);\n"
+           << "                e = lvl_s_" << l << "(c);\n"
            << "            }\n"
+           << "            ev += e;\n"
+           << "            c->lvl_ev[" << l << "] += e;\n"
            << "        }\n";
     }
     os << "    }\n"
@@ -1056,13 +1063,20 @@ static void k_stats(void *ctx, AnvilKernelStats *out)
 {
     *out = ((Ctx *)ctx)->st;
 }
+static void k_level_stats(void *ctx, uint64_t *out)
+{
+    Ctx *c = (Ctx *)ctx;
+    for (uint32_t l = 0; l < kLevels; l++)
+        out[l] = c->lvl_ev[l];
+}
 )";
 
     os << "\nstatic const AnvilKernelV2 kKernel = {\n"
-       << "    2u, kNets, "
+       << "    3u, kNets, "
        << hexU64(rtl::designHash(_nl)) << ", kStateWords,\n"
        << "    k_create, k_destroy, k_net_ptr, k_poke, k_eval, "
           "k_eval_full, k_stats,\n"
+       << "    kLevels, k_level_stats,\n"
        << "};\n\n"
        << "} // namespace\n\n"
        << "extern \"C\" const AnvilKernelV2 *\nanvil_kernel_v2(void)\n"

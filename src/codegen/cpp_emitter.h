@@ -41,9 +41,10 @@ namespace codegen {
  * caches keyed on the design hash alone can never serve a kernel
  * built by an older emitter.  v1: block-granular dirty bitmaps;
  * v2: event-driven per-level exact occupancy bitmaps +
- * AnvilKernelV2.
+ * AnvilKernelV2; v3: per-level evaluation counters + level_stats()
+ * (ABI version 3).
  */
-constexpr int kCppEmitterVersion = 2;
+constexpr int kCppEmitterVersion = 3;
 
 /**
  * Emit `nl` as a C++ kernel translation unit.  `design_name` only

@@ -9,6 +9,7 @@
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <vector>
 
 #include "codegen/cpp_emitter.h"
 #include "support/strings.h"
@@ -108,12 +109,21 @@ jitCompileKernel(const rtl::Netlist &nl, const JitOptions &opts)
         return res;
     }
 
-    char tmpl[] = "/tmp/anvil-jit-XXXXXX";
-    if (!::mkdtemp(tmpl)) {
-        res.error = "mkdtemp failed";
+    // Scratch lands under $TMPDIR when set (sandboxes and CI point it
+    // at a private writable dir), falling back to /tmp.
+    const char *tmp_env = ::getenv("TMPDIR");
+    std::string tmp_base =
+        tmp_env && *tmp_env ? tmp_env : "/tmp";
+    while (tmp_base.size() > 1 && tmp_base.back() == '/')
+        tmp_base.pop_back();
+    std::string tmpl_s = tmp_base + "/anvil-jit-XXXXXX";
+    std::vector<char> tmpl(tmpl_s.begin(), tmpl_s.end());
+    tmpl.push_back('\0');
+    if (!::mkdtemp(tmpl.data())) {
+        res.error = "mkdtemp failed in " + tmp_base;
         return res;
     }
-    std::string dir = tmpl;
+    std::string dir = tmpl.data();
     std::string src = dir + "/kernel.cpp";
     std::string so = dir + "/kernel.so";
     std::string err = dir + "/cc.err";

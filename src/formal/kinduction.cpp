@@ -5,6 +5,8 @@
 #include <functional>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "rtl/vcd.h"
 #include "support/hash.h"
 #include "support/strings.h"
@@ -476,8 +478,8 @@ ProveResult::report(bool detailed) const
 {
     std::string s;
     for (const auto &o : obligations) {
-        s += strfmt("%-40s %s\n", o.name.c_str(),
-                    o.statusStr().c_str());
+        s += strfmt("%-40s %4d bit %9.2f ms  %s\n", o.name.c_str(),
+                    o.coi_bits, o.millis, o.statusStr().c_str());
         if (detailed) {
             std::string ins;
             for (const auto &in : o.coi_inputs)
@@ -569,8 +571,18 @@ prove(const InstrumentedDesign &design, const ProveOptions &opts)
                 nl.nameOf(nl.regs()[static_cast<size_t>(ri)]));
         out.coi_inputs = coi.inputs;
 
+        // One profiler track per obligation; its base-case and per-k
+        // induction windows become Chrome-trace events alongside the
+        // simulator phases.
+        int tid = opts.profiler
+            ? opts.profiler->track("prove:" + out.name) : -1;
+
         Prover prover(sim, coi, bad, opts, &steps);
+        uint64_t w0 = opts.profiler ? rtl::monotonicNanos() : 0;
         prover.baseCase(out);
+        if (opts.profiler)
+            opts.profiler->event(tid, "base", w0,
+                                 rtl::monotonicNanos(), 0);
 
         if (out.status == ObligationOutcome::Status::Unknown &&
             out.detail.empty()) {
@@ -586,7 +598,16 @@ prove(const InstrumentedDesign &design, const ProveOptions &opts)
             } else {
                 bool budget_ok = true;
                 for (int k = 1; k <= opts.k_max; k++) {
-                    if (prover.inductionHolds(k, out, &budget_ok)) {
+                    uint64_t k0 =
+                        opts.profiler ? rtl::monotonicNanos() : 0;
+                    bool holds =
+                        prover.inductionHolds(k, out, &budget_ok);
+                    if (opts.profiler)
+                        opts.profiler->event(
+                            tid, strfmt("k=%d", k), k0,
+                            rtl::monotonicNanos(),
+                            static_cast<uint64_t>(k));
+                    if (holds) {
                         if (!budget_ok) {
                             out.detail =
                                 "induction: step budget exhausted";
@@ -616,7 +637,42 @@ prove(const InstrumentedDesign &design, const ProveOptions &opts)
         out.millis = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
+
+        if (opts.metrics) {
+            obs::MetricsRegistry &m = *opts.metrics;
+            m.counter("prove.steps") += out.steps;
+            m.counter("prove.base_states") += out.base_states;
+            m.counter("prove.induction_starts") +=
+                out.induction_starts;
+            const char *key = "unknown";
+            switch (out.status) {
+              case ObligationOutcome::Status::Proved:
+                key = "proved"; break;
+              case ObligationOutcome::Status::Violated:
+                key = "violated"; break;
+              case ObligationOutcome::Status::Conditional:
+                key = "conditional"; break;
+              case ObligationOutcome::Status::Unknown:
+                break;
+            }
+            m.counter(std::string("prove.status.") + key)++;
+        }
+
         result.obligations.push_back(std::move(out));
+    }
+
+    if (opts.metrics) {
+        // Aggregate throughput over everything this call explored
+        // (a step is one projected state visit).
+        uint64_t total_steps = 0;
+        double total_ms = 0.0;
+        for (const auto &o : result.obligations) {
+            total_steps += o.steps;
+            total_ms += o.millis;
+        }
+        opts.metrics->gauge("prove.states_per_sec") = total_ms > 0.0
+            ? static_cast<double>(total_steps) * 1000.0 / total_ms
+            : 0.0;
     }
     return result;
 }

@@ -50,6 +50,12 @@
 #include "rtl/interp.h"
 
 namespace anvil {
+
+namespace obs {
+class TraceProfiler;
+class MetricsRegistry;
+} // namespace obs
+
 namespace formal {
 
 /** Knobs for the prover. */
@@ -69,6 +75,14 @@ struct ProveOptions
      *  identical verdicts (pinned by tests/test_formal_prove). */
     rtl::SweepMode sweep_mode = rtl::SweepMode::Dirty;
     int sweep_threads = 0;
+    /** Optional telemetry sinks (both may be null; the prover then
+     *  takes no clock reads for them).  Each obligation's base-case
+     *  and per-k induction windows land on a "prove:<name>" profiler
+     *  track, and prove.* counters plus a prove.states_per_sec gauge
+     *  go to the registry — the same spine `--profile`/`--metrics`
+     *  use for simulation runs. */
+    obs::TraceProfiler *profiler = nullptr;
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /** One recorded counterexample frame: cone inputs driven that cycle. */

@@ -115,6 +115,8 @@ struct Merger::Stream
         std::string channel, rule;
     };
     std::vector<Viol> viols;
+
+    std::vector<Merger::WindowDump> window_dumps;
 };
 
 Merger::Merger() = default;
@@ -150,7 +152,10 @@ Merger::addStreamText(const std::string &text,
 
             if (kind == "run_begin") {
                 std::string schema = strOf(ev, "schema");
-                if (schema != kEventsSchema)
+                // v2 added the additive window_dump event; v1
+                // streams remain valid input.
+                if (schema != kEventsSchema &&
+                    schema != kEventsSchemaV1)
                     throw std::runtime_error(
                         "unknown event schema \"" + schema + "\"");
                 s->saw_begin = true;
@@ -168,6 +173,12 @@ Merger::addStreamText(const std::string &text,
             } else if (kind == "window") {
                 // Live envelope samples; the merged report keeps
                 // only the exported "act." peaks.
+            } else if (kind == "window_dump") {
+                s->window_dumps.push_back(
+                    {strOf(ev, "trigger"), strOf(ev, "path"),
+                     u64Of(fieldOf(ev, "t")),
+                     u64Of(fieldOf(ev, "from")),
+                     u64Of(fieldOf(ev, "to")), 0, 0});
             } else if (kind == "cov_signal") {
                 s->has_cov = true;
                 s->signals.push_back(
@@ -471,6 +482,31 @@ Merger::triage() const
                       return a.channel < b.channel;
                   return a.rule < b.rule;
               });
+    return out;
+}
+
+std::vector<Merger::WindowDump>
+Merger::windowDumps() const
+{
+    fold();
+    std::vector<WindowDump> out;
+    for (const Stream *s : _order)
+        for (WindowDump d : s->window_dumps) {
+            d.worker = s->info.worker;
+            d.seed = s->info.seed;
+            // The same dump file can be referenced by retried or
+            // re-merged streams; keep the first occurrence in
+            // canonical order.  Pathless references always pass.
+            bool dup = false;
+            if (!d.path.empty())
+                for (const WindowDump &e : out)
+                    if (e.path == d.path) {
+                        dup = true;
+                        break;
+                    }
+            if (!dup)
+                out.push_back(std::move(d));
+        }
     return out;
 }
 

@@ -82,6 +82,19 @@ class Merger
         std::string backend;    // "compiled"/"interp", "mixed"
     };
 
+    /** One flight-recorder window reference (v2 window_dump event),
+     *  annotated with the worker/seed of the stream that carried it. */
+    struct WindowDump
+    {
+        std::string trigger;
+        std::string path;
+        uint64_t trigger_cycle = 0;
+        uint64_t from = 0;
+        uint64_t to = 0;
+        int worker = 0;
+        uint64_t seed = 0;
+    };
+
     Merger();
     ~Merger();
     Merger(const Merger &) = delete;
@@ -120,6 +133,10 @@ class Merger
 
     /** Merged ranked signatures (for callers composing reports). */
     std::vector<AssertionTriage::Entry> triage() const;
+
+    /** Flight-recorder window references carried by the streams, in
+     *  canonical fold order, deduplicated by dump path. */
+    std::vector<WindowDump> windowDumps() const;
 
     /**
      * Merged "anvil-stats-v1" line + "workers".  wall_ns_override

@@ -80,6 +80,16 @@ ChangeFeed::subscribe(Observer &obs, rtl::NetId net)
 }
 
 void
+ChangeFeed::subscribeAll(Observer &obs)
+{
+    if (obs._feed != this)
+        throw std::logic_error(
+            "subscribeAll() from an observer not attached to this "
+            "feed");
+    _slots[static_cast<size_t>(obs._index)].all_nets = true;
+}
+
+void
 ChangeFeed::rebuildCsr()
 {
     size_t nets = _sub_head.size();
@@ -132,7 +142,7 @@ ChangeFeed::sample()
         // without forcing anyone onto the slow path.
         bool distribute = _profiler != nullptr;
         for (Slot &s : _slots)
-            if (s.obs && s.primed) {
+            if (s.obs && s.primed && !s.all_nets) {
                 s.scratch.clear();
                 distribute = true;
             }
@@ -167,8 +177,10 @@ ChangeFeed::sample()
             continue;
         uint64_t t0 = timing ? rtl::monotonicNanos() : 0;
         if (fresh && s.primed) {
-            s.obs->onCycle(_sim, cyc, s.scratch);
-            s.cost.nets += s.scratch.size();
+            const std::vector<rtl::NetId> &list =
+                s.all_nets ? _sim.changedNets() : s.scratch;
+            s.obs->onCycle(_sim, cyc, list);
+            s.cost.nets += list.size();
         } else {
             s.obs->onPrime(_sim, cyc);
             s.primed = true;

@@ -142,6 +142,17 @@ class ChangeFeed
      */
     bool subscribe(Observer &obs, rtl::NetId net);
 
+    /**
+     * Subscribe the observer to the whole frame: onCycle receives
+     * the simulator's raw changed-net list (a superset of any per-net
+     * subscription — it includes unnamed internal nodes) and the
+     * observer filters it against its own net->slot table.  For an
+     * observer tracing most of the design this skips the per-net
+     * fan-out copy entirely, which is what keeps an always-on
+     * recorder near-free.  Call from onAttach, like subscribe().
+     */
+    void subscribeAll(Observer &obs);
+
     /** True when no observer is attached and no profiler is set. */
     bool empty() const;
 
@@ -182,6 +193,9 @@ class ChangeFeed
         Observer *obs = nullptr;   // null: detached, index retired
         ObserverCost cost;
         bool primed = false;
+        /** subscribeAll(): onCycle gets the raw frame list and the
+         *  scratch subset is never built for this slot. */
+        bool all_nets = false;
         std::vector<rtl::NetId> scratch;   // per-cycle changed subset
         int track = -1;                    // profiler track id
     };

@@ -96,6 +96,20 @@ EventSink::window(uint64_t cycle, uint64_t changed, double rate)
 }
 
 void
+EventSink::windowDump(uint64_t cycle, const std::string &trigger,
+                      const std::string &path, uint64_t from,
+                      uint64_t to)
+{
+    line(strfmt("{\"e\":\"window_dump\",\"t\":%llu,"
+                "\"trigger\":\"%s\",\"path\":\"%s\","
+                "\"from\":%llu,\"to\":%llu}",
+                static_cast<unsigned long long>(cycle),
+                jsonEscape(trigger).c_str(), jsonEscape(path).c_str(),
+                static_cast<unsigned long long>(from),
+                static_cast<unsigned long long>(to)));
+}
+
+void
 EventSink::coverage(const tb::Coverage &cov)
 {
     // Signals are streamed in cov.signals() order — the merger keys

@@ -18,6 +18,8 @@
  *   run_begin    schema, design, worker, seed, cycles, sweep, threads
  *   violation    t, channel, rule, msg            (live, one per fire)
  *   window       t, changed, rate                 (live, every K cycles)
+ *   window_dump  t, trigger, path, from, to       (flight recorder,
+ *                one per flushed trigger window; v2 addition)
  *   cov_signal   name, width, reg, rose[], fell[] (hex mask words)
  *   cov_bins     name, width, hits[]
  *   cov_point    name, count
@@ -52,8 +54,13 @@
 namespace anvil {
 namespace obs {
 
-/** Wire-format version tag stamped into every run_begin event. */
-constexpr const char *kEventsSchema = "anvil-events-v1";
+/** Wire-format version tag stamped into every run_begin event.
+ *  v2 adds the additive window_dump event (flight-recorder window
+ *  references); obs::Merger still accepts v1 streams. */
+constexpr const char *kEventsSchema = "anvil-events-v2";
+
+/** Prior wire-format version, still accepted by obs::Merger. */
+constexpr const char *kEventsSchemaV1 = "anvil-events-v1";
 
 class EventSink
 {
@@ -74,6 +81,13 @@ class EventSink
 
     /** One completed rolling-activity window. */
     void window(uint64_t cycle, uint64_t changed, double rate);
+
+    /** One flushed flight-recorder window dump: the trigger that
+     *  opened it, the cycle range it covers, and where the VCD went
+     *  (v2 addition). */
+    void windowDump(uint64_t cycle, const std::string &trigger,
+                    const std::string &path, uint64_t from,
+                    uint64_t to);
 
     /** End-of-run coverage snapshot (signals, bins, points, samples). */
     void coverage(const tb::Coverage &cov);

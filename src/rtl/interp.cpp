@@ -290,6 +290,25 @@ Sim::sweepStats() const
     return _stats;
 }
 
+void
+Sim::setEvalCounting(bool on)
+{
+    _eval_counting = on;
+    if (on && _eval_count.size() < _nl.nets().size())
+        _eval_count.resize(_nl.nets().size(), 0);
+}
+
+std::vector<uint64_t>
+Sim::kernelLevelEvals() const
+{
+    std::vector<uint64_t> out;
+    if (_kctx && _kernel.abi->level_count) {
+        out.resize(_kernel.abi->level_count, 0);
+        _kernel.abi->level_stats(_kctx, out.data());
+    }
+    return out;
+}
+
 const NetSignal *
 Sim::findSignal(const std::string &flat) const
 {
@@ -472,6 +491,13 @@ Sim::computeNet(NetId id)
 {
     const Net &n = _nl.net(id);
     BitVec &out = _val[static_cast<size_t>(id)];
+
+    // Attribution hook (setEvalCounting).  Safe under the threaded
+    // sweep: concurrent calls always target distinct nodes.  Nets
+    // appended after counting was enabled (evalTop) are skipped.
+    if (_eval_counting &&
+        static_cast<size_t>(id) < _eval_count.size())
+        _eval_count[static_cast<size_t>(id)]++;
 
     if (n.fast) {
         // u64 lane: every involved value fits one word.  Operand

@@ -205,6 +205,32 @@ class Sim
     const SweepStats &sweepStats() const;
 
     /**
+     * Toggle per-net evaluation counting (off by default: the hot
+     * path then pays one predictable branch).  Counts accumulate in
+     * evalCounts() across every interpreter sweep — full, dirty,
+     * threaded (distinct nodes, so the shared counters are race-free)
+     * and lazy — and feed the hot-cone attribution report
+     * (obs::buildHotReport).  Strict nets run by an attached kernel
+     * are not counted here; see kernelLevelEvals().
+     */
+    void setEvalCounting(bool on);
+    bool evalCounting() const { return _eval_counting; }
+
+    /** Cumulative evaluations per net id (empty until counting is
+     *  first enabled). */
+    const std::vector<uint64_t> &evalCounts() const
+    {
+        return _eval_count;
+    }
+
+    /**
+     * Per-level cumulative node evaluations reported by the attached
+     * compiled kernel (ABI v3 level_stats), indexed by logic level.
+     * Empty when no kernel is attached.
+     */
+    std::vector<uint64_t> kernelLevelEvals() const;
+
+    /**
      * Install (or remove, with nullptr) a per-phase timing sink.
      * The sink must outlive the simulation or be detached first.
      * With no sink installed the step loop reads no clocks.
@@ -310,6 +336,15 @@ class Sim
      */
     const BitVec &value(NetId id);
 
+    /**
+     * Value of a strict (non-lazy) net in the current frame, without
+     * the re-sweep or lazy walk of value().  Valid inside a
+     * ChangeFeed callback, where sample() has already swept the
+     * frame; pulls kernel-owned values out of the attached kernel
+     * when stale.  The per-cycle observer hot path.
+     */
+    const BitVec &frameValue(NetId id) { return valOf(id); }
+
     /** Top-level input port names. */
     std::vector<std::string> inputNames() const;
 
@@ -393,6 +428,8 @@ class Sim
     std::vector<uint8_t> _shard_changed;        // pool join scratch
     std::vector<int32_t> _wire_slot;   // net -> wireNets index or -1
     uint64_t _frame_evals = 0;
+    bool _eval_counting = false;
+    std::vector<uint64_t> _eval_count;   // per-net evaluations
     mutable SweepStats _stats;   // kernel fields refreshed on read
     SimTelemetry *_telemetry = nullptr;
 

@@ -32,6 +32,12 @@
  *    mirroring the interpreter's hysteresis);
  *  - stats() exports the kernel's own activity counters so the host
  *    can fold them into its sweep telemetry.
+ *
+ * Version 3 appends per-level attribution (the struct keeps its name
+ * and entry symbol; v3 is a strict prefix-compatible extension):
+ *  - level_count mirrors the design's levelization;
+ *  - level_stats() exports cumulative node evaluations per level, so
+ *    the host's hot-cone report covers the compiled backend too.
  */
 
 #ifndef ANVIL_RTL_KERNEL_ABI_H
@@ -43,7 +49,7 @@
 extern "C" {
 #endif
 
-#define ANVIL_KERNEL_ABI_VERSION 2u
+#define ANVIL_KERNEL_ABI_VERSION 3u
 
 /** Activity counters accumulated by a kernel context since create().
  *  Mirrors the host-side SweepStats vocabulary. */
@@ -102,6 +108,16 @@ typedef struct AnvilKernelV2
 
     /** Copy the context's activity counters into *out. */
     void (*stats)(void *ctx, AnvilKernelStats *out);
+
+    /* --- v3 additions (prefix-compatible) ------------------------ */
+
+    /** Logic levels in the emitted design's levelization. */
+    uint32_t level_count;
+
+    /** Copy cumulative node evaluations per level into out[0 ..
+     *  level_count); caller provides level_count slots.  Counts since
+     *  create(), accumulated on both sparse and dense paths. */
+    void (*level_stats)(void *ctx, uint64_t *out);
 } AnvilKernelV2;
 
 /** Entry point exported by every compiled kernel object. */

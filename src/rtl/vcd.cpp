@@ -29,6 +29,61 @@ trimmedBinary(const BitVec &v)
 
 } // namespace
 
+void
+writeVcdHeader(std::ostream &os, const std::string &top_scope,
+               const std::vector<VcdVarDecl> &vars)
+{
+    // Deterministic header: no wall-clock date, fixed version text.
+    os << "$date\n    (deterministic)\n$end\n"
+       << "$version\n    anvil VcdWriter\n$end\n"
+       << "$timescale\n    1ns\n$end\n";
+
+    ScopeNode root;
+    for (size_t i = 0; i < vars.size(); i++) {
+        ScopeNode *node = &root;
+        const std::string &name = vars[i].name;
+        size_t start = 0, dot;
+        while ((dot = name.find('.', start)) != std::string::npos) {
+            node = &node->children[name.substr(start, dot - start)];
+            start = dot + 1;
+        }
+        node->vars.push_back(i);
+    }
+
+    // Recursive emit; leaf var names drop the instance path prefix.
+    auto emitScope = [&os, &vars](const ScopeNode &node,
+                                  auto &&self) -> void {
+        for (size_t i : node.vars) {
+            const VcdVarDecl &t = vars[i];
+            std::string leaf = t.name.substr(t.name.rfind('.') + 1);
+            os << "$var " << (t.is_reg ? "reg" : "wire") << " "
+               << t.width << " " << t.id << " " << leaf;
+            if (t.width > 1)
+                os << " [" << t.width - 1 << ":0]";
+            os << " $end\n";
+        }
+        for (const auto &[name, child] : node.children) {
+            os << "$scope module " << name << " $end\n";
+            self(child, self);
+            os << "$upscope $end\n";
+        }
+    };
+
+    os << "$scope module " << top_scope << " $end\n";
+    emitScope(root, emitScope);
+    os << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void
+writeVcdValue(std::ostream &os, const std::string &id, int width,
+              const BitVec &v)
+{
+    if (width == 1)
+        os << (v.any() ? '1' : '0') << id << "\n";
+    else
+        os << "b" << trimmedBinary(v) << " " << id << "\n";
+}
+
 std::string
 VcdWriter::idCode(size_t index)
 {
@@ -95,54 +150,17 @@ VcdWriter::onAttach(obs::ChangeFeed &feed)
 void
 VcdWriter::writeHeader()
 {
-    // Deterministic header: no wall-clock date, fixed version text.
-    _os << "$date\n    (deterministic)\n$end\n"
-        << "$version\n    anvil VcdWriter\n$end\n"
-        << "$timescale\n    1ns\n$end\n";
-
-    ScopeNode root;
-    for (size_t i = 0; i < _traced.size(); i++) {
-        ScopeNode *node = &root;
-        const std::string &name = _traced[i].name;
-        size_t start = 0, dot;
-        while ((dot = name.find('.', start)) != std::string::npos) {
-            node = &node->children[name.substr(start, dot - start)];
-            start = dot + 1;
-        }
-        node->vars.push_back(i);
-    }
-
-    // Recursive emit; leaf var names drop the instance path prefix.
-    auto emitScope = [this](const ScopeNode &node,
-                            auto &&self) -> void {
-        for (size_t i : node.vars) {
-            const Traced &t = _traced[i];
-            std::string leaf = t.name.substr(t.name.rfind('.') + 1);
-            _os << "$var " << (t.is_reg ? "reg" : "wire") << " "
-                << t.width << " " << t.id << " " << leaf;
-            if (t.width > 1)
-                _os << " [" << t.width - 1 << ":0]";
-            _os << " $end\n";
-        }
-        for (const auto &[name, child] : node.children) {
-            _os << "$scope module " << name << " $end\n";
-            self(child, self);
-            _os << "$upscope $end\n";
-        }
-    };
-
-    _os << "$scope module " << _sim.topName() << " $end\n";
-    emitScope(root, emitScope);
-    _os << "$upscope $end\n$enddefinitions $end\n";
+    std::vector<VcdVarDecl> vars;
+    vars.reserve(_traced.size());
+    for (const Traced &t : _traced)
+        vars.push_back({t.name, t.id, t.width, t.is_reg});
+    writeVcdHeader(_os, _sim.topName(), vars);
 }
 
 void
 VcdWriter::emitValue(const Traced &t, const BitVec &v)
 {
-    if (t.width == 1)
-        _os << (v.any() ? '1' : '0') << t.id << "\n";
-    else
-        _os << "b" << trimmedBinary(v) << " " << t.id << "\n";
+    writeVcdValue(_os, t.id, t.width, v);
     _changes++;
 }
 

@@ -39,6 +39,36 @@ namespace anvil {
 namespace rtl {
 
 /**
+ * One declared VCD variable.  The shared currency between the live
+ * VcdWriter below and any other emitter that must produce
+ * byte-compatible dumps (obs::FlightRecorder reconstructs trigger
+ * windows through these same helpers).
+ */
+struct VcdVarDecl
+{
+    std::string name;   // flat dotted instance path
+    std::string id;     // printable VCD id-code
+    int width = 1;
+    bool is_reg = false;
+};
+
+/**
+ * Emit the deterministic VCD header: fixed date/version/timescale
+ * text, the scope tree derived from the vars' dotted names rooted at
+ * `top_scope`, and one $var per entry.  Exactly the bytes VcdWriter
+ * writes at construction.
+ */
+void writeVcdHeader(std::ostream &os, const std::string &top_scope,
+                    const std::vector<VcdVarDecl> &vars);
+
+/**
+ * Emit one value-change line: `0id`/`1id` for 1-bit vars, else
+ * `b<binary, leading zeros trimmed> id`.
+ */
+void writeVcdValue(std::ostream &os, const std::string &id, int width,
+                   const BitVec &v);
+
+/**
  * Streams a VCD dump of a simulation.
  *
  * The header (scopes and $var declarations) is written at

@@ -243,9 +243,11 @@ class Testbench
      */
     TbResult run(uint64_t cycles);
 
-  private:
+    /** Failures recorded so far (check hooks + every monitor) — a
+     *  live monotonic counter; obs::FlightRecorder triggers on it. */
     size_t totalFailures() const;
 
+  private:
     rtl::Sim _sim;
     SplitMix64 _rng;
     /** Declared before every observer-owning member: observers

@@ -3,6 +3,8 @@
 #include <deque>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "rtl/interp.h"
 #include "support/hash.h"
 
@@ -49,6 +51,49 @@ BmcResult::statusStr() const
     return "?";
 }
 
+namespace {
+
+/** Scope guard stamping the exploration's telemetry on every return
+ *  path: the "bmc" profiler window, state totals, frontier peak, and
+ *  throughput. */
+struct BmcTelemetry
+{
+    const BmcOptions &opts;
+    const BmcResult &result;
+    uint64_t t0 = 0;
+    uint64_t frontier_peak = 0;
+
+    BmcTelemetry(const BmcOptions &o, const BmcResult &r)
+        : opts(o), result(r)
+    {
+        if (opts.profiler || opts.metrics)
+            t0 = rtl::monotonicNanos();
+    }
+
+    ~BmcTelemetry()
+    {
+        if (!opts.profiler && !opts.metrics)
+            return;
+        uint64_t t1 = rtl::monotonicNanos();
+        if (opts.profiler)
+            opts.profiler->event(opts.profiler->track("bmc"),
+                                 "explore", t0, t1,
+                                 result.states_explored);
+        if (opts.metrics) {
+            obs::MetricsRegistry &m = *opts.metrics;
+            m.counter("bmc.states") += result.states_explored;
+            uint64_t &peak = m.counter("bmc.frontier_peak");
+            peak = std::max(peak, frontier_peak);
+            double secs = static_cast<double>(t1 - t0) * 1e-9;
+            m.gauge("bmc.states_per_sec") = secs > 0.0
+                ? static_cast<double>(result.states_explored) / secs
+                : 0.0;
+        }
+    }
+};
+
+} // namespace
+
 BmcResult
 boundedModelCheck(const std::shared_ptr<const rtl::Module> &top,
                   const std::vector<Assertion> &asserts,
@@ -79,6 +124,7 @@ boundedModelCheck(const std::shared_ptr<const rtl::Module> &top,
     };
 
     BmcResult result;
+    BmcTelemetry telemetry(opts, result);
     std::deque<Node> frontier;
     StateSet seen;
 
@@ -131,6 +177,8 @@ boundedModelCheck(const std::shared_ptr<const rtl::Module> &top,
                 seen.insert(std::move(key));
                 frontier.push_back({std::move(next),
                                     node.depth + 1});
+                telemetry.frontier_peak = std::max<uint64_t>(
+                    telemetry.frontier_peak, frontier.size());
             }
         }
     }

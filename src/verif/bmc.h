@@ -31,6 +31,12 @@
 #include "rtl/rtl.h"
 
 namespace anvil {
+
+namespace obs {
+class TraceProfiler;
+class MetricsRegistry;
+} // namespace obs
+
 namespace verif {
 
 /** A checked property: when `enable` holds, `expr` must hold. */
@@ -72,6 +78,12 @@ struct BmcOptions
      *  Attach failures fall back to the interpreter silently; the
      *  explored state space is identical either way. */
     rtl::KernelRef kernel;
+    /** Optional telemetry sinks (both may be null).  The exploration
+     *  window lands on a "bmc" profiler track; bmc.states /
+     *  bmc.frontier_peak counters and a bmc.states_per_sec gauge go
+     *  to the registry. */
+    obs::TraceProfiler *profiler = nullptr;
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /**

@@ -9,7 +9,12 @@
 #     "timers_ns" section, and the stats line minus its wall-clock
 #     fields, must be byte-identical (canonical-form compare),
 #  3. --slice extracts exactly one channel's signals into a
-#     standalone VCD, and an unknown channel is a usage error.
+#     standalone VCD, and an unknown channel is a usage error,
+#  4. the flight loop closes: a run with a deliberately violated
+#     contract and --flight dumps a trigger window, the events
+#     stream carries v2 window_dump records, --profile-hot's report
+#     validates against hot.schema.json, and --check-trace on the
+#     window VCD reproduces the violation (exit 1).
 #
 # Usage: cli_obs_e2e.sh <path-to-anvilc> <repo-root> <json_validate>
 set -e
@@ -81,3 +86,37 @@ set -e
 test "$status" -eq 2
 grep -q 'no signals for channel' obs_bogus.log
 echo "slice dumps exactly one channel; unknown channels are rejected"
+
+# --- Flight recorder loop ------------------------------------------------
+
+# "ack within 1" is deliberately tighter than quickstart's server
+# (which acks within 2), so the run violates and the recorder dumps.
+rm -f obs_flight-*.vcd
+set +e
+"$ANVILC" "$SRC/examples/quickstart.anvil" --sim 120 --seed 7 \
+    --contract 'io_pong: ack within 1' \
+    --flight 32 --flight-post 4 --dump-on VIOLATION \
+    --flight-out obs_flight --events obs_flight.events \
+    --profile-hot obs_hot.json > obs_flight.log 2>&1
+status=$?
+set -e
+test "$status" -eq 1          # the live run itself reports FAIL
+test -f obs_flight-0.vcd
+
+# The stream is schema v2 and carries the dump references.
+grep -q 'anvil-events-v2' obs_flight.events
+grep -q '"e":"window_dump"' obs_flight.events
+"$VALIDATE" --lines "$SCHEMAS/events.schema.json" obs_flight.events
+"$VALIDATE" "$SCHEMAS/hot.schema.json" obs_hot.json
+
+# The window dump is a plain VCD the offline checker consumes
+# unmodified — and it reproduces the violation it was cut around.
+set +e
+"$ANVILC" "$SRC/examples/quickstart.anvil" \
+    --check-trace obs_flight-0.vcd \
+    --contract 'io_pong: ack within 1' > obs_flight_check.log
+status=$?
+set -e
+test "$status" -eq 1
+grep -q 'ack-within' obs_flight_check.log
+echo "flight window dump reproduces the violation under check-trace"

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -167,6 +170,86 @@ TEST(CppEmitter, JitRoundTripMatchesInterpreter)
     for (size_t i = 0; i < ra.size(); i++)
         EXPECT_EQ(ra[i].toHex(), rb[i].toHex());
     EXPECT_EQ(interp.log(), compiled.log());
+}
+
+TEST(CppEmitter, KernelReportsPerLevelEvals)
+{
+    if (codegen::jitCompilerPath().empty())
+        GTEST_SKIP() << "no system compiler available";
+    auto mod = quickstartModule();
+    ASSERT_NE(mod, nullptr);
+    Sim sim(mod);
+    codegen::JitOptions jo;
+    jo.opt_level = 1;
+    codegen::JitResult jr =
+        codegen::jitCompileKernel(sim.netlist(), jo);
+    ASSERT_NE(jr.kernel, nullptr) << jr.error;
+    const AnvilKernelV2 *abi = jr.kernel->abi();
+    ASSERT_NE(abi, nullptr);
+    // v3 surface: the level table is sized like the netlist's and
+    // backed by a live accessor.
+    EXPECT_EQ(abi->level_count,
+              sim.netlist().levelBegin().empty()
+                  ? 0u
+                  : static_cast<uint32_t>(
+                        sim.netlist().levelBegin().size() - 1));
+    ASSERT_NE(abi->level_stats, nullptr);
+    ASSERT_TRUE(sim.attachKernel(codegen::kernelRef(jr.kernel)));
+
+    for (int cyc = 0; cyc < 50; cyc++) {
+        driveQuickstart(sim, cyc);
+        sim.step();
+    }
+    std::vector<uint64_t> per_level = sim.kernelLevelEvals();
+    ASSERT_EQ(per_level.size(), abi->level_count);
+    uint64_t total = 0;
+    for (uint64_t e : per_level)
+        total += e;
+    // The per-level counters partition the sweep's eval total.
+    EXPECT_EQ(total, sim.sweepStats().nodes_evaluated);
+    EXPECT_GT(total, 0u);
+}
+
+TEST(CppEmitter, JitHonorsTmpdir)
+{
+    if (codegen::jitCompilerPath().empty())
+        GTEST_SKIP() << "no system compiler available";
+    auto mod = quickstartModule();
+    ASSERT_NE(mod, nullptr);
+    Sim sim(mod);
+
+    // Point TMPDIR at a private scratch dir; a unique emitter tag
+    // bypasses the process-wide kernel cache so the JIT really runs.
+    char tmpl[] = "/tmp/anvil-tmpdir-test-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    std::string scratch = tmpl;
+    const char *saved = std::getenv("TMPDIR");
+    std::string saved_val = saved ? saved : "";
+    ::setenv("TMPDIR", scratch.c_str(), 1);
+
+    codegen::JitOptions jo;
+    jo.opt_level = 1;
+    jo.keep_files = true;
+    jo.emitter_tag = codegen::kCppEmitterVersion + 1000;
+    codegen::JitResult jr =
+        codegen::jitCompileKernel(sim.netlist(), jo);
+
+    if (saved)
+        ::setenv("TMPDIR", saved_val.c_str(), 1);
+    else
+        ::unsetenv("TMPDIR");
+    ASSERT_NE(jr.kernel, nullptr) << jr.error;
+
+    // The work dir must have landed under $TMPDIR, not /tmp.
+    bool found = false;
+    if (DIR *d = ::opendir(scratch.c_str())) {
+        while (struct dirent *e = ::readdir(d))
+            if (std::string(e->d_name).rfind("anvil-jit-", 0) == 0)
+                found = true;
+        ::closedir(d);
+    }
+    EXPECT_TRUE(found)
+        << "no anvil-jit-* work dir under " << scratch;
 }
 
 TEST(CppEmitter, BrokenCompilerFallsBackToInterpreter)

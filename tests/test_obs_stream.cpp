@@ -4,8 +4,9 @@
  * (a single run serialized and merged back reproduces its coverage,
  * metrics, and summary bytes exactly), merge order independence
  * across shuffled streams, farm-vs-sequential union equivalence,
- * shared-netlist Sim semantics, the Coverage merge operators, and
- * the triage dedupe over hand-authored streams.
+ * shared-netlist Sim semantics, the Coverage merge operators, the
+ * triage dedupe over hand-authored streams, and the v2 window_dump
+ * references (worker/seed stamping, path dedupe, v1 coexistence).
  */
 
 #include <gtest/gtest.h>
@@ -455,6 +456,98 @@ TEST(Triage, EmptyFormatAndEmptyMerge)
     m.addStreamText(miniStream(0, 1, {}), "w0");
     EXPECT_EQ(m.triageReport(),
               "triage: no contract violations\n");
+}
+
+// --- Flight-recorder window references -----------------------------------
+
+std::string
+dumpEv(uint64_t t, const std::string &trigger,
+       const std::string &path, uint64_t from, uint64_t to)
+{
+    std::ostringstream os;
+    os << "{\"e\":\"window_dump\",\"t\":" << t << ",\"trigger\":\""
+       << trigger << "\",\"path\":\"" << path
+       << "\",\"from\":" << from << ",\"to\":" << to << "}";
+    return os.str();
+}
+
+TEST(WindowDumps, SinkRoundTripStampsWorkerAndSeed)
+{
+    std::ostringstream es;
+    obs::EventSink sink(es);
+    sink.runBegin("d", 3, 99, 10, rtl::SweepMode::Dirty, 0);
+    sink.windowDump(40, "VIOLATION", "flight.w3-0.vcd", 32, 52);
+    sink.runEnd(10, 4, 1, 100, false, 50.0);
+
+    // The sink stamps the v2 schema tag into the header.
+    EXPECT_NE(es.str().find(obs::kEventsSchema), std::string::npos);
+
+    obs::Merger m;
+    m.addStreamText(es.str(), "w3");
+    std::vector<obs::Merger::WindowDump> dumps = m.windowDumps();
+    ASSERT_EQ(dumps.size(), 1u);
+    EXPECT_EQ(dumps[0].trigger, "VIOLATION");
+    EXPECT_EQ(dumps[0].path, "flight.w3-0.vcd");
+    EXPECT_EQ(dumps[0].trigger_cycle, 40u);
+    EXPECT_EQ(dumps[0].from, 32u);
+    EXPECT_EQ(dumps[0].to, 52u);
+    // Annotated from the stream's run_begin, not the event itself.
+    EXPECT_EQ(dumps[0].worker, 3);
+    EXPECT_EQ(dumps[0].seed, 99u);
+}
+
+TEST(WindowDumps, DedupesByPathButNeverPathless)
+{
+    // Worker 1 (seed 2) is added first but worker 0 (seed 1) folds
+    // earlier; the shared path keeps its first canonical occurrence
+    // and the pathless references survive from both streams.
+    obs::Merger m;
+    m.addStreamText(
+        miniStream(1, 2,
+                   {dumpEv(80, "cover:hit", "shared.vcd", 72, 84),
+                    dumpEv(90, "VIOLATION", "", 82, 94)}),
+        "w1");
+    m.addStreamText(
+        miniStream(0, 1,
+                   {dumpEv(40, "VIOLATION", "shared.vcd", 32, 44),
+                    dumpEv(50, "VIOLATION", "", 42, 54)}),
+        "w0");
+    std::vector<obs::Merger::WindowDump> dumps = m.windowDumps();
+    ASSERT_EQ(dumps.size(), 3u);
+    EXPECT_EQ(dumps[0].path, "shared.vcd");
+    EXPECT_EQ(dumps[0].trigger, "VIOLATION");
+    EXPECT_EQ(dumps[0].worker, 0);
+    EXPECT_EQ(dumps[0].seed, 1u);
+    EXPECT_EQ(dumps[1].path, "");
+    EXPECT_EQ(dumps[1].worker, 0);
+    EXPECT_EQ(dumps[2].path, "");
+    EXPECT_EQ(dumps[2].worker, 1);
+    EXPECT_EQ(dumps[2].seed, 2u);
+}
+
+TEST(WindowDumps, V1StreamsCarryingWindowDumpsStillParse)
+{
+    // window_dump is an additive v2 event; a v1-tagged stream that
+    // happens to carry one is accepted rather than rejected, and
+    // merges with v2 streams from the same design.
+    std::string v1 = miniStream(
+        0, 1, {dumpEv(10, "VIOLATION", "a.vcd", 2, 14)});
+    ASSERT_NE(v1.find(obs::kEventsSchemaV1), std::string::npos);
+
+    std::string v2 = miniStream(
+        1, 2, {dumpEv(20, "VIOLATION", "b.vcd", 12, 24)});
+    const std::string tag = obs::kEventsSchemaV1;
+    size_t at = v2.find(tag);
+    ASSERT_NE(at, std::string::npos);
+    v2.replace(at, tag.size(), obs::kEventsSchema);
+
+    obs::Merger m;
+    m.addStreamText(v1, "w0");
+    m.addStreamText(v2, "w1");
+    std::vector<obs::Merger::WindowDump> dumps = m.windowDumps();
+    ASSERT_EQ(dumps.size(), 2u);
+    EXPECT_EQ(dumps[0].path, "a.vcd");
+    EXPECT_EQ(dumps[1].path, "b.vcd");
 }
 
 // --- Malformed streams ---------------------------------------------------

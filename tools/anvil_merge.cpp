@@ -81,6 +81,16 @@ main(int argc, char **argv)
                (unsigned long long)si.cycles,
                (unsigned long long)si.failures, si.backend.c_str());
 
+    // Flight-recorder window references pass through deduped — the
+    // merged report points straight at every worker's trigger VCD.
+    for (const obs::Merger::WindowDump &wd : merger.windowDumps())
+        printf("  window-dump worker %d: %s @%llu [%llu..%llu] %s\n",
+               wd.worker, wd.trigger.c_str(),
+               (unsigned long long)wd.trigger_cycle,
+               (unsigned long long)wd.from,
+               (unsigned long long)wd.to,
+               wd.path.empty() ? "(unsaved)" : wd.path.c_str());
+
     obs::Merger::Totals t = merger.totals();
     printf("sim: %llu cycles, %llu toggles across %zu worker(s)\n",
            (unsigned long long)t.cycles,
